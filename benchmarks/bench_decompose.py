@@ -1,0 +1,93 @@
+"""Ablation: the Section 5.5 optimization (bucket decomposition).
+
+The paper proves that irrelevant buckets (untouched by knowledge) can be
+solved independently — closed-form, even — and predicts a large saving when
+many buckets are irrelevant.  This bench quantifies that saving: the same
+workload solved monolithically vs decomposed, at several knowledge sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_result
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.experiments.workloads import build_adult_workload
+from repro.knowledge.bounds import TopKBound
+from repro.maxent.solver import MaxEntConfig
+from repro.utils.tabulate import render_table
+from repro.utils.timer import Timer
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_adult_workload(n_records=800, max_antecedent=2)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_decomposition_ablation(benchmark, results_dir, workload):
+    knowledge_sizes = (0, 20, 100)
+
+    def run_all():
+        rows = []
+        for size in knowledge_sizes:
+            statements = TopKBound(size // 2, size - size // 2).statements(
+                workload.rules
+            )
+            timings = {}
+            components = {}
+            configs = {
+                # The paper's unoptimized baseline: one numeric solve over
+                # the whole dataset, no closed-form shortcut.
+                "monolithic": MaxEntConfig(
+                    decompose=False,
+                    use_closed_form=False,
+                    raise_on_infeasible=False,
+                ),
+                "decomposed": MaxEntConfig(raise_on_infeasible=False),
+            }
+            for label, config in configs.items():
+                engine = PrivacyMaxEnt(
+                    workload.published,
+                    knowledge=statements,
+                    config=config,
+                )
+                with Timer() as t:
+                    solution = engine.solve()
+                timings[label] = t.seconds
+                components[label] = solution.stats.n_components
+            speedup = (
+                timings["monolithic"] / timings["decomposed"]
+                if timings["decomposed"] > 0
+                else float("inf")
+            )
+            rows.append(
+                [
+                    size,
+                    timings["monolithic"],
+                    timings["decomposed"],
+                    components["decomposed"],
+                    speedup,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = render_table(
+        [
+            "knowledge rows",
+            "monolithic (s)",
+            "decomposed (s)",
+            "components",
+            "speedup",
+        ],
+        rows,
+        title="Section 5.5 ablation: decomposition on/off (160 buckets)",
+    )
+    save_result(results_dir, "decompose_ablation", table)
+
+    # With no knowledge, decomposition reduces to pure closed form and must
+    # win by a wide margin.
+    assert rows[0][4] > 2.0
+    # With knowledge it must still not lose badly.
+    assert rows[-1][4] > 0.5

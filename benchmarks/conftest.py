@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Benchmarks default to scaled-down problem sizes (the paper used 14,210
+records and a 2008 Pentium-M; we target a CI-friendly suite).  Set
+``REPRO_BENCH_SCALE=paper`` to run the full-size sweeps — expect hours, as
+the original evaluation took.
+
+Each figure bench renders its table/plot to stdout *and* writes it under
+``benchmarks/results/`` so the numbers survive pytest's output capture and
+feed EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+PAPER_SCALE = os.environ.get("REPRO_BENCH_SCALE", "").lower() == "paper"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_result(results_dir: Path, name: str, rendered: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(rendered + "\n")
+    print(f"\n{rendered}\n[saved to {path}]")

@@ -1,0 +1,63 @@
+"""Case study: the paper's full Adult pipeline at laptop scale.
+
+Mirrors Section 7's setup — Adult-shaped data, buckets of five records at
+distinct 5-diversity (most frequent education value exempted, footnote 3),
+association rules mined at minimum support 3 — and prints the Section 4.3
+deliverable: a (bound, privacy score) table over candidate Top-(K+, K-)
+bounds, so a publisher can see exactly how fast the release's effective
+diversity collapses as the assumed adversary strengthens.
+
+Run:  python examples/adult_case_study.py [n_records]
+"""
+
+import sys
+
+from repro import MiningConfig, TopKBound, anatomize, assess, load_adult_synthetic
+from repro.anonymize.diversity import auto_exempt
+from repro.core.report import render_assessments
+from repro.core.metrics import distinct_l_diversity, entropy_l_diversity, t_closeness
+
+
+def main(n_records: int = 1500) -> None:
+    table = load_adult_synthetic(n_records=n_records, seed=20080609)
+    # Footnote 3 of the paper: the most frequent education value(s) are not
+    # considered sensitive; they may repeat within a bucket.
+    exempt = auto_exempt(table.value_counts("education"), 5)
+    published = anatomize(table, l=5, exempt=exempt, seed=1)
+
+    print(f"Data: {table.n_rows} records, 8 QI attributes, "
+          f"education as SA ({table.schema.sa.size} values)")
+    print(f"Exempt (non-sensitive) values: {sorted(exempt)}")
+    print(f"Release: {published.n_buckets} buckets, "
+          f"distinct l = {distinct_l_diversity(published, exempt=exempt)}, "
+          f"entropy l = {entropy_l_diversity(published):.2f}, "
+          f"t-closeness = {t_closeness(published):.3f}\n")
+
+    bounds = [
+        TopKBound(0, 0),
+        TopKBound(25, 25),
+        TopKBound(100, 100),
+        TopKBound(400, 400),
+        TopKBound(1600, 1600),
+    ]
+    assessments = assess(
+        table,
+        published,
+        bounds,
+        mining=MiningConfig(min_support_count=3, max_antecedent=3),
+        exclude_sa=exempt,
+    )
+    print(render_assessments(
+        assessments,
+        title="Privacy under candidate Top-(K+, K-) knowledge bounds",
+    ))
+    print(
+        "\nReading: est_accuracy is the paper's weighted-KL measure "
+        "(smaller = adversary closer to the truth); effective_l is "
+        "1/max-disclosure — watch the published 5-diversity erode as K "
+        "grows."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 1500)

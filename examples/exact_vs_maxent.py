@@ -1,0 +1,78 @@
+"""Privacy-MaxEnt vs the pre-MaxEnt combinatorial family (related work).
+
+Before Privacy-MaxEnt, background knowledge was handled by reasoning over
+the *assignments* consistent with deterministic rules (Martin et al.'s
+worst-case disclosure, Chen et al.'s privacy skyline).  This example runs
+both frameworks side by side on the paper's Figure 1 data and shows:
+
+1. without knowledge they coincide (both reduce to Eq. 9),
+2. with deterministic rules they *mostly* agree but can genuinely diverge
+   (uniform-over-assignments is not maximum entropy once symmetry breaks),
+3. with probabilistic rules the combinatorial family simply cannot play —
+   the precise gap Privacy-MaxEnt was built to fill.
+
+Run:  python examples/exact_vs_maxent.py
+"""
+
+from repro import (
+    ConditionalProbability,
+    PrivacyMaxEnt,
+    enumeration_posterior,
+    worst_case_disclosure,
+)
+from repro.data.paper_example import Q2, Q4, S1, S2, paper_published
+from repro.errors import NotSupportedError
+
+
+def main() -> None:
+    published = paper_published()
+
+    # --- 1. no knowledge: identical frameworks -----------------------------
+    maxent = PrivacyMaxEnt(published).posterior()
+    combinatorial = enumeration_posterior(published)
+    print("Without knowledge (both reduce to the Eq. 9 frequency formula):")
+    for q, s in ((Q2, S1), (Q4, S1)):
+        print(
+            f"  P({s} | {'/'.join(q)}):  enumeration "
+            f"{combinatorial.prob(q, s):.4f}   maxent {maxent.prob(q, s):.4f}"
+        )
+
+    # --- 2. deterministic knowledge ------------------------------------------
+    rule = ConditionalProbability(
+        given={"gender": "male"}, sa_value=S1, probability=0.0
+    )
+    maxent = PrivacyMaxEnt(published, knowledge=[rule]).posterior()
+    combinatorial = enumeration_posterior(published, [rule])
+    print('\nWith "males never have Breast Cancer":')
+    for q, s in ((Q2, S1), (Q4, S1), (Q2, S2)):
+        print(
+            f"  P({s} | {'/'.join(q)}):  enumeration "
+            f"{combinatorial.prob(q, s):.4f}   maxent {maxent.prob(q, s):.4f}"
+        )
+    print(
+        f"  worst-case (Martin-style) disclosure: "
+        f"{worst_case_disclosure(published, [rule]):.4f}"
+    )
+
+    # --- 3. probabilistic knowledge: only MaxEnt can express it --------------
+    probabilistic = ConditionalProbability(
+        given={"gender": "male"}, sa_value=S2, probability=0.3
+    )
+    print('\nWith the probabilistic rule "P(Flu | male) = 0.3":')
+    try:
+        enumeration_posterior(published, [probabilistic])
+    except NotSupportedError as error:
+        print(f"  enumeration: UNSUPPORTED — {error}")
+    posterior = PrivacyMaxEnt(published, knowledge=[probabilistic]).posterior()
+    print(
+        f"  maxent:      P(Flu | male college) = "
+        f"{posterior.prob(('male', 'college'), S2):.4f}"
+    )
+    print(
+        "\nThis asymmetry — linear *probabilistic* constraints handled "
+        "uniformly — is the paper's core contribution."
+    )
+
+
+if __name__ == "__main__":
+    main()

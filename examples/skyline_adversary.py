@@ -1,0 +1,54 @@
+"""A privacy-skyline adversary (Chen et al.), run through Privacy-MaxEnt.
+
+The paper's Related Work credits Chen, LeFevre & Ramakrishnan's (l, k, m)
+triple as the most expressive *deterministic* bound before Privacy-MaxEnt.
+This example compiles escalating skyline adversaries into Section 6
+individual statements and watches a single target's posterior sharpen:
+
+- (0,0,0): nothing beyond the release,
+- (0,2,0): two sensitive values the target provably lacks,
+- (3,2,0): plus three other patients' exact diagnoses,
+- (3,2,1): plus one known peer sharing the target's diagnosis.
+
+Run:  python examples/skyline_adversary.py
+"""
+
+from repro import PrivacyMaxEnt, PseudonymTable
+from repro.data.paper_example import paper_published, paper_table
+from repro.knowledge.skyline import SkylineBound
+from repro.maxent.solver import MaxEntConfig
+
+
+def main() -> None:
+    table = paper_table()
+    published = paper_published()
+    target_row = 2  # Cathy: (female, college), Breast Cancer
+    truth = table.sa_labels()[target_row]
+    print(f"Target: row {target_row} "
+          f"{table.qi_tuple(target_row)} — true value {truth!r}\n")
+
+    print(f"{'bound':>18}  {'P*(truth | target)':>20}  statements")
+    for l, k, m in ((0, 0, 0), (0, 2, 0), (3, 2, 0), (3, 2, 1)):
+        bound = SkylineBound(l_others=l, k_negations=k, m_peers=m)
+        pseudonyms = PseudonymTable(published)
+        target, statements = bound.instantiate(
+            table, pseudonyms, target_row=target_row, seed=42
+        )
+        engine = PrivacyMaxEnt(
+            published,
+            knowledge=statements,
+            individuals=True,
+            config=MaxEntConfig(raise_on_infeasible=False),
+        )
+        posterior = engine.person_posterior()[target.name]
+        confidence = posterior.get(truth, 0.0)
+        print(f"{bound.describe():>18}  {confidence:20.4f}  {len(statements)}")
+
+    print(
+        "\nEvery (l, k, m) bound is just a bundle of linear constraints — "
+        "the uniform treatment that is the paper's thesis."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+``pip install -e . --no-use-pep517 --no-build-isolation`` uses this when
+the ``wheel`` package is unavailable; all metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

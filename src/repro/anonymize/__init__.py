@@ -1,0 +1,28 @@
+"""Anonymization substrate: bucketization (Anatomy), generalization, noise."""
+
+from repro.anonymize.anatomy import anatomize
+from repro.anonymize.buckets import Bucket, BucketizedTable, enumerate_assignments
+from repro.anonymize.diversity import (
+    bucket_is_diverse,
+    check_eligibility,
+    distinct_diversity,
+    table_is_diverse,
+)
+from repro.anonymize.mondrian import GeneralizedTable, mondrian_anonymize
+from repro.anonymize.randomize import randomized_response, reconstruct_distribution
+from repro.anonymize.suppress import SuppressionPlan, suppress_for_diversity
+
+__all__ = [
+    "Bucket",
+    "BucketizedTable",
+    "GeneralizedTable",
+    "anatomize",
+    "bucket_is_diverse",
+    "check_eligibility",
+    "distinct_diversity",
+    "enumerate_assignments",
+    "mondrian_anonymize",
+    "randomized_response",
+    "reconstruct_distribution",
+    "table_is_diverse",
+]

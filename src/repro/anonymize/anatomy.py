@@ -1,0 +1,189 @@
+"""Anatomy-style bucketization with distinct l-diversity.
+
+This is the bucketization method the paper evaluates (Xiao & Tao's Anatomy,
+further studied by Martin et al.): records are partitioned into buckets such
+that, within each bucket, every (non-exempt) sensitive value appears at most
+once per ``l`` records.  The paper's setup — Adult, buckets of five records,
+5-diversity, most frequent SA value exempted (footnote 3) — corresponds to
+``anatomize(table, l=5, exempt="auto")``.
+
+Algorithm (greedy largest-group-first, the classic Anatomy strategy):
+
+1. Check the eligibility condition (every non-exempt value's frequency at
+   most ``N / l``); infeasible inputs raise
+   :class:`~repro.errors.DiversityError` with the offending values.
+2. Set aside ``N mod l`` *residue* records (from the largest groups).
+3. Form ``m = N // l`` buckets of exactly ``l`` records: each round, values
+   whose remaining count equals the number of remaining rounds are forced in
+   (otherwise a later round would be infeasible), then the bucket is filled
+   from the largest remaining groups; exempt records may fill any number of
+   slots.
+4. Append each residue record to a bucket that does not yet contain its
+   value (any bucket, for exempt values).
+
+The greedy invariant — after round ``r`` every non-exempt count is at most
+``r - 1`` — guarantees the loop never gets stuck; property tests exercise
+this over randomized inputs.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.anonymize.buckets import BucketizedTable
+from repro.anonymize.diversity import auto_exempt, check_eligibility, exempt_values
+from repro.data.table import Table
+from repro.errors import DiversityError
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+ExemptSpec = str | int | frozenset[str] | set[str] | None
+
+
+def _resolve_exempt(sa_counts: Counter, l: int, exempt: ExemptSpec) -> frozenset[str]:
+    if exempt is None:
+        return frozenset()
+    if exempt == "auto":
+        return auto_exempt(sa_counts, l)
+    if isinstance(exempt, int):
+        return exempt_values(sa_counts, exempt)
+    if isinstance(exempt, (set, frozenset)):
+        return frozenset(exempt)
+    raise DiversityError(
+        f"exempt must be None, 'auto', an int, or a set of values; got {exempt!r}"
+    )
+
+
+def anatomize(
+    table: Table,
+    l: int = 5,
+    *,
+    exempt: ExemptSpec = "auto",
+    seed: int | np.random.Generator = 0,
+) -> BucketizedTable:
+    """Bucketize ``table`` into distinct l-diverse buckets of ``l`` records.
+
+    Parameters
+    ----------
+    table:
+        The original microdata.
+    l:
+        Diversity level and bucket size (the paper uses 5).
+    exempt:
+        Values excluded from the diversity check (paper footnote 3):
+        ``"auto"`` exempts the smallest most-frequent prefix that makes the
+        problem feasible, an int exempts the top-k frequent values, a set
+        exempts exactly those values, None exempts nothing.
+    seed:
+        Controls the tie-breaking shuffle; identical seeds give identical
+        bucketizations.
+
+    Returns
+    -------
+    BucketizedTable
+        ``N // l`` buckets of ``l`` records each, plus up to ``l - 1``
+        residue records appended to existing buckets.
+    """
+    check_positive_int(l, name="l")
+    rng = make_rng(seed)
+    n = table.n_rows
+    if n < l:
+        raise DiversityError(f"table has {n} records, fewer than l={l}")
+
+    sa = table.sa_labels()
+    sa_counts = Counter(sa)
+    exempt_set = _resolve_exempt(sa_counts, l, exempt)
+    check_eligibility(sa_counts, l, exempt=exempt_set)
+
+    # Group row indices by SA value, shuffled for unbiased tie-breaking.
+    groups: dict[str, list[int]] = {}
+    for row, value in enumerate(sa):
+        groups.setdefault(value, []).append(row)
+    for rows in groups.values():
+        rng.shuffle(rows)
+
+    m = n // l
+    residue_target = n % l
+
+    def remaining(value: str) -> int:
+        return len(groups[value])
+
+    def pop_largest(candidates: list[str]) -> str:
+        best = max(candidates, key=lambda v: (remaining(v), v))
+        return best
+
+    # Step 2: set aside residue records, drawn from the largest groups so the
+    # main loop starts from the most balanced state.
+    residue_rows: list[int] = []
+    for _ in range(residue_target):
+        value = pop_largest([v for v in groups if remaining(v) > 0])
+        residue_rows.append(groups[value].pop())
+
+    bucket_of_row = np.full(n, -1, dtype=np.int64)
+
+    # Step 3: m rounds of greedy bucket construction.
+    for round_index in range(m):
+        r = m - round_index  # rounds remaining, including this one
+        in_bucket: set[str] = set()
+        slots: list[int] = []
+
+        # Forced picks: a non-exempt value with count == r must contribute to
+        # every remaining bucket, starting now.
+        for value in sorted(groups):
+            if value in exempt_set:
+                continue
+            if remaining(value) == r:
+                slots.append(groups[value].pop())
+                in_bucket.add(value)
+        if len(slots) > l:
+            raise DiversityError(
+                "internal eligibility violation: more forced values than "
+                f"bucket slots in round {round_index} "
+                f"({len(slots)} > {l}); this indicates inconsistent input"
+            )
+
+        # Fill the rest from the largest groups; exempt values may repeat.
+        while len(slots) < l:
+            candidates = [
+                v
+                for v in groups
+                if remaining(v) > 0 and (v in exempt_set or v not in in_bucket)
+            ]
+            if not candidates:
+                raise DiversityError(
+                    f"ran out of eligible records in round {round_index}; "
+                    "the eligibility precondition was violated"
+                )
+            value = pop_largest(candidates)
+            slots.append(groups[value].pop())
+            in_bucket.add(value)
+
+        for row in slots:
+            bucket_of_row[row] = round_index
+
+    # Step 4: residue records join buckets that lack their value.
+    bucket_values: list[set[str]] = [set() for _ in range(m)]
+    for row in range(n):
+        if bucket_of_row[row] >= 0:
+            bucket_values[int(bucket_of_row[row])].add(sa[row])
+    bucket_sizes = [l] * m
+    for row in residue_rows:
+        value = sa[row]
+        if value in exempt_set:
+            eligible = list(range(m))
+        else:
+            eligible = [b for b in range(m) if value not in bucket_values[b]]
+        if not eligible:
+            raise DiversityError(
+                f"no bucket can absorb residue value {value!r}; "
+                "the eligibility precondition was violated"
+            )
+        # Smallest bucket first keeps sizes balanced.
+        target = min(eligible, key=lambda b: (bucket_sizes[b], b))
+        bucket_of_row[row] = target
+        bucket_values[target].add(value)
+        bucket_sizes[target] += 1
+
+    return BucketizedTable.from_assignment(table, bucket_of_row)

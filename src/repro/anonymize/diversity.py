@@ -1,0 +1,126 @@
+"""Distinct l-diversity checks for bucketized data.
+
+The paper's evaluation bucketizes Adult into buckets of five records
+satisfying 5-diversity, with the most frequent SA value exempted from the
+check (footnote 3).  These helpers implement the check and the classic
+eligibility condition used by Anatomy-style algorithms.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+from repro.anonymize.buckets import Bucket, BucketizedTable
+from repro.errors import DiversityError
+from repro.utils.validation import check_positive_int
+
+
+def bucket_is_diverse(bucket: Bucket, l: int, *, exempt: frozenset[str] = frozenset()) -> bool:
+    """True when the bucket satisfies distinct l-diversity.
+
+    A bucket of ``n`` records is distinct l-diverse when each non-exempt SA
+    value appears at most ``n / l`` times (so a bucket of exactly ``l``
+    records must have all non-exempt values distinct).  Exempt values
+    (deemed non-sensitive, per the paper's footnote 3) may repeat freely.
+    """
+    check_positive_int(l, name="l")
+    limit = bucket.size / l
+    return all(
+        count <= limit
+        for value, count in bucket.sa_counts().items()
+        if value not in exempt
+    )
+
+
+def table_is_diverse(
+    published: BucketizedTable, l: int, *, exempt: frozenset[str] = frozenset()
+) -> bool:
+    """True when every bucket of ``published`` is distinct l-diverse."""
+    return all(
+        bucket_is_diverse(bucket, l, exempt=exempt) for bucket in published.buckets
+    )
+
+
+def distinct_diversity(bucket: Bucket, *, exempt: frozenset[str] = frozenset()) -> int:
+    """The largest ``l`` for which the bucket is distinct l-diverse.
+
+    With ``c_max`` the highest multiplicity among non-exempt values, the
+    bucket is l-diverse exactly when ``c_max <= size / l``, i.e. for all
+    ``l <= size / c_max``.  A bucket whose values are all exempt is reported
+    as ``size``-diverse (no sensitive value can be inferred at all).
+    """
+    counts = [c for v, c in bucket.sa_counts().items() if v not in exempt]
+    if not counts:
+        return bucket.size
+    return bucket.size // max(counts)
+
+
+def check_eligibility(
+    sa_counts: Counter | dict[str, int],
+    l: int,
+    *,
+    exempt: frozenset[str] = frozenset(),
+) -> None:
+    """Raise :class:`DiversityError` when distinct l-diversity is impossible.
+
+    The eligibility condition (Xiao & Tao): with ``N`` records to place into
+    buckets of at least ``l`` records each, a valid bucketization exists iff
+    every non-exempt SA value occurs at most ``N / l`` times.
+    """
+    check_positive_int(l, name="l")
+    counts = Counter(sa_counts)
+    n = sum(counts.values())
+    if n == 0:
+        raise DiversityError("no records to bucketize")
+    if n < l:
+        raise DiversityError(
+            f"cannot form even one bucket: {n} records but l={l}"
+        )
+    limit = n / l
+    offenders = {
+        value: count
+        for value, count in counts.items()
+        if value not in exempt and count > limit
+    }
+    if offenders:
+        detail = ", ".join(
+            f"{value!r} x{count} (> {limit:.1f})"
+            for value, count in sorted(offenders.items())
+        )
+        raise DiversityError(
+            f"distinct {l}-diversity is infeasible: {detail}. "
+            f"Exempt the most frequent value(s) (paper footnote 3) or lower l."
+        )
+
+
+def auto_exempt(sa_counts: Counter | dict[str, int], l: int) -> frozenset[str]:
+    """Smallest set of most-frequent SA values whose exemption makes
+    distinct l-diversity feasible.
+
+    Implements the paper's footnote 3 ("the most frequent values of SA is
+    not considered as sensitive") as a constructive rule: exempt values in
+    decreasing frequency order until :func:`check_eligibility` passes.
+    """
+    counts = Counter(sa_counts)
+    exempt: set[str] = set()
+    by_frequency = [value for value, _ in counts.most_common()]
+    for candidate in [None, *by_frequency]:
+        if candidate is not None:
+            exempt.add(candidate)
+        try:
+            check_eligibility(counts, l, exempt=frozenset(exempt))
+        except DiversityError:
+            continue
+        return frozenset(exempt)
+    raise DiversityError(
+        f"distinct {l}-diversity is infeasible even with every value exempted"
+    )
+
+
+def exempt_values(
+    counts: Iterable[tuple[str, int]] | Counter, top: int
+) -> frozenset[str]:
+    """The ``top`` most frequent SA values, as an exemption set."""
+    counter = Counter(dict(counts)) if not isinstance(counts, Counter) else counts
+    return frozenset(value for value, _ in counter.most_common(top))

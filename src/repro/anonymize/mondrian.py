@@ -1,0 +1,166 @@
+"""Mondrian multidimensional k-anonymity (generalization substrate).
+
+The paper focuses on bucketization but names generalization as the first
+future-work direction ("apply the similar method to other data disguising
+methods, such as generalization and randomization").  This module provides
+that substrate: LeFevre et al.'s Mondrian algorithm, recursively splitting
+the table on the median of the widest QI attribute until no split keeps both
+halves at size >= k.
+
+A generalized equivalence class publishes, for every QI attribute, the *set*
+of values present in the class — which is exactly a bucket whose QI tuples
+have been coarsened.  ``GeneralizedTable.to_buckets`` re-expresses the
+result in the bucketized model so the full Privacy-MaxEnt machinery applies
+unchanged (each class becomes a bucket whose per-record QI tuples are the
+published generalized tuple).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anonymize.buckets import Bucket, BucketizedTable
+from repro.data.table import Table
+from repro.errors import AnonymizationError
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class EquivalenceClass:
+    """One generalized group: value sets per QI attribute + the SA bag."""
+
+    qi_value_sets: tuple[tuple[str, ...], ...]
+    sa_values: tuple[str, ...]
+    row_indices: tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of records in the class."""
+        return len(self.sa_values)
+
+    def generalized_tuple(self) -> tuple[str, ...]:
+        """A printable generalized QI tuple, e.g. ``('30-39', '*', 'Male')``.
+
+        Singleton sets print as the value itself; larger sets as a
+        brace-joined range.  This is the published QI of every record in the
+        class.
+        """
+        parts = []
+        for values in self.qi_value_sets:
+            if len(values) == 1:
+                parts.append(values[0])
+            else:
+                parts.append("{" + "|".join(values) + "}")
+        return tuple(parts)
+
+
+class GeneralizedTable:
+    """A k-anonymous generalization of a table."""
+
+    def __init__(self, table: Table, classes: list[EquivalenceClass], k: int) -> None:
+        self._schema = table.schema.without_ids()
+        self._classes = tuple(classes)
+        self._k = k
+        covered = sorted(i for c in classes for i in c.row_indices)
+        if covered != list(range(table.n_rows)):
+            raise AnonymizationError("equivalence classes must partition the table")
+
+    @property
+    def k(self) -> int:
+        """The anonymity parameter the table was built for."""
+        return self._k
+
+    @property
+    def classes(self) -> tuple[EquivalenceClass, ...]:
+        """All equivalence classes."""
+        return self._classes
+
+    def k_anonymity(self) -> int:
+        """The realized k: the size of the smallest equivalence class."""
+        return min(c.size for c in self._classes)
+
+    def to_buckets(self) -> BucketizedTable:
+        """Re-express the generalization in the bucketized model.
+
+        Every class becomes one bucket whose QI slots all carry the
+        generalized tuple; Privacy-MaxEnt then quantifies ``P(SA | QI*)``
+        for the generalized quasi-identifiers.
+        """
+        buckets = []
+        for index, cls in enumerate(self._classes):
+            published_tuple = cls.generalized_tuple()
+            buckets.append(
+                Bucket(
+                    index=index,
+                    qi_tuples=tuple(published_tuple for _ in range(cls.size)),
+                    sa_values=cls.sa_values,
+                )
+            )
+        return BucketizedTable(self._schema, buckets)
+
+
+def _split_dimension(qi_codes: np.ndarray, rows: np.ndarray) -> tuple[int, float] | None:
+    """Choose the widest attribute and its median; None when nothing splits."""
+    best: tuple[int, float] | None = None
+    best_width = 0
+    for dim in range(qi_codes.shape[1]):
+        values = qi_codes[rows, dim]
+        width = int(values.max() - values.min())
+        if width > best_width:
+            best_width = width
+            best = (dim, float(np.median(values)))
+    return best
+
+
+def mondrian_anonymize(table: Table, k: int) -> GeneralizedTable:
+    """Partition ``table`` into equivalence classes of size >= k.
+
+    Strict Mondrian: recursively split on the median of the widest QI
+    attribute; a split is kept only when both halves contain at least ``k``
+    records.  Raises when the whole table has fewer than ``k`` records.
+    """
+    check_positive_int(k, name="k")
+    if table.n_rows < k:
+        raise AnonymizationError(
+            f"cannot {k}-anonymize a table with only {table.n_rows} records"
+        )
+    qi_codes = table.qi_codes()
+    qi_attrs = table.schema.qi
+    sa = table.sa_labels()
+
+    classes: list[EquivalenceClass] = []
+
+    def recurse(rows: np.ndarray) -> None:
+        choice = _split_dimension(qi_codes, rows)
+        if choice is not None:
+            dim, median = choice
+            left = rows[qi_codes[rows, dim] <= median]
+            right = rows[qi_codes[rows, dim] > median]
+            if len(left) >= k and len(right) >= k:
+                recurse(left)
+                recurse(right)
+                return
+            # Median split failed; try the strict less-than split, which
+            # differs when many records sit exactly on the median.
+            left = rows[qi_codes[rows, dim] < median]
+            right = rows[qi_codes[rows, dim] >= median]
+            if len(left) >= k and len(right) >= k:
+                recurse(left)
+                recurse(right)
+                return
+        value_sets = []
+        for dim, attr in enumerate(qi_attrs):
+            present = sorted(set(int(c) for c in qi_codes[rows, dim]))
+            value_sets.append(tuple(attr.domain[c] for c in present))
+        classes.append(
+            EquivalenceClass(
+                qi_value_sets=tuple(value_sets),
+                sa_values=tuple(sa[int(r)] for r in rows),
+                row_indices=tuple(int(r) for r in rows),
+            )
+        )
+
+    recurse(np.arange(table.n_rows))
+    return GeneralizedTable(table, classes, k)

@@ -1,0 +1,88 @@
+"""Randomized response on the sensitive attribute (randomization substrate).
+
+The second disguising family the paper mentions (Agrawal & Srikant-style
+randomization): each record keeps its true SA value with probability ``p``
+and otherwise reports a value drawn uniformly from the SA domain.  The
+perturbation matrix is invertible, so the original SA distribution can be
+reconstructed from the published one — the classic frequency-reconstruction
+result this substrate also provides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import AnonymizationError
+from repro.utils.rng import make_rng
+
+
+def perturbation_matrix(domain_size: int, keep_probability: float) -> np.ndarray:
+    """The column-stochastic matrix ``M[reported, true]`` of the mechanism.
+
+    ``M = p * I + (1 - p)/d * J`` where ``d`` is the domain size: the truth
+    is kept with probability ``p``, otherwise a uniform value (possibly the
+    truth again) is reported.
+    """
+    if domain_size < 2:
+        raise AnonymizationError("randomized response needs a domain of size >= 2")
+    if not 0.0 <= keep_probability <= 1.0:
+        raise AnonymizationError(
+            f"keep probability must be in [0, 1], got {keep_probability}"
+        )
+    identity = np.eye(domain_size)
+    uniform = np.full((domain_size, domain_size), 1.0 / domain_size)
+    return keep_probability * identity + (1.0 - keep_probability) * uniform
+
+
+def randomized_response(
+    table: Table,
+    keep_probability: float,
+    *,
+    seed: int | np.random.Generator = 0,
+) -> Table:
+    """Return a copy of ``table`` with the SA column randomized.
+
+    QI columns are untouched (this mechanism protects only the sensitive
+    attribute); the output is again a full :class:`Table` so every metric
+    in the library applies to it.
+    """
+    rng = make_rng(seed)
+    schema = table.schema
+    sa_attr = schema.sa
+    matrix = perturbation_matrix(sa_attr.size, keep_probability)
+
+    true_codes = table.sa_codes()
+    probabilities = matrix.T[true_codes]  # row i: distribution of the report
+    cdf = np.cumsum(probabilities, axis=1)
+    cdf[:, -1] = 1.0
+    u = rng.random(table.n_rows)
+    reported = (u[:, None] > cdf).sum(axis=1).astype(np.int64)
+
+    columns = {name: table.column(name) for name in schema.attribute_names}
+    columns[schema.sa_attribute] = reported
+    return Table.from_codes(schema, columns)
+
+
+def reconstruct_distribution(
+    published: Table, keep_probability: float
+) -> np.ndarray:
+    """Estimate the original SA distribution from a randomized release.
+
+    Solves ``M @ original = observed`` for the column-stochastic
+    perturbation matrix ``M``; the estimate is clipped to the simplex
+    (negative components from sampling noise are zeroed and the rest
+    renormalized).
+    """
+    sa_attr = published.schema.sa
+    matrix = perturbation_matrix(sa_attr.size, keep_probability)
+    observed = np.bincount(published.sa_codes(), minlength=sa_attr.size).astype(float)
+    if observed.sum() == 0:
+        raise AnonymizationError("cannot reconstruct from an empty table")
+    observed /= observed.sum()
+    estimate = np.linalg.solve(matrix, observed)
+    estimate = np.clip(estimate, 0.0, None)
+    total = estimate.sum()
+    if total <= 0:
+        raise AnonymizationError("reconstruction collapsed to the zero vector")
+    return estimate / total

@@ -1,0 +1,100 @@
+"""Record suppression: the standard fallback when diversity is infeasible.
+
+Anatomy's eligibility condition fails when one sensitive value dominates.
+The paper's footnote-3 exemption handles the Adult case; the other standard
+remedy (Samarati & Sweeney's suppression) removes just enough records of
+the dominating values to restore eligibility.  This module implements the
+minimal-suppression computation so a publisher can compare the two
+remedies' costs (records lost vs. values declared non-sensitive).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anonymize.diversity import check_eligibility
+from repro.data.table import Table
+from repro.errors import DiversityError
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class SuppressionPlan:
+    """How many records of each SA value must be dropped for l-diversity."""
+
+    l: int
+    to_suppress: dict[str, int]
+
+    @property
+    def total(self) -> int:
+        """Total records suppressed."""
+        return sum(self.to_suppress.values())
+
+
+def plan_suppression(sa_counts: Counter | dict[str, int], l: int) -> SuppressionPlan:
+    """Minimal per-value suppression restoring Anatomy eligibility.
+
+    Eligibility needs every count at most ``N' / l`` where ``N'`` is the
+    *post-suppression* total — removing records shrinks the budget too, so
+    the computation iterates: repeatedly trim the worst offender to the
+    current threshold until the condition holds.  The loop terminates
+    because the total strictly decreases and the condition is monotone.
+    """
+    check_positive_int(l, name="l")
+    counts = Counter(sa_counts)
+    if not counts:
+        raise DiversityError("no records to plan suppression for")
+    suppressed: Counter = Counter()
+    while True:
+        n = sum(counts.values())
+        if n < l:
+            raise DiversityError(
+                f"suppression would shrink the table below one bucket "
+                f"({n} records left, l={l}); lower l or exempt values instead"
+            )
+        limit = n / l
+        offender = max(counts, key=lambda v: counts[v])
+        if counts[offender] <= limit:
+            break
+        # Trim the offender to the largest count that could be feasible
+        # with the correspondingly reduced total: c <= (n - d) / l with
+        # d = counts[offender] - c gives c <= (n - counts[offender]) / (l - 1).
+        target = int(np.floor((n - counts[offender]) / (l - 1)))
+        drop = counts[offender] - target
+        if drop <= 0:
+            drop = 1
+        counts[offender] -= drop
+        suppressed[offender] += drop
+        if counts[offender] == 0:
+            del counts[offender]
+    return SuppressionPlan(l=l, to_suppress=dict(suppressed))
+
+
+def suppress_for_diversity(
+    table: Table, l: int, *, seed: int | np.random.Generator = 0
+) -> tuple[Table, SuppressionPlan]:
+    """Drop the fewest records making ``table`` Anatomy-eligible at ``l``.
+
+    Which records of an over-represented value are dropped is chosen
+    uniformly at random (seeded); returns the reduced table and the plan.
+    The result always passes :func:`~repro.anonymize.diversity.
+    check_eligibility` with no exemption.
+    """
+    rng = make_rng(seed)
+    plan = plan_suppression(Counter(table.sa_labels()), l)
+    if plan.total == 0:
+        return table, plan
+    sa = table.sa_labels()
+    keep_mask = np.ones(table.n_rows, dtype=bool)
+    for value, quota in plan.to_suppress.items():
+        rows = [i for i, s in enumerate(sa) if s == value]
+        chosen = rng.choice(len(rows), size=quota, replace=False)
+        for index in chosen:
+            keep_mask[rows[int(index)]] = False
+    reduced = table.select(np.nonzero(keep_mask)[0])
+    check_eligibility(Counter(reduced.sa_labels()), l)
+    return reduced, plan

@@ -1,0 +1,26 @@
+"""Baseline estimators Privacy-MaxEnt is compared against.
+
+Two families from the paper's related work:
+
+- the **no-knowledge frequency estimate** (Eq. 9) that every prior metric
+  uses implicitly — exposed as
+  :func:`repro.core.privacy_maxent.baseline_posterior`;
+- the **combinatorial (assignment-enumeration) family** in the spirit of
+  Martin et al.'s worst-case background knowledge: enumerate the
+  assignments consistent with deterministic knowledge and read posteriors
+  or worst-case disclosure off the surviving set.  Exponential in bucket
+  size, but exact — which also makes it a ground-truth oracle for testing
+  the MaxEnt engine on small inputs.
+"""
+
+from repro.baselines.enumeration import (
+    AssignmentOracle,
+    enumeration_posterior,
+    worst_case_disclosure,
+)
+
+__all__ = [
+    "AssignmentOracle",
+    "enumeration_posterior",
+    "worst_case_disclosure",
+]

@@ -1,0 +1,255 @@
+"""Exact assignment enumeration under deterministic knowledge.
+
+The pre-Privacy-MaxEnt way to reason about background knowledge (Martin et
+al., Chen et al.) treats knowledge as *deterministic rules* and reasons over
+the set of assignments consistent with them.  This module implements that
+family exactly:
+
+- :class:`AssignmentOracle` enumerates, per bucket, the assignments
+  consistent with zero rules (``P(s | Qv) = 0``) and one rules
+  (``P(s | Qv) = 1``),
+- :func:`enumeration_posterior` returns the adversary posterior under the
+  *combinatorial prior* (all consistent assignments equally likely),
+- :func:`worst_case_disclosure` returns the bucket-level certainty
+  ``max over (q, s, b) of P(s | q, b)`` — 1.0 means some record's sensitive
+  value is fully determined, Martin et al.'s disclosure notion.
+
+Two caveats that motivate the paper:
+
+1. it is exponential in bucket size (fine for the l = 5 buckets of the
+   evaluation, hopeless in general), and
+2. it cannot express probabilistic knowledge at all — a rule
+   ``P(s | Qv) = 0.3`` has no "consistent assignment" semantics.  Passing
+   one raises :class:`~repro.errors.NotSupportedError`.
+
+A subtlety worth knowing: *without* knowledge, the combinatorial prior
+reproduces Eq. (9) exactly (exchangeability), but *with* zero/one rules the
+two frameworks genuinely diverge — uniform-over-assignments is not the
+maximum-entropy distribution over joints once symmetry is broken.  The test
+suite pins down a worked instance of that divergence.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.anonymize.buckets import Bucket, BucketizedTable, enumerate_assignments
+from repro.core.quantifier import PosteriorTable
+from repro.data.table import QITuple
+from repro.errors import InfeasibleKnowledgeError, NotSupportedError
+from repro.knowledge.statements import ConditionalProbability, Statement
+
+#: Per-bucket cap on enumerated assignments; beyond this the combinatorial
+#: approach is the wrong tool and the caller should use MaxEnt.
+MAX_ASSIGNMENTS_PER_BUCKET = 100_000
+
+
+class _DeterministicRules:
+    """Zero/one rules compiled into per-(q, s) slot predicates."""
+
+    def __init__(
+        self, published: BucketizedTable, statements: Iterable[Statement]
+    ) -> None:
+        schema = published.schema
+        self._positions = {
+            name: schema.qi_index(name) for name in schema.qi_attributes
+        }
+        self._forbidden: list[tuple[dict[str, str], str]] = []
+        self._required: list[tuple[dict[str, str], str]] = []
+        for statement in statements:
+            if not isinstance(statement, ConditionalProbability):
+                raise NotSupportedError(
+                    "assignment enumeration handles deterministic "
+                    "ConditionalProbability rules only; "
+                    f"got {type(statement).__name__}"
+                )
+            if statement.probability == 0.0:
+                self._forbidden.append((statement.given, statement.sa_value))
+            elif statement.probability == 1.0:
+                self._required.append((statement.given, statement.sa_value))
+            else:
+                raise NotSupportedError(
+                    f"rule {statement.describe()!r} is probabilistic; the "
+                    "enumeration baseline cannot express it (this is the "
+                    "limitation Privacy-MaxEnt removes)"
+                )
+
+    def _matches(self, qv: dict[str, str], q: QITuple) -> bool:
+        return all(
+            q[self._positions[name]] == value for name, value in qv.items()
+        )
+
+    def slot_allows(self, q: QITuple, s: str) -> bool:
+        """May a record with QI tuple ``q`` carry sensitive value ``s``?"""
+        for qv, banned in self._forbidden:
+            if banned == s and self._matches(qv, q):
+                return False
+        for qv, forced in self._required:
+            if self._matches(qv, q) and s != forced:
+                return False
+        return True
+
+
+def _world_multiplicity(assignment) -> int:
+    """Number of distinct value *sequences* realizing a canonical assignment.
+
+    The possible worlds of the combinatorial model are orderings of the SA
+    bag across the bucket's (distinct, ordered) record slots.  The canonical
+    assignments produced by :func:`enumerate_assignments` merge worlds that
+    differ only by permuting equal-QI slots, so each must be weighted by
+    ``m! / prod(c_v!)`` per QI group (``m`` slots receiving value counts
+    ``c_v``) to make "uniform over worlds" exact.  Without this weighting
+    the no-knowledge posterior would *not* reduce to Eq. (9).
+    """
+    import math
+
+    per_group: Counter = Counter()
+    value_counts: dict[QITuple, Counter] = {}
+    for q, s in assignment:
+        per_group[q] += 1
+        value_counts.setdefault(q, Counter())[s] += 1
+    weight = 1
+    for q, m in per_group.items():
+        weight *= math.factorial(m)
+        for count in value_counts[q].values():
+            weight //= math.factorial(count)
+    return weight
+
+
+class AssignmentOracle:
+    """Enumerates consistent assignments per bucket and answers queries.
+
+    Because zero/one rules constrain slots independently, consistency
+    factorizes over buckets; the oracle therefore stores one consistent
+    (assignment, world-multiplicity) list per bucket and treats the global
+    world set as their product (never materialized).
+    """
+
+    def __init__(
+        self,
+        published: BucketizedTable,
+        knowledge: Iterable[Statement] = (),
+        *,
+        max_assignments: int = MAX_ASSIGNMENTS_PER_BUCKET,
+    ) -> None:
+        self._published = published
+        rules = _DeterministicRules(published, knowledge)
+        self._consistent: list[list[tuple[tuple, int]]] = []
+        for bucket in published.buckets:
+            kept = []
+            for count, assignment in enumerate(enumerate_assignments(bucket)):
+                if count >= max_assignments:
+                    raise NotSupportedError(
+                        f"bucket {bucket.index} has more than "
+                        f"{max_assignments} assignments; use PrivacyMaxEnt "
+                        "instead of the enumeration baseline"
+                    )
+                if all(rules.slot_allows(q, s) for q, s in assignment):
+                    kept.append((assignment, _world_multiplicity(assignment)))
+            if not kept:
+                raise InfeasibleKnowledgeError(
+                    f"no assignment of bucket {bucket.index} is consistent "
+                    "with the supplied deterministic rules"
+                )
+            self._consistent.append(kept)
+
+    @property
+    def published(self) -> BucketizedTable:
+        """The release being analysed."""
+        return self._published
+
+    def consistent_count(self, bucket: int) -> int:
+        """Number of consistent canonical assignments of ``bucket``."""
+        return len(self._consistent[bucket])
+
+    def world_count(self, bucket: int) -> int:
+        """Number of consistent possible worlds (value sequences)."""
+        return sum(weight for _a, weight in self._consistent[bucket])
+
+    def bucket_joint(self, bucket: Bucket) -> dict[tuple[QITuple, str], float]:
+        """``P(q, s, b)`` under the combinatorial prior, for one bucket."""
+        entries = self._consistent[bucket.index]
+        n = self._published.n_records
+        worlds = self.world_count(bucket.index)
+        totals: Counter = Counter()
+        for assignment, weight in entries:
+            for pair, count in Counter(assignment).items():
+                totals[pair] += count * weight
+        return {pair: count / (worlds * n) for pair, count in totals.items()}
+
+    def bucket_conditional(self, q: QITuple, s: str, bucket_index: int) -> float:
+        """``P(s | q, b)``: the expected fraction of ``q``'s slots in the
+        bucket carrying ``s``, under the combinatorial prior."""
+        bucket = self._published.bucket(bucket_index)
+        multiplicity = bucket.qi_counts().get(tuple(q), 0)
+        if multiplicity == 0:
+            raise InfeasibleKnowledgeError(
+                f"QI tuple {q!r} does not occur in bucket {bucket_index}"
+            )
+        entries = self._consistent[bucket_index]
+        worlds = self.world_count(bucket_index)
+        total = 0
+        for assignment, weight in entries:
+            hits = sum(
+                1 for aq, asv in assignment if aq == tuple(q) and asv == s
+            )
+            total += hits * weight
+        return total / (worlds * multiplicity)
+
+
+def enumeration_posterior(
+    published: BucketizedTable,
+    knowledge: Iterable[Statement] = (),
+    *,
+    max_assignments: int = MAX_ASSIGNMENTS_PER_BUCKET,
+) -> PosteriorTable:
+    """The exact ``P(S | Q)`` under the combinatorial prior.
+
+    All assignments consistent with the deterministic ``knowledge`` are
+    taken as equally likely; the posterior marginalizes the per-bucket
+    joints exactly as the MaxEnt quantifier does.
+    """
+    oracle = AssignmentOracle(
+        published, knowledge, max_assignments=max_assignments
+    )
+    sa_domain = published.schema.sa.domain
+    marginal = published.qi_marginal()
+    qi_tuples = list(marginal)
+    n = published.n_records
+
+    joint = np.zeros((len(qi_tuples), len(sa_domain)))
+    row_of = {q: i for i, q in enumerate(qi_tuples)}
+    for bucket in published.buckets:
+        for (q, s), probability in oracle.bucket_joint(bucket).items():
+            joint[row_of[q], sa_domain.index(s)] += probability
+    weights = np.array([marginal[q] / n for q in qi_tuples])
+    matrix = joint / weights[:, None]
+    return PosteriorTable(qi_tuples, sa_domain, matrix, weights)
+
+
+def worst_case_disclosure(
+    published: BucketizedTable,
+    knowledge: Iterable[Statement] = (),
+    *,
+    max_assignments: int = MAX_ASSIGNMENTS_PER_BUCKET,
+) -> float:
+    """Martin-et-al-style disclosure: the largest bucket-level certainty
+    ``P(s | q, b)`` over all (q, s, b).
+
+    1.0 means the rules fully determine some record's sensitive value (the
+    paper's Breast-Cancer deduction scores 1.0).
+    """
+    oracle = AssignmentOracle(
+        published, knowledge, max_assignments=max_assignments
+    )
+    worst = 0.0
+    for bucket in published.buckets:
+        for q in bucket.distinct_qi():
+            for s in bucket.distinct_sa():
+                worst = max(
+                    worst, oracle.bucket_conditional(q, s, bucket.index)
+                )
+    return worst

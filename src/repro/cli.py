@@ -1,0 +1,245 @@
+"""Command-line interface: ``privacy-maxent`` (or ``python -m repro``).
+
+Subcommands cover the full workflow a data publisher runs:
+
+- ``generate`` — write the Adult-shaped synthetic table to CSV,
+- ``bucketize`` — anonymize a CSV into an l-diverse bucketization report,
+- ``mine`` — show the strongest positive/negative association rules,
+- ``assess`` — the Section 4.3 deliverable: a (bound, privacy score) table
+  for a list of candidate Top-(K+, K-) bounds,
+- ``figure`` — regenerate any of the paper's figures as tables + ASCII
+  plots.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.anonymize.anatomy import anatomize
+from repro.core.privacy_maxent import assess
+from repro.core.report import render_assessments
+from repro.data.adult import load_adult_synthetic
+from repro.data.io import write_csv
+from repro.experiments.figures import (
+    Figure5Config,
+    Figure6Config,
+    Figure7aConfig,
+    Figure7bcConfig,
+    figure5,
+    figure6,
+    figure7a,
+    figure7bc,
+)
+from repro.knowledge.bounds import TopKBound
+from repro.knowledge.mining import MiningConfig, mine_association_rules
+from repro.utils.tabulate import render_table
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    table = load_adult_synthetic(n_records=args.records, seed=args.seed)
+    write_csv(table, args.output)
+    print(f"wrote {table.n_rows} records to {args.output}")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    table = load_adult_synthetic(n_records=args.records, seed=args.seed)
+    rules = mine_association_rules(
+        table,
+        MiningConfig(
+            min_support_count=args.min_support,
+            max_antecedent=args.max_antecedent,
+        ),
+    )
+    print(
+        f"mined {rules.n_positive} positive and {rules.n_negative} negative "
+        f"rules (min support {args.min_support}, antecedent <= "
+        f"{args.max_antecedent})"
+    )
+    for family, items in (("positive", rules.positive), ("negative", rules.negative)):
+        print(f"\ntop {args.top} {family} rules:")
+        for rule in items[: args.top]:
+            print(f"  {rule.describe()}")
+    return 0
+
+
+def _cmd_bucketize(args: argparse.Namespace) -> int:
+    table = load_adult_synthetic(n_records=args.records, seed=args.seed)
+    published = anatomize(table, l=args.l, seed=args.seed)
+    sizes = [bucket.size for bucket in published.buckets]
+    print(
+        f"bucketized {published.n_records} records into "
+        f"{published.n_buckets} buckets (sizes {min(sizes)}..{max(sizes)}) "
+        f"at distinct {args.l}-diversity"
+    )
+    return 0
+
+
+def _cmd_assess(args: argparse.Namespace) -> int:
+    table = load_adult_synthetic(n_records=args.records, seed=args.seed)
+    published = anatomize(table, l=args.l, seed=args.seed)
+    bounds = [TopKBound(k // 2, k - k // 2) for k in args.k]
+    bounds.insert(0, TopKBound(0, 0))
+    assessments = assess(
+        table,
+        published,
+        bounds,
+        mining=MiningConfig(max_antecedent=args.max_antecedent),
+    )
+    print(
+        render_assessments(
+            assessments,
+            title=(
+                f"Privacy of {published.n_buckets} buckets "
+                f"({args.records} records, {args.l}-diversity) under "
+                "candidate knowledge bounds"
+            ),
+        )
+    )
+    return 0
+
+
+def _cmd_utility(args: argparse.Namespace) -> int:
+    from repro.core.privacy_maxent import PrivacyMaxEnt, baseline_posterior
+    from repro.core.utility import query_workload, relative_query_error
+
+    table = load_adult_synthetic(n_records=args.records, seed=args.seed)
+    published = anatomize(table, l=args.l, seed=args.seed)
+    queries = query_workload(
+        table,
+        n_queries=args.queries,
+        n_qi_attributes=args.qi_attributes,
+        min_true_count=args.min_count,
+        seed=args.seed,
+    )
+    rows = []
+    baseline = baseline_posterior(published)
+    report = relative_query_error(table, published, baseline, queries)
+    rows.append(["no knowledge"] + report.row())
+    if args.k:
+        rules = mine_association_rules(
+            table, MiningConfig(max_antecedent=args.max_antecedent)
+        )
+        for k in args.k:
+            bound = TopKBound(k // 2, k - k // 2)
+            engine = PrivacyMaxEnt(
+                published, knowledge=bound.statements(rules)
+            )
+            report = relative_query_error(
+                table, published, engine.posterior(), queries
+            )
+            rows.append([bound.describe()] + report.row())
+    print(
+        render_table(
+            ["posterior", "queries", "mean rel. error", "median", "worst"],
+            rows,
+            title="Aggregate-query utility of the release",
+        )
+    )
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    name = args.name.lower()
+    if name == "5":
+        print(figure5(Figure5Config(n_records=args.records)).render())
+    elif name == "6":
+        print(figure6(Figure6Config(n_records=args.records)).render())
+    elif name == "7a":
+        print(figure7a(Figure7aConfig(n_records=args.records)).render())
+    elif name in ("7b", "7c", "7bc"):
+        time_result, iteration_result = figure7bc(Figure7bcConfig())
+        if name in ("7b", "7bc"):
+            print(time_result.render())
+        if name in ("7c", "7bc"):
+            print(iteration_result.render())
+    else:
+        print(f"unknown figure {args.name!r}; choose 5, 6, 7a, 7b, 7c", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="privacy-maxent",
+        description=(
+            "Privacy-MaxEnt (SIGMOD 2008): quantify P(SA|QI) for bucketized "
+            "releases under background knowledge"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="write the synthetic Adult CSV")
+    generate.add_argument("output", help="destination CSV path")
+    generate.add_argument("--records", type=int, default=14210)
+    generate.add_argument("--seed", type=int, default=20080609)
+    generate.set_defaults(func=_cmd_generate)
+
+    mine = sub.add_parser("mine", help="show the strongest association rules")
+    mine.add_argument("--records", type=int, default=2000)
+    mine.add_argument("--seed", type=int, default=20080609)
+    mine.add_argument("--min-support", type=int, default=3)
+    mine.add_argument("--max-antecedent", type=int, default=3)
+    mine.add_argument("--top", type=int, default=10)
+    mine.set_defaults(func=_cmd_mine)
+
+    bucketize = sub.add_parser("bucketize", help="anonymize and report")
+    bucketize.add_argument("--records", type=int, default=2000)
+    bucketize.add_argument("--seed", type=int, default=20080609)
+    bucketize.add_argument("-l", type=int, default=5)
+    bucketize.set_defaults(func=_cmd_bucketize)
+
+    assess_cmd = sub.add_parser(
+        "assess", help="(bound, privacy score) table for candidate bounds"
+    )
+    assess_cmd.add_argument("--records", type=int, default=1500)
+    assess_cmd.add_argument("--seed", type=int, default=20080609)
+    assess_cmd.add_argument("-l", type=int, default=5)
+    assess_cmd.add_argument("--max-antecedent", type=int, default=2)
+    assess_cmd.add_argument(
+        "--k",
+        type=int,
+        nargs="+",
+        default=[50, 200, 800],
+        help="total rule counts to assess (split half positive, half negative)",
+    )
+    assess_cmd.set_defaults(func=_cmd_assess)
+
+    utility = sub.add_parser(
+        "utility", help="aggregate-query utility of a release"
+    )
+    utility.add_argument("--records", type=int, default=1000)
+    utility.add_argument("--seed", type=int, default=20080609)
+    utility.add_argument("-l", type=int, default=5)
+    utility.add_argument("--queries", type=int, default=40)
+    utility.add_argument("--qi-attributes", type=int, default=1)
+    utility.add_argument("--min-count", type=int, default=5)
+    utility.add_argument("--max-antecedent", type=int, default=2)
+    utility.add_argument(
+        "--k",
+        type=int,
+        nargs="*",
+        default=[],
+        help="optionally also score knowledge-informed posteriors",
+    )
+    utility.set_defaults(func=_cmd_utility)
+
+    figure = sub.add_parser("figure", help="regenerate a paper figure")
+    figure.add_argument("name", help="5, 6, 7a, 7b or 7c")
+    figure.add_argument("--records", type=int, default=1200)
+    figure.set_defaults(func=_cmd_figure)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

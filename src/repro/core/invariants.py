@@ -1,0 +1,161 @@
+"""The invariant theory of Section 5, in executable form.
+
+An *invariant* (Definition 5.4) is a probability expression whose value is
+the same under every assignment of SA values to QI slots; invariant
+equations are the only facts the published data states with certainty.  The
+paper identifies three base families — QI-, SA- and Zero-invariants — and
+proves them sound (Theorem 1), complete (Theorem 2) and concise up to one
+redundancy per bucket (Theorem 3).
+
+This module exposes those families symbolically (as
+:class:`~repro.knowledge.expressions.LinearEquation` objects), the
+Figure-3-style per-bucket constraint matrix, and an :func:`is_invariant`
+decision procedure implementing Theorem 2: an expression is an invariant
+iff, bucket by bucket (Lemma 1), its coefficient vector lies in the row
+space of the base invariant matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymize.buckets import Bucket, BucketizedTable
+from repro.knowledge.expressions import (
+    LinearEquation,
+    ProbabilityExpression,
+    ProbabilityTerm,
+)
+
+
+def build_qi_invariants(published: BucketizedTable) -> list[LinearEquation]:
+    """QI-invariant equations (Eq. 4): one per (q, b) with q in QI(b).
+
+    ``sum over s in SA(b) of P(q, s, b) = n(q,b) / N``.
+    """
+    n = published.n_records
+    equations = []
+    for bucket in published.buckets:
+        sa_values = bucket.distinct_sa()
+        for q, count in sorted(bucket.qi_counts().items()):
+            expr = ProbabilityExpression(
+                {ProbabilityTerm(q, s, bucket.index): 1.0 for s in sa_values}
+            )
+            equations.append(LinearEquation(expr, count / n))
+    return equations
+
+
+def build_sa_invariants(published: BucketizedTable) -> list[LinearEquation]:
+    """SA-invariant equations (Eq. 5): one per (s, b) with s in SA(b).
+
+    ``sum over q in QI(b) of P(q, s, b) = n(s,b) / N``.
+    """
+    n = published.n_records
+    equations = []
+    for bucket in published.buckets:
+        qi_values = bucket.distinct_qi()
+        for s, count in sorted(bucket.sa_counts().items()):
+            expr = ProbabilityExpression(
+                {ProbabilityTerm(q, s, bucket.index): 1.0 for q in qi_values}
+            )
+            equations.append(LinearEquation(expr, count / n))
+    return equations
+
+
+def build_zero_invariants(published: BucketizedTable) -> list[LinearEquation]:
+    """Zero-invariant equations (Eq. 6) over the published universe.
+
+    For every bucket ``b`` and every (q, s) drawn from the *whole* published
+    table where ``q`` or ``s`` does not occur in ``b``: ``P(q, s, b) = 0``.
+    (The numeric engine never materializes these — invalid triples simply
+    get no variable — but the symbolic theory and its tests need them.)
+    """
+    all_qi = list(published.qi_marginal())
+    all_sa = list(published.sa_marginal())
+    equations = []
+    for bucket in published.buckets:
+        bucket_qi = set(bucket.distinct_qi())
+        bucket_sa = set(bucket.distinct_sa())
+        for q in all_qi:
+            for s in all_sa:
+                if q in bucket_qi and s in bucket_sa:
+                    continue
+                expr = ProbabilityExpression.term(q, s, bucket.index)
+                equations.append(LinearEquation(expr, 0.0))
+    return equations
+
+
+def bucket_constraint_matrix(
+    bucket: Bucket,
+) -> tuple[np.ndarray, list[ProbabilityTerm]]:
+    """The Figure-3 invariant matrix of one bucket.
+
+    Returns ``(matrix, terms)``: ``matrix`` has one row per QI-invariant
+    followed by one per SA-invariant, one column per valid ``(q, s)`` pair
+    of the bucket (``terms`` gives the column order).  Theorem 3 predicts
+    ``rank(matrix) == g + h - 1``.
+    """
+    qi_values = bucket.distinct_qi()
+    sa_values = bucket.distinct_sa()
+    terms = [
+        ProbabilityTerm(q, s, bucket.index) for s in sa_values for q in qi_values
+    ]
+    column = {term: j for j, term in enumerate(terms)}
+    g, h = len(qi_values), len(sa_values)
+    matrix = np.zeros((g + h, len(terms)))
+    for i, q in enumerate(qi_values):
+        for s in sa_values:
+            matrix[i, column[ProbabilityTerm(q, s, bucket.index)]] = 1.0
+    for j, s in enumerate(sa_values):
+        for q in qi_values:
+            matrix[g + j, column[ProbabilityTerm(q, s, bucket.index)]] = 1.0
+    return matrix, terms
+
+
+def is_invariant(
+    expression: ProbabilityExpression,
+    published: BucketizedTable,
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Decide whether ``expression`` is an invariant of ``published``.
+
+    Implements Theorem 2 constructively: split the expression by bucket
+    (Lemma 1), drop Zero-invariant terms (always 0), and check that each
+    bucket's coefficient vector lies in the row space of that bucket's base
+    invariant matrix via a least-squares residual.
+    """
+    by_bucket: dict[int, dict[ProbabilityTerm, float]] = {}
+    for term, coefficient in expression.coefficients.items():
+        by_bucket.setdefault(term.bucket, {})[term] = coefficient
+
+    for bucket_index, coefficients in by_bucket.items():
+        if bucket_index >= published.n_buckets:
+            # Terms of non-existent buckets are identically zero.
+            continue
+        bucket = published.bucket(bucket_index)
+        bucket_qi = set(bucket.distinct_qi())
+        bucket_sa = set(bucket.distinct_sa())
+        matrix, terms = bucket_constraint_matrix(bucket)
+        column = {term: j for j, term in enumerate(terms)}
+        vector = np.zeros(len(terms))
+        for term, coefficient in coefficients.items():
+            if term.qi not in bucket_qi or term.sa not in bucket_sa:
+                continue  # Zero-invariant term: contributes nothing.
+            vector[column[term]] = coefficient
+        if not np.any(vector):
+            continue
+        # Row-space membership: min-norm solution of matrixT x = vector.
+        solution, residuals, rank, _ = np.linalg.lstsq(
+            matrix.T, vector, rcond=None
+        )
+        reconstruction = matrix.T @ solution
+        if np.abs(reconstruction - vector).max() > tolerance:
+            return False
+    return True
+
+
+def invariant_value(
+    equation: LinearEquation, joint: dict[tuple, float]
+) -> float:
+    """Evaluate an invariant equation's expression under a joint."""
+    return equation.expression.evaluate(joint)

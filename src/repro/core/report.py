@@ -1,0 +1,70 @@
+"""Assessment reports: the (bound, privacy score) tuples of Section 4.3.
+
+"The outcome of privacy quantification should be a tuple consisting of
+bound and privacy score.  It is up to the users to decide what bound is
+acceptable to them."  A :class:`PrivacyAssessment` is one such tuple plus
+the supporting metrics and solver diagnostics; a list of them (one per
+candidate bound) is what :func:`repro.core.privacy_maxent.assess` returns
+to a data publisher.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.maxent.solution import SolverStats
+from repro.utils.tabulate import render_table
+
+
+@dataclass(frozen=True)
+class PrivacyAssessment:
+    """Privacy of one release under one background-knowledge bound."""
+
+    bound: str
+    n_constraints: int
+    estimation_accuracy: float
+    max_disclosure: float
+    bayes_vulnerability: float
+    effective_l: float
+    expected_entropy_bits: float
+    stats: SolverStats
+
+    def row(self) -> list:
+        """The fields as a report-table row."""
+        return [
+            self.bound,
+            self.n_constraints,
+            self.estimation_accuracy,
+            self.max_disclosure,
+            self.bayes_vulnerability,
+            self.effective_l,
+            self.expected_entropy_bits,
+            self.stats.iterations,
+            self.stats.seconds,
+        ]
+
+    @staticmethod
+    def headers() -> list[str]:
+        """Column headers matching :meth:`row`."""
+        return [
+            "bound",
+            "constraints",
+            "est_accuracy",
+            "max_disclosure",
+            "bayes_vuln",
+            "effective_l",
+            "H(SA|QI) bits",
+            "iterations",
+            "seconds",
+        ]
+
+
+def render_assessments(
+    assessments: list[PrivacyAssessment], *, title: str = "Privacy assessment"
+) -> str:
+    """A text table over a list of assessments (one row per bound)."""
+    return render_table(
+        PrivacyAssessment.headers(),
+        [a.row() for a in assessments],
+        title=title,
+    )

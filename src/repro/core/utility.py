@@ -1,0 +1,170 @@
+"""Data-utility metrics for bucketized releases.
+
+PPDP is a privacy/utility trade-off ("minimize the risk of linking
+attacks, while maximizing the usefulness of the original data", Section 1).
+Bucketization's selling point — the reason Xiao & Tao proposed Anatomy — is
+accurate *aggregate* analysis: a researcher estimates counts like
+``COUNT(age = 30-39 AND disease = Flu)`` from the release.  This module
+measures that usefulness so a publisher can read both sides of the
+trade-off from one library:
+
+- :func:`estimate_count` answers an aggregate query from a release using a
+  (MaxEnt or baseline) joint,
+- :func:`query_workload` samples a random workload of such queries,
+- :func:`relative_query_error` scores a release against the original data
+  over a workload — the classic utility measure for bucketization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.anonymize.buckets import BucketizedTable
+from repro.core.quantifier import PosteriorTable
+from repro.data.table import Table
+from repro.errors import ReproError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class AggregateQuery:
+    """``COUNT(Qv AND SA = sa_value)`` over the original microdata."""
+
+    qv: dict[str, str]
+    sa_value: str
+
+    def describe(self) -> str:
+        antecedent = " AND ".join(
+            f"{k}={v}" for k, v in sorted(self.qv.items())
+        )
+        return f"COUNT({antecedent} AND sa={self.sa_value})"
+
+
+def true_count(table: Table, query: AggregateQuery) -> int:
+    """The query's exact answer on the original data."""
+    schema = table.schema
+    mask = np.ones(table.n_rows, dtype=bool)
+    for name, value in query.qv.items():
+        attribute = schema.attribute(name)
+        mask &= table.column(name) == attribute.code_of(value)
+    mask &= table.sa_codes() == schema.sa.code_of(query.sa_value)
+    return int(mask.sum())
+
+
+def estimate_count(
+    published: BucketizedTable,
+    posterior: PosteriorTable,
+    query: AggregateQuery,
+) -> float:
+    """Estimate the query from a release and an inferred posterior.
+
+    ``N * sum over matching QI tuples q of P(q) * P*(sa | q)`` — with the
+    Eq. 9 baseline posterior this is exactly the Anatomy aggregate
+    estimator; with a knowledge-informed MaxEnt posterior it shows how much
+    sharper (for analysis) and more dangerous (for privacy) the release
+    becomes under background knowledge.
+    """
+    schema = published.schema
+    checks = [
+        (schema.qi_index(name), value) for name, value in query.qv.items()
+    ]
+    total = 0.0
+    for q in posterior.qi_tuples:
+        if all(q[position] == value for position, value in checks):
+            total += posterior.weight(q) * posterior.prob(q, query.sa_value)
+    return total * published.n_records
+
+
+def query_workload(
+    table: Table,
+    *,
+    n_queries: int = 100,
+    n_qi_attributes: int = 2,
+    min_true_count: int = 1,
+    seed: int | np.random.Generator = 0,
+) -> list[AggregateQuery]:
+    """Sample a workload of aggregate queries with non-trivial answers.
+
+    Queries are built from actual records (so the antecedent is satisfiable)
+    and filtered to ``true_count >= min_true_count``; this mirrors how
+    bucketization papers evaluate aggregate utility.
+    """
+    if n_queries <= 0:
+        raise ReproError("n_queries must be positive")
+    schema = table.schema
+    if not 1 <= n_qi_attributes <= len(schema.qi_attributes):
+        raise ReproError(
+            f"n_qi_attributes must be in [1, {len(schema.qi_attributes)}]"
+        )
+    rng = make_rng(seed)
+    queries: list[AggregateQuery] = []
+    attempts = 0
+    while len(queries) < n_queries and attempts < n_queries * 50:
+        attempts += 1
+        row = int(rng.integers(0, table.n_rows))
+        record = table.record(row)
+        names = list(
+            rng.choice(
+                list(schema.qi_attributes), size=n_qi_attributes, replace=False
+            )
+        )
+        query = AggregateQuery(
+            qv={name: record[name] for name in names},
+            sa_value=record[schema.sa_attribute],
+        )
+        if true_count(table, query) >= min_true_count:
+            queries.append(query)
+    if len(queries) < n_queries:
+        raise ReproError(
+            "could not sample enough queries meeting the support threshold"
+        )
+    return queries
+
+
+@dataclass(frozen=True)
+class UtilityReport:
+    """Relative-error summary of a release over a query workload."""
+
+    mean_relative_error: float
+    median_relative_error: float
+    worst_relative_error: float
+    n_queries: int
+
+    def row(self) -> list:
+        """The fields as a report-table row."""
+        return [
+            self.n_queries,
+            self.mean_relative_error,
+            self.median_relative_error,
+            self.worst_relative_error,
+        ]
+
+
+def relative_query_error(
+    table: Table,
+    published: BucketizedTable,
+    posterior: PosteriorTable,
+    queries: list[AggregateQuery],
+) -> UtilityReport:
+    """Score the release: relative error of each query's estimate.
+
+    Relative error is ``|estimate - truth| / truth`` (queries are sampled
+    with positive truth).  Lower is better for the analyst — and, with a
+    knowledge-informed posterior, simultaneously worse for privacy.
+    """
+    if not queries:
+        raise ReproError("the query workload is empty")
+    errors = []
+    for query in queries:
+        truth = true_count(table, query)
+        estimate = estimate_count(published, posterior, query)
+        errors.append(abs(estimate - truth) / truth)
+    errors_array = np.asarray(errors)
+    return UtilityReport(
+        mean_relative_error=float(errors_array.mean()),
+        median_relative_error=float(np.median(errors_array)),
+        worst_relative_error=float(errors_array.max()),
+        n_queries=len(queries),
+    )

@@ -1,0 +1,19 @@
+"""Microdata substrate: schemas, categorical tables, generators, CSV I/O."""
+
+from repro.data.adult import adult_schema, load_adult_synthetic
+from repro.data.io import read_csv, write_csv
+from repro.data.schema import Attribute, Schema
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.data.table import Table
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "SyntheticConfig",
+    "Table",
+    "adult_schema",
+    "generate_synthetic",
+    "load_adult_synthetic",
+    "read_csv",
+    "write_csv",
+]

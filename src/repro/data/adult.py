@@ -1,0 +1,538 @@
+"""A seeded, Adult-shaped synthetic dataset.
+
+The paper evaluates on the UCI Adult dataset (14,210 prepared records, eight
+quasi-identifier attributes, ``education`` as the sensitive attribute with 16
+categories).  This environment has no network access, so we substitute a
+synthetic generator that reproduces the *structure* the experiments rely on:
+
+- the same eight categorical QI attributes and 16-category ``education`` SA,
+- marginal frequencies close to Adult's published ones,
+- genuine QI → SA correlations (education depends on age and sex; occupation
+  and workclass depend on education; ...), so that association-rule mining
+  finds high-confidence positive and negative rules at every antecedent size
+  ``T = 1..8`` — exactly the raw material Figures 5 and 6 consume.
+
+The generator is a small Bayesian network sampled with a seeded numpy
+``Generator``; identical seeds produce identical tables.  See DESIGN.md
+("Substitutions") for the full rationale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.errors import ReproError
+from repro.utils.rng import make_rng
+
+# --- domains (verbatim UCI Adult categories, age binned as the paper bins it)
+
+AGE_GROUPS = (
+    "17-21",
+    "22-26",
+    "27-31",
+    "32-36",
+    "37-41",
+    "42-46",
+    "47-51",
+    "52-56",
+    "57+",
+)
+
+WORKCLASSES = (
+    "Private",
+    "Self-emp-not-inc",
+    "Self-emp-inc",
+    "Federal-gov",
+    "Local-gov",
+    "State-gov",
+    "Without-pay",
+    "Never-worked",
+)
+
+EDUCATIONS = (
+    "HS-grad",
+    "Some-college",
+    "Bachelors",
+    "Masters",
+    "Assoc-voc",
+    "11th",
+    "Assoc-acdm",
+    "10th",
+    "7th-8th",
+    "Prof-school",
+    "9th",
+    "12th",
+    "Doctorate",
+    "5th-6th",
+    "1st-4th",
+    "Preschool",
+)
+
+MARITAL_STATUSES = (
+    "Married-civ-spouse",
+    "Never-married",
+    "Divorced",
+    "Separated",
+    "Widowed",
+    "Married-spouse-absent",
+    "Married-AF-spouse",
+)
+
+OCCUPATIONS = (
+    "Prof-specialty",
+    "Craft-repair",
+    "Exec-managerial",
+    "Adm-clerical",
+    "Sales",
+    "Other-service",
+    "Machine-op-inspct",
+    "Transport-moving",
+    "Handlers-cleaners",
+    "Farming-fishing",
+    "Tech-support",
+    "Protective-serv",
+    "Priv-house-serv",
+    "Armed-Forces",
+)
+
+RELATIONSHIPS = (
+    "Husband",
+    "Not-in-family",
+    "Own-child",
+    "Unmarried",
+    "Wife",
+    "Other-relative",
+)
+
+RACES = ("White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other")
+
+SEXES = ("Male", "Female")
+
+NATIVE_REGIONS = (
+    "United-States",
+    "Latin-America",
+    "Asia",
+    "Europe",
+    "Canada",
+    "Other",
+)
+
+#: Base education marginals (tuned near Adult's published frequencies while
+#: keeping every non-exempt category below the 1/5 bucketization-eligibility
+#: threshold once HS-grad is exempted; see anatomy's ``exempt`` handling).
+_EDUCATION_BASE = {
+    "HS-grad": 0.330,
+    "Some-college": 0.211,
+    "Bachelors": 0.165,
+    "Masters": 0.055,
+    "Assoc-voc": 0.043,
+    "11th": 0.037,
+    "Assoc-acdm": 0.033,
+    "10th": 0.028,
+    "7th-8th": 0.021,
+    "Prof-school": 0.018,
+    "9th": 0.016,
+    "12th": 0.013,
+    "Doctorate": 0.013,
+    "5th-6th": 0.010,
+    "1st-4th": 0.005,
+    "Preschool": 0.002,
+}
+
+
+def adult_schema() -> Schema:
+    """The Adult-shaped schema: eight QI attributes, ``education`` as SA."""
+    return Schema(
+        attributes=(
+            Attribute("age", AGE_GROUPS),
+            Attribute("workclass", WORKCLASSES),
+            Attribute("education", EDUCATIONS),
+            Attribute("marital_status", MARITAL_STATUSES),
+            Attribute("occupation", OCCUPATIONS),
+            Attribute("relationship", RELATIONSHIPS),
+            Attribute("race", RACES),
+            Attribute("sex", SEXES),
+            Attribute("native_region", NATIVE_REGIONS),
+        ),
+        qi_attributes=(
+            "age",
+            "workclass",
+            "marital_status",
+            "occupation",
+            "relationship",
+            "race",
+            "sex",
+            "native_region",
+        ),
+        sa_attribute="education",
+    )
+
+
+# --- CPT machinery -----------------------------------------------------------
+
+
+def _base_logits(domain: tuple[str, ...], base: dict[str, float]) -> np.ndarray:
+    probs = np.array([base[label] for label in domain], dtype=float)
+    if abs(probs.sum() - 1.0) > 0.02:
+        raise ReproError("base marginals must sum to ~1")
+    return np.log(probs / probs.sum())
+
+
+def _tilt_matrix(
+    parent_domain: tuple[str, ...],
+    child_domain: tuple[str, ...],
+    boosts: dict[str, dict[str, float]],
+) -> np.ndarray:
+    """(|parent|, |child|) additive-logit tilts from a sparse boost spec."""
+    matrix = np.zeros((len(parent_domain), len(child_domain)))
+    for parent_label, child_boosts in boosts.items():
+        i = parent_domain.index(parent_label)
+        for child_label, boost in child_boosts.items():
+            matrix[i, child_domain.index(child_label)] = boost
+    return matrix
+
+
+def _sample_rows(rng: np.random.Generator, probabilities: np.ndarray) -> np.ndarray:
+    """Draw one categorical code per row from a (n, k) probability matrix."""
+    cdf = np.cumsum(probabilities, axis=1)
+    # Guard the last column against round-off so searchsorted never overflows.
+    cdf[:, -1] = 1.0
+    u = rng.random(probabilities.shape[0])
+    return (u[:, None] > cdf).sum(axis=1).astype(np.int64)
+
+
+def _softmax_rows(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    expd = np.exp(shifted)
+    return expd / expd.sum(axis=1, keepdims=True)
+
+
+# --- the network -------------------------------------------------------------
+
+
+def _sample_sex(rng: np.random.Generator, n: int) -> np.ndarray:
+    return _sample_rows(rng, np.tile(np.array([[0.67, 0.33]]), (n, 1)))
+
+
+def _sample_age(rng: np.random.Generator, n: int) -> np.ndarray:
+    base = np.array([0.09, 0.13, 0.13, 0.13, 0.13, 0.12, 0.10, 0.08, 0.09])
+    return _sample_rows(rng, np.tile(base / base.sum(), (n, 1)))
+
+
+def _sample_race(rng: np.random.Generator, n: int) -> np.ndarray:
+    base = np.array([0.854, 0.096, 0.031, 0.010, 0.009])
+    return _sample_rows(rng, np.tile(base / base.sum(), (n, 1)))
+
+
+def _sample_education(
+    rng: np.random.Generator, age: np.ndarray, sex: np.ndarray
+) -> np.ndarray:
+    base = _base_logits(EDUCATIONS, _EDUCATION_BASE)
+    age_tilt = _tilt_matrix(
+        AGE_GROUPS,
+        EDUCATIONS,
+        {
+            # The youngest cohort is still in (or just out of) school: grade
+            # levels up, advanced degrees essentially impossible.
+            "17-21": {
+                "11th": 1.6,
+                "12th": 1.4,
+                "10th": 1.2,
+                "Some-college": 0.9,
+                "Bachelors": -1.2,
+                "Masters": -4.0,
+                "Prof-school": -4.0,
+                "Doctorate": -5.0,
+            },
+            "22-26": {
+                "Some-college": 0.6,
+                "Bachelors": 0.4,
+                "Masters": -0.8,
+                "Doctorate": -2.0,
+                "Prof-school": -1.0,
+            },
+            "27-31": {"Bachelors": 0.3, "Masters": 0.3},
+            "32-36": {"Masters": 0.4, "Prof-school": 0.3},
+            "37-41": {"Masters": 0.4, "Doctorate": 0.3},
+            "42-46": {"Doctorate": 0.4, "Prof-school": 0.3},
+            "47-51": {"HS-grad": 0.2, "Doctorate": 0.4},
+            "52-56": {"HS-grad": 0.3, "7th-8th": 0.6, "9th": 0.3},
+            "57+": {
+                "HS-grad": 0.35,
+                "7th-8th": 1.1,
+                "5th-6th": 0.7,
+                "9th": 0.5,
+                "1st-4th": 0.7,
+                "Some-college": -0.3,
+            },
+        },
+    )
+    sex_tilt = _tilt_matrix(
+        SEXES,
+        EDUCATIONS,
+        {
+            "Male": {"Doctorate": 0.35, "Prof-school": 0.45, "Masters": 0.10},
+            "Female": {
+                "Assoc-voc": 0.25,
+                "Assoc-acdm": 0.25,
+                "Some-college": 0.10,
+            },
+        },
+    )
+    logits = base[None, :] + age_tilt[age] + sex_tilt[sex]
+    return _sample_rows(rng, _softmax_rows(logits))
+
+
+def _sample_workclass(rng: np.random.Generator, education: np.ndarray) -> np.ndarray:
+    base = _base_logits(
+        WORKCLASSES,
+        {
+            "Private": 0.695,
+            "Self-emp-not-inc": 0.079,
+            "Self-emp-inc": 0.035,
+            "Federal-gov": 0.030,
+            "Local-gov": 0.065,
+            "State-gov": 0.041,
+            "Without-pay": 0.030,
+            "Never-worked": 0.025,
+        },
+    )
+    edu_tilt = _tilt_matrix(
+        EDUCATIONS,
+        WORKCLASSES,
+        {
+            "Doctorate": {"State-gov": 1.3, "Federal-gov": 0.6, "Private": -0.4},
+            "Masters": {"Local-gov": 0.7, "State-gov": 0.6},
+            "Prof-school": {"Self-emp-inc": 1.3, "Self-emp-not-inc": 0.7},
+            "Bachelors": {"Private": 0.15, "Federal-gov": 0.3},
+            "Preschool": {"Never-worked": 2.2, "Without-pay": 1.2},
+            "1st-4th": {"Never-worked": 1.2, "Without-pay": 1.0},
+            "5th-6th": {"Without-pay": 0.8},
+            "11th": {"Never-worked": 0.7},
+            "7th-8th": {"Self-emp-not-inc": 0.5},
+        },
+    )
+    logits = base[None, :] + edu_tilt[education]
+    return _sample_rows(rng, _softmax_rows(logits))
+
+
+def _sample_occupation(
+    rng: np.random.Generator, education: np.ndarray, sex: np.ndarray
+) -> np.ndarray:
+    base = _base_logits(
+        OCCUPATIONS,
+        {
+            "Prof-specialty": 0.126,
+            "Craft-repair": 0.125,
+            "Exec-managerial": 0.124,
+            "Adm-clerical": 0.115,
+            "Sales": 0.112,
+            "Other-service": 0.101,
+            "Machine-op-inspct": 0.061,
+            "Transport-moving": 0.049,
+            "Handlers-cleaners": 0.042,
+            "Farming-fishing": 0.030,
+            "Tech-support": 0.028,
+            "Protective-serv": 0.020,
+            "Priv-house-serv": 0.045,
+            "Armed-Forces": 0.022,
+        },
+    )
+    edu_tilt = _tilt_matrix(
+        EDUCATIONS,
+        OCCUPATIONS,
+        {
+            "Doctorate": {"Prof-specialty": 2.4, "Exec-managerial": 0.8,
+                          "Handlers-cleaners": -2.0, "Other-service": -1.5},
+            "Prof-school": {"Prof-specialty": 2.2, "Exec-managerial": 0.9,
+                            "Machine-op-inspct": -1.5},
+            "Masters": {"Prof-specialty": 1.6, "Exec-managerial": 1.0,
+                        "Handlers-cleaners": -1.2},
+            "Bachelors": {"Exec-managerial": 0.9, "Prof-specialty": 0.7,
+                          "Tech-support": 0.5, "Sales": 0.3},
+            "Assoc-voc": {"Tech-support": 0.9, "Craft-repair": 0.5},
+            "Assoc-acdm": {"Adm-clerical": 0.6, "Tech-support": 0.7},
+            "Some-college": {"Sales": 0.3, "Adm-clerical": 0.3},
+            "HS-grad": {"Craft-repair": 0.5, "Transport-moving": 0.4,
+                        "Machine-op-inspct": 0.3},
+            "11th": {"Handlers-cleaners": 0.8, "Other-service": 0.6},
+            "10th": {"Handlers-cleaners": 0.8, "Other-service": 0.6},
+            "9th": {"Farming-fishing": 0.9, "Machine-op-inspct": 0.6},
+            "7th-8th": {"Farming-fishing": 1.2, "Machine-op-inspct": 0.6,
+                        "Priv-house-serv": 0.6},
+            "5th-6th": {"Farming-fishing": 1.3, "Priv-house-serv": 0.9},
+            "1st-4th": {"Farming-fishing": 1.4, "Priv-house-serv": 1.1},
+            "Preschool": {"Priv-house-serv": 1.6, "Other-service": 1.0},
+        },
+    )
+    sex_tilt = _tilt_matrix(
+        SEXES,
+        OCCUPATIONS,
+        {
+            "Male": {"Craft-repair": 1.0, "Transport-moving": 0.8,
+                     "Protective-serv": 0.5, "Armed-Forces": 0.8,
+                     "Adm-clerical": -0.6, "Priv-house-serv": -1.5},
+            "Female": {"Adm-clerical": 0.9, "Other-service": 0.5,
+                       "Priv-house-serv": 1.0, "Craft-repair": -1.2,
+                       "Transport-moving": -1.0},
+        },
+    )
+    logits = base[None, :] + edu_tilt[education] + sex_tilt[sex]
+    return _sample_rows(rng, _softmax_rows(logits))
+
+
+def _sample_marital(
+    rng: np.random.Generator, age: np.ndarray, sex: np.ndarray
+) -> np.ndarray:
+    base = _base_logits(
+        MARITAL_STATUSES,
+        {
+            "Married-civ-spouse": 0.46,
+            "Never-married": 0.33,
+            "Divorced": 0.14,
+            "Separated": 0.031,
+            "Widowed": 0.025,
+            "Married-spouse-absent": 0.012,
+            "Married-AF-spouse": 0.002,
+        },
+    )
+    age_tilt = _tilt_matrix(
+        AGE_GROUPS,
+        MARITAL_STATUSES,
+        {
+            "17-21": {"Never-married": 2.4, "Married-civ-spouse": -2.0,
+                      "Widowed": -2.0, "Divorced": -1.5},
+            "22-26": {"Never-married": 1.2, "Married-civ-spouse": -0.6},
+            "27-31": {"Never-married": 0.4},
+            "37-41": {"Married-civ-spouse": 0.3, "Divorced": 0.3},
+            "42-46": {"Married-civ-spouse": 0.35, "Divorced": 0.45},
+            "47-51": {"Married-civ-spouse": 0.4, "Divorced": 0.5, "Widowed": 0.5},
+            "52-56": {"Married-civ-spouse": 0.4, "Widowed": 1.0},
+            "57+": {"Widowed": 1.9, "Married-civ-spouse": 0.3,
+                    "Never-married": -0.8},
+        },
+    )
+    sex_tilt = _tilt_matrix(
+        SEXES,
+        MARITAL_STATUSES,
+        {
+            "Female": {"Widowed": 0.8, "Divorced": 0.3, "Separated": 0.3},
+        },
+    )
+    logits = base[None, :] + age_tilt[age] + sex_tilt[sex]
+    return _sample_rows(rng, _softmax_rows(logits))
+
+
+def _sample_relationship(
+    rng: np.random.Generator, marital: np.ndarray, sex: np.ndarray, age: np.ndarray
+) -> np.ndarray:
+    base = _base_logits(
+        RELATIONSHIPS,
+        {
+            "Husband": 0.40,
+            "Not-in-family": 0.26,
+            "Own-child": 0.155,
+            "Unmarried": 0.105,
+            "Wife": 0.047,
+            "Other-relative": 0.033,
+        },
+    )
+    married_idx = MARITAL_STATUSES.index("Married-civ-spouse")
+    af_idx = MARITAL_STATUSES.index("Married-AF-spouse")
+    male_idx = SEXES.index("Male")
+    young_idx = AGE_GROUPS.index("17-21")
+
+    n = marital.shape[0]
+    logits = np.tile(base, (n, 1))
+    is_married = (marital == married_idx) | (marital == af_idx)
+    is_male = sex == male_idx
+    husband = RELATIONSHIPS.index("Husband")
+    wife = RELATIONSHIPS.index("Wife")
+    own_child = RELATIONSHIPS.index("Own-child")
+    not_in_family = RELATIONSHIPS.index("Not-in-family")
+    unmarried = RELATIONSHIPS.index("Unmarried")
+
+    # Spousal roles are essentially determined by (married, sex).
+    logits[is_married & is_male, husband] += 4.0
+    logits[is_married & is_male, wife] -= 6.0
+    logits[is_married & ~is_male, wife] += 5.0
+    logits[is_married & ~is_male, husband] -= 6.0
+    logits[~is_married, husband] -= 6.0
+    logits[~is_married, wife] -= 6.0
+    logits[~is_married, not_in_family] += 1.2
+    logits[~is_married, unmarried] += 0.8
+    logits[age == young_idx, own_child] += 2.2
+    return _sample_rows(rng, _softmax_rows(logits))
+
+
+def _sample_native_region(rng: np.random.Generator, race: np.ndarray) -> np.ndarray:
+    base = _base_logits(
+        NATIVE_REGIONS,
+        {
+            "United-States": 0.895,
+            "Latin-America": 0.050,
+            "Asia": 0.025,
+            "Europe": 0.018,
+            "Canada": 0.005,
+            "Other": 0.007,
+        },
+    )
+    race_tilt = _tilt_matrix(
+        RACES,
+        NATIVE_REGIONS,
+        {
+            "Asian-Pac-Islander": {"Asia": 3.6, "United-States": -1.4},
+            "Other": {"Latin-America": 2.2, "United-States": -0.8},
+            "Black": {"United-States": 0.3},
+            "Amer-Indian-Eskimo": {"United-States": 0.8, "Latin-America": -0.5},
+        },
+    )
+    logits = base[None, :] + race_tilt[race]
+    return _sample_rows(rng, _softmax_rows(logits))
+
+
+def load_adult_synthetic(
+    n_records: int = 14210, seed: int | np.random.Generator = 20080609
+) -> Table:
+    """Generate the Adult-shaped synthetic table.
+
+    Parameters
+    ----------
+    n_records:
+        Number of records; the paper's prepared Adult has 14,210.  Smaller
+        sizes (e.g. 2,000) keep the benchmark harness fast while preserving
+        every qualitative behaviour.
+    seed:
+        Integer seed or an existing numpy Generator.  Identical seeds produce
+        identical tables.
+    """
+    if n_records <= 0:
+        raise ReproError(f"n_records must be positive, got {n_records}")
+    rng = make_rng(seed)
+
+    sex = _sample_sex(rng, n_records)
+    age = _sample_age(rng, n_records)
+    race = _sample_race(rng, n_records)
+    education = _sample_education(rng, age, sex)
+    workclass = _sample_workclass(rng, education)
+    occupation = _sample_occupation(rng, education, sex)
+    marital = _sample_marital(rng, age, sex)
+    relationship = _sample_relationship(rng, marital, sex, age)
+    native_region = _sample_native_region(rng, race)
+
+    return Table.from_codes(
+        adult_schema(),
+        {
+            "age": age,
+            "workclass": workclass,
+            "education": education,
+            "marital_status": marital,
+            "occupation": occupation,
+            "relationship": relationship,
+            "race": race,
+            "sex": sex,
+            "native_region": native_region,
+        },
+    )

@@ -1,0 +1,68 @@
+"""CSV round-trip for :class:`~repro.data.table.Table`.
+
+The on-disk format is a plain header + label rows; the schema travels
+separately (callers pass it to :func:`read_csv`), mirroring how the UCI
+Adult distribution ships data and column documentation separately.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.schema import Schema
+from repro.data.table import Table
+from repro.errors import SchemaError
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write ``table`` to ``path`` as a header + label rows CSV."""
+    destination = Path(path)
+    names = table.schema.attribute_names
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        columns = [table.labels(name) for name in names]
+        for row in zip(*columns):
+            writer.writerow(row)
+        if table.n_rows == 0:
+            # zip() over empty columns yields nothing; the header alone is
+            # still a valid empty table.
+            pass
+
+
+def read_csv(path: str | Path, schema: Schema) -> Table:
+    """Read a CSV written by :func:`write_csv` back into a :class:`Table`.
+
+    The header must contain every schema attribute (extra columns are an
+    error, to catch schema/file mismatches early).
+    """
+    source = Path(path)
+    with source.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{source} is empty; expected a CSV header") from None
+        expected = set(schema.attribute_names)
+        got = set(header)
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            raise SchemaError(
+                f"CSV header mismatch for {source}: missing {missing}, extra {extra}"
+            )
+        index_of = {name: header.index(name) for name in schema.attribute_names}
+        records = []
+        for line_number, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            if len(row) != len(header):
+                raise SchemaError(
+                    f"{source}:{line_number}: expected {len(header)} fields, "
+                    f"got {len(row)}"
+                )
+            records.append(
+                {name: row[index_of[name]] for name in schema.attribute_names}
+            )
+    return Table.from_records(schema, records)

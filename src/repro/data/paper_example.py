@@ -1,0 +1,94 @@
+"""The paper's running example (Figure 1), as a ready-made fixture.
+
+Ten patients, two quasi-identifiers (gender, degree), one sensitive
+attribute (disease), bucketized into the exact three buckets of
+Figure 1(b)/(c).  Tests, examples and documentation all reproduce the
+paper's worked derivations on this object:
+
+========  ========  ============  =============  ======
+person    gender    degree        disease        bucket
+========  ========  ============  =============  ======
+Allen     male      college       Flu            1
+Brian     male      college       Pneumonia      1
+Cathy     female    college       Breast Cancer  1
+David     male      high school   Flu            1
+Ethan     male      college       HIV            2
+Frank     male      high school   Pneumonia      2
+Grace     female    junior        Breast Cancer  2
+Helen     female    college       HIV            3
+Iris      female    graduate      Lung Cancer    3
+James     male      graduate      Flu            3
+========  ========  ============  =============  ======
+
+In the abstract form: q1 = (male, college), q2 = (female, college),
+q3 = (male, high school), q4 = (female, junior), q5 = (female, graduate),
+q6 = (male, graduate); s1 = Breast Cancer, s2 = Flu, s3 = Pneumonia,
+s4 = HIV, s5 = Lung Cancer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.anonymize.buckets import BucketizedTable
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+
+GENDERS = ("male", "female")
+DEGREES = ("college", "high school", "junior", "graduate")
+DISEASES = ("Breast Cancer", "Flu", "Pneumonia", "HIV", "Lung Cancer")
+
+#: (name, gender, degree, disease, bucket) in the paper's row order.
+RECORDS = (
+    ("Allen", "male", "college", "Flu", 0),
+    ("Brian", "male", "college", "Pneumonia", 0),
+    ("Cathy", "female", "college", "Breast Cancer", 0),
+    ("David", "male", "high school", "Flu", 0),
+    ("Ethan", "male", "college", "HIV", 1),
+    ("Frank", "male", "high school", "Pneumonia", 1),
+    ("Grace", "female", "junior", "Breast Cancer", 1),
+    ("Helen", "female", "college", "HIV", 2),
+    ("Iris", "female", "graduate", "Lung Cancer", 2),
+    ("James", "male", "graduate", "Flu", 2),
+)
+
+#: The abstract symbols of Figure 1(c), for readable assertions.
+Q1 = ("male", "college")
+Q2 = ("female", "college")
+Q3 = ("male", "high school")
+Q4 = ("female", "junior")
+Q5 = ("female", "graduate")
+Q6 = ("male", "graduate")
+S1, S2, S3, S4, S5 = "Breast Cancer", "Flu", "Pneumonia", "HIV", "Lung Cancer"
+
+
+def paper_schema() -> Schema:
+    """Gender + degree as QI, disease as SA (Figure 1)."""
+    return Schema(
+        attributes=(
+            Attribute("gender", GENDERS),
+            Attribute("degree", DEGREES),
+            Attribute("disease", DISEASES),
+        ),
+        qi_attributes=("gender", "degree"),
+        sa_attribute="disease",
+    )
+
+
+def paper_table() -> Table:
+    """The original data set D of Figure 1(a)."""
+    return Table.from_records(
+        paper_schema(),
+        [
+            {"gender": gender, "degree": degree, "disease": disease}
+            for _name, gender, degree, disease, _bucket in RECORDS
+        ],
+    )
+
+
+def paper_published() -> BucketizedTable:
+    """The bucketized data set D' of Figure 1(b)/(c)."""
+    return BucketizedTable.from_assignment(
+        paper_table(),
+        np.array([bucket for *_rest, bucket in RECORDS], dtype=np.int64),
+    )

@@ -1,0 +1,169 @@
+"""Schemas for categorical microdata.
+
+A PPDP dataset (Section 1 of the paper) has three kinds of attributes:
+
+- **ID** attributes — direct identifiers (names, SSNs); always removed
+  before publication,
+- **QI** attributes — quasi-identifiers (demographics) that adversaries can
+  link to external sources,
+- **SA** attribute — the sensitive attribute whose linkage to individuals
+  must be protected.
+
+The paper (and this reproduction) works with a single categorical SA
+attribute; QI attributes are categorical as well (continuous attributes are
+binned upstream, as the paper does with Adult's ``age``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DomainError, SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named categorical attribute with a fixed, ordered domain."""
+
+    name: str
+    domain: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be non-empty")
+        if not self.domain:
+            raise SchemaError(f"attribute {self.name!r} must have a non-empty domain")
+        if len(set(self.domain)) != len(self.domain):
+            raise SchemaError(f"attribute {self.name!r} has duplicate domain values")
+        # Freeze the domain as a tuple even if a list was passed.
+        object.__setattr__(self, "domain", tuple(self.domain))
+
+    @property
+    def size(self) -> int:
+        """Number of categories in the domain."""
+        return len(self.domain)
+
+    def code_of(self, label: str) -> int:
+        """Integer code of ``label`` within this attribute's domain."""
+        try:
+            return self.domain.index(label)
+        except ValueError:
+            raise DomainError(
+                f"value {label!r} is not in the domain of attribute {self.name!r}"
+            ) from None
+
+    def label_of(self, code: int) -> str:
+        """Category label for integer ``code``."""
+        if not 0 <= code < len(self.domain):
+            raise DomainError(
+                f"code {code} is out of range for attribute {self.name!r} "
+                f"(domain size {len(self.domain)})"
+            )
+        return self.domain[code]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Attribute roles for a microdata table.
+
+    Parameters
+    ----------
+    attributes:
+        All attributes, in column order.
+    qi_attributes:
+        Names of the quasi-identifier attributes (order defines the order of
+        the QI tuple ``Q`` used throughout the library).
+    sa_attribute:
+        Name of the single sensitive attribute.
+    id_attributes:
+        Optional names of direct-identifier attributes; these are carried by
+        :class:`~repro.data.table.Table` but always dropped on publication.
+    """
+
+    attributes: tuple[Attribute, ...]
+    qi_attributes: tuple[str, ...]
+    sa_attribute: str
+    id_attributes: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "attributes", tuple(self.attributes))
+        object.__setattr__(self, "qi_attributes", tuple(self.qi_attributes))
+        object.__setattr__(self, "id_attributes", tuple(self.id_attributes))
+
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError("schema has duplicate attribute names")
+        known = set(names)
+
+        if not self.qi_attributes:
+            raise SchemaError("schema needs at least one QI attribute")
+        for role_name, members in (
+            ("QI", self.qi_attributes),
+            ("ID", self.id_attributes),
+        ):
+            for member in members:
+                if member not in known:
+                    raise SchemaError(f"{role_name} attribute {member!r} is not declared")
+        if self.sa_attribute not in known:
+            raise SchemaError(f"SA attribute {self.sa_attribute!r} is not declared")
+
+        roles: list[str] = list(self.qi_attributes) + [self.sa_attribute] + list(
+            self.id_attributes
+        )
+        if len(set(roles)) != len(roles):
+            raise SchemaError("an attribute may hold only one role (ID / QI / SA)")
+
+    # -- lookups ---------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        """All attribute names in column order."""
+        return tuple(a.name for a in self.attributes)
+
+    def attribute(self, name: str) -> Attribute:
+        """The :class:`Attribute` called ``name``."""
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise SchemaError(f"unknown attribute {name!r}")
+
+    @property
+    def sa(self) -> Attribute:
+        """The sensitive attribute object."""
+        return self.attribute(self.sa_attribute)
+
+    @property
+    def qi(self) -> tuple[Attribute, ...]:
+        """The quasi-identifier attribute objects, in QI-tuple order."""
+        return tuple(self.attribute(name) for name in self.qi_attributes)
+
+    def qi_index(self, name: str) -> int:
+        """Position of QI attribute ``name`` within the QI tuple."""
+        try:
+            return self.qi_attributes.index(name)
+        except ValueError:
+            raise SchemaError(f"{name!r} is not a QI attribute") from None
+
+    def is_qi(self, name: str) -> bool:
+        """True when ``name`` is a quasi-identifier attribute."""
+        return name in self.qi_attributes
+
+    def qi_domain_sizes(self) -> tuple[int, ...]:
+        """Domain sizes of the QI attributes, in QI-tuple order."""
+        return tuple(attr.size for attr in self.qi)
+
+    def without_ids(self) -> "Schema":
+        """A copy of this schema with the ID attributes removed.
+
+        Publication always strips identifiers; anonymizers use this to build
+        the published schema.
+        """
+        if not self.id_attributes:
+            return self
+        kept = tuple(a for a in self.attributes if a.name not in self.id_attributes)
+        return Schema(
+            attributes=kept,
+            qi_attributes=self.qi_attributes,
+            sa_attribute=self.sa_attribute,
+            id_attributes=(),
+        )

@@ -1,0 +1,134 @@
+"""Generic synthetic microdata generator.
+
+Used by the performance experiments (Figures 7a-7c sweep the number of
+buckets and the amount of background knowledge over controlled problem
+sizes) and by randomized tests.  Unlike :mod:`repro.data.adult`, domains are
+abstract (``q0_v3``-style labels) and the QI -> SA dependency strength is a
+single tunable ``correlation`` knob.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.errors import ReproError
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Configuration for :func:`generate_synthetic`.
+
+    Parameters
+    ----------
+    n_records:
+        Number of records to generate.
+    qi_domain_sizes:
+        One entry per QI attribute giving its number of categories.
+    n_sa_values:
+        Number of sensitive-attribute categories.
+    correlation:
+        In ``[0, 1]``: 0 makes SA independent of QI (no useful background
+        knowledge exists); 1 makes SA a near-deterministic function of the
+        influencing QI attributes (rules reach confidence ~1).
+    n_influencers:
+        How many QI attributes actually influence the SA value (the rest are
+        noise attributes).  Defaults to half of the QI attributes.
+    skew:
+        Zipf-like skew of each QI attribute's marginal; 0 is uniform.
+    """
+
+    n_records: int
+    qi_domain_sizes: tuple[int, ...] = (4, 4, 3, 3)
+    n_sa_values: int = 8
+    correlation: float = 0.6
+    n_influencers: int | None = None
+    skew: float = 0.5
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_records <= 0:
+            raise ReproError("n_records must be positive")
+        if not self.qi_domain_sizes:
+            raise ReproError("need at least one QI attribute")
+        if any(size < 2 for size in self.qi_domain_sizes):
+            raise ReproError("every QI domain needs at least two values")
+        if self.n_sa_values < 2:
+            raise ReproError("need at least two SA values")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise ReproError("correlation must be in [0, 1]")
+        influencers = self.n_influencers
+        if influencers is not None and not (
+            1 <= influencers <= len(self.qi_domain_sizes)
+        ):
+            raise ReproError("n_influencers must be in [1, number of QI attributes]")
+
+
+def _skewed_marginal(size: int, skew: float) -> np.ndarray:
+    ranks = np.arange(1, size + 1, dtype=float)
+    weights = ranks ** (-skew) if skew > 0 else np.ones(size)
+    return weights / weights.sum()
+
+
+def synthetic_schema(config: SyntheticConfig) -> Schema:
+    """Schema with QI attributes ``q0..`` and SA attribute ``sa``."""
+    attributes = [
+        Attribute(f"q{i}", tuple(f"q{i}_v{v}" for v in range(size)))
+        for i, size in enumerate(config.qi_domain_sizes)
+    ]
+    attributes.append(
+        Attribute("sa", tuple(f"s{v}" for v in range(config.n_sa_values)))
+    )
+    return Schema(
+        attributes=tuple(attributes),
+        qi_attributes=tuple(f"q{i}" for i in range(len(config.qi_domain_sizes))),
+        sa_attribute="sa",
+    )
+
+
+def generate_synthetic(config: SyntheticConfig) -> Table:
+    """Generate a table according to ``config`` (deterministic per seed)."""
+    rng = make_rng(config.seed)
+    schema = synthetic_schema(config)
+    n = config.n_records
+
+    qi_columns: dict[str, np.ndarray] = {}
+    for i, size in enumerate(config.qi_domain_sizes):
+        marginal = _skewed_marginal(size, config.skew)
+        qi_columns[f"q{i}"] = rng.choice(size, size=n, p=marginal).astype(np.int64)
+
+    n_influencers = config.n_influencers
+    if n_influencers is None:
+        n_influencers = max(1, len(config.qi_domain_sizes) // 2)
+    influencers = list(range(n_influencers))
+
+    # SA CPT: for each joint configuration of the influencing QI attributes,
+    # a random "preferred" distribution is mixed with the uniform one.  The
+    # preferred distribution concentrates on a couple of SA values, which is
+    # what makes high-confidence association rules appear.
+    influencer_sizes = [config.qi_domain_sizes[i] for i in influencers]
+    n_configs = int(np.prod(influencer_sizes))
+    preferred = rng.dirichlet(np.full(config.n_sa_values, 0.25), size=n_configs)
+    uniform = np.full(config.n_sa_values, 1.0 / config.n_sa_values)
+    cpt = config.correlation * preferred + (1 - config.correlation) * uniform
+
+    # Row -> influencing-configuration index (mixed-radix encoding).
+    config_index = np.zeros(n, dtype=np.int64)
+    for attr_pos in influencers:
+        config_index = config_index * config.qi_domain_sizes[attr_pos] + qi_columns[
+            f"q{attr_pos}"
+        ]
+
+    row_probs = cpt[config_index]
+    cdf = np.cumsum(row_probs, axis=1)
+    cdf[:, -1] = 1.0
+    u = rng.random(n)
+    sa_column = (u[:, None] > cdf).sum(axis=1).astype(np.int64)
+
+    columns = dict(qi_columns)
+    columns["sa"] = sa_column
+    return Table.from_codes(schema, columns)

@@ -1,0 +1,193 @@
+"""Column-oriented categorical microdata tables.
+
+A :class:`Table` stores one integer-code numpy array per attribute plus the
+:class:`~repro.data.schema.Schema` that maps codes to category labels.  All
+higher layers (anonymization, rule mining, MaxEnt) operate on code arrays for
+speed and convert to labels only at API boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.data.schema import Schema
+from repro.errors import DomainError, SchemaError
+
+QITuple = tuple[str, ...]
+
+
+class Table:
+    """An immutable categorical table bound to a schema.
+
+    Construct with :meth:`from_records` (label dictionaries) or
+    :meth:`from_codes` (pre-encoded numpy arrays).
+    """
+
+    def __init__(self, schema: Schema, codes: Mapping[str, np.ndarray]) -> None:
+        self._schema = schema
+        self._codes: dict[str, np.ndarray] = {}
+        lengths = set()
+        for attr in schema.attributes:
+            if attr.name not in codes:
+                raise SchemaError(f"missing column {attr.name!r}")
+            column = np.asarray(codes[attr.name], dtype=np.int64)
+            if column.ndim != 1:
+                raise SchemaError(f"column {attr.name!r} must be one-dimensional")
+            if column.size and (column.min() < 0 or column.max() >= attr.size):
+                raise DomainError(
+                    f"column {attr.name!r} holds codes outside [0, {attr.size})"
+                )
+            column.setflags(write=False)
+            self._codes[attr.name] = column
+            lengths.add(column.size)
+        extra = set(codes) - set(schema.attribute_names)
+        if extra:
+            raise SchemaError(f"columns {sorted(extra)} are not in the schema")
+        if len(lengths) > 1:
+            raise SchemaError(f"columns have unequal lengths: {sorted(lengths)}")
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # -- constructors ----------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls, schema: Schema, records: Iterable[Mapping[str, str]]
+    ) -> "Table":
+        """Build a table from an iterable of ``{attribute: label}`` mappings."""
+        materialized = list(records)
+        columns: dict[str, np.ndarray] = {}
+        for attr in schema.attributes:
+            try:
+                columns[attr.name] = np.array(
+                    [attr.code_of(record[attr.name]) for record in materialized],
+                    dtype=np.int64,
+                )
+            except KeyError as exc:
+                raise SchemaError(
+                    f"a record is missing attribute {attr.name!r}"
+                ) from exc
+        return cls(schema, columns)
+
+    @classmethod
+    def from_codes(cls, schema: Schema, codes: Mapping[str, np.ndarray]) -> "Table":
+        """Build a table from pre-encoded integer columns (validated)."""
+        return cls(schema, codes)
+
+    # -- basic accessors --------------------------------------------------
+
+    @property
+    def schema(self) -> Schema:
+        """The schema this table is bound to."""
+        return self._schema
+
+    @property
+    def n_rows(self) -> int:
+        """Number of records."""
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        """Integer-code column for attribute ``name`` (read-only view)."""
+        try:
+            return self._codes[name]
+        except KeyError:
+            raise SchemaError(f"unknown attribute {name!r}") from None
+
+    def labels(self, name: str) -> list[str]:
+        """Column ``name`` decoded to category labels."""
+        attr = self._schema.attribute(name)
+        domain = np.asarray(attr.domain, dtype=object)
+        return list(domain[self.column(name)])
+
+    def record(self, index: int) -> dict[str, str]:
+        """Row ``index`` as an ``{attribute: label}`` dictionary."""
+        if not 0 <= index < self._n_rows:
+            raise IndexError(f"row {index} out of range [0, {self._n_rows})")
+        return {
+            attr.name: attr.label_of(int(self._codes[attr.name][index]))
+            for attr in self._schema.attributes
+        }
+
+    def records(self) -> list[dict[str, str]]:
+        """All rows as label dictionaries (for display and CSV export)."""
+        return [self.record(i) for i in range(self._n_rows)]
+
+    # -- QI / SA views -----------------------------------------------------
+
+    def qi_codes(self) -> np.ndarray:
+        """(n_rows, n_qi) matrix of QI codes, columns in QI-tuple order."""
+        names = self._schema.qi_attributes
+        if not names:
+            return np.empty((self._n_rows, 0), dtype=np.int64)
+        return np.column_stack([self._codes[name] for name in names])
+
+    def sa_codes(self) -> np.ndarray:
+        """Sensitive-attribute code column."""
+        return self.column(self._schema.sa_attribute)
+
+    def qi_tuple(self, index: int) -> QITuple:
+        """The QI tuple (labels) of row ``index``."""
+        return tuple(
+            self._schema.attribute(name).label_of(int(self._codes[name][index]))
+            for name in self._schema.qi_attributes
+        )
+
+    def qi_tuples(self) -> list[QITuple]:
+        """QI tuples (labels) for every row."""
+        qi_attrs = self._schema.qi
+        columns = [self._codes[attr.name] for attr in qi_attrs]
+        return [
+            tuple(
+                qi_attrs[j].domain[int(columns[j][i])] for j in range(len(qi_attrs))
+            )
+            for i in range(self._n_rows)
+        ]
+
+    def sa_labels(self) -> list[str]:
+        """Sensitive values (labels) for every row."""
+        return self.labels(self._schema.sa_attribute)
+
+    # -- statistics --------------------------------------------------------
+
+    def value_counts(self, name: str) -> Counter:
+        """Counter of labels for attribute ``name``."""
+        return Counter(self.labels(name))
+
+    def qi_counts(self) -> Counter:
+        """Counter of full QI tuples."""
+        return Counter(self.qi_tuples())
+
+    def joint_counts(self) -> Counter:
+        """Counter of ``(qi_tuple, sa_label)`` pairs — the original linkage."""
+        sa = self.sa_labels()
+        return Counter(zip(self.qi_tuples(), sa))
+
+    # -- transforms ----------------------------------------------------------
+
+    def select(self, row_indices: Sequence[int] | np.ndarray) -> "Table":
+        """A new table holding only the given rows (in the given order)."""
+        idx = np.asarray(row_indices, dtype=np.int64)
+        return Table(
+            self._schema,
+            {name: column[idx] for name, column in self._codes.items()},
+        )
+
+    def without_ids(self) -> "Table":
+        """A copy with ID attributes (and their columns) dropped."""
+        schema = self._schema.without_ids()
+        return Table(
+            schema,
+            {name: self._codes[name] for name in schema.attribute_names},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Table(n_rows={self._n_rows}, "
+            f"qi={list(self._schema.qi_attributes)}, "
+            f"sa={self._schema.sa_attribute!r})"
+        )

@@ -1,0 +1,26 @@
+"""Experiment harness reproducing every figure of the paper's evaluation."""
+
+from repro.experiments.figures import (
+    Figure5Config,
+    Figure6Config,
+    Figure7aConfig,
+    Figure7bcConfig,
+    figure5,
+    figure6,
+    figure7a,
+    figure7bc,
+)
+from repro.experiments.harness import ExperimentResult, SeriesPoint
+
+__all__ = [
+    "ExperimentResult",
+    "Figure5Config",
+    "Figure6Config",
+    "Figure7aConfig",
+    "Figure7bcConfig",
+    "SeriesPoint",
+    "figure5",
+    "figure6",
+    "figure7a",
+    "figure7bc",
+]

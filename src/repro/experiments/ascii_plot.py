@@ -1,0 +1,74 @@
+"""Minimal ASCII line plots for terminal experiment reports.
+
+No plotting dependency is available offline, and the reproduction targets
+*shapes* (who wins, where curves cross) rather than camera-ready figures; a
+character grid communicates those shapes fine.
+"""
+
+from __future__ import annotations
+
+import math
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, low: float, high: float, steps: int) -> int:
+    if high <= low:
+        return 0
+    fraction = (value - low) / (high - low)
+    return min(steps - 1, max(0, round(fraction * (steps - 1))))
+
+
+def line_plot(
+    series: dict[str, tuple[list[float], list[float]]],
+    *,
+    title: str = "",
+    x_label: str = "x",
+    y_label: str = "y",
+    width: int = 70,
+    height: int = 18,
+) -> str:
+    """Render named (xs, ys) series on one character grid.
+
+    Each series gets a marker from ``o x + * ...``; the legend maps markers
+    back to names.  Non-finite points are skipped.
+    """
+    points = [
+        (x, y)
+        for xs, ys in series.values()
+        for x, y in zip(xs, ys)
+        if math.isfinite(x) and math.isfinite(y)
+    ]
+    if not points:
+        return f"{title}\n(no finite data to plot)"
+    x_low = min(p[0] for p in points)
+    x_high = max(p[0] for p in points)
+    y_low = min(p[1] for p in points)
+    y_high = max(p[1] for p in points)
+    if y_high == y_low:
+        y_high = y_low + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for index, (name, (xs, ys)) in enumerate(series.items()):
+        marker = _MARKERS[index % len(_MARKERS)]
+        for x, y in zip(xs, ys):
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            column = _scale(x, x_low, x_high, width)
+            row = height - 1 - _scale(y, y_low, y_high, height)
+            grid[row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_label}  [{y_low:.4g} .. {y_high:.4g}]")
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"{x_label}  [{x_low:.4g} .. {x_high:.4g}]")
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} = {name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

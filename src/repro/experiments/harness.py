@@ -1,0 +1,89 @@
+"""Result containers and rendering for the experiment drivers.
+
+Every figure driver returns an :class:`ExperimentResult`: named series of
+(x, y) points plus metadata, renderable as the exact rows/series the paper
+plots — a text table and an ASCII chart, since the repository regenerates
+*numbers and shapes*, not PDFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.experiments.ascii_plot import line_plot
+from repro.utils.tabulate import render_table
+
+
+@dataclass(frozen=True)
+class SeriesPoint:
+    """One measured point of one series."""
+
+    x: float
+    y: float
+    extra: dict = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentResult:
+    """All series of one figure, with enough context to interpret them."""
+
+    name: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[SeriesPoint]]
+    notes: str = ""
+
+    def add(self, series_name: str, x: float, y: float, **extra) -> None:
+        """Append a point to ``series_name`` (created on first use)."""
+        self.series.setdefault(series_name, []).append(
+            SeriesPoint(x=x, y=y, extra=dict(extra))
+        )
+
+    def series_xy(self, series_name: str) -> tuple[list[float], list[float]]:
+        """The x and y vectors of one series."""
+        try:
+            points = self.series[series_name]
+        except KeyError:
+            raise ExperimentError(
+                f"{self.name} has no series {series_name!r}; "
+                f"available: {sorted(self.series)}"
+            ) from None
+        return [p.x for p in points], [p.y for p in points]
+
+    def to_table(self) -> str:
+        """The figure's data as a text table (one row per x, one column per
+        series) — the rows the paper's plot encodes."""
+        xs = sorted({p.x for points in self.series.values() for p in points})
+        names = list(self.series)
+        value: dict[tuple[float, str], float] = {}
+        for name, points in self.series.items():
+            for p in points:
+                value[(p.x, name)] = p.y
+        rows = []
+        for x in xs:
+            rows.append(
+                [x] + [value.get((x, name), float("nan")) for name in names]
+            )
+        return render_table(
+            [self.x_label] + names, rows, title=f"{self.name}  ({self.y_label})"
+        )
+
+    def to_plot(self, *, width: int = 70, height: int = 18) -> str:
+        """An ASCII rendition of the figure."""
+        data = {name: self.series_xy(name) for name in self.series}
+        return line_plot(
+            data,
+            title=self.name,
+            x_label=self.x_label,
+            y_label=self.y_label,
+            width=width,
+            height=height,
+        )
+
+    def render(self) -> str:
+        """Table + plot + notes, ready to print."""
+        parts = [self.to_table(), "", self.to_plot()]
+        if self.notes:
+            parts += ["", self.notes]
+        return "\n".join(parts)

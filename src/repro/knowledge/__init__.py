@@ -1,0 +1,50 @@
+"""Background-knowledge substrate: statements, rules, mining, compilation."""
+
+from repro.knowledge.bounds import TopKBound
+from repro.knowledge.expressions import (
+    LinearEquation,
+    ProbabilityExpression,
+    ProbabilityTerm,
+)
+from repro.knowledge.individuals import (
+    GroupCount,
+    GroupCountAtLeast,
+    GroupCountAtMost,
+    IndividualDisjunction,
+    IndividualProbability,
+    Pseudonym,
+    PseudonymTable,
+)
+from repro.knowledge.mining import MiningConfig, mine_association_rules
+from repro.knowledge.rules import AssociationRule, NegativeRule, PositiveRule
+from repro.knowledge.skyline import SkylineBound
+from repro.knowledge.statements import (
+    Comparison,
+    ConditionalInterval,
+    ConditionalProbability,
+    JointProbability,
+    Statement,
+)
+
+__all__ = [
+    "AssociationRule",
+    "Comparison",
+    "ConditionalInterval",
+    "ConditionalProbability",
+    "GroupCount",
+    "IndividualDisjunction",
+    "IndividualProbability",
+    "JointProbability",
+    "LinearEquation",
+    "MiningConfig",
+    "NegativeRule",
+    "PositiveRule",
+    "ProbabilityExpression",
+    "ProbabilityTerm",
+    "Pseudonym",
+    "PseudonymTable",
+    "SkylineBound",
+    "Statement",
+    "TopKBound",
+    "mine_association_rules",
+]

@@ -1,0 +1,270 @@
+"""Compile background-knowledge statements into ME constraint rows.
+
+Section 4.1's recipe: a statement ``P(s | Qv) = c`` becomes
+
+    sum over buckets B and full QI tuples Q extending Qv of
+    P(Q, s, B)  =  c * P(Qv)
+
+where ``P(Qv)`` is the published sample marginal of the antecedent (QI is
+undisguised in bucketization, so the published marginal equals the original
+one).  Inequality statements (Section 4.5) become ``G p <= d`` rows;
+individual statements (Section 6) compile over the pseudonym space.
+
+Compilation errors are diagnosed eagerly: a statement about a population
+absent from the data (``P(Qv) = 0``) or a strictly positive probability
+whose summation set is structurally empty cannot be satisfied, and raising
+here gives far better messages than a solver divergence later.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import CompilationError, InfeasibleKnowledgeError
+from repro.knowledge.individuals import (
+    GroupCount,
+    GroupCountAtLeast,
+    GroupCountAtMost,
+    IndividualDisjunction,
+    IndividualProbability,
+    IndividualStatement,
+)
+from repro.knowledge.statements import (
+    Comparison,
+    ConditionalInterval,
+    ConditionalProbability,
+    JointProbability,
+    Statement,
+)
+from repro.maxent.constraints import ConstraintSystem
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+
+VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+#: Right-hand sides smaller than this are treated as exact zeros (they come
+#: from integer-count arithmetic, so true zeros are exact).
+_RHS_TOL = 1e-12
+
+
+def _antecedent_probability(space: VariableSpace, given: dict[str, str]) -> float:
+    probability = space.qv_probability(given)
+    if probability <= 0.0:
+        antecedent = ", ".join(f"{k}={v}" for k, v in sorted(given.items()))
+        raise CompilationError(
+            f"antecedent {{{antecedent}}} matches no published record, so "
+            "P(Qv) = 0 and the statement constrains nothing"
+        )
+    return probability
+
+
+def _joint_row(
+    space: VariableSpace,
+    given: dict[str, str],
+    sa_value: str,
+    rhs: float,
+    *,
+    label: str,
+    system: ConstraintSystem,
+) -> None:
+    indices = space.vars_matching(given, sa_value)
+    if indices.size == 0:
+        if rhs > _RHS_TOL:
+            raise InfeasibleKnowledgeError(
+                f"statement {label!r} requires probability {rhs:g} on a "
+                "summation set that is structurally empty (the SA value "
+                "never co-occurs with the antecedent in any bucket)"
+            )
+        # A zero-probability statement over an empty set is vacuously true.
+        return
+    system.add_equality(
+        indices, np.ones(indices.size), rhs, kind="bk", label=label
+    )
+
+
+def compile_statement(
+    statement: Statement | IndividualStatement,
+    space: VariableSpace,
+    system: ConstraintSystem,
+) -> None:
+    """Append the rows of one statement to ``system`` (dispatch by type)."""
+    if isinstance(statement, ConditionalProbability):
+        p_qv = _antecedent_probability(space, statement.given)
+        _joint_row(
+            space,
+            statement.given,
+            statement.sa_value,
+            statement.probability * p_qv,
+            label=statement.describe(),
+            system=system,
+        )
+        return
+
+    if isinstance(statement, JointProbability):
+        _joint_row(
+            space,
+            statement.given,
+            statement.sa_value,
+            statement.probability,
+            label=statement.describe(),
+            system=system,
+        )
+        return
+
+    if isinstance(statement, ConditionalInterval):
+        p_qv = _antecedent_probability(space, statement.given)
+        indices = space.vars_matching(statement.given, statement.sa_value)
+        if indices.size == 0:
+            if statement.low > _RHS_TOL:
+                raise InfeasibleKnowledgeError(
+                    f"statement {statement.describe()!r} has an empty "
+                    "summation set but a strictly positive lower bound"
+                )
+            return
+        ones = np.ones(indices.size)
+        # sum <= high * P(Qv)
+        system.add_inequality(
+            indices,
+            ones,
+            statement.high * p_qv,
+            kind="bk",
+            label=f"{statement.describe()} [upper]",
+        )
+        # sum >= low * P(Qv), encoded as -sum <= -low * P(Qv)
+        if statement.low > 0.0:
+            system.add_inequality(
+                indices,
+                -ones,
+                -statement.low * p_qv,
+                kind="bk",
+                label=f"{statement.describe()} [lower]",
+            )
+        return
+
+    if isinstance(statement, Comparison):
+        p_qv = _antecedent_probability(space, statement.given)
+        more = space.vars_matching(statement.given, statement.more_likely)
+        less = space.vars_matching(statement.given, statement.less_likely)
+        if more.size == 0 and statement.margin > _RHS_TOL and less.size == 0:
+            # 0 >= 0 + margin is infeasible.
+            raise InfeasibleKnowledgeError(
+                f"statement {statement.describe()!r}: both sides are "
+                "structurally zero but the margin is positive"
+            )
+        # P(less|Qv) - P(more|Qv) <= -margin, scaled by P(Qv):
+        indices = np.concatenate([less, more])
+        coefficients = np.concatenate([np.ones(less.size), -np.ones(more.size)])
+        if indices.size == 0:
+            return
+        system.add_inequality(
+            indices,
+            coefficients,
+            -statement.margin * p_qv,
+            kind="bk",
+            label=statement.describe(),
+        )
+        return
+
+    if isinstance(statement, IndividualStatement):
+        if not isinstance(space, PersonVariableSpace):
+            raise CompilationError(
+                f"statement {statement.describe()!r} is about an individual; "
+                "build the engine with a PersonVariableSpace "
+                "(PrivacyMaxEnt(..., individuals=True))"
+            )
+        _compile_individual(statement, space, system)
+        return
+
+    raise CompilationError(
+        f"unsupported statement type {type(statement).__name__}"
+    )
+
+
+def _compile_individual(
+    statement: IndividualStatement,
+    space: PersonVariableSpace,
+    system: ConstraintSystem,
+) -> None:
+    n = space.n_records
+    if isinstance(statement, IndividualProbability):
+        indices = space.vars_of_person(statement.person, statement.sa_value)
+        rhs = statement.probability / n
+        if indices.size == 0:
+            if rhs > _RHS_TOL:
+                raise InfeasibleKnowledgeError(
+                    f"{statement.describe()}: {statement.person.name} can "
+                    f"never carry {statement.sa_value!r} (no bucket offers it)"
+                )
+            return
+        system.add_equality(
+            indices, np.ones(indices.size), rhs, kind="bk",
+            label=statement.describe(),
+        )
+        return
+
+    if isinstance(statement, IndividualDisjunction):
+        pieces = [
+            space.vars_of_person(statement.person, value)
+            for value in statement.sa_values
+        ]
+        indices = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        if indices.size == 0:
+            raise InfeasibleKnowledgeError(
+                f"{statement.describe()}: none of the listed values is "
+                f"available to {statement.person.name} in any bucket"
+            )
+        system.add_equality(
+            indices, np.ones(indices.size), 1.0 / n, kind="bk",
+            label=statement.describe(),
+        )
+        return
+
+    if isinstance(statement, (GroupCount, GroupCountAtLeast, GroupCountAtMost)):
+        pieces = [
+            space.vars_of_person(person, statement.sa_value)
+            for person in statement.persons
+        ]
+        indices = np.concatenate(pieces) if pieces else np.empty(0, dtype=np.int64)
+        rhs = statement.count / n
+        if indices.size == 0:
+            if isinstance(statement, GroupCountAtMost):
+                return  # "at most k" over a structurally-zero sum: vacuous
+            raise InfeasibleKnowledgeError(
+                f"{statement.describe()}: no member of the group can carry "
+                f"{statement.sa_value!r} in any bucket"
+            )
+        ones = np.ones(indices.size)
+        if isinstance(statement, GroupCount):
+            system.add_equality(
+                indices, ones, rhs, kind="bk", label=statement.describe()
+            )
+        elif isinstance(statement, GroupCountAtLeast):
+            # sum >= count/N, encoded as -sum <= -count/N.
+            system.add_inequality(
+                indices, -ones, -rhs, kind="bk", label=statement.describe()
+            )
+        else:
+            system.add_inequality(
+                indices, ones, rhs, kind="bk", label=statement.describe()
+            )
+        return
+
+    raise CompilationError(
+        f"unsupported individual statement type {type(statement).__name__}"
+    )
+
+
+def compile_statements(
+    statements: Iterable[Statement | IndividualStatement] | Sequence,
+    space: VariableSpace,
+) -> ConstraintSystem:
+    """Compile a batch of statements into a fresh constraint system.
+
+    The returned system holds only the background-knowledge rows; callers
+    merge it with :func:`repro.maxent.constraints.data_constraints`.
+    """
+    system = ConstraintSystem(space.n_vars)
+    for statement in statements:
+        compile_statement(statement, space, system)
+    return system

@@ -1,0 +1,168 @@
+"""Symbolic probability terms and expressions (Definition 5.1).
+
+A *probability term* is ``P(q, s, b)`` for a full QI tuple ``q``, an SA
+value ``s`` and a bucket index ``b``; a *probability expression* is a linear
+combination of terms.  These symbolic objects back the invariant theory of
+Section 5 (the numeric MaxEnt layer uses compiled sparse rows instead) and
+let tests state and check things like "this expression is an invariant".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.data.table import QITuple
+from repro.errors import KnowledgeError
+
+
+@dataclass(frozen=True, order=True)
+class ProbabilityTerm:
+    """``P(qi, sa, bucket)`` — one unknown of the MaxEnt program."""
+
+    qi: QITuple
+    sa: str
+    bucket: int
+
+    def __post_init__(self) -> None:
+        if self.bucket < 0:
+            raise KnowledgeError(f"bucket index must be >= 0, got {self.bucket}")
+
+    def __str__(self) -> str:
+        qi = ", ".join(self.qi)
+        return f"P(({qi}), {self.sa}, {self.bucket})"
+
+
+class ProbabilityExpression:
+    """A linear combination of probability terms with float coefficients.
+
+    Instances are immutable; arithmetic returns new expressions.  Terms with
+    coefficient zero are dropped, so structural equality of the coefficient
+    mapping is semantic equality of the expression.
+    """
+
+    def __init__(self, coefficients: Mapping[ProbabilityTerm, float] | None = None):
+        cleaned = {
+            term: float(coef)
+            for term, coef in (coefficients or {}).items()
+            if abs(float(coef)) > 0.0
+        }
+        self._coefficients: dict[ProbabilityTerm, float] = cleaned
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def term(cls, qi: QITuple, sa: str, bucket: int, coefficient: float = 1.0):
+        """The single-term expression ``coefficient * P(qi, sa, bucket)``."""
+        return cls({ProbabilityTerm(tuple(qi), sa, bucket): coefficient})
+
+    @classmethod
+    def zero(cls) -> "ProbabilityExpression":
+        """The empty (identically zero) expression."""
+        return cls({})
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def coefficients(self) -> dict[ProbabilityTerm, float]:
+        """Term -> coefficient mapping (copy; zero terms omitted)."""
+        return dict(self._coefficients)
+
+    @property
+    def terms(self) -> tuple[ProbabilityTerm, ...]:
+        """The terms with non-zero coefficients, sorted for determinism."""
+        return tuple(sorted(self._coefficients))
+
+    def coefficient(self, term: ProbabilityTerm) -> float:
+        """Coefficient of ``term`` (0.0 when absent)."""
+        return self._coefficients.get(term, 0.0)
+
+    def buckets(self) -> frozenset[int]:
+        """The set of bucket indices this expression touches."""
+        return frozenset(term.bucket for term in self._coefficients)
+
+    def is_zero(self) -> bool:
+        """True for the identically zero expression."""
+        return not self._coefficients
+
+    # -- arithmetic -----------------------------------------------------------
+
+    def __add__(self, other: "ProbabilityExpression") -> "ProbabilityExpression":
+        if not isinstance(other, ProbabilityExpression):
+            return NotImplemented
+        merged = dict(self._coefficients)
+        for term, coef in other._coefficients.items():
+            merged[term] = merged.get(term, 0.0) + coef
+        return ProbabilityExpression(merged)
+
+    def __sub__(self, other: "ProbabilityExpression") -> "ProbabilityExpression":
+        if not isinstance(other, ProbabilityExpression):
+            return NotImplemented
+        return self + (other * -1.0)
+
+    def __mul__(self, scalar: float) -> "ProbabilityExpression":
+        return ProbabilityExpression(
+            {term: coef * scalar for term, coef in self._coefficients.items()}
+        )
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ProbabilityExpression):
+            return NotImplemented
+        keys = set(self._coefficients) | set(other._coefficients)
+        return all(
+            abs(self.coefficient(k) - other.coefficient(k)) <= 1e-12 for k in keys
+        )
+
+    def __hash__(self) -> int:  # expressions are value objects
+        return hash(tuple(sorted((t, round(c, 12)) for t, c in self._coefficients.items())))
+
+    # -- evaluation ------------------------------------------------------------
+
+    def evaluate(self, joint: Mapping[tuple[QITuple, str, int], float]) -> float:
+        """Value of the expression under a joint distribution.
+
+        ``joint`` maps ``(qi, sa, bucket)`` to ``P(qi, sa, bucket)``; missing
+        triples count as probability zero (they are Zero-invariants).
+        """
+        return sum(
+            coef * joint.get((term.qi, term.sa, term.bucket), 0.0)
+            for term, coef in self._coefficients.items()
+        )
+
+    def __str__(self) -> str:
+        if not self._coefficients:
+            return "0"
+        parts = []
+        for term in self.terms:
+            coef = self._coefficients[term]
+            if coef == 1.0:
+                parts.append(str(term))
+            else:
+                parts.append(f"{coef:g}*{term}")
+        return " + ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ProbabilityExpression({self})"
+
+
+@dataclass(frozen=True)
+class LinearEquation:
+    """An ME constraint ``F = C`` (Definition 5.5 calls these invariant
+    equations when ``F`` is an invariant)."""
+
+    expression: ProbabilityExpression
+    constant: float
+
+    def holds(
+        self,
+        joint: Mapping[tuple[QITuple, str, int], float],
+        *,
+        tolerance: float = 1e-9,
+    ) -> bool:
+        """True when the joint distribution satisfies the equation."""
+        return abs(self.expression.evaluate(joint) - self.constant) <= tolerance
+
+    def __str__(self) -> str:
+        return f"{self.expression} = {self.constant:g}"

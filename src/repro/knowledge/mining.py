@@ -1,0 +1,196 @@
+"""Association-rule mining between QI subsets and the sensitive attribute.
+
+Section 4.4: the bound on background knowledge is the Top-(K+, K-) strongest
+associations, so we must be able to mine *all* positive rules ``Qv => s``
+and negative rules ``Qv => not s`` whose support clears a minimum count
+(three records in the paper), then rank them by confidence.
+
+Because the antecedent contains at most one value per QI attribute, mining
+reduces to, for every subset of QI attributes up to ``max_antecedent`` in
+size, counting the distinct projected value combinations jointly with the
+SA column — one vectorized ``np.unique`` pass per subset instead of an
+Apriori candidate join.  The original data (Section 4.2: the best source of
+background knowledge is the original data itself) is the mining input.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.errors import KnowledgeError
+from repro.knowledge.rules import AssociationRule, NegativeRule, PositiveRule
+from repro.utils.validation import check_positive_int
+
+
+@dataclass(frozen=True)
+class MiningConfig:
+    """Parameters of the rule miner.
+
+    Parameters
+    ----------
+    min_support_count:
+        Minimum absolute number of records supporting a rule (antecedent and
+        consequent together); the paper uses 3.
+    max_antecedent:
+        Largest antecedent size ``T`` to mine.  The paper's Figure 6 sweeps
+        ``T`` from 1 to all eight QI attributes.
+    antecedent_sizes:
+        When given, mine only these exact sizes (used by the Figure 6
+        harness to isolate one ``T`` at a time); overrides
+        ``max_antecedent``.
+    min_confidence:
+        Drop rules below this confidence (applies to both families; the
+        ranking keeps the strongest anyway, this is a mining-time filter to
+        bound memory).
+    """
+
+    min_support_count: int = 3
+    max_antecedent: int = 3
+    antecedent_sizes: tuple[int, ...] | None = None
+    min_confidence: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive_int(self.min_support_count, name="min_support_count")
+        check_positive_int(self.max_antecedent, name="max_antecedent")
+        if self.antecedent_sizes is not None:
+            sizes = tuple(self.antecedent_sizes)
+            if not sizes:
+                raise KnowledgeError("antecedent_sizes must be non-empty when given")
+            for size in sizes:
+                check_positive_int(size, name="antecedent size")
+            object.__setattr__(self, "antecedent_sizes", sizes)
+        if not 0.0 <= self.min_confidence <= 1.0:
+            raise KnowledgeError(
+                f"min_confidence must be in [0, 1], got {self.min_confidence}"
+            )
+
+
+@dataclass(frozen=True)
+class RuleSet:
+    """Mined rules, each family sorted by descending confidence."""
+
+    positive: tuple[PositiveRule, ...]
+    negative: tuple[NegativeRule, ...]
+
+    @property
+    def n_positive(self) -> int:
+        """Number of positive rules mined."""
+        return len(self.positive)
+
+    @property
+    def n_negative(self) -> int:
+        """Number of negative rules mined."""
+        return len(self.negative)
+
+    def restricted_to_size(self, size: int) -> "RuleSet":
+        """The sub-ruleset whose antecedents have exactly ``size`` attributes."""
+        return RuleSet(
+            positive=tuple(r for r in self.positive if r.size == size),
+            negative=tuple(r for r in self.negative if r.size == size),
+        )
+
+
+def _antecedent_sizes(config: MiningConfig, n_qi: int) -> tuple[int, ...]:
+    if config.antecedent_sizes is not None:
+        sizes = tuple(s for s in config.antecedent_sizes if s <= n_qi)
+        if not sizes:
+            raise KnowledgeError(
+                f"no antecedent size in {config.antecedent_sizes} fits a "
+                f"schema with {n_qi} QI attributes"
+            )
+        return sizes
+    return tuple(range(1, min(config.max_antecedent, n_qi) + 1))
+
+
+def mine_association_rules(
+    table: Table, config: MiningConfig | None = None
+) -> RuleSet:
+    """Mine positive and negative association rules from ``table``.
+
+    Rules relate a partial QI assignment (at most one value per attribute)
+    to a single SA value.  Confidence and support are exact empirical
+    frequencies of the input table, so every mined rule is *consistent* with
+    the data — the property that guarantees feasibility of the resulting
+    MaxEnt constraint system.
+    """
+    config = config or MiningConfig()
+    schema = table.schema
+    qi_names = schema.qi_attributes
+    sa_domain = schema.sa.domain
+    n = table.n_rows
+    if n == 0:
+        raise KnowledgeError("cannot mine rules from an empty table")
+
+    qi_codes = table.qi_codes()
+    sa_codes = table.sa_codes()
+
+    positive: list[PositiveRule] = []
+    negative: list[NegativeRule] = []
+
+    for size in _antecedent_sizes(config, len(qi_names)):
+        for attr_positions in combinations(range(len(qi_names)), size):
+            projected = qi_codes[:, attr_positions]
+            # Count antecedent combinations and (antecedent, SA) pairs in one
+            # pass each.
+            antecedent_keys, antecedent_counts = np.unique(
+                projected, axis=0, return_counts=True
+            )
+            joint_matrix = np.column_stack([projected, sa_codes])
+            joint_keys, joint_counts = np.unique(
+                joint_matrix, axis=0, return_counts=True
+            )
+
+            count_of_antecedent = {
+                tuple(int(c) for c in key): int(count)
+                for key, count in zip(antecedent_keys, antecedent_counts)
+            }
+            joint_count: dict[tuple[tuple[int, ...], int], int] = {
+                (tuple(int(c) for c in key[:-1]), int(key[-1])): int(count)
+                for key, count in zip(joint_keys, joint_counts)
+            }
+
+            attrs = [schema.qi[p] for p in attr_positions]
+            for qv_codes, antecedent_count in count_of_antecedent.items():
+                antecedent = {
+                    attrs[j].name: attrs[j].domain[qv_codes[j]]
+                    for j in range(size)
+                }
+                for sa_code, sa_label in enumerate(sa_domain):
+                    together = joint_count.get((qv_codes, sa_code), 0)
+                    confidence = together / antecedent_count
+                    if (
+                        together >= config.min_support_count
+                        and confidence >= config.min_confidence
+                    ):
+                        positive.append(
+                            PositiveRule(
+                                antecedent=antecedent,
+                                sa_value=sa_label,
+                                support=together / n,
+                                confidence=confidence,
+                                antecedent_count=antecedent_count,
+                            )
+                        )
+                    apart = antecedent_count - together
+                    negative_confidence = apart / antecedent_count
+                    if (
+                        apart >= config.min_support_count
+                        and negative_confidence >= config.min_confidence
+                    ):
+                        negative.append(
+                            NegativeRule(
+                                antecedent=antecedent,
+                                sa_value=sa_label,
+                                support=apart / n,
+                                confidence=negative_confidence,
+                                antecedent_count=antecedent_count,
+                            )
+                        )
+
+    positive.sort(key=AssociationRule.sort_key)
+    negative.sort(key=AssociationRule.sort_key)
+    return RuleSet(positive=tuple(positive), negative=tuple(negative))

@@ -1,0 +1,124 @@
+"""Positive and negative association rules (Section 4.4).
+
+A positive rule ``Qv => s`` says that records matching the partial QI
+assignment ``Qv`` tend to carry sensitive value ``s`` (confidence
+``P(s | Qv)``); a negative rule ``Qv => not s`` says they tend *not* to
+(confidence ``P(not s | Qv)``, the Breast-Cancer example).  Rules carry
+their support and confidence as mined from the original data, and convert
+to the statement types the compiler understands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import KnowledgeError
+from repro.knowledge.statements import ConditionalProbability, Statement
+
+
+@dataclass(frozen=True)
+class AssociationRule:
+    """Common fields of positive and negative rules.
+
+    Attributes
+    ----------
+    antecedent:
+        Partial QI assignment ``Qv`` (attribute name -> value).
+    sa_value:
+        The consequent sensitive value ``s``.
+    support:
+        Fraction of records matching both antecedent and consequent
+        (for negative rules: matching the antecedent and *not* ``s``).
+    confidence:
+        ``P(consequent | antecedent)`` in the original data.
+    antecedent_count:
+        Absolute number of records matching ``Qv`` (used to recover exact
+        joint counts: ``confidence * antecedent_count`` is an integer).
+    """
+
+    antecedent: dict[str, str]
+    sa_value: str
+    support: float
+    confidence: float
+    antecedent_count: int
+
+    def __post_init__(self) -> None:
+        if not self.antecedent:
+            raise KnowledgeError("association rules need a non-empty antecedent")
+        if not 0.0 <= self.support <= 1.0:
+            raise KnowledgeError(f"support must be in [0, 1], got {self.support}")
+        if not 0.0 <= self.confidence <= 1.0:
+            raise KnowledgeError(
+                f"confidence must be in [0, 1], got {self.confidence}"
+            )
+        if self.antecedent_count < 0:
+            raise KnowledgeError("antecedent_count must be >= 0")
+
+    @property
+    def size(self) -> int:
+        """Number of QI attributes in the antecedent (the paper's ``T``)."""
+        return len(self.antecedent)
+
+    def sort_key(self) -> tuple:
+        """Descending-confidence, then descending-support, then stable text.
+
+        The paper sorts each rule family by confidence and takes the top K;
+        support and the textual key break ties deterministically.
+        """
+        return (
+            -self.confidence,
+            -self.support,
+            tuple(sorted(self.antecedent.items())),
+            self.sa_value,
+        )
+
+    def to_statement(self) -> Statement:
+        """The background-knowledge statement this rule asserts."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line rendering, e.g. ``{sex=Male} => HS-grad (conf 0.41)``."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PositiveRule(AssociationRule):
+    """``Qv => s``: asserts ``P(s | Qv) = confidence``."""
+
+    def to_statement(self) -> ConditionalProbability:
+        return ConditionalProbability(
+            given=self.antecedent,
+            sa_value=self.sa_value,
+            probability=self.confidence,
+        )
+
+    def describe(self) -> str:
+        antecedent = ", ".join(f"{k}={v}" for k, v in sorted(self.antecedent.items()))
+        return (
+            f"{{{antecedent}}} => {self.sa_value} "
+            f"(conf {self.confidence:.4f}, supp {self.support:.4f})"
+        )
+
+
+@dataclass(frozen=True)
+class NegativeRule(AssociationRule):
+    """``Qv => not s``: asserts ``P(not s | Qv) = confidence``.
+
+    Compiled as the equivalent equality on the complement:
+    ``P(s | Qv) = 1 - confidence`` (exactly zero for confidence-1 rules,
+    which is the paper's Breast-Cancer deduction).
+    """
+
+    def to_statement(self) -> ConditionalProbability:
+        return ConditionalProbability(
+            given=self.antecedent,
+            sa_value=self.sa_value,
+            probability=1.0 - self.confidence,
+        )
+
+    def describe(self) -> str:
+        antecedent = ", ".join(f"{k}={v}" for k, v in sorted(self.antecedent.items()))
+        return (
+            f"{{{antecedent}}} => NOT {self.sa_value} "
+            f"(conf {self.confidence:.4f}, supp {self.support:.4f})"
+        )

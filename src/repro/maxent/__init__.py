@@ -1,0 +1,21 @@
+"""The MaxEnt engine: variable spaces, constraints, presolve, solvers."""
+
+from repro.maxent.constraints import ConstraintSystem, Row, data_constraints
+from repro.maxent.diagnostics import component_table, convergence_summary
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+from repro.maxent.solution import MaxEntSolution, SolverStats
+from repro.maxent.solver import MaxEntConfig, solve_maxent
+
+__all__ = [
+    "ConstraintSystem",
+    "GroupVariableSpace",
+    "MaxEntConfig",
+    "MaxEntSolution",
+    "PersonVariableSpace",
+    "Row",
+    "SolverStats",
+    "component_table",
+    "convergence_summary",
+    "data_constraints",
+    "solve_maxent",
+]

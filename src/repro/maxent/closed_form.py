@@ -1,0 +1,50 @@
+"""Closed-form MaxEnt solution without background knowledge.
+
+Theorem 5 (Consistency): for a bucket irrelevant to the background
+knowledge, the entropy-maximizing joint is the within-bucket independence
+product
+
+    P(q, s, b) = P(q, b) * P(s, b) / P(b)
+               = n(q,b) * n(s,b) / (N * N_b),
+
+equivalently Eq. (9)'s ``P(S | Q, b) = (# of S in bucket b) / N_b`` — the
+uniform-assignment formula all prior work uses implicitly.  This module
+evaluates it directly; the solver uses it for irrelevant components, and it
+doubles as the "no background knowledge" baseline estimator in the
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.maxent.indexing import GroupVariableSpace
+
+
+def closed_form_solution(space: GroupVariableSpace) -> np.ndarray:
+    """The Eq. (9) joint for every variable of a group space.
+
+    Returns the full vector ``p`` with ``p[var] = n(q,b) n(s,b) / (N N_b)``;
+    components of a decomposition slice it by their variable indices.
+    """
+    published = space.published
+    n = space.n_records
+    bucket_sizes = np.array(
+        [bucket.size for bucket in published.buckets], dtype=float
+    )
+
+    n_qb = np.array(
+        [
+            space.qi_bucket_count(int(qid), int(bucket))
+            for qid, bucket in zip(space.var_qi, space.var_bucket)
+        ],
+        dtype=float,
+    )
+    n_sb = np.array(
+        [
+            space.sa_bucket_count(int(sid), int(bucket))
+            for sid, bucket in zip(space.var_sa, space.var_bucket)
+        ],
+        dtype=float,
+    )
+    return n_qb * n_sb / (n * bucket_sizes[space.var_bucket])

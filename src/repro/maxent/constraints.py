@@ -1,0 +1,293 @@
+"""Numeric constraint systems over a variable space.
+
+A :class:`ConstraintSystem` collects equality rows ``a . p = c`` and
+inequality rows ``g . p <= d`` as sparse (indices, coefficients) pairs, then
+assembles scipy CSR matrices for the solvers.  Rows carry a ``kind`` tag
+("qi", "sa", "person", "slot", "bk", ...) used by decomposition, presolve
+diagnostics and the experiment harness, plus a human-readable label for
+error messages.
+
+:func:`data_constraints` builds the *data* rows of Section 5 (and their
+Section 6 pseudonym-space analogues) — the sound, complete and concise
+invariant set proven in Theorems 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ReproError
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+
+VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+
+@dataclass(frozen=True)
+class Row:
+    """One linear row: ``sum(coefficients * p[indices]) (=|<=) rhs``."""
+
+    indices: np.ndarray
+    coefficients: np.ndarray
+    rhs: float
+    kind: str
+    label: str
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        coefficients = np.asarray(self.coefficients, dtype=float)
+        if indices.shape != coefficients.shape or indices.ndim != 1:
+            raise ReproError(
+                f"row {self.label!r}: indices and coefficients must be "
+                "1-D arrays of equal length"
+            )
+        if indices.size != np.unique(indices).size:
+            raise ReproError(f"row {self.label!r} repeats a variable index")
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "coefficients", coefficients)
+
+    def buckets(self, space: VariableSpace) -> frozenset[int]:
+        """The set of bucket indices this row touches."""
+        return frozenset(int(b) for b in space.var_bucket[self.indices])
+
+    def value(self, p: np.ndarray) -> float:
+        """Evaluate the row's left-hand side at ``p``."""
+        return float(self.coefficients @ p[self.indices])
+
+
+class ConstraintSystem:
+    """A mutable collection of equality and inequality rows."""
+
+    def __init__(self, n_vars: int) -> None:
+        if n_vars < 0:
+            raise ReproError("n_vars must be non-negative")
+        self._n_vars = n_vars
+        self._equalities: list[Row] = []
+        self._inequalities: list[Row] = []
+
+    # -- building -------------------------------------------------------------
+
+    def add_equality(
+        self,
+        indices,
+        coefficients,
+        rhs: float,
+        *,
+        kind: str,
+        label: str = "",
+    ) -> None:
+        """Append the equality row ``coefficients . p[indices] = rhs``."""
+        row = Row(
+            indices=np.asarray(indices, dtype=np.int64),
+            coefficients=np.asarray(coefficients, dtype=float),
+            rhs=float(rhs),
+            kind=kind,
+            label=label or f"{kind}[{len(self._equalities)}]",
+        )
+        self._check_bounds(row)
+        self._equalities.append(row)
+
+    def add_inequality(
+        self,
+        indices,
+        coefficients,
+        upper: float,
+        *,
+        kind: str,
+        label: str = "",
+    ) -> None:
+        """Append the inequality row ``coefficients . p[indices] <= upper``."""
+        row = Row(
+            indices=np.asarray(indices, dtype=np.int64),
+            coefficients=np.asarray(coefficients, dtype=float),
+            rhs=float(upper),
+            kind=kind,
+            label=label or f"{kind}[{len(self._inequalities)}]",
+        )
+        self._check_bounds(row)
+        self._inequalities.append(row)
+
+    def _check_bounds(self, row: Row) -> None:
+        if row.indices.size and (
+            row.indices.min() < 0 or row.indices.max() >= self._n_vars
+        ):
+            raise ReproError(
+                f"row {row.label!r} references variables outside "
+                f"[0, {self._n_vars})"
+            )
+
+    def extend(self, other: "ConstraintSystem") -> None:
+        """Append every row of ``other`` (same variable space required)."""
+        if other.n_vars != self._n_vars:
+            raise ReproError(
+                f"cannot merge systems over {other.n_vars} and "
+                f"{self._n_vars} variables"
+            )
+        self._equalities.extend(other._equalities)
+        self._inequalities.extend(other._inequalities)
+
+    # -- inspection ---------------------------------------------------------
+
+    @property
+    def n_vars(self) -> int:
+        """Dimension of the variable space the rows index into."""
+        return self._n_vars
+
+    @property
+    def equalities(self) -> tuple[Row, ...]:
+        """All equality rows, in insertion order."""
+        return tuple(self._equalities)
+
+    @property
+    def inequalities(self) -> tuple[Row, ...]:
+        """All inequality rows, in insertion order."""
+        return tuple(self._inequalities)
+
+    @property
+    def n_equalities(self) -> int:
+        """Number of equality rows."""
+        return len(self._equalities)
+
+    @property
+    def n_inequalities(self) -> int:
+        """Number of inequality rows."""
+        return len(self._inequalities)
+
+    def rows_of_kind(self, kind: str) -> tuple[Row, ...]:
+        """All rows (both families) tagged with ``kind``."""
+        return tuple(
+            row
+            for row in [*self._equalities, *self._inequalities]
+            if row.kind == kind
+        )
+
+    # -- assembly ------------------------------------------------------------
+
+    @staticmethod
+    def _assemble(rows: list[Row], n_vars: int) -> tuple[sp.csr_matrix, np.ndarray]:
+        if not rows:
+            return sp.csr_matrix((0, n_vars)), np.empty(0)
+        row_ids = np.concatenate(
+            [np.full(r.indices.size, i, dtype=np.int64) for i, r in enumerate(rows)]
+        )
+        cols = np.concatenate([r.indices for r in rows])
+        data = np.concatenate([r.coefficients for r in rows])
+        matrix = sp.csr_matrix(
+            (data, (row_ids, cols)), shape=(len(rows), n_vars)
+        )
+        rhs = np.array([r.rhs for r in rows], dtype=float)
+        return matrix, rhs
+
+    def equality_matrix(self) -> tuple[sp.csr_matrix, np.ndarray]:
+        """``(A, c)`` with one row per equality."""
+        return self._assemble(self._equalities, self._n_vars)
+
+    def inequality_matrix(self) -> tuple[sp.csr_matrix, np.ndarray]:
+        """``(G, d)`` with one row per inequality (``G p <= d``)."""
+        return self._assemble(self._inequalities, self._n_vars)
+
+    def residual(self, p: np.ndarray) -> float:
+        """Worst violation of any row at ``p`` (0 when all satisfied)."""
+        worst = 0.0
+        for row in self._equalities:
+            worst = max(worst, abs(row.value(p) - row.rhs))
+        for row in self._inequalities:
+            worst = max(worst, row.value(p) - row.rhs)
+        return worst
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ConstraintSystem(n_vars={self._n_vars}, "
+            f"eq={self.n_equalities}, ineq={self.n_inequalities})"
+        )
+
+
+def data_constraints(space: VariableSpace) -> ConstraintSystem:
+    """The invariant equations derived from the published data (Section 5).
+
+    For a :class:`GroupVariableSpace`:
+
+    - QI-invariant rows (Eq. 4): ``sum_s P(q, s, b) = n(q,b) / N``,
+    - SA-invariant rows (Eq. 5): ``sum_q P(q, s, b) = n(s,b) / N``.
+
+    Zero-invariants (Eq. 6) are structural — invalid triples have no
+    variable at all.  Theorem 2 proves this set complete and Theorem 3
+    proves it concise (one redundant row per bucket, harmless to solvers).
+
+    For a :class:`PersonVariableSpace` (Section 6, "Deriving Invariants
+    from Data"):
+
+    - person rows: each pseudonym occurs exactly once,
+      ``sum_{s,b} P(i, s, b) = 1 / N``,
+    - slot rows: the occurrences of QI tuple ``q`` in bucket ``b`` are
+      filled by its pseudonym group, ``sum_{i in I(q)} sum_s P(i, s, b) =
+      n(q,b) / N``,
+    - SA rows: ``sum_i P(i, s, b) = n(s,b) / N``.
+    """
+    system = ConstraintSystem(space.n_vars)
+    n = space.n_records
+
+    if isinstance(space, GroupVariableSpace):
+        for qid, bucket in space.qi_bucket_pairs():
+            mask = (space.var_bucket == bucket) & (space.var_qi == qid)
+            indices = np.nonzero(mask)[0]
+            system.add_equality(
+                indices,
+                np.ones(indices.size),
+                space.qi_bucket_count(qid, bucket) / n,
+                kind="qi",
+                label=f"QI-invariant(q={qid}, b={bucket})",
+            )
+        for sid, bucket in space.sa_bucket_pairs():
+            mask = (space.var_bucket == bucket) & (space.var_sa == sid)
+            indices = np.nonzero(mask)[0]
+            system.add_equality(
+                indices,
+                np.ones(indices.size),
+                space.sa_bucket_count(sid, bucket) / n,
+                kind="sa",
+                label=f"SA-invariant(s={sid}, b={bucket})",
+            )
+        return system
+
+    if isinstance(space, PersonVariableSpace):
+        for pid, person in enumerate(space.people):
+            indices = np.nonzero(space.var_person == pid)[0]
+            system.add_equality(
+                indices,
+                np.ones(indices.size),
+                1.0 / n,
+                kind="person",
+                label=f"person({person.name})",
+            )
+        person_qi = np.array(
+            [space.person_qi_id(pid) for pid in range(len(space.people))],
+            dtype=np.int64,
+        )
+        for qid, bucket in space.qi_bucket_pairs():
+            mask = (space.var_bucket == bucket) & (
+                person_qi[space.var_person] == qid
+            )
+            indices = np.nonzero(mask)[0]
+            system.add_equality(
+                indices,
+                np.ones(indices.size),
+                space.qi_bucket_count(qid, bucket) / n,
+                kind="slot",
+                label=f"slot(q={qid}, b={bucket})",
+            )
+        for sid, bucket in space.sa_bucket_pairs():
+            mask = (space.var_bucket == bucket) & (space.var_sa == sid)
+            indices = np.nonzero(mask)[0]
+            system.add_equality(
+                indices,
+                np.ones(indices.size),
+                space.sa_bucket_count(sid, bucket) / n,
+                kind="sa",
+                label=f"SA-invariant(s={sid}, b={bucket})",
+            )
+        return system
+
+    raise ReproError(f"unsupported variable space type {type(space).__name__}")

@@ -1,0 +1,157 @@
+"""Bucket-graph decomposition (Section 5.5).
+
+Without background knowledge, every bucket's distribution is independent
+(Lemma 2), so the global maximum entropy is the product of per-bucket
+maxima (Theorem 4).  Background knowledge couples exactly the buckets its
+rows touch; buckets not mentioned by any knowledge row stay *irrelevant*
+(Definition 5.6) and still solve independently (Proposition 1).
+
+This module generalizes that observation: build a graph whose nodes are
+buckets and whose edges join buckets co-occurring in a constraint row, then
+split the MaxEnt program by connected component.  Singleton components with
+only data rows are the paper's irrelevant buckets and get the closed-form
+solution; the rest are solved jointly per component — still far cheaper
+than one global solve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.maxent.constraints import ConstraintSystem, Row
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+from repro.utils.unionfind import UnionFind
+
+VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+#: Row kinds emitted by ``data_constraints`` — anything else is knowledge.
+DATA_ROW_KINDS = frozenset({"qi", "sa", "person", "slot"})
+
+
+@dataclass
+class Component:
+    """An independent sub-problem covering a set of buckets."""
+
+    buckets: tuple[int, ...]
+    var_indices: np.ndarray
+    system: ConstraintSystem
+    mass: float
+    knowledge_rows: int
+    inequality_rows: int
+
+    @property
+    def n_vars(self) -> int:
+        """Number of variables in the component."""
+        return int(self.var_indices.size)
+
+    @property
+    def is_irrelevant(self) -> bool:
+        """True when no knowledge row touches the component (Def. 5.6).
+
+        Irrelevant components admit the closed-form uniform solution of
+        Eq. (9) / Theorem 5 (for group spaces).
+        """
+        return self.knowledge_rows == 0 and self.inequality_rows == 0
+
+
+def _component_mass(space: VariableSpace, rows: list[Row]) -> float:
+    """Total probability mass of a component.
+
+    The rows of ``space.mass_partition_kind`` partition the component's
+    variables, so their right-hand sides sum to the component's mass.
+    """
+    kind = space.mass_partition_kind
+    mass = sum(row.rhs for row in rows if row.kind == kind)
+    if mass <= 0:
+        raise ReproError(
+            "component mass is non-positive; the constraint system must "
+            f"include the {kind!r} data rows (build them with "
+            "data_constraints() before solving)"
+        )
+    return float(mass)
+
+
+def decompose(
+    space: VariableSpace,
+    system: ConstraintSystem,
+    *,
+    enabled: bool = True,
+) -> list[Component]:
+    """Split ``system`` into independent per-component systems.
+
+    With ``enabled=False`` a single component holding everything is
+    returned — this reproduces the paper's *unoptimized* setup ("we have
+    not applied the optimization techniques discussed in Section 5.5"),
+    which the performance figures rely on.
+    """
+    n_buckets = int(space.var_bucket.max()) + 1 if space.n_vars else 0
+    all_rows = [*system.equalities, *system.inequalities]
+
+    union = UnionFind(n_buckets)
+    if enabled:
+        for row in all_rows:
+            touched = sorted(row.buckets(space))
+            for other in touched[1:]:
+                union.union(touched[0], other)
+    else:
+        for bucket in range(1, n_buckets):
+            union.union(0, bucket)
+
+    # Group buckets, variables and rows by component root.
+    bucket_groups: dict[int, list[int]] = {}
+    for bucket in range(n_buckets):
+        bucket_groups.setdefault(union.find(bucket), []).append(bucket)
+
+    var_groups: dict[int, list[int]] = {}
+    for var in range(space.n_vars):
+        root = union.find(int(space.var_bucket[var]))
+        var_groups.setdefault(root, []).append(var)
+
+    row_groups: dict[int, list[tuple[Row, bool]]] = {}
+    for row in system.equalities:
+        root = union.find(int(space.var_bucket[row.indices[0]]))
+        row_groups.setdefault(root, []).append((row, True))
+    for row in system.inequalities:
+        root = union.find(int(space.var_bucket[row.indices[0]]))
+        row_groups.setdefault(root, []).append((row, False))
+
+    components: list[Component] = []
+    for root in sorted(bucket_groups):
+        variables = np.array(var_groups.get(root, []), dtype=np.int64)
+        if variables.size == 0:
+            continue
+        local_index = {int(old): new for new, old in enumerate(variables)}
+        local = ConstraintSystem(int(variables.size))
+        eq_rows: list[Row] = []
+        knowledge_rows = 0
+        inequality_rows = 0
+        for row, is_equality in row_groups.get(root, []):
+            local_indices = [local_index[int(i)] for i in row.indices]
+            if is_equality:
+                local.add_equality(
+                    local_indices, row.coefficients, row.rhs,
+                    kind=row.kind, label=row.label,
+                )
+                eq_rows.append(row)
+                if row.kind not in DATA_ROW_KINDS:
+                    knowledge_rows += 1
+            else:
+                local.add_inequality(
+                    local_indices, row.coefficients, row.rhs,
+                    kind=row.kind, label=row.label,
+                )
+                inequality_rows += 1
+        components.append(
+            Component(
+                buckets=tuple(bucket_groups[root]),
+                var_indices=variables,
+                system=local,
+                mass=_component_mass(space, eq_rows),
+                knowledge_rows=knowledge_rows,
+                inequality_rows=inequality_rows,
+            )
+        )
+    return components

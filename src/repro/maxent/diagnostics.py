@@ -1,0 +1,89 @@
+"""Human-readable diagnostics for MaxEnt solutions.
+
+Performance questions about a solve — which buckets merged, where the
+iterations went, whether presolve did its job — come up constantly when
+tuning a bound or debugging slow instances.  This module renders a
+solution's component records as the table an operator actually wants to
+read, plus a compact convergence summary string.
+"""
+
+from __future__ import annotations
+
+from repro.maxent.solution import MaxEntSolution
+from repro.utils.tabulate import render_table
+
+
+def convergence_summary(solution: MaxEntSolution) -> str:
+    """One line: solver, iterations, residual, components, wall time."""
+    stats = solution.stats
+    status = "converged" if stats.converged else "NOT CONVERGED"
+    return (
+        f"{stats.solver}: {status}, {stats.iterations} iterations over "
+        f"{stats.n_components} component(s), residual {stats.residual:.2e}, "
+        f"{stats.seconds:.3f}s, presolve fixed {stats.presolve_fixed} vars"
+    )
+
+
+def component_table(
+    solution: MaxEntSolution, *, top: int | None = 20
+) -> str:
+    """Per-component breakdown, hardest (most iterations) first.
+
+    ``top`` limits the rows (None for all) — a 3,000-bucket solve has
+    thousands of closed-form singletons nobody wants to scroll past; the
+    table ends with an aggregate line for whatever was truncated.
+    """
+    records = sorted(
+        solution.components,
+        key=lambda record: (-record.stats.iterations, -record.stats.seconds),
+    )
+    shown = records if top is None else records[:top]
+    rows = []
+    for record in shown:
+        buckets = record.buckets
+        label = (
+            f"{buckets[0]}..{buckets[-1]} ({len(buckets)})"
+            if len(buckets) > 3
+            else ",".join(str(b) for b in buckets)
+        )
+        rows.append(
+            [
+                label,
+                record.stats.solver,
+                record.stats.n_vars,
+                record.stats.iterations,
+                record.stats.seconds,
+                record.stats.residual,
+                "yes" if record.stats.converged else "NO",
+            ]
+        )
+    hidden = len(records) - len(shown)
+    if hidden > 0:
+        hidden_iterations = sum(
+            r.stats.iterations for r in records[len(shown):]
+        )
+        hidden_seconds = sum(r.stats.seconds for r in records[len(shown):])
+        rows.append(
+            [
+                f"... {hidden} more",
+                "-",
+                sum(r.stats.n_vars for r in records[len(shown):]),
+                hidden_iterations,
+                hidden_seconds,
+                0.0,
+                "yes",
+            ]
+        )
+    return render_table(
+        [
+            "buckets",
+            "solver",
+            "vars",
+            "iterations",
+            "seconds",
+            "residual",
+            "converged",
+        ],
+        rows,
+        title=convergence_summary(solution),
+    )

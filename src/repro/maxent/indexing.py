@@ -1,0 +1,353 @@
+"""Variable index spaces for the MaxEnt program.
+
+The paper's unknowns are the joint probabilities ``P(Q, S, B)`` (Section 3)
+— or ``P(i, Q, S, B)`` in the pseudonym model of Section 6.  A *variable
+space* enumerates the **valid** triples only: combinations ruled out by
+Zero-invariant equations (Eq. 6: ``q`` or ``s`` absent from bucket ``b``)
+are never given a variable, which keeps the optimization dense over exactly
+the support the theory allows.
+
+Both spaces expose the same query surface used by the knowledge compiler
+and the solvers:
+
+- ``n_vars`` and per-variable bucket ids (for decomposition),
+- ``vars_matching(qv, sa_value)`` — all variables whose QI tuple extends a
+  partial assignment ``Qv`` and whose SA value matches (the summation sets
+  of Section 4.1 constraints),
+- ``qv_probability(qv)`` — the published marginal ``P(Qv)`` used for
+  right-hand sides.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.anonymize.buckets import BucketizedTable
+from repro.data.table import QITuple
+from repro.errors import CompilationError, KnowledgeError
+from repro.knowledge.individuals import Pseudonym, PseudonymTable
+
+
+class _QIRegistry:
+    """Distinct QI tuples of a published table, indexed for fast matching.
+
+    Matching is by value string rather than domain code so that generalized
+    releases (Mondrian output re-expressed as buckets, whose QI values are
+    range labels like ``{17-21|22-26}``) work with the same machinery.
+    """
+
+    def __init__(self, published: BucketizedTable) -> None:
+        schema = published.schema
+        self._attrs = schema.qi
+        self._positions = {attr.name: i for i, attr in enumerate(self._attrs)}
+        marginal = published.qi_marginal()
+        self.tuples: list[QITuple] = list(marginal)
+        self.id_of: dict[QITuple, int] = {q: i for i, q in enumerate(self.tuples)}
+        self.counts = np.array([marginal[q] for q in self.tuples], dtype=np.int64)
+        self.values = np.array(
+            [list(q) for q in self.tuples], dtype=object
+        ).reshape(len(self.tuples), len(self._attrs))
+
+    def matching_ids(self, qv: dict[str, str]) -> np.ndarray:
+        """Ids of distinct QI tuples extending the partial assignment."""
+        if not qv:
+            raise KnowledgeError("the partial assignment Qv must be non-empty")
+        mask = np.ones(len(self.tuples), dtype=bool)
+        for name, value in qv.items():
+            if name not in self._positions:
+                raise CompilationError(f"{name!r} is not a QI attribute")
+            position = self._positions[name]
+            mask &= self.values[:, position] == value
+        return np.nonzero(mask)[0]
+
+
+class GroupVariableSpace:
+    """Variables ``P(q, s, b)`` over valid (QI tuple, SA value, bucket).
+
+    "Group" refers to the paper's main model where knowledge is about the
+    data distribution, not individuals; every QI occurrence of the same
+    tuple is interchangeable.
+    """
+
+    #: Row kind whose rows partition the variables (used to derive component
+    #: masses in decomposition).
+    mass_partition_kind = "qi"
+
+    def __init__(self, published: BucketizedTable) -> None:
+        self._published = published
+        self._registry = _QIRegistry(published)
+
+        sa_marginal = published.sa_marginal()
+        self.sa_values: list[str] = list(sa_marginal)
+        self.sa_id_of: dict[str, int] = {s: i for i, s in enumerate(self.sa_values)}
+
+        buckets: list[int] = []
+        qi_ids: list[int] = []
+        sa_ids: list[int] = []
+        index: dict[tuple[int, int, int], int] = {}
+        # n(q, b) and n(s, b) multiplicities drive the invariant right-hand
+        # sides; keep them next to the variables they govern.
+        self._n_qb: dict[tuple[int, int], int] = {}
+        self._n_sb: dict[tuple[int, int], int] = {}
+
+        for bucket in published.buckets:
+            qi_counts = bucket.qi_counts()
+            sa_counts = bucket.sa_counts()
+            q_ids = [self._registry.id_of[q] for q in qi_counts]
+            s_ids = [self.sa_id_of[s] for s in sa_counts]
+            for q, count in qi_counts.items():
+                self._n_qb[(self._registry.id_of[q], bucket.index)] = count
+            for s, count in sa_counts.items():
+                self._n_sb[(self.sa_id_of[s], bucket.index)] = count
+            for qid in q_ids:
+                for sid in s_ids:
+                    index[(bucket.index, qid, sid)] = len(buckets)
+                    buckets.append(bucket.index)
+                    qi_ids.append(qid)
+                    sa_ids.append(sid)
+
+        self.var_bucket = np.array(buckets, dtype=np.int64)
+        self.var_qi = np.array(qi_ids, dtype=np.int64)
+        self.var_sa = np.array(sa_ids, dtype=np.int64)
+        self._index = index
+        self._vars_by_qi_sa: dict[tuple[int, int], list[int]] = {}
+        for var, (qid, sid) in enumerate(zip(self.var_qi, self.var_sa)):
+            self._vars_by_qi_sa.setdefault((int(qid), int(sid)), []).append(var)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def published(self) -> BucketizedTable:
+        """The release this space indexes."""
+        return self._published
+
+    @property
+    def n_vars(self) -> int:
+        """Number of valid ``P(q, s, b)`` variables."""
+        return len(self.var_bucket)
+
+    @property
+    def n_records(self) -> int:
+        """Total record count ``N``."""
+        return self._published.n_records
+
+    @property
+    def qi_tuples(self) -> list[QITuple]:
+        """Distinct QI tuples, id order."""
+        return self._registry.tuples
+
+    def qi_id(self, q: QITuple) -> int:
+        """Id of a distinct QI tuple."""
+        try:
+            return self._registry.id_of[tuple(q)]
+        except KeyError:
+            raise KnowledgeError(
+                f"QI tuple {q!r} does not occur in the published data"
+            ) from None
+
+    def index_of(self, q: QITuple, s: str, bucket: int) -> int:
+        """Variable index of ``P(q, s, bucket)``; -1 for a Zero-invariant."""
+        qid = self._registry.id_of.get(tuple(q))
+        sid = self.sa_id_of.get(s)
+        if qid is None or sid is None:
+            return -1
+        return self._index.get((bucket, qid, sid), -1)
+
+    def describe_var(self, var: int) -> tuple[QITuple, str, int]:
+        """(QI tuple, SA value, bucket) of variable ``var``."""
+        return (
+            self._registry.tuples[int(self.var_qi[var])],
+            self.sa_values[int(self.var_sa[var])],
+            int(self.var_bucket[var]),
+        )
+
+    # -- invariant cardinalities ----------------------------------------------
+
+    def qi_bucket_count(self, qid: int, bucket: int) -> int:
+        """``n(q, b)``: multiplicity of QI tuple ``qid`` in ``bucket``."""
+        return self._n_qb.get((qid, bucket), 0)
+
+    def sa_bucket_count(self, sid: int, bucket: int) -> int:
+        """``n(s, b)``: multiplicity of SA value ``sid`` in ``bucket``."""
+        return self._n_sb.get((sid, bucket), 0)
+
+    def qi_bucket_pairs(self) -> list[tuple[int, int]]:
+        """All (qid, bucket) pairs with ``n(q, b) > 0`` (QI-invariant rows)."""
+        return sorted(self._n_qb)
+
+    def sa_bucket_pairs(self) -> list[tuple[int, int]]:
+        """All (sid, bucket) pairs with ``n(s, b) > 0`` (SA-invariant rows)."""
+        return sorted(self._n_sb)
+
+    # -- knowledge-compiler queries ---------------------------------------------
+
+    def vars_matching(self, qv: dict[str, str], sa_value: str) -> np.ndarray:
+        """Indices of all variables with QI extending ``qv`` and SA value
+        ``sa_value`` — the summation set of a Section 4.1 constraint."""
+        sid = self.sa_id_of.get(sa_value)
+        if sid is None:
+            return np.empty(0, dtype=np.int64)
+        qids = self._registry.matching_ids(qv)
+        hits: list[int] = []
+        for qid in qids:
+            hits.extend(self._vars_by_qi_sa.get((int(qid), sid), ()))
+        return np.array(sorted(hits), dtype=np.int64)
+
+    def qv_probability(self, qv: dict[str, str]) -> float:
+        """Published marginal ``P(Qv)`` of a partial QI assignment."""
+        qids = self._registry.matching_ids(qv)
+        return float(self._registry.counts[qids].sum()) / self.n_records
+
+
+class PersonVariableSpace:
+    """Variables ``P(i, s, b)`` over the pseudonym model (Section 6).
+
+    Pseudonym ``i`` with QI tuple ``q`` may occupy any bucket containing
+    ``q`` and carry any SA value of that bucket; all other combinations are
+    structural zeros.
+    """
+
+    mass_partition_kind = "person"
+
+    def __init__(self, pseudonyms: PseudonymTable) -> None:
+        self._pseudonyms = pseudonyms
+        published = pseudonyms.published
+        self._published = published
+        self._registry = _QIRegistry(published)
+
+        sa_marginal = published.sa_marginal()
+        self.sa_values: list[str] = list(sa_marginal)
+        self.sa_id_of: dict[str, int] = {s: i for i, s in enumerate(self.sa_values)}
+
+        people = pseudonyms.pseudonyms
+        self.person_id_of: dict[str, int] = {
+            p.name: i for i, p in enumerate(people)
+        }
+        self.people: tuple[Pseudonym, ...] = people
+        self._person_qi = np.array(
+            [self._registry.id_of[p.qi] for p in people], dtype=np.int64
+        )
+
+        self._n_qb: dict[tuple[int, int], int] = {}
+        self._n_sb: dict[tuple[int, int], int] = {}
+        persons: list[int] = []
+        buckets: list[int] = []
+        sa_ids: list[int] = []
+        index: dict[tuple[int, int, int], int] = {}
+
+        for bucket in published.buckets:
+            qi_counts = bucket.qi_counts()
+            sa_counts = bucket.sa_counts()
+            for q, count in qi_counts.items():
+                self._n_qb[(self._registry.id_of[q], bucket.index)] = count
+            for s, count in sa_counts.items():
+                self._n_sb[(self.sa_id_of[s], bucket.index)] = count
+            bucket_sids = [self.sa_id_of[s] for s in sa_counts]
+            for q in qi_counts:
+                for person in pseudonyms.of_qi(q):
+                    pid = self.person_id_of[person.name]
+                    for sid in bucket_sids:
+                        key = (pid, sid, bucket.index)
+                        if key in index:
+                            continue
+                        index[key] = len(persons)
+                        persons.append(pid)
+                        buckets.append(bucket.index)
+                        sa_ids.append(sid)
+
+        self.var_person = np.array(persons, dtype=np.int64)
+        self.var_bucket = np.array(buckets, dtype=np.int64)
+        self.var_sa = np.array(sa_ids, dtype=np.int64)
+        self._index = index
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def published(self) -> BucketizedTable:
+        """The release this space indexes."""
+        return self._published
+
+    @property
+    def pseudonym_table(self) -> PseudonymTable:
+        """The pseudonym expansion this space is built on."""
+        return self._pseudonyms
+
+    @property
+    def n_vars(self) -> int:
+        """Number of valid ``P(i, s, b)`` variables."""
+        return len(self.var_person)
+
+    @property
+    def n_records(self) -> int:
+        """Total record count ``N`` (= number of pseudonyms)."""
+        return self._published.n_records
+
+    def index_of(self, person: Pseudonym | str, s: str, bucket: int) -> int:
+        """Variable index of ``P(person, s, bucket)``; -1 if structurally 0."""
+        name = person.name if isinstance(person, Pseudonym) else person
+        pid = self.person_id_of.get(name)
+        sid = self.sa_id_of.get(s)
+        if pid is None or sid is None:
+            return -1
+        return self._index.get((pid, sid, bucket), -1)
+
+    def describe_var(self, var: int) -> tuple[str, str, int]:
+        """(pseudonym name, SA value, bucket) of variable ``var``."""
+        return (
+            self.people[int(self.var_person[var])].name,
+            self.sa_values[int(self.var_sa[var])],
+            int(self.var_bucket[var]),
+        )
+
+    def person_qi_id(self, pid: int) -> int:
+        """The distinct-QI id of pseudonym ``pid``."""
+        return int(self._person_qi[pid])
+
+    # -- invariant cardinalities ----------------------------------------------
+
+    def qi_bucket_count(self, qid: int, bucket: int) -> int:
+        """``n(q, b)`` for the slot constraints."""
+        return self._n_qb.get((qid, bucket), 0)
+
+    def sa_bucket_count(self, sid: int, bucket: int) -> int:
+        """``n(s, b)`` for the SA constraints."""
+        return self._n_sb.get((sid, bucket), 0)
+
+    def qi_bucket_pairs(self) -> list[tuple[int, int]]:
+        """All (qid, bucket) pairs with ``n(q, b) > 0``."""
+        return sorted(self._n_qb)
+
+    def sa_bucket_pairs(self) -> list[tuple[int, int]]:
+        """All (sid, bucket) pairs with ``n(s, b) > 0``."""
+        return sorted(self._n_sb)
+
+    # -- knowledge-compiler queries ---------------------------------------------
+
+    def vars_of_person(self, person: Pseudonym | str, sa_value: str) -> np.ndarray:
+        """All variables of a pseudonym carrying ``sa_value`` (any bucket)."""
+        name = person.name if isinstance(person, Pseudonym) else person
+        pid = self.person_id_of.get(name)
+        sid = self.sa_id_of.get(sa_value)
+        if pid is None:
+            raise KnowledgeError(f"unknown pseudonym {name!r}")
+        if sid is None:
+            return np.empty(0, dtype=np.int64)
+        mask = (self.var_person == pid) & (self.var_sa == sid)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def vars_matching(self, qv: dict[str, str], sa_value: str) -> np.ndarray:
+        """Data-distribution summation set, lifted to the pseudonym space."""
+        sid = self.sa_id_of.get(sa_value)
+        if sid is None:
+            return np.empty(0, dtype=np.int64)
+        qids = set(int(q) for q in self._registry.matching_ids(qv))
+        person_mask = np.isin(self._person_qi[self.var_person], list(qids))
+        mask = person_mask & (self.var_sa == sid)
+        return np.nonzero(mask)[0].astype(np.int64)
+
+    def qv_probability(self, qv: dict[str, str]) -> float:
+        """Published marginal ``P(Qv)``."""
+        qids = self._registry.matching_ids(qv)
+        return float(self._registry.counts[qids].sum()) / self.n_records

@@ -1,0 +1,82 @@
+"""Inequality (vague) knowledge support — the Kazama-Tsujii extension.
+
+Section 4.5: background knowledge is often vague ("P(s1|q1) is *about*
+0.3") or relational ("q1 people are more likely to have s1 than s2").
+Kazama & Tsujii extended MaxEnt modeling to inequality constraints; in the
+dual this simply means the multipliers of ``G p <= d`` rows are constrained
+to be non-negative, which :mod:`repro.maxent.dual` encodes as L-BFGS-B box
+bounds.  This module adds the KKT-side utilities: verifying complementary
+slackness and reporting which vague constraints are *active* (bind the
+solution) — the interpretable output of a vague-knowledge analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maxent.constraints import ConstraintSystem, Row
+
+
+@dataclass(frozen=True)
+class ActiveConstraint:
+    """One inequality row and how tightly the solution presses against it."""
+
+    row: Row
+    value: float
+    upper: float
+
+    @property
+    def slack(self) -> float:
+        """``upper - value``; ~0 means the constraint is active."""
+        return self.upper - self.value
+
+    @property
+    def is_active(self) -> bool:
+        """True when the constraint binds (slack below solver tolerance)."""
+        return self.slack <= 1e-7
+
+
+def classify_inequalities(
+    system: ConstraintSystem, p: np.ndarray
+) -> list[ActiveConstraint]:
+    """Evaluate every inequality row of ``system`` at the solution ``p``.
+
+    Active rows are the pieces of vague knowledge that actually constrain
+    the adversary's inference; slack rows were dominated by the data (the
+    uniform-within-bucket pull of maximum entropy already satisfied them).
+    """
+    report = []
+    for row in system.inequalities:
+        report.append(
+            ActiveConstraint(row=row, value=row.value(p), upper=row.rhs)
+        )
+    return report
+
+
+def verify_kkt(
+    system: ConstraintSystem,
+    p: np.ndarray,
+    *,
+    tolerance: float = 1e-6,
+) -> tuple[bool, list[str]]:
+    """Check primal feasibility of ``p`` for both row families.
+
+    Returns ``(ok, violations)`` where ``violations`` lists human-readable
+    descriptions of every row violated beyond ``tolerance``.  (Dual-side
+    complementary slackness is implied by construction for the dual solvers;
+    this check is the model-independent half used by tests.)
+    """
+    violations: list[str] = []
+    for row in system.equalities:
+        gap = abs(row.value(p) - row.rhs)
+        if gap > tolerance:
+            violations.append(f"{row.label}: |lhs - rhs| = {gap:.3e}")
+    for row in system.inequalities:
+        excess = row.value(p) - row.rhs
+        if excess > tolerance:
+            violations.append(f"{row.label}: lhs exceeds bound by {excess:.3e}")
+    if np.any(p < -tolerance):
+        violations.append(f"negative probability: min(p) = {p.min():.3e}")
+    return (not violations, violations)

@@ -1,0 +1,263 @@
+"""Constraint presolve: eliminate forced variables before optimization.
+
+Background knowledge routinely *pins* variables — the paper's motivating
+deduction ("both females must have Breast Cancer") is exactly a chain of
+such eliminations: a zero-probability rule zeroes variables, the remaining
+single-variable rows become forced values, and so on.  Running this to a
+fixed point
+
+- shrinks the optimization problem (often dramatically for confidence-1
+  negative rules),
+- keeps the dual solvers away from boundary solutions (a variable forced to
+  0 has no finite dual multiplier, so eliminating it is a numerical
+  necessity, not just a speed-up),
+- detects structural infeasibility with a precise message.
+
+The reductions, iterated until quiescent:
+
+1. substitute already-fixed variables into every row,
+2. an empty equality with non-zero rhs, or an empty inequality with
+   negative rhs, is infeasible; otherwise the row is dropped,
+3. a single-variable equality fixes that variable (rejecting values outside
+   ``[0, 1]`` beyond round-off),
+4. an equality whose coefficients all share one sign and whose rhs is zero
+   fixes every variable in it to zero,
+5. duplicate equality rows are dropped (conflicting duplicates are
+   infeasible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InfeasibleKnowledgeError
+from repro.maxent.constraints import ConstraintSystem
+
+#: Absolute tolerance for treating right-hand sides as zero.  Right-hand
+#: sides are rationals with denominator N (record count), so genuine zeros
+#: are exact and anything this small is round-off.
+_TOL = 1e-11
+
+
+@dataclass
+class PresolveResult:
+    """Outcome of presolve: a reduced system plus the elimination record."""
+
+    original_n_vars: int
+    fixed_values: dict[int, float]
+    free_vars: np.ndarray
+    system: ConstraintSystem
+    eliminated_rows: int
+
+    @property
+    def n_free(self) -> int:
+        """Number of variables still to optimize."""
+        return int(self.free_vars.size)
+
+    @property
+    def mass_removed(self) -> float:
+        """Total probability mass assigned by presolve."""
+        return float(sum(self.fixed_values.values()))
+
+    def restore(self, p_reduced: np.ndarray) -> np.ndarray:
+        """Lift a reduced solution back to the original variable space."""
+        if p_reduced.shape != (self.n_free,):
+            raise ValueError(
+                f"expected a solution of length {self.n_free}, "
+                f"got shape {p_reduced.shape}"
+            )
+        full = np.zeros(self.original_n_vars)
+        for var, value in self.fixed_values.items():
+            full[var] = value
+        full[self.free_vars] = p_reduced
+        return full
+
+
+class _WorkRow:
+    """Mutable row state during presolve."""
+
+    __slots__ = ("indices", "coefficients", "rhs", "kind", "label", "alive")
+
+    def __init__(self, indices, coefficients, rhs, kind, label):
+        self.indices = list(int(i) for i in indices)
+        self.coefficients = list(float(c) for c in coefficients)
+        self.rhs = float(rhs)
+        self.kind = kind
+        self.label = label
+        self.alive = True
+
+
+def presolve(system: ConstraintSystem) -> PresolveResult:
+    """Run the reductions to a fixed point and return the reduced problem."""
+    n_vars = system.n_vars
+    eq_rows = [
+        _WorkRow(r.indices, r.coefficients, r.rhs, r.kind, r.label)
+        for r in system.equalities
+    ]
+    ineq_rows = [
+        _WorkRow(r.indices, r.coefficients, r.rhs, r.kind, r.label)
+        for r in system.inequalities
+    ]
+
+    fixed: dict[int, float] = {}
+    newly_fixed: dict[int, float] = {}
+
+    def fix(var: int, value: float, source: str) -> None:
+        if value < -_TOL or value > 1.0 + 1e-9:
+            raise InfeasibleKnowledgeError(
+                f"constraint {source!r} forces P = {value:.3e}, outside [0, 1]"
+            )
+        value = min(max(value, 0.0), 1.0)
+        for store in (fixed, newly_fixed):
+            if var in store and abs(store[var] - value) > 1e-8:
+                raise InfeasibleKnowledgeError(
+                    f"constraint {source!r} forces variable {var} to "
+                    f"{value:.3e}, but it was already fixed to "
+                    f"{store[var]:.3e}"
+                )
+        newly_fixed[var] = value
+
+    def substitute(row: _WorkRow, values: dict[int, float]) -> None:
+        if not row.alive:
+            return
+        kept_idx: list[int] = []
+        kept_coef: list[float] = []
+        for idx, coef in zip(row.indices, row.coefficients):
+            if idx in values:
+                row.rhs -= coef * values[idx]
+            elif idx in fixed:
+                row.rhs -= coef * fixed[idx]
+            else:
+                kept_idx.append(idx)
+                kept_coef.append(coef)
+        row.indices = kept_idx
+        row.coefficients = kept_coef
+
+    # First substitution pass handles nothing (no fixes yet) but normalizes
+    # the loop below: every iteration substitutes the previous round's fixes.
+    eliminated_rows = 0
+    pending: dict[int, float] = {}
+    while True:
+        for row in [*eq_rows, *ineq_rows]:
+            substitute(row, pending)
+        for var, value in pending.items():
+            fixed[var] = value
+        pending = {}
+
+        progress = False
+
+        # Reduction 5: duplicate equality rows.
+        seen: dict[tuple, float] = {}
+        for row in eq_rows:
+            if not row.alive or not row.indices:
+                continue
+            order = np.argsort(row.indices)
+            key = tuple(
+                (row.indices[i], round(row.coefficients[i], 12)) for i in order
+            )
+            if key in seen:
+                if abs(seen[key] - row.rhs) > 1e-9:
+                    raise InfeasibleKnowledgeError(
+                        f"constraints conflict: row {row.label!r} duplicates "
+                        f"another row's left side with a different value "
+                        f"({row.rhs:.3e} vs {seen[key]:.3e})"
+                    )
+                row.alive = False
+                eliminated_rows += 1
+                progress = True
+            else:
+                seen[key] = row.rhs
+
+        for row in eq_rows:
+            if not row.alive:
+                continue
+            if not row.indices:
+                if abs(row.rhs) > _TOL:
+                    raise InfeasibleKnowledgeError(
+                        f"constraint {row.label!r} reduces to 0 = {row.rhs:.3e}"
+                    )
+                row.alive = False
+                eliminated_rows += 1
+                progress = True
+                continue
+            if len(row.indices) == 1:
+                fix(row.indices[0], row.rhs / row.coefficients[0], row.label)
+                row.alive = False
+                eliminated_rows += 1
+                progress = True
+                continue
+            signs = {c > 0 for c in row.coefficients if abs(c) > _TOL}
+            if len(signs) == 1 and abs(row.rhs) <= _TOL:
+                for idx in row.indices:
+                    fix(idx, 0.0, row.label)
+                row.alive = False
+                eliminated_rows += 1
+                progress = True
+
+        for row in ineq_rows:
+            if not row.alive:
+                continue
+            if not row.indices:
+                if row.rhs < -_TOL:
+                    raise InfeasibleKnowledgeError(
+                        f"constraint {row.label!r} reduces to 0 <= {row.rhs:.3e}"
+                    )
+                row.alive = False
+                eliminated_rows += 1
+                progress = True
+                continue
+            # All-positive row with rhs 0 forces zeros (p >= 0 throughout).
+            if all(c > _TOL for c in row.coefficients) and abs(row.rhs) <= _TOL:
+                for idx in row.indices:
+                    fix(idx, 0.0, row.label)
+                row.alive = False
+                eliminated_rows += 1
+                progress = True
+            elif all(c > _TOL for c in row.coefficients) and row.rhs < -_TOL:
+                raise InfeasibleKnowledgeError(
+                    f"constraint {row.label!r} bounds a non-negative sum "
+                    f"above by {row.rhs:.3e}"
+                )
+
+        if newly_fixed:
+            pending = dict(newly_fixed)
+            newly_fixed.clear()
+            progress = True
+        if not progress:
+            break
+
+    free_mask = np.ones(n_vars, dtype=bool)
+    for var in fixed:
+        free_mask[var] = False
+    free_vars = np.nonzero(free_mask)[0]
+    new_index = {int(old): new for new, old in enumerate(free_vars)}
+
+    reduced = ConstraintSystem(int(free_vars.size))
+    for row in eq_rows:
+        if row.alive and row.indices:
+            reduced.add_equality(
+                [new_index[i] for i in row.indices],
+                row.coefficients,
+                row.rhs,
+                kind=row.kind,
+                label=row.label,
+            )
+    for row in ineq_rows:
+        if row.alive and row.indices:
+            reduced.add_inequality(
+                [new_index[i] for i in row.indices],
+                row.coefficients,
+                row.rhs,
+                kind=row.kind,
+                label=row.label,
+            )
+
+    return PresolveResult(
+        original_n_vars=n_vars,
+        fixed_values=fixed,
+        free_vars=free_vars,
+        system=reduced,
+        eliminated_rows=eliminated_rows,
+    )

@@ -1,0 +1,118 @@
+"""Solution and statistics containers for the MaxEnt engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+from repro.utils.probability import entropy as shannon_entropy
+
+VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+
+@dataclass
+class SolverStats:
+    """Performance and convergence record of one solve (or one component).
+
+    ``iterations`` counts outer solver iterations (L-BFGS iterations, GIS /
+    IIS scaling rounds, trust-constr iterations) — the quantity plotted on
+    the y-axis of the paper's Figures 7(a) and 7(c).
+    """
+
+    solver: str
+    iterations: int
+    seconds: float
+    n_vars: int
+    n_equalities: int
+    n_inequalities: int
+    eq_residual: float
+    ineq_residual: float
+    converged: bool
+    n_components: int = 1
+    presolve_fixed: int = 0
+    message: str = ""
+
+    @property
+    def residual(self) -> float:
+        """Worst constraint violation (either family)."""
+        return max(self.eq_residual, self.ineq_residual)
+
+
+@dataclass
+class ComponentRecord:
+    """One decomposition component's identity and statistics."""
+
+    buckets: tuple[int, ...]
+    stats: SolverStats
+
+
+class MaxEntSolution:
+    """The maximum-entropy joint distribution over a variable space."""
+
+    def __init__(
+        self,
+        space: VariableSpace,
+        p: np.ndarray,
+        stats: SolverStats,
+        components: list[ComponentRecord] | None = None,
+    ) -> None:
+        p = np.asarray(p, dtype=float)
+        if p.shape != (space.n_vars,):
+            raise ValueError(
+                f"solution vector has shape {p.shape}, expected ({space.n_vars},)"
+            )
+        self._space = space
+        self._p = p
+        self._p.setflags(write=False)
+        self.stats = stats
+        self.components = components or []
+
+    @property
+    def space(self) -> VariableSpace:
+        """The variable space the solution lives in."""
+        return self._space
+
+    @property
+    def p(self) -> np.ndarray:
+        """The joint probability vector (read-only)."""
+        return self._p
+
+    def joint(self, first, sa_value: str, bucket: int) -> float:
+        """``P(q, s, b)`` (group space) or ``P(i, s, b)`` (person space).
+
+        ``first`` is a QI tuple for group spaces or a pseudonym / pseudonym
+        name for person spaces.  Structural zeros return 0.0.
+        """
+        index = self._space.index_of(first, sa_value, bucket)
+        if index < 0:
+            return 0.0
+        return float(self._p[index])
+
+    def joint_dict(self) -> dict[tuple, float]:
+        """The full joint as ``{(q_or_person, s, b): probability}``.
+
+        Structural zeros are omitted (they are Zero-invariants).  Useful for
+        evaluating symbolic :class:`~repro.knowledge.expressions.
+        ProbabilityExpression` objects against the solution.
+        """
+        return {
+            self._space.describe_var(var): float(self._p[var])
+            for var in range(self._space.n_vars)
+        }
+
+    def entropy(self, base: float = 2.0) -> float:
+        """Shannon entropy of the joint (the maximized objective)."""
+        return shannon_entropy(self._p, base=base)
+
+    def total_mass(self) -> float:
+        """Total probability (1.0 up to solver tolerance)."""
+        return float(self._p.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MaxEntSolution(n_vars={self._space.n_vars}, "
+            f"solver={self.stats.solver!r}, iterations={self.stats.iterations}, "
+            f"residual={self.stats.residual:.2e})"
+        )

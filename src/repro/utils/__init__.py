@@ -1,0 +1,23 @@
+"""Small shared utilities: probability math, text tables, timers, seeding."""
+
+from repro.utils.probability import (
+    entropy,
+    kl_divergence,
+    normalize,
+    safe_log,
+    total_variation,
+)
+from repro.utils.tabulate import render_table
+from repro.utils.timer import Timer
+from repro.utils.unionfind import UnionFind
+
+__all__ = [
+    "Timer",
+    "UnionFind",
+    "entropy",
+    "kl_divergence",
+    "normalize",
+    "render_table",
+    "safe_log",
+    "total_variation",
+]

@@ -1,0 +1,27 @@
+"""Seeding helpers: one place to turn user-facing seeds into numpy RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for a user-facing seed.
+
+    Accepts an integer seed, an existing generator (returned unchanged so
+    call sites can thread one RNG through a pipeline), or None for
+    OS-entropy seeding.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` independent child generators from ``rng``.
+
+    Used when a pipeline stage needs per-task streams that stay reproducible
+    regardless of how many random draws other stages make.
+    """
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for experiment reports and the CLI.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module keeps that output aligned and readable without any third-party
+dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        magnitude = abs(value)
+        if magnitude >= 1000 or magnitude < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a fixed-width text table.
+
+    ``rows`` may contain any mix of strings, ints and floats; floats are
+    formatted to four significant decimals (scientific notation outside
+    [1e-3, 1e3)).
+    """
+    formatted_rows = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    separator = "  ".join("-" * w for w in widths)
+    parts: list[str] = []
+    if title:
+        parts.append(title)
+        parts.append("=" * max(len(title), len(separator)))
+    parts.append(line(headers))
+    parts.append(separator)
+    parts.extend(line(row) for row in formatted_rows)
+    return "\n".join(parts)

@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's running example and small Adult workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anonymize.anatomy import anatomize
+from repro.data.adult import load_adult_synthetic
+from repro.data.paper_example import paper_published, paper_schema, paper_table
+from repro.knowledge.mining import MiningConfig, mine_association_rules
+
+
+@pytest.fixture(scope="session")
+def paper_table_fixture():
+    """The original 10-record table of Figure 1(a)."""
+    return paper_table()
+
+
+@pytest.fixture(scope="session")
+def paper_published_fixture():
+    """The 3-bucket release of Figure 1(b)/(c)."""
+    return paper_published()
+
+
+@pytest.fixture(scope="session")
+def paper_schema_fixture():
+    """The (gender, degree | disease) schema of the running example."""
+    return paper_schema()
+
+
+@pytest.fixture(scope="session")
+def adult_small():
+    """A small Adult-shaped table shared across tests (expensive to build)."""
+    return load_adult_synthetic(n_records=600, seed=11)
+
+
+@pytest.fixture(scope="session")
+def adult_small_published(adult_small):
+    """The small Adult table bucketized at 5-diversity."""
+    return anatomize(adult_small, l=5, exempt="auto", seed=11)
+
+
+@pytest.fixture(scope="session")
+def adult_small_rules(adult_small):
+    """Rules mined from the small Adult table (antecedents up to size 2)."""
+    return mine_association_rules(
+        adult_small, MiningConfig(min_support_count=3, max_antecedent=2)
+    )

@@ -1,0 +1,135 @@
+"""Test utilities: brute-force oracles and random-instance builders.
+
+The invariant theory and the MaxEnt solvers both admit slow-but-obviously-
+correct oracles on small inputs (enumerate every assignment; solve the
+primal directly).  Tests compare the production code against these.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.anonymize.buckets import (
+    Bucket,
+    BucketizedTable,
+    enumerate_assignments,
+)
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.knowledge.expressions import ProbabilityExpression
+
+
+def empirical_joint(table: Table, bucket_of_row) -> dict[tuple, float]:
+    """The joint ``P(q, s, b)`` realized by the original assignment."""
+    n = table.n_rows
+    joint: Counter = Counter()
+    qi = table.qi_tuples()
+    sa = table.sa_labels()
+    for row in range(n):
+        joint[(qi[row], sa[row], int(bucket_of_row[row]))] += 1
+    return {key: count / n for key, count in joint.items()}
+
+
+def brute_force_is_invariant(
+    expression: ProbabilityExpression,
+    published: BucketizedTable,
+    *,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Decide invariance by enumerating every assignment (tiny data only).
+
+    Because any invariant decomposes per bucket (Lemma 1), it suffices to
+    enumerate assignments bucket by bucket and combine one assignment from
+    each — but for full fidelity we evaluate the expression over the
+    Cartesian product of per-bucket assignments, bounded to small inputs.
+    """
+    n = published.n_records
+    per_bucket = [list(enumerate_assignments(b)) for b in published.buckets]
+    total = 1
+    for assignments in per_bucket:
+        total *= len(assignments)
+    if total > 20000:
+        raise ValueError(f"too many assignments to enumerate ({total})")
+
+    def joints(bucket_choices):
+        joint: Counter = Counter()
+        for bucket, assignment in zip(published.buckets, bucket_choices):
+            for q, s in assignment:
+                joint[(q, s, bucket.index)] += 1
+        return {key: count / n for key, count in joint.items()}
+
+    reference: float | None = None
+    indices = [0] * len(per_bucket)
+    while True:
+        choice = [per_bucket[i][indices[i]] for i in range(len(per_bucket))]
+        value = expression.evaluate(joints(choice))
+        if reference is None:
+            reference = value
+        elif abs(value - reference) > tolerance:
+            return False
+        # Odometer increment over the per-bucket assignment indices.
+        position = 0
+        while position < len(indices):
+            indices[position] += 1
+            if indices[position] < len(per_bucket[position]):
+                break
+            indices[position] = 0
+            position += 1
+        else:
+            break
+    return True
+
+
+def tiny_schema(n_qi_values: int = 3, n_sa_values: int = 4) -> Schema:
+    """A one-QI-attribute schema for random bucket tests."""
+    return Schema(
+        attributes=(
+            Attribute("q", tuple(f"q{i}" for i in range(n_qi_values))),
+            Attribute("s", tuple(f"s{i}" for i in range(n_sa_values))),
+        ),
+        qi_attributes=("q",),
+        sa_attribute="s",
+    )
+
+
+def random_published(
+    rng: np.random.Generator,
+    *,
+    n_buckets: int = 3,
+    max_bucket_size: int = 4,
+    n_qi_values: int = 3,
+    n_sa_values: int = 4,
+) -> tuple[Table, BucketizedTable, np.ndarray]:
+    """A random table + bucketization for randomized/property tests.
+
+    Returns ``(table, published, bucket_of_row)`` so tests can also form the
+    empirical joint of the original assignment.
+    """
+    schema = tiny_schema(n_qi_values, n_sa_values)
+    rows = []
+    bucket_ids = []
+    for bucket in range(n_buckets):
+        size = int(rng.integers(1, max_bucket_size + 1))
+        for _ in range(size):
+            rows.append(
+                {
+                    "q": f"q{int(rng.integers(0, n_qi_values))}",
+                    "s": f"s{int(rng.integers(0, n_sa_values))}",
+                }
+            )
+            bucket_ids.append(bucket)
+    table = Table.from_records(schema, rows)
+    bucket_of_row = np.array(bucket_ids, dtype=np.int64)
+    published = BucketizedTable.from_assignment(table, bucket_of_row)
+    return table, published, bucket_of_row
+
+
+def single_bucket(qi_values: list[str], sa_values: list[str]) -> Bucket:
+    """A standalone bucket (for invariant-matrix tests)."""
+    return Bucket(
+        index=0,
+        qi_tuples=tuple((q,) for q in qi_values),
+        sa_values=tuple(sa_values),
+    )

@@ -1,0 +1,138 @@
+"""Unit tests for the Anatomy bucketizer."""
+
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.anonymize.anatomy import anatomize
+from repro.anonymize.diversity import auto_exempt, table_is_diverse
+from repro.data.adult import load_adult_synthetic
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.errors import DiversityError
+
+
+def uniform_table(value_counts: dict[str, int]) -> Table:
+    """A table whose SA counts are exactly ``value_counts`` (single QI)."""
+    values = sorted(value_counts)
+    schema = Schema(
+        attributes=(
+            Attribute("q", tuple(f"q{i}" for i in range(3))),
+            Attribute("s", tuple(values)),
+        ),
+        qi_attributes=("q",),
+        sa_attribute="s",
+    )
+    records = []
+    i = 0
+    for value, count in value_counts.items():
+        for _ in range(count):
+            records.append({"q": f"q{i % 3}", "s": value})
+            i += 1
+    return Table.from_records(schema, records)
+
+
+class TestBasicProperties:
+    def test_exact_partition(self):
+        table = uniform_table({"a": 4, "b": 4, "c": 4})
+        published = anatomize(table, l=2, exempt=None, seed=0)
+        assert published.n_records == 12
+        sizes = [b.size for b in published.buckets]
+        assert all(size == 2 for size in sizes)
+        assert table_is_diverse(published, 2)
+
+    def test_preserves_sa_multiset(self):
+        table = uniform_table({"a": 5, "b": 4, "c": 3})
+        published = anatomize(table, l=2, exempt=None, seed=1)
+        total = Counter()
+        for bucket in published.buckets:
+            total.update(bucket.sa_counts())
+        assert total == Counter({"a": 5, "b": 4, "c": 3})
+
+    def test_preserves_qi_marginal(self):
+        table = uniform_table({"a": 4, "b": 4, "c": 4})
+        published = anatomize(table, l=3, exempt=None, seed=2)
+        assert published.qi_marginal() == table.qi_counts()
+
+    def test_residue_handled(self):
+        # 11 records, l=2 -> 5 buckets of 2 plus one residue record.
+        table = uniform_table({"a": 4, "b": 4, "c": 3})
+        published = anatomize(table, l=2, exempt=None, seed=3)
+        assert published.n_records == 11
+        assert published.n_buckets == 5
+        sizes = sorted(b.size for b in published.buckets)
+        assert sizes == [2, 2, 2, 2, 3]
+        assert table_is_diverse(published, 2)
+
+    def test_deterministic_per_seed(self):
+        table = uniform_table({"a": 6, "b": 6, "c": 6})
+        a = anatomize(table, l=3, exempt=None, seed=42)
+        b = anatomize(table, l=3, exempt=None, seed=42)
+        assert [bk.sa_values for bk in a.buckets] == [
+            bk.sa_values for bk in b.buckets
+        ]
+
+
+class TestEligibility:
+    def test_infeasible_raises(self):
+        table = uniform_table({"a": 9, "b": 1, "c": 1})
+        with pytest.raises(DiversityError, match="infeasible"):
+            anatomize(table, l=3, exempt=None)
+
+    def test_auto_exemption_rescues(self):
+        table = uniform_table({"a": 9, "b": 1, "c": 1, "d": 1})
+        published = anatomize(table, l=3, exempt="auto", seed=0)
+        exempt = auto_exempt(Counter({"a": 9, "b": 1, "c": 1, "d": 1}), 3)
+        assert table_is_diverse(published, 3, exempt=exempt)
+
+    def test_explicit_exempt_set(self):
+        table = uniform_table({"a": 9, "b": 2, "c": 1})
+        published = anatomize(table, l=3, exempt={"a"}, seed=0)
+        assert table_is_diverse(published, 3, exempt=frozenset({"a"}))
+
+    def test_int_exempt_spec(self):
+        table = uniform_table({"a": 9, "b": 2, "c": 1})
+        published = anatomize(table, l=3, exempt=1, seed=0)
+        assert published.n_records == 12
+
+    def test_bad_exempt_spec(self):
+        table = uniform_table({"a": 2, "b": 2})
+        with pytest.raises(DiversityError, match="exempt"):
+            anatomize(table, l=2, exempt=3.5)
+
+    def test_table_smaller_than_l(self):
+        table = uniform_table({"a": 1, "b": 1})
+        with pytest.raises(DiversityError, match="fewer"):
+            anatomize(table, l=5)
+
+
+class TestAdultScale:
+    def test_paper_setup(self):
+        table = load_adult_synthetic(n_records=1000, seed=3)
+        published = anatomize(table, l=5, exempt="auto", seed=3)
+        assert published.n_buckets == 200
+        assert all(b.size == 5 for b in published.buckets)
+        exempt = auto_exempt(table.value_counts("education"), 5)
+        assert table_is_diverse(published, 5, exempt=exempt)
+
+    def test_randomized_inputs_always_valid(self):
+        rng = np.random.default_rng(0)
+        for trial in range(10):
+            counts = {
+                f"v{i}": int(rng.integers(1, 12))
+                for i in range(int(rng.integers(3, 8)))
+            }
+            table = uniform_table(counts)
+            l = int(rng.integers(2, 4))
+            if table.n_rows < l:
+                continue
+            try:
+                published = anatomize(table, l=l, exempt="auto", seed=trial)
+            except DiversityError:
+                continue  # legitimately infeasible even with exemption
+            exempt = auto_exempt(Counter(table.sa_labels()), l)
+            assert table_is_diverse(published, l, exempt=exempt), (
+                f"trial {trial} with counts {counts} produced an invalid "
+                "bucketization"
+            )

@@ -1,0 +1,93 @@
+"""Unit tests for diversity checks and the exemption rule."""
+
+from collections import Counter
+
+import pytest
+
+from repro.anonymize.buckets import Bucket
+from repro.anonymize.diversity import (
+    auto_exempt,
+    bucket_is_diverse,
+    check_eligibility,
+    distinct_diversity,
+    exempt_values,
+    table_is_diverse,
+)
+from repro.data.paper_example import paper_published
+from repro.errors import DiversityError
+
+
+def bucket_of(sa_values, qi_value="q"):
+    return Bucket(
+        index=0,
+        qi_tuples=tuple((qi_value,) for _ in sa_values),
+        sa_values=tuple(sa_values),
+    )
+
+
+class TestBucketDiversity:
+    def test_all_distinct_is_l_diverse(self):
+        bucket = bucket_of(["a", "b", "c"])
+        assert bucket_is_diverse(bucket, 3)
+
+    def test_repeat_breaks_diversity(self):
+        bucket = bucket_of(["a", "a", "b"])
+        assert not bucket_is_diverse(bucket, 3)
+        assert bucket_is_diverse(bucket, 1)
+
+    def test_exempt_value_may_repeat(self):
+        bucket = bucket_of(["a", "a", "b"])
+        assert bucket_is_diverse(bucket, 3, exempt=frozenset({"a"}))
+
+    def test_distinct_diversity_value(self):
+        assert distinct_diversity(bucket_of(["a", "b", "c", "d"])) == 4
+        assert distinct_diversity(bucket_of(["a", "a", "b", "c"])) == 2
+
+    def test_distinct_diversity_all_exempt(self):
+        bucket = bucket_of(["a", "a", "a"])
+        assert distinct_diversity(bucket, exempt=frozenset({"a"})) == 3
+
+    def test_paper_buckets_are_diverse(self):
+        # Figure 1's buckets repeat Flu in bucket 1 (s2 twice over 4
+        # records): distinct 2-diverse, not 3-diverse.
+        published = paper_published()
+        assert table_is_diverse(published, 2)
+        assert not table_is_diverse(published, 3)
+
+
+class TestEligibility:
+    def test_feasible_counts_pass(self):
+        check_eligibility(Counter(a=3, b=3, c=3), 3)
+
+    def test_dominating_value_fails(self):
+        with pytest.raises(DiversityError, match="infeasible"):
+            check_eligibility(Counter(a=7, b=1, c=1), 3)
+
+    def test_exemption_rescues(self):
+        check_eligibility(Counter(a=7, b=1, c=1), 3, exempt=frozenset({"a"}))
+
+    def test_too_few_records(self):
+        with pytest.raises(DiversityError, match="one bucket"):
+            check_eligibility(Counter(a=1), 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DiversityError):
+            check_eligibility(Counter(), 2)
+
+
+class TestAutoExempt:
+    def test_no_exemption_needed(self):
+        assert auto_exempt(Counter(a=2, b=2, c=2), 3) == frozenset()
+
+    def test_exempts_most_frequent(self):
+        counts = Counter(a=10, b=2, c=2, d=2)
+        assert auto_exempt(counts, 4) == frozenset({"a"})
+
+    def test_exempts_minimal_prefix(self):
+        counts = Counter(a=10, b=9, c=2, d=2, e=2)
+        exempt = auto_exempt(counts, 5)
+        assert exempt == {"a", "b"}
+
+    def test_exempt_values_helper(self):
+        counts = Counter(a=5, b=3, c=1)
+        assert exempt_values(counts, 2) == {"a", "b"}

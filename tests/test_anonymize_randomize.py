@@ -1,0 +1,78 @@
+"""Unit tests for randomized response."""
+
+import numpy as np
+import pytest
+
+from repro.anonymize.randomize import (
+    perturbation_matrix,
+    randomized_response,
+    reconstruct_distribution,
+)
+from repro.data.adult import load_adult_synthetic
+from repro.errors import AnonymizationError
+
+
+class TestPerturbationMatrix:
+    def test_column_stochastic(self):
+        matrix = perturbation_matrix(5, 0.7)
+        assert np.allclose(matrix.sum(axis=0), 1.0)
+
+    def test_keep_probability_one_is_identity(self):
+        assert np.allclose(perturbation_matrix(4, 1.0), np.eye(4))
+
+    def test_keep_probability_zero_is_uniform(self):
+        matrix = perturbation_matrix(4, 0.0)
+        assert np.allclose(matrix, 0.25)
+
+    def test_rejects_bad_domain(self):
+        with pytest.raises(AnonymizationError):
+            perturbation_matrix(1, 0.5)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(AnonymizationError):
+            perturbation_matrix(4, 1.5)
+
+
+class TestRandomizedResponse:
+    def test_keep_one_preserves_table(self):
+        table = load_adult_synthetic(n_records=200, seed=1)
+        noisy = randomized_response(table, 1.0, seed=2)
+        assert np.array_equal(noisy.sa_codes(), table.sa_codes())
+
+    def test_qi_untouched(self):
+        table = load_adult_synthetic(n_records=200, seed=1)
+        noisy = randomized_response(table, 0.3, seed=2)
+        for name in table.schema.qi_attributes:
+            assert np.array_equal(noisy.column(name), table.column(name))
+
+    def test_noise_actually_applied(self):
+        table = load_adult_synthetic(n_records=500, seed=1)
+        noisy = randomized_response(table, 0.2, seed=2)
+        changed = (noisy.sa_codes() != table.sa_codes()).mean()
+        assert changed > 0.5  # most values should flip at p=0.2
+
+    def test_deterministic_per_seed(self):
+        table = load_adult_synthetic(n_records=100, seed=1)
+        a = randomized_response(table, 0.5, seed=9)
+        b = randomized_response(table, 0.5, seed=9)
+        assert np.array_equal(a.sa_codes(), b.sa_codes())
+
+
+class TestReconstruction:
+    def test_recovers_distribution(self):
+        table = load_adult_synthetic(n_records=20000, seed=3)
+        keep = 0.6
+        noisy = randomized_response(table, keep, seed=4)
+        estimated = reconstruct_distribution(noisy, keep)
+        true_counts = np.bincount(
+            table.sa_codes(), minlength=table.schema.sa.size
+        )
+        true_dist = true_counts / true_counts.sum()
+        assert np.abs(estimated - true_dist).max() < 0.02
+
+    def test_estimate_is_distribution(self):
+        table = load_adult_synthetic(n_records=500, seed=5)
+        noisy = randomized_response(table, 0.4, seed=6)
+        estimated = reconstruct_distribution(noisy, 0.4)
+        assert estimated.min() >= 0
+        assert estimated.sum() == pytest.approx(1.0)

@@ -1,0 +1,72 @@
+"""Tests for minimal suppression (the exemption alternative)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.anonymize.anatomy import anatomize
+from repro.anonymize.diversity import check_eligibility, table_is_diverse
+from repro.anonymize.suppress import plan_suppression, suppress_for_diversity
+from repro.errors import DiversityError
+
+from tests.test_anonymize_anatomy import uniform_table
+
+
+class TestPlanSuppression:
+    def test_feasible_input_needs_nothing(self):
+        plan = plan_suppression(Counter(a=3, b=3, c=3), 3)
+        assert plan.total == 0
+
+    def test_single_dominator_trimmed(self):
+        plan = plan_suppression(Counter(a=10, b=2, c=2), 3)
+        counts = Counter(a=10, b=2, c=2)
+        counts.subtract(plan.to_suppress)
+        check_eligibility(counts, 3)  # must not raise
+        assert plan.total > 0
+        assert set(plan.to_suppress) == {"a"}
+
+    def test_minimality_single_dominator(self):
+        # Removing one fewer record must remain infeasible.
+        original = Counter(a=10, b=2, c=2)
+        plan = plan_suppression(original, 3)
+        counts = Counter(original)
+        counts.subtract(plan.to_suppress)
+        counts["a"] += 1  # undo one suppression
+        with pytest.raises(DiversityError):
+            check_eligibility(counts, 3)
+
+    def test_hopeless_input_detected(self):
+        with pytest.raises(DiversityError, match="below one bucket"):
+            plan_suppression(Counter(a=3), 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(DiversityError):
+            plan_suppression(Counter(), 2)
+
+
+class TestSuppressForDiversity:
+    def test_output_is_eligible_and_bucketizable(self):
+        table = uniform_table({"a": 12, "b": 2, "c": 2})
+        reduced, plan = suppress_for_diversity(table, 3, seed=1)
+        assert reduced.n_rows == table.n_rows - plan.total
+        published = anatomize(reduced, l=3, exempt=None, seed=1)
+        assert table_is_diverse(published, 3)
+
+    def test_noop_when_already_feasible(self):
+        table = uniform_table({"a": 4, "b": 4, "c": 4})
+        reduced, plan = suppress_for_diversity(table, 3)
+        assert plan.total == 0
+        assert reduced is table
+
+    def test_only_offending_values_dropped(self):
+        table = uniform_table({"a": 12, "b": 2, "c": 2})
+        reduced, plan = suppress_for_diversity(table, 3, seed=2)
+        kept = Counter(reduced.sa_labels())
+        assert kept["b"] == 2 and kept["c"] == 2
+        assert kept["a"] == 12 - plan.to_suppress["a"]
+
+    def test_deterministic_per_seed(self):
+        table = uniform_table({"a": 12, "b": 2, "c": 2})
+        first, _p1 = suppress_for_diversity(table, 3, seed=7)
+        second, _p2 = suppress_for_diversity(table, 3, seed=7)
+        assert first.records() == second.records()

@@ -1,0 +1,191 @@
+"""Tests for the assignment-enumeration baseline (Martin-et-al family)."""
+
+import pytest
+
+from repro.baselines.enumeration import (
+    AssignmentOracle,
+    enumeration_posterior,
+    worst_case_disclosure,
+)
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.data.paper_example import (
+    Q1,
+    Q2,
+    Q4,
+    S1,
+    S2,
+    S3,
+    paper_published,
+)
+from repro.errors import InfeasibleKnowledgeError, NotSupportedError
+from repro.knowledge.statements import (
+    ConditionalInterval,
+    ConditionalProbability,
+)
+
+MALE_NO_BC = ConditionalProbability(
+    given={"gender": "male"}, sa_value=S1, probability=0.0
+)
+
+
+@pytest.fixture(scope="module")
+def published():
+    return paper_published()
+
+
+class TestOracle:
+    def test_counts_without_knowledge(self, published):
+        oracle = AssignmentOracle(published)
+        # Bucket 0 (q1,q1,q2,q3 | s1,s2,s2,s3): 12 orderings minus the q1/q1
+        # symmetry collapses... the enumeration test suite already pins this
+        # count; here we just check all buckets have > 1 assignment.
+        assert all(
+            oracle.consistent_count(b) >= 1
+            for b in range(published.n_buckets)
+        )
+
+    def test_zero_rule_filters(self, published):
+        free = AssignmentOracle(published)
+        constrained = AssignmentOracle(published, [MALE_NO_BC])
+        for b in range(published.n_buckets):
+            assert constrained.consistent_count(b) <= free.consistent_count(b)
+        # Bucket 1 (q1, q3, q4 | s1, s3, s4): males cannot take s1, so s1 is
+        # pinned to q4 and only the s3/s4 split remains: 2 assignments.
+        assert constrained.consistent_count(1) == 2
+
+    def test_contradiction_detected(self, published):
+        # Nobody may have Flu anywhere -> bucket 0 cannot be assigned.
+        impossible = [
+            ConditionalProbability(
+                given={"gender": "male"}, sa_value=S2, probability=0.0
+            ),
+            ConditionalProbability(
+                given={"gender": "female"}, sa_value=S2, probability=0.0
+            ),
+        ]
+        with pytest.raises(InfeasibleKnowledgeError):
+            AssignmentOracle(published, impossible)
+
+    def test_probabilistic_rule_rejected(self, published):
+        probabilistic = ConditionalProbability(
+            given={"gender": "male"}, sa_value=S2, probability=0.3
+        )
+        with pytest.raises(NotSupportedError, match="probabilistic"):
+            AssignmentOracle(published, [probabilistic])
+
+    def test_non_conditional_statement_rejected(self, published):
+        interval = ConditionalInterval(
+            given={"gender": "male"}, sa_value=S2, low=0.1, high=0.5
+        )
+        with pytest.raises(NotSupportedError):
+            AssignmentOracle(published, [interval])
+
+    def test_one_rule_supported(self, published):
+        # "Every (female, junior) has Breast Cancer" — true in the data.
+        one_rule = ConditionalProbability(
+            given={"gender": "female", "degree": "junior"},
+            sa_value=S1,
+            probability=1.0,
+        )
+        oracle = AssignmentOracle(published, [one_rule])
+        assert oracle.bucket_conditional(Q4, S1, 1) == pytest.approx(1.0)
+
+
+class TestEnumerationPosterior:
+    def test_matches_eq9_without_knowledge(self, published):
+        """Exchangeability: the combinatorial prior reproduces Eq. (9)."""
+        combinatorial = enumeration_posterior(published)
+        maxent = PrivacyMaxEnt(published).posterior()
+        for q in maxent.qi_tuples:
+            for s in maxent.sa_domain:
+                assert combinatorial.prob(q, s) == pytest.approx(
+                    maxent.prob(q, s), abs=1e-9
+                )
+
+    def test_breast_cancer_deduction(self, published):
+        posterior = enumeration_posterior(published, [MALE_NO_BC])
+        assert posterior.prob(Q4, S1) == pytest.approx(1.0)
+
+    def test_agrees_with_maxent_on_symmetric_knowledge(self, published):
+        """On the paper's bucket 0, barring males from s1 still leaves the
+        remaining pattern symmetric enough that uniform-over-worlds and
+        MaxEnt coincide: both give P(s3 | q1, b0) = 1/3."""
+        oracle = AssignmentOracle(published, [MALE_NO_BC])
+        combinatorial = oracle.bucket_conditional(Q1, S3, 0)
+        assert combinatorial == pytest.approx(1 / 3)
+
+        engine = PrivacyMaxEnt(published, knowledge=[MALE_NO_BC])
+        solution = engine.solve()
+        # P(s3 | q1, b0) = P(q1, s3, b0) / P(q1, b0) = joint / 0.2.
+        maxent = solution.joint(Q1, S3, 0) / 0.2
+        assert maxent == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_diverges_from_maxent_on_asymmetric_knowledge(self):
+        """The frameworks genuinely differ on asymmetric zero patterns.
+
+        Bucket (q0, q1, q2 | s0, s1, s2) with q1 barred from s2 and q2
+        barred from s1.  Permutations respecting the pattern: (s0,s1,s2),
+        (s1,s0,s2), (s2,s1,... invalid) ... exactly three worlds, giving
+        P(s0 | q1, b) = 1/3.  MaxEnt's product-form solution instead gives
+        the Sinkhorn value (sqrt-of-5 irrational), != 1/3.
+        """
+        from repro.data.schema import Attribute, Schema
+        from repro.data.table import Table
+        from repro.anonymize.buckets import BucketizedTable
+        import numpy as np
+
+        schema = Schema(
+            attributes=(
+                Attribute("q", ("q0", "q1", "q2")),
+                Attribute("s", ("s0", "s1", "s2")),
+            ),
+            qi_attributes=("q",),
+            sa_attribute="s",
+        )
+        table = Table.from_records(
+            schema,
+            [
+                {"q": "q0", "s": "s0"},
+                {"q": "q1", "s": "s1"},
+                {"q": "q2", "s": "s2"},
+            ],
+        )
+        published = BucketizedTable.from_assignment(
+            table, np.zeros(3, dtype=np.int64)
+        )
+        knowledge = [
+            ConditionalProbability(given={"q": "q1"}, sa_value="s2", probability=0.0),
+            ConditionalProbability(given={"q": "q2"}, sa_value="s1", probability=0.0),
+        ]
+        oracle = AssignmentOracle(published, knowledge)
+        assert oracle.world_count(0) == 3
+        combinatorial = oracle.bucket_conditional(("q1",), "s0", 0)
+        assert combinatorial == pytest.approx(1 / 3)
+
+        engine = PrivacyMaxEnt(published, knowledge=knowledge)
+        maxent = engine.solve().joint(("q1",), "s0", 0) * 3  # P(q1, b) = 1/3
+        # Sinkhorn root of x^2 - x + 1/9 scaled: the smaller root ~ 0.38197.
+        assert maxent == pytest.approx((3 - 5 ** 0.5) / 2, abs=1e-6)
+        assert abs(combinatorial - maxent) > 0.04
+
+    def test_rows_are_distributions(self, published):
+        posterior = enumeration_posterior(published, [MALE_NO_BC])
+        sums = posterior.matrix.sum(axis=1)
+        assert all(abs(total - 1.0) < 1e-9 for total in sums)
+
+
+class TestWorstCaseDisclosure:
+    def test_no_knowledge_value(self, published):
+        # Max bucket-level conditional without knowledge: 2/3? Check bound.
+        value = worst_case_disclosure(published)
+        assert 0 < value < 1.0
+
+    def test_deterministic_deduction_scores_one(self, published):
+        assert worst_case_disclosure(published, [MALE_NO_BC]) == pytest.approx(
+            1.0
+        )
+
+    def test_monotone_in_knowledge(self, published):
+        free = worst_case_disclosure(published)
+        informed = worst_case_disclosure(published, [MALE_NO_BC])
+        assert informed >= free - 1e-12

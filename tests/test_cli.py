@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data.adult import adult_schema
+from repro.data.io import read_csv
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_csv(self, tmp_path, capsys):
+        out = tmp_path / "adult.csv"
+        code = main(["generate", str(out), "--records", "50", "--seed", "1"])
+        assert code == 0
+        table = read_csv(out, adult_schema())
+        assert table.n_rows == 50
+        assert "wrote 50 records" in capsys.readouterr().out
+
+
+class TestMine:
+    def test_prints_rules(self, capsys):
+        code = main(
+            [
+                "mine",
+                "--records", "200",
+                "--max-antecedent", "1",
+                "--top", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "positive" in out
+        assert "=>" in out
+
+
+class TestBucketize:
+    def test_reports_buckets(self, capsys):
+        code = main(["bucketize", "--records", "100", "-l", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "20 buckets" in out
+
+
+class TestAssess:
+    def test_prints_assessment_table(self, capsys):
+        code = main(
+            [
+                "assess",
+                "--records", "150",
+                "--max-antecedent", "1",
+                "--k", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "est_accuracy" in out
+        assert "Top-(0+, 0-)" in out
+        assert "Top-(5+, 5-)" in out
+
+
+class TestUtility:
+    def test_baseline_only(self, capsys):
+        code = main(["utility", "--records", "200", "--queries", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean rel. error" in out
+        assert "no knowledge" in out
+
+    def test_with_knowledge_rows(self, capsys):
+        code = main(
+            [
+                "utility",
+                "--records", "200",
+                "--queries", "5",
+                "--max-antecedent", "1",
+                "--k", "10",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Top-(5+, 5-)" in out
+
+
+class TestFigure:
+    def test_unknown_figure(self, capsys):
+        code = main(["figure", "99"])
+        assert code == 2
+
+    def test_figure5_small(self, capsys):
+        code = main(["figure", "5", "--records", "150"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 5" in out
+        assert "legend" in out

@@ -1,0 +1,108 @@
+"""Unit tests for Estimation Accuracy and the KL helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import estimation_accuracy, joint_kl, per_tuple_accuracy
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.core.quantifier import PosteriorTable
+from repro.data.paper_example import S1, paper_published, paper_table
+from repro.errors import ReproError
+from repro.knowledge.statements import ConditionalProbability
+
+
+@pytest.fixture(scope="module")
+def truth():
+    return PosteriorTable.from_table(paper_table())
+
+
+class TestEstimationAccuracy:
+    def test_self_distance_zero(self, truth):
+        assert estimation_accuracy(truth, truth) == pytest.approx(0.0)
+
+    def test_positive_for_baseline(self, truth):
+        baseline = PrivacyMaxEnt(paper_published()).posterior()
+        assert estimation_accuracy(truth, baseline) > 0
+
+    def test_knowledge_improves_estimate(self, truth):
+        """The paper's headline: more background knowledge, lower accuracy
+        value (the adversary's estimate approaches the truth)."""
+        baseline = PrivacyMaxEnt(paper_published()).posterior()
+        informed = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[
+                ConditionalProbability(
+                    given={"gender": "male"}, sa_value=S1, probability=0.0
+                )
+            ],
+        ).posterior()
+        assert estimation_accuracy(truth, informed) < estimation_accuracy(
+            truth, baseline
+        )
+
+    def test_hand_computed_value(self, truth):
+        """Check the weighted-KL formula against a by-hand sum."""
+        estimate = PrivacyMaxEnt(paper_published()).posterior()
+        total = 0.0
+        for i, q in enumerate(truth.qi_tuples):
+            weight = truth.weights[i]
+            for j, s in enumerate(truth.sa_domain):
+                p = truth.matrix[i, j]
+                if p > 0:
+                    total += weight * p * math.log2(p / estimate.prob(q, s))
+        assert estimation_accuracy(truth, estimate) == pytest.approx(total)
+
+    def test_infinite_when_estimate_misses_support(self, truth):
+        rows = len(truth.qi_tuples)
+        cols = len(truth.sa_domain)
+        matrix = np.zeros((rows, cols))
+        matrix[:, 0] = 1.0  # point mass on one SA value
+        broken = PosteriorTable(truth.qi_tuples, truth.sa_domain, matrix, truth.weights)
+        assert math.isinf(estimation_accuracy(truth, broken))
+
+    def test_base_parameter_scales(self, truth):
+        baseline = PrivacyMaxEnt(paper_published()).posterior()
+        bits = estimation_accuracy(truth, baseline, base=2.0)
+        nats = estimation_accuracy(truth, baseline, base=math.e)
+        assert bits == pytest.approx(nats / math.log(2))
+
+
+class TestPerTupleAccuracy:
+    def test_breakdown_sums_to_total(self, truth):
+        baseline = PrivacyMaxEnt(paper_published()).posterior()
+        breakdown = per_tuple_accuracy(truth, baseline)
+        weighted = sum(
+            truth.weight(q) * value for q, value in breakdown.items()
+        )
+        assert weighted == pytest.approx(estimation_accuracy(truth, baseline))
+
+    def test_fully_disclosed_tuple_has_zero_distance(self, truth):
+        informed = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[
+                ConditionalProbability(
+                    given={"gender": "male"}, sa_value=S1, probability=0.0
+                )
+            ],
+        ).posterior()
+        breakdown = per_tuple_accuracy(truth, informed)
+        # Grace (female, junior) is fully determined -> KL = 0 there.
+        assert breakdown[("female", "junior")] == pytest.approx(0.0, abs=1e-6)
+
+
+class TestJointKL:
+    def test_identical_zero(self):
+        joint = {("q", "s", 0): 0.4, ("q", "s", 1): 0.6}
+        assert joint_kl(joint, joint) == pytest.approx(0.0)
+
+    def test_missing_support_infinite(self):
+        p = {("q", "s", 0): 1.0}
+        q = {("q", "t", 0): 1.0}
+        assert math.isinf(joint_kl(p, q))
+
+    def test_known_value(self):
+        p = {("a",): 1.0}
+        q = {("a",): 0.5, ("b",): 0.5}
+        assert joint_kl(p, q) == pytest.approx(1.0)  # 1 bit

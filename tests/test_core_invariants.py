@@ -1,0 +1,184 @@
+"""Tests of the Section 5 invariant theory: soundness, completeness,
+conciseness — against brute-force assignment enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.core.invariants import (
+    bucket_constraint_matrix,
+    build_qi_invariants,
+    build_sa_invariants,
+    build_zero_invariants,
+    is_invariant,
+)
+from repro.data.paper_example import (
+    Q1,
+    Q2,
+    Q3,
+    S1,
+    S2,
+    S3,
+    paper_published,
+)
+from repro.knowledge.expressions import ProbabilityExpression
+
+from tests.helpers import brute_force_is_invariant, random_published
+
+
+@pytest.fixture(scope="module")
+def published():
+    return paper_published()
+
+
+class TestSoundness:
+    """Theorem 1: every base invariant holds under every assignment."""
+
+    def test_qi_invariants_hold_under_all_assignments(self, published):
+        for equation in build_qi_invariants(published):
+            assert brute_force_is_invariant(equation.expression, published)
+
+    def test_sa_invariants_hold_under_all_assignments(self, published):
+        for equation in build_sa_invariants(published):
+            assert brute_force_is_invariant(equation.expression, published)
+
+    def test_invariant_constants_correct(self, published):
+        # Check the worked examples of Section 5.2.
+        qi = build_qi_invariants(published)
+        # P(q1,s1,1)+P(q1,s2,1)+P(q1,s3,1) = P(q1, 1) = 2/10.
+        match = [
+            e
+            for e in qi
+            if e.expression.coefficient(
+                next(iter(e.expression.terms))
+            )
+            and {t.qi for t in e.expression.terms} == {Q1}
+            and {t.bucket for t in e.expression.terms} == {0}
+        ]
+        assert len(match) == 1
+        assert match[0].constant == pytest.approx(0.2)
+
+    def test_sa_invariant_constant_example(self, published):
+        # P(q1,s4,2)+P(q3,s4,2)+P(q4,s4,2) = P(s4, 2) = 1/10.
+        sa = build_sa_invariants(published)
+        match = [
+            e
+            for e in sa
+            if {t.sa for t in e.expression.terms} == {"HIV"}
+            and {t.bucket for t in e.expression.terms} == {1}
+        ]
+        assert len(match) == 1
+        assert match[0].constant == pytest.approx(0.1)
+
+    def test_zero_invariants_enumerated(self, published):
+        zeros = build_zero_invariants(published)
+        # All (q, s, b) over the 6 x 5 published universe minus valid ones:
+        # 3 buckets x 30 combos - 27 valid = 63.
+        assert len(zeros) == 63
+        assert all(e.constant == 0.0 for e in zeros)
+
+
+class TestCompleteness:
+    """Theorem 2: is_invariant accepts exactly the invariant expressions."""
+
+    def test_single_term_not_invariant(self, published):
+        expr = ProbabilityExpression.term(Q1, S1, 0)
+        assert not is_invariant(expr, published)
+        assert not brute_force_is_invariant(expr, published)
+
+    def test_base_invariants_accepted(self, published):
+        for equation in build_qi_invariants(published):
+            assert is_invariant(equation.expression, published)
+        for equation in build_sa_invariants(published):
+            assert is_invariant(equation.expression, published)
+
+    def test_linear_combination_accepted(self, published):
+        qi = build_qi_invariants(published)
+        combo = qi[0].expression + 2.5 * qi[1].expression
+        assert is_invariant(combo, published)
+
+    def test_cross_bucket_sum_accepted(self, published):
+        # Lemma 1: sums of per-bucket invariants are invariants.
+        qi = build_qi_invariants(published)
+        sa = build_sa_invariants(published)
+        combo = qi[0].expression - 0.5 * sa[-1].expression
+        assert is_invariant(combo, published)
+
+    def test_zero_invariant_terms_ignored(self, published):
+        # Adding a Zero-invariant term does not break invariance.
+        qi = build_qi_invariants(published)
+        expr = qi[0].expression + ProbabilityExpression.term(Q1, S2, 2)
+        assert is_invariant(expr, published)
+
+    def test_figure3_f_expression_rejected(self, published):
+        # The running counterexample: F = P(q1, s1, 1) + a mix that is not
+        # in the invariant row space.
+        expr = (
+            ProbabilityExpression.term(Q1, S1, 0)
+            + ProbabilityExpression.term(Q2, S2, 0)
+            - ProbabilityExpression.term(Q3, S3, 0)
+        )
+        assert is_invariant(expr, published) == brute_force_is_invariant(
+            expr, published
+        )
+
+    def test_agrees_with_brute_force_on_random_expressions(self):
+        rng = np.random.default_rng(7)
+        _table, published, _ids = random_published(
+            rng, n_buckets=2, max_bucket_size=3
+        )
+        # Build random expressions over valid triples and compare deciders.
+        triples = []
+        for bucket in published.buckets:
+            for q in bucket.distinct_qi():
+                for s in bucket.distinct_sa():
+                    triples.append((q, s, bucket.index))
+        for _ in range(30):
+            expr = ProbabilityExpression.zero()
+            for q, s, b in triples:
+                coefficient = float(rng.integers(-1, 2))
+                if coefficient:
+                    expr = expr + ProbabilityExpression.term(q, s, b, coefficient)
+            if expr.is_zero():
+                continue
+            assert is_invariant(expr, published) == brute_force_is_invariant(
+                expr, published
+            )
+
+
+class TestConciseness:
+    """Theorem 3: rank of the per-bucket invariant matrix is g + h - 1."""
+
+    def test_paper_buckets(self, published):
+        for bucket in published.buckets:
+            matrix, _terms = bucket_constraint_matrix(bucket)
+            g = len(bucket.distinct_qi())
+            h = len(bucket.distinct_sa())
+            assert np.linalg.matrix_rank(matrix) == g + h - 1
+
+    def test_figure3_dependency(self, published):
+        # (C1 + C2 + C3) - (C4 + C5 + C6) = 0 for bucket 1 (g = h = 3).
+        matrix, _terms = bucket_constraint_matrix(published.bucket(0))
+        qi_sum = matrix[:3].sum(axis=0)
+        sa_sum = matrix[3:].sum(axis=0)
+        assert np.allclose(qi_sum, sa_sum)
+
+    def test_removing_any_row_leaves_independent_set(self, published):
+        matrix, _terms = bucket_constraint_matrix(published.bucket(0))
+        full_rank = np.linalg.matrix_rank(matrix)
+        for drop in range(matrix.shape[0]):
+            reduced = np.delete(matrix, drop, axis=0)
+            assert np.linalg.matrix_rank(reduced) == full_rank
+            # And the reduced set is linearly independent (minimal).
+            assert np.linalg.matrix_rank(reduced) == reduced.shape[0]
+
+    def test_random_buckets(self):
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            _table, published, _ids = random_published(
+                rng, n_buckets=1, max_bucket_size=4
+            )
+            bucket = published.bucket(0)
+            matrix, _terms = bucket_constraint_matrix(bucket)
+            g = len(bucket.distinct_qi())
+            h = len(bucket.distinct_sa())
+            assert np.linalg.matrix_rank(matrix) == g + h - 1

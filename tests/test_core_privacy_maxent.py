@@ -1,0 +1,141 @@
+"""Unit tests for the PrivacyMaxEnt engine and the assess() workflow."""
+
+import pytest
+
+from repro.core.privacy_maxent import PrivacyMaxEnt, assess, baseline_posterior
+from repro.core.report import PrivacyAssessment, render_assessments
+from repro.data.paper_example import Q1, S1, S2, paper_published, paper_table
+from repro.errors import ReproError
+from repro.knowledge.bounds import TopKBound
+from repro.knowledge.individuals import IndividualProbability, PseudonymTable
+from repro.knowledge.mining import MiningConfig
+from repro.knowledge.statements import ConditionalProbability
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+from repro.maxent.solver import MaxEntConfig
+
+
+class TestEngineConstruction:
+    def test_group_space_by_default(self):
+        engine = PrivacyMaxEnt(paper_published())
+        assert isinstance(engine.space, GroupVariableSpace)
+        assert engine.pseudonyms is None
+
+    def test_individuals_flag(self):
+        engine = PrivacyMaxEnt(paper_published(), individuals=True)
+        assert isinstance(engine.space, PersonVariableSpace)
+        assert engine.pseudonyms is not None
+
+    def test_individual_statement_auto_switches(self):
+        pseudonyms = PseudonymTable(paper_published())
+        alice = pseudonyms.assign(Q1)
+        engine = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[
+                IndividualProbability(person=alice, sa_value=S1, probability=0.2)
+            ],
+        )
+        assert isinstance(engine.space, PersonVariableSpace)
+
+    def test_n_knowledge_rows(self):
+        engine = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[
+                ConditionalProbability(
+                    given={"gender": "male"}, sa_value=S2, probability=0.3
+                )
+            ],
+        )
+        assert engine.n_knowledge_rows == 1
+
+    def test_solution_cached(self):
+        engine = PrivacyMaxEnt(paper_published())
+        first = engine.solve()
+        assert engine.solve() is first
+        assert engine.solve(force=True) is not first
+
+    def test_person_engine_rejects_group_posterior(self):
+        engine = PrivacyMaxEnt(paper_published(), individuals=True)
+        with pytest.raises(ReproError):
+            engine.posterior()
+
+    def test_group_engine_rejects_person_posterior(self):
+        engine = PrivacyMaxEnt(paper_published())
+        with pytest.raises(ReproError):
+            engine.person_posterior()
+
+
+class TestBaselinePosterior:
+    def test_matches_engine(self):
+        direct = baseline_posterior(paper_published())
+        engine = PrivacyMaxEnt(paper_published()).posterior()
+        for q in engine.qi_tuples:
+            for s in engine.sa_domain:
+                assert direct.prob(q, s) == pytest.approx(engine.prob(q, s))
+
+
+class TestAssess:
+    def test_full_workflow(self):
+        table = paper_table()
+        published = paper_published()
+        bounds = [TopKBound(0, 0), TopKBound(3, 3), TopKBound(10, 10)]
+        assessments = assess(
+            table,
+            published,
+            bounds,
+            mining=MiningConfig(min_support_count=1, max_antecedent=2),
+        )
+        assert len(assessments) == 3
+        assert all(isinstance(a, PrivacyAssessment) for a in assessments)
+        # Accuracy must not increase as the bound grows (more knowledge).
+        accuracies = [a.estimation_accuracy for a in assessments]
+        assert accuracies[0] >= accuracies[1] - 1e-9
+        assert accuracies[1] >= accuracies[2] - 1e-9
+
+    def test_zero_bound_has_no_constraints(self):
+        assessments = assess(
+            paper_table(),
+            paper_published(),
+            [TopKBound(0, 0)],
+            mining=MiningConfig(min_support_count=1, max_antecedent=1),
+        )
+        assert assessments[0].n_constraints == 0
+        assert assessments[0].stats.iterations == 0  # pure closed form
+
+    def test_render(self):
+        assessments = assess(
+            paper_table(),
+            paper_published(),
+            [TopKBound(2, 2)],
+            mining=MiningConfig(min_support_count=1, max_antecedent=1),
+        )
+        text = render_assessments(assessments, title="T")
+        assert "est_accuracy" in text
+        assert "Top-(2+, 2-)" in text
+
+    def test_custom_solver_config(self):
+        assessments = assess(
+            paper_table(),
+            paper_published(),
+            [TopKBound(2, 2)],
+            mining=MiningConfig(min_support_count=1, max_antecedent=1),
+            config=MaxEntConfig(decompose=False),
+        )
+        assert assessments[0].stats.n_components == 1
+
+    def test_exclude_sa(self):
+        with_exclusion = assess(
+            paper_table(),
+            paper_published(),
+            [TopKBound(0, 0)],
+            mining=MiningConfig(min_support_count=1, max_antecedent=1),
+            exclude_sa=frozenset({"Flu"}),
+        )
+        without = assess(
+            paper_table(),
+            paper_published(),
+            [TopKBound(0, 0)],
+            mining=MiningConfig(min_support_count=1, max_antecedent=1),
+        )
+        assert (
+            with_exclusion[0].max_disclosure <= without[0].max_disclosure
+        )

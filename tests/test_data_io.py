@@ -1,0 +1,55 @@
+"""Unit tests for CSV round-trip."""
+
+import pytest
+
+from repro.data.io import read_csv, write_csv
+from repro.data.paper_example import paper_schema, paper_table
+from repro.errors import SchemaError
+
+
+class TestRoundTrip:
+    def test_preserves_records(self, tmp_path):
+        table = paper_table()
+        path = tmp_path / "d.csv"
+        write_csv(table, path)
+        loaded = read_csv(path, paper_schema())
+        assert loaded.n_rows == table.n_rows
+        assert loaded.records() == table.records()
+
+    def test_header_only_for_empty_check(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path, paper_schema())
+
+    def test_header_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(SchemaError, match="mismatch"):
+            read_csv(path, paper_schema())
+
+    def test_ragged_row_rejected(self, tmp_path):
+        table = paper_table()
+        path = tmp_path / "d.csv"
+        write_csv(table, path)
+        with path.open("a") as handle:
+            handle.write("male,college\n")  # one field short
+        with pytest.raises(SchemaError, match="expected 3 fields"):
+            read_csv(path, paper_schema())
+
+    def test_column_order_independent(self, tmp_path):
+        # read_csv must use the header, not positional order.
+        path = tmp_path / "d.csv"
+        path.write_text(
+            "disease,gender,degree\nFlu,male,college\n"
+        )
+        loaded = read_csv(path, paper_schema())
+        assert loaded.record(0) == {
+            "gender": "male", "degree": "college", "disease": "Flu",
+        }
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "d.csv"
+        path.write_text("gender,degree,disease\nmale,college,Flu\n\n")
+        loaded = read_csv(path, paper_schema())
+        assert loaded.n_rows == 1

@@ -1,0 +1,66 @@
+"""Tests for the paper-example fixture module itself."""
+
+import pytest
+
+from repro.data.paper_example import (
+    DISEASES,
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    Q5,
+    Q6,
+    RECORDS,
+    S1,
+    S2,
+    S3,
+    S4,
+    S5,
+    paper_published,
+    paper_schema,
+    paper_table,
+)
+
+
+class TestFixtureConsistency:
+    def test_ten_records(self):
+        assert len(RECORDS) == 10
+        assert paper_table().n_rows == 10
+
+    def test_schema_roles(self):
+        schema = paper_schema()
+        assert schema.qi_attributes == ("gender", "degree")
+        assert schema.sa_attribute == "disease"
+        assert schema.sa.domain == DISEASES
+
+    def test_abstract_symbols_cover_all_qi(self):
+        table = paper_table()
+        distinct = set(table.qi_tuples())
+        assert distinct == {Q1, Q2, Q3, Q4, Q5, Q6}
+
+    def test_abstract_symbols_cover_all_sa(self):
+        table = paper_table()
+        assert set(table.sa_labels()) == {S1, S2, S3, S4, S5}
+
+    def test_disease_counts(self):
+        counts = paper_table().value_counts("disease")
+        assert counts[S2] == 3  # Flu: Allen, David, James
+        assert counts[S1] == 2  # Breast Cancer: Cathy, Grace
+        assert counts[S3] == 2  # Pneumonia: Brian, Frank
+        assert counts[S4] == 2  # HIV: Ethan, Helen
+        assert counts[S5] == 1  # Lung Cancer: Iris
+
+    def test_bucket_structure(self):
+        published = paper_published()
+        assert [b.size for b in published.buckets] == [4, 3, 3]
+
+    def test_gender_marginal_matches_section41(self):
+        # The Section 4.1 example uses P(male) = 6/10.
+        counts = paper_table().value_counts("gender")
+        assert counts["male"] == 6
+        assert counts["female"] == 4
+
+    def test_fixture_is_fresh_per_call(self):
+        # Tables are independent objects (no shared mutable state).
+        assert paper_table() is not paper_table()
+        assert paper_published() is not paper_published()

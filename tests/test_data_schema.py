@@ -1,0 +1,117 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.errors import DomainError, SchemaError
+
+
+def make_schema(**overrides):
+    kwargs = dict(
+        attributes=(
+            Attribute("name", ("a", "b")),
+            Attribute("gender", ("male", "female")),
+            Attribute("disease", ("flu", "hiv")),
+        ),
+        qi_attributes=("gender",),
+        sa_attribute="disease",
+        id_attributes=("name",),
+    )
+    kwargs.update(overrides)
+    return Schema(**kwargs)
+
+
+class TestAttribute:
+    def test_code_label_roundtrip(self):
+        attr = Attribute("color", ("red", "green", "blue"))
+        for code, label in enumerate(attr.domain):
+            assert attr.code_of(label) == code
+            assert attr.label_of(code) == label
+
+    def test_size(self):
+        assert Attribute("x", ("a", "b", "c")).size == 3
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(DomainError):
+            Attribute("x", ("a",)).code_of("zzz")
+
+    def test_out_of_range_code_rejected(self):
+        with pytest.raises(DomainError):
+            Attribute("x", ("a",)).label_of(5)
+
+    def test_duplicate_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", ("a", "a"))
+
+    def test_empty_domain_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("x", ())
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Attribute("", ("a",))
+
+
+class TestSchema:
+    def test_roles_resolved(self):
+        schema = make_schema()
+        assert schema.sa.name == "disease"
+        assert [a.name for a in schema.qi] == ["gender"]
+        assert schema.is_qi("gender")
+        assert not schema.is_qi("disease")
+
+    def test_qi_index(self):
+        schema = make_schema()
+        assert schema.qi_index("gender") == 0
+        with pytest.raises(SchemaError):
+            schema.qi_index("disease")
+
+    def test_attribute_lookup_unknown(self):
+        with pytest.raises(SchemaError):
+            make_schema().attribute("nope")
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(
+                attributes=(
+                    Attribute("gender", ("male", "female")),
+                    Attribute("gender", ("m", "f")),
+                    Attribute("disease", ("flu", "hiv")),
+                )
+            )
+
+    def test_unknown_qi_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(qi_attributes=("zip",))
+
+    def test_unknown_sa_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(sa_attribute="zip")
+
+    def test_role_overlap_rejected(self):
+        with pytest.raises(SchemaError):
+            make_schema(qi_attributes=("gender", "disease"))
+
+    def test_needs_qi(self):
+        with pytest.raises(SchemaError):
+            make_schema(qi_attributes=())
+
+    def test_without_ids(self):
+        schema = make_schema()
+        stripped = schema.without_ids()
+        assert stripped.id_attributes == ()
+        assert "name" not in stripped.attribute_names
+        assert stripped.sa_attribute == "disease"
+
+    def test_without_ids_noop_when_no_ids(self):
+        schema = make_schema(
+            attributes=(
+                Attribute("gender", ("male", "female")),
+                Attribute("disease", ("flu", "hiv")),
+            ),
+            id_attributes=(),
+        )
+        assert schema.without_ids() is schema
+
+    def test_qi_domain_sizes(self):
+        assert make_schema().qi_domain_sizes() == (2,)

@@ -1,0 +1,94 @@
+"""Unit tests for the generic synthetic generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
+from repro.errors import ReproError
+
+
+class TestConfigValidation:
+    def test_defaults_valid(self):
+        config = SyntheticConfig(n_records=100)
+        assert config.n_sa_values == 8
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"n_records": 0},
+            {"qi_domain_sizes": ()},
+            {"qi_domain_sizes": (1, 4)},
+            {"n_sa_values": 1},
+            {"correlation": 1.5},
+            {"n_influencers": 0},
+            {"n_influencers": 9},
+        ],
+    )
+    def test_invalid_configs_rejected(self, overrides):
+        kwargs = dict(n_records=100)
+        kwargs.update(overrides)
+        with pytest.raises(ReproError):
+            SyntheticConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_shape_and_schema(self):
+        config = SyntheticConfig(
+            n_records=200, qi_domain_sizes=(3, 4, 2), n_sa_values=5, seed=1
+        )
+        table = generate_synthetic(config)
+        assert table.n_rows == 200
+        assert len(table.schema.qi_attributes) == 3
+        assert table.schema.sa.size == 5
+
+    def test_deterministic(self):
+        config = SyntheticConfig(n_records=150, seed=9)
+        a = generate_synthetic(config)
+        b = generate_synthetic(config)
+        for name in a.schema.attribute_names:
+            assert np.array_equal(a.column(name), b.column(name))
+
+    def test_correlation_zero_is_nearly_independent(self):
+        # With correlation 0, the SA distribution conditioned on the first
+        # QI value should be close to the global one.
+        config = SyntheticConfig(
+            n_records=20000,
+            qi_domain_sizes=(2, 2),
+            n_sa_values=4,
+            correlation=0.0,
+            seed=3,
+        )
+        table = generate_synthetic(config)
+        q0 = table.column("q0")
+        sa = table.column("sa")
+        global_dist = np.bincount(sa, minlength=4) / len(sa)
+        cond = np.bincount(sa[q0 == 0], minlength=4) / (q0 == 0).sum()
+        assert np.abs(cond - global_dist).max() < 0.03
+
+    def test_correlation_one_is_concentrated(self):
+        # With correlation 1, each influencing configuration should have a
+        # dominant SA value (dirichlet(0.25) draws are spiky).
+        config = SyntheticConfig(
+            n_records=20000,
+            qi_domain_sizes=(2, 2),
+            n_sa_values=6,
+            correlation=1.0,
+            n_influencers=2,
+            seed=4,
+        )
+        table = generate_synthetic(config)
+        q0, q1, sa = table.column("q0"), table.column("q1"), table.column("sa")
+        key = q0 * 2 + q1
+        top_shares = []
+        for value in range(4):
+            rows = sa[key == value]
+            top_shares.append(np.bincount(rows, minlength=6).max() / len(rows))
+        assert max(top_shares) > 0.5
+
+    def test_skew_zero_near_uniform_marginal(self):
+        config = SyntheticConfig(
+            n_records=30000, qi_domain_sizes=(5,), skew=0.0, seed=5
+        )
+        table = generate_synthetic(config)
+        counts = np.bincount(table.column("q0"), minlength=5) / 30000
+        assert np.abs(counts - 0.2).max() < 0.02

@@ -1,0 +1,160 @@
+"""Unit tests for repro.data.table."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.errors import DomainError, SchemaError
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        attributes=(
+            Attribute("gender", ("male", "female")),
+            Attribute("degree", ("college", "hs")),
+            Attribute("disease", ("flu", "hiv", "cancer")),
+        ),
+        qi_attributes=("gender", "degree"),
+        sa_attribute="disease",
+    )
+
+
+@pytest.fixture
+def table(schema):
+    return Table.from_records(
+        schema,
+        [
+            {"gender": "male", "degree": "college", "disease": "flu"},
+            {"gender": "male", "degree": "college", "disease": "hiv"},
+            {"gender": "female", "degree": "hs", "disease": "cancer"},
+        ],
+    )
+
+
+class TestConstruction:
+    def test_from_records_roundtrip(self, table):
+        assert table.n_rows == 3
+        assert table.record(0) == {
+            "gender": "male", "degree": "college", "disease": "flu",
+        }
+
+    def test_from_codes_validates_range(self, schema):
+        with pytest.raises(DomainError):
+            Table.from_codes(
+                schema,
+                {
+                    "gender": np.array([5]),
+                    "degree": np.array([0]),
+                    "disease": np.array([0]),
+                },
+            )
+
+    def test_missing_column_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table.from_codes(schema, {"gender": np.array([0])})
+
+    def test_extra_column_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table.from_codes(
+                schema,
+                {
+                    "gender": np.array([0]),
+                    "degree": np.array([0]),
+                    "disease": np.array([0]),
+                    "bonus": np.array([0]),
+                },
+            )
+
+    def test_unequal_lengths_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table.from_codes(
+                schema,
+                {
+                    "gender": np.array([0, 1]),
+                    "degree": np.array([0]),
+                    "disease": np.array([0]),
+                },
+            )
+
+    def test_record_missing_attribute_rejected(self, schema):
+        with pytest.raises(SchemaError):
+            Table.from_records(schema, [{"gender": "male"}])
+
+    def test_unknown_label_rejected(self, schema):
+        with pytest.raises(DomainError):
+            Table.from_records(
+                schema,
+                [{"gender": "male", "degree": "college", "disease": "plague"}],
+            )
+
+    def test_columns_read_only(self, table):
+        with pytest.raises(ValueError):
+            table.column("gender")[0] = 1
+
+
+class TestViews:
+    def test_qi_tuples(self, table):
+        assert table.qi_tuples() == [
+            ("male", "college"),
+            ("male", "college"),
+            ("female", "hs"),
+        ]
+
+    def test_qi_tuple_single(self, table):
+        assert table.qi_tuple(2) == ("female", "hs")
+
+    def test_sa_labels(self, table):
+        assert table.sa_labels() == ["flu", "hiv", "cancer"]
+
+    def test_qi_codes_shape(self, table):
+        assert table.qi_codes().shape == (3, 2)
+
+    def test_record_out_of_range(self, table):
+        with pytest.raises(IndexError):
+            table.record(99)
+
+    def test_len(self, table):
+        assert len(table) == 3
+
+
+class TestStatistics:
+    def test_value_counts(self, table):
+        assert table.value_counts("gender") == {"male": 2, "female": 1}
+
+    def test_qi_counts(self, table):
+        counts = table.qi_counts()
+        assert counts[("male", "college")] == 2
+        assert counts[("female", "hs")] == 1
+
+    def test_joint_counts(self, table):
+        joint = table.joint_counts()
+        assert joint[(("male", "college"), "flu")] == 1
+        assert joint[(("male", "college"), "hiv")] == 1
+
+
+class TestTransforms:
+    def test_select_rows(self, table):
+        subset = table.select([2, 0])
+        assert subset.n_rows == 2
+        assert subset.record(0)["disease"] == "cancer"
+        assert subset.record(1)["disease"] == "flu"
+
+    def test_without_ids_drops_column(self):
+        schema = Schema(
+            attributes=(
+                Attribute("ssn", ("1", "2")),
+                Attribute("gender", ("male", "female")),
+                Attribute("disease", ("flu", "hiv")),
+            ),
+            qi_attributes=("gender",),
+            sa_attribute="disease",
+            id_attributes=("ssn",),
+        )
+        table = Table.from_records(
+            schema, [{"ssn": "1", "gender": "male", "disease": "flu"}]
+        )
+        stripped = table.without_ids()
+        assert "ssn" not in stripped.schema.attribute_names
+        assert stripped.n_rows == 1

@@ -1,0 +1,126 @@
+"""Tests for the inequality group-count statements (end of Section 6)."""
+
+import pytest
+
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.data.paper_example import Q1, Q2, Q5, S4, paper_published
+from repro.errors import KnowledgeError
+from repro.knowledge.compiler import compile_statements
+from repro.knowledge.individuals import (
+    GroupCount,
+    GroupCountAtLeast,
+    GroupCountAtMost,
+    PseudonymTable,
+)
+from repro.maxent.indexing import PersonVariableSpace
+
+
+@pytest.fixture(scope="module")
+def pseudonyms():
+    return PseudonymTable(paper_published())
+
+
+@pytest.fixture(scope="module")
+def trio(pseudonyms):
+    return (
+        pseudonyms.assign(Q1),  # Alice
+        pseudonyms.assign(Q2),  # Bob
+        pseudonyms.assign(Q5),  # Charlie
+    )
+
+
+class TestValidation:
+    def test_at_least_validates_like_exact(self, trio):
+        with pytest.raises(KnowledgeError):
+            GroupCountAtLeast(persons=trio, sa_value=S4, count=4)
+        with pytest.raises(KnowledgeError):
+            GroupCountAtLeast(persons=(), sa_value=S4, count=1)
+
+    def test_at_most_allows_zero(self, trio):
+        statement = GroupCountAtMost(persons=trio, sa_value=S4, count=0)
+        assert "at most 0" in statement.describe()
+
+    def test_at_most_rejects_negative(self, trio):
+        with pytest.raises(KnowledgeError):
+            GroupCountAtMost(persons=trio, sa_value=S4, count=-1)
+
+
+class TestCompilation:
+    def test_at_least_compiles_to_negated_inequality(self, pseudonyms, trio):
+        space = PersonVariableSpace(pseudonyms)
+        system = compile_statements(
+            [GroupCountAtLeast(persons=trio, sa_value=S4, count=2)], space
+        )
+        assert system.n_equalities == 0
+        assert system.n_inequalities == 1
+        row = system.inequalities[0]
+        assert row.rhs == pytest.approx(-0.2)
+        assert all(c == -1.0 for c in row.coefficients)
+
+    def test_at_most_compiles_to_plain_inequality(self, pseudonyms, trio):
+        space = PersonVariableSpace(pseudonyms)
+        system = compile_statements(
+            [GroupCountAtMost(persons=trio, sa_value=S4, count=1)], space
+        )
+        assert system.n_inequalities == 1
+        assert system.inequalities[0].rhs == pytest.approx(0.1)
+
+
+class TestSolving:
+    def probabilities(self, engine, trio):
+        posterior = engine.person_posterior()
+        return [posterior[person.name].get(S4, 0.0) for person in trio]
+
+    def test_at_least_two_binds(self, trio):
+        """Unconstrained, the trio's expected HIV count is < 2; 'at least
+        two' must therefore bind and push the sum to exactly 2/N."""
+        baseline = PrivacyMaxEnt(paper_published(), individuals=True)
+        base_total = sum(self.probabilities(baseline, trio))
+        assert base_total < 2.0
+
+        engine = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[GroupCountAtLeast(persons=trio, sa_value=S4, count=2)],
+        )
+        total = sum(self.probabilities(engine, trio))
+        assert total == pytest.approx(2.0, abs=1e-5)
+
+    def test_at_most_slack_when_not_binding(self, trio):
+        """'At most two' is weaker than the unconstrained expectation, so
+        the solution must match the baseline."""
+        baseline = PrivacyMaxEnt(paper_published(), individuals=True)
+        base = self.probabilities(baseline, trio)
+
+        engine = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[GroupCountAtMost(persons=trio, sa_value=S4, count=2)],
+        )
+        constrained = self.probabilities(engine, trio)
+        for a, b in zip(base, constrained):
+            assert a == pytest.approx(b, abs=1e-5)
+
+    def test_at_most_zero_forbids(self, trio):
+        engine = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[GroupCountAtMost(persons=trio, sa_value=S4, count=0)],
+        )
+        for value in self.probabilities(engine, trio):
+            assert value == pytest.approx(0.0, abs=1e-8)
+
+    def test_sandwich_matches_exact(self, trio):
+        """At-least-k plus at-most-k must reproduce the exact GroupCount."""
+        exact = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[GroupCount(persons=trio, sa_value=S4, count=2)],
+        )
+        sandwich = PrivacyMaxEnt(
+            paper_published(),
+            knowledge=[
+                GroupCountAtLeast(persons=trio, sa_value=S4, count=2),
+                GroupCountAtMost(persons=trio, sa_value=S4, count=2),
+            ],
+        )
+        for a, b in zip(
+            self.probabilities(exact, trio), self.probabilities(sandwich, trio)
+        ):
+            assert a == pytest.approx(b, abs=1e-5)

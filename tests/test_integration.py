@@ -1,0 +1,120 @@
+"""End-to-end integration tests on the Adult-shaped pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.accuracy import estimation_accuracy
+from repro.core.metrics import max_disclosure
+from repro.core.privacy_maxent import PrivacyMaxEnt, assess
+from repro.core.quantifier import PosteriorTable
+from repro.knowledge.bounds import TopKBound
+from repro.maxent.solver import MaxEntConfig
+
+
+class TestAdultPipeline:
+    """The paper's Section 7 pipeline at test scale, shared via fixtures."""
+
+    def test_bucketization_is_exact_partition(
+        self, adult_small, adult_small_published
+    ):
+        assert adult_small_published.n_records == adult_small.n_rows
+        assert adult_small_published.n_buckets == adult_small.n_rows // 5
+
+    def test_rule_universe_nontrivial(self, adult_small_rules):
+        assert adult_small_rules.n_positive > 100
+        assert adult_small_rules.n_negative > 100
+        # Confidence-1 negative rules must exist (the Breast-Cancer kind).
+        assert adult_small_rules.negative[0].confidence == 1.0
+
+    def test_accuracy_decreases_monotonically_in_k(
+        self, adult_small, adult_small_published, adult_small_rules
+    ):
+        truth = PosteriorTable.from_table(adult_small)
+        accuracies = []
+        for k in (0, 20, 80, 320):
+            engine = PrivacyMaxEnt(
+                adult_small_published,
+                knowledge=TopKBound(k // 2, k - k // 2).statements(
+                    adult_small_rules
+                ),
+                config=MaxEntConfig(raise_on_infeasible=False),
+            )
+            accuracies.append(estimation_accuracy(truth, engine.posterior()))
+        assert all(np.isfinite(accuracies))
+        for earlier, later in zip(accuracies, accuracies[1:]):
+            assert later <= earlier + 1e-6, accuracies
+
+    def test_mixed_bound_strictly_informative(
+        self, adult_small, adult_small_published, adult_small_rules
+    ):
+        truth = PosteriorTable.from_table(adult_small)
+        baseline = PrivacyMaxEnt(adult_small_published).posterior()
+        informed = PrivacyMaxEnt(
+            adult_small_published,
+            knowledge=TopKBound(50, 50).statements(adult_small_rules),
+            config=MaxEntConfig(raise_on_infeasible=False),
+        ).posterior()
+        assert estimation_accuracy(truth, informed) < estimation_accuracy(
+            truth, baseline
+        )
+
+    def test_disclosure_never_decreases_with_knowledge(
+        self, adult_small_published, adult_small_rules
+    ):
+        baseline = PrivacyMaxEnt(adult_small_published).posterior()
+        informed = PrivacyMaxEnt(
+            adult_small_published,
+            knowledge=TopKBound(40, 40).statements(adult_small_rules),
+            config=MaxEntConfig(raise_on_infeasible=False),
+        ).posterior()
+        # Not a theorem pointwise, but with confidence-1 rules in the mix
+        # the max disclosure can only have grown here.
+        assert max_disclosure(informed) >= max_disclosure(baseline) - 1e-9
+
+    def test_constraints_satisfied_at_scale(
+        self, adult_small_published, adult_small_rules
+    ):
+        engine = PrivacyMaxEnt(
+            adult_small_published,
+            knowledge=TopKBound(100, 100).statements(adult_small_rules),
+            config=MaxEntConfig(raise_on_infeasible=False),
+        )
+        solution = engine.solve()
+        residual = engine.system.residual(solution.p)
+        assert residual < 1e-5
+        assert solution.total_mass() == pytest.approx(1.0, abs=1e-6)
+
+    def test_assess_workflow(self, adult_small, adult_small_published, adult_small_rules):
+        assessments = assess(
+            adult_small,
+            adult_small_published,
+            [TopKBound(0, 0), TopKBound(30, 30)],
+            rules=adult_small_rules,
+            config=MaxEntConfig(raise_on_infeasible=False),
+        )
+        assert len(assessments) == 2
+        assert (
+            assessments[1].estimation_accuracy
+            <= assessments[0].estimation_accuracy
+        )
+        assert assessments[1].n_constraints > 0
+
+
+class TestCrossSubstrateIntegration:
+    def test_mondrian_release_quantified(self, adult_small):
+        from repro.anonymize.mondrian import mondrian_anonymize
+
+        published = mondrian_anonymize(adult_small, k=60).to_buckets()
+        engine = PrivacyMaxEnt(published)
+        posterior = engine.posterior()
+        assert np.allclose(posterior.matrix.sum(axis=1), 1.0, atol=1e-7)
+
+    def test_randomized_release_reconstruction(self, adult_small):
+        from repro.anonymize.randomize import (
+            randomized_response,
+            reconstruct_distribution,
+        )
+
+        noisy = randomized_response(adult_small, 0.5, seed=1)
+        estimate = reconstruct_distribution(noisy, 0.5)
+        assert estimate.sum() == pytest.approx(1.0)

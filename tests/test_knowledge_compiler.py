@@ -1,0 +1,204 @@
+"""Unit tests for statement -> constraint-row compilation (Sections 4.1, 6)."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import (
+    Q1,
+    Q3,
+    Q6,
+    S1,
+    S2,
+    S4,
+    paper_published,
+)
+from repro.errors import CompilationError, InfeasibleKnowledgeError
+from repro.knowledge.compiler import compile_statements
+from repro.knowledge.individuals import (
+    GroupCount,
+    IndividualDisjunction,
+    IndividualProbability,
+    PseudonymTable,
+)
+from repro.knowledge.statements import (
+    Comparison,
+    ConditionalInterval,
+    ConditionalProbability,
+    JointProbability,
+)
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return GroupVariableSpace(paper_published())
+
+
+@pytest.fixture(scope="module")
+def person_space():
+    return PersonVariableSpace(PseudonymTable(paper_published()))
+
+
+class TestSection41WorkedExample:
+    """The paper's P(Flu | male) = 0.3 example compiles to rhs 0.18."""
+
+    def test_rhs_is_030_times_p_male(self, space):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value=S2, probability=0.3
+        )
+        system = compile_statements([stmt], space)
+        assert system.n_equalities == 1
+        row = system.equalities[0]
+        # 0.3 * P(male) = 0.3 * 6/10 = 0.18 (the paper's constant).
+        assert row.rhs == pytest.approx(0.18)
+
+    def test_summation_set(self, space):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value=S2, probability=0.3
+        )
+        system = compile_statements([stmt], space)
+        row = system.equalities[0]
+        triples = {space.describe_var(int(i)) for i in row.indices}
+        # The paper lists four terms, one of which — P((male, college),
+        # Flu, bucket 3) — is a Zero-invariant (q1 does not occur in bucket
+        # 3), so the live summation set has the remaining three.
+        assert triples == {(Q1, S2, 0), (Q3, S2, 0), (Q6, S2, 2)}
+        assert np.all(row.coefficients == 1.0)
+
+    def test_zero_probability_statement(self, space):
+        # The Breast-Cancer rule: P(s1 | male) = 0.
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value=S1, probability=0.0
+        )
+        system = compile_statements([stmt], space)
+        assert system.n_equalities == 1
+        assert system.equalities[0].rhs == 0.0
+
+
+class TestDataStatementErrors:
+    def test_unknown_attribute(self, space):
+        stmt = ConditionalProbability(
+            given={"zipcode": "13244"}, sa_value=S2, probability=0.5
+        )
+        with pytest.raises(CompilationError, match="not a QI attribute"):
+            compile_statements([stmt], space)
+
+    def test_absent_population(self, space):
+        stmt = ConditionalProbability(
+            given={"gender": "male", "degree": "junior"},
+            sa_value=S2,
+            probability=0.5,
+        )
+        with pytest.raises(CompilationError, match="matches no published record"):
+            compile_statements([stmt], space)
+
+    def test_structurally_impossible_positive_probability(self, space):
+        # No bucket contains both q4=(female, junior) and Flu.
+        stmt = ConditionalProbability(
+            given={"gender": "female", "degree": "junior"},
+            sa_value=S2,
+            probability=0.5,
+        )
+        with pytest.raises(InfeasibleKnowledgeError):
+            compile_statements([stmt], space)
+
+    def test_zero_probability_on_empty_set_is_vacuous(self, space):
+        stmt = ConditionalProbability(
+            given={"gender": "female", "degree": "junior"},
+            sa_value=S2,
+            probability=0.0,
+        )
+        system = compile_statements([stmt], space)
+        assert system.n_equalities == 0
+
+    def test_unknown_sa_value_with_positive_probability(self, space):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value="Malaria", probability=0.2
+        )
+        with pytest.raises(InfeasibleKnowledgeError):
+            compile_statements([stmt], space)
+
+
+class TestJointAndInequality:
+    def test_joint_probability_rhs_direct(self, space):
+        stmt = JointProbability(
+            given={"gender": "male"}, sa_value=S2, probability=0.18
+        )
+        system = compile_statements([stmt], space)
+        assert system.equalities[0].rhs == pytest.approx(0.18)
+
+    def test_interval_two_rows(self, space):
+        stmt = ConditionalInterval(
+            given={"gender": "male"}, sa_value=S2, low=0.2, high=0.4
+        )
+        system = compile_statements([stmt], space)
+        assert system.n_equalities == 0
+        assert system.n_inequalities == 2
+        upper, lower = system.inequalities
+        assert upper.rhs == pytest.approx(0.4 * 0.6)
+        # The lower bound row is negated: -sum <= -low * P(Qv).
+        assert lower.rhs == pytest.approx(-0.2 * 0.6)
+        assert np.all(lower.coefficients == -1.0)
+
+    def test_interval_with_zero_low_single_row(self, space):
+        stmt = ConditionalInterval(
+            given={"gender": "male"}, sa_value=S2, low=0.0, high=0.4
+        )
+        system = compile_statements([stmt], space)
+        assert system.n_inequalities == 1
+
+    def test_comparison_mixed_signs(self, space):
+        stmt = Comparison(
+            given={"gender": "male"},
+            more_likely=S2,
+            less_likely=S4,
+            margin=0.1,
+        )
+        system = compile_statements([stmt], space)
+        assert system.n_inequalities == 1
+        row = system.inequalities[0]
+        assert row.rhs == pytest.approx(-0.1 * 0.6)
+        assert set(np.unique(row.coefficients)) == {-1.0, 1.0}
+
+
+class TestIndividualCompilation:
+    def test_requires_person_space(self, space, person_space):
+        alice = person_space.pseudonym_table.assign(Q1)
+        stmt = IndividualProbability(person=alice, sa_value=S1, probability=0.2)
+        with pytest.raises(CompilationError, match="individual"):
+            compile_statements([stmt], space)
+
+    def test_probability_rhs_is_p_over_n(self, person_space):
+        alice = person_space.pseudonym_table.assign(Q1)
+        stmt = IndividualProbability(person=alice, sa_value=S1, probability=0.2)
+        system = compile_statements([stmt], person_space)
+        assert system.equalities[0].rhs == pytest.approx(0.2 / 10)
+
+    def test_disjunction_rhs_is_one_over_n(self, person_space):
+        alice = person_space.pseudonym_table.assign(Q1)
+        stmt = IndividualDisjunction(person=alice, sa_values=(S1, S4))
+        system = compile_statements([stmt], person_space)
+        assert system.equalities[0].rhs == pytest.approx(1 / 10)
+
+    def test_group_count_rhs(self, person_space):
+        table = person_space.pseudonym_table
+        people = (table.by_name("i1"), table.by_name("i4"), table.by_name("i9"))
+        stmt = GroupCount(persons=people, sa_value=S4, count=2)
+        system = compile_statements([stmt], person_space)
+        assert system.equalities[0].rhs == pytest.approx(2 / 10)
+
+    def test_impossible_disjunction(self, person_space):
+        # Grace (q4, bucket 2 only) can never have Flu: bucket 2 has no s2.
+        table = person_space.pseudonym_table
+        grace = table.assign(("female", "junior"))
+        stmt = IndividualDisjunction(person=grace, sa_values=(S2,))
+        with pytest.raises(InfeasibleKnowledgeError):
+            compile_statements([stmt], person_space)
+
+    def test_data_statement_on_person_space(self, person_space):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value=S2, probability=0.3
+        )
+        system = compile_statements([stmt], person_space)
+        assert system.n_equalities == 1
+        assert system.equalities[0].rhs == pytest.approx(0.18)

@@ -1,0 +1,96 @@
+"""Unit tests for probability terms, expressions and equations."""
+
+import pytest
+
+from repro.data.paper_example import Q1, Q2, S1, S2
+from repro.errors import KnowledgeError
+from repro.knowledge.expressions import (
+    LinearEquation,
+    ProbabilityExpression,
+    ProbabilityTerm,
+)
+
+
+class TestProbabilityTerm:
+    def test_equality_and_hash(self):
+        a = ProbabilityTerm(Q1, S1, 0)
+        b = ProbabilityTerm(Q1, S1, 0)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_negative_bucket_rejected(self):
+        with pytest.raises(KnowledgeError):
+            ProbabilityTerm(Q1, S1, -1)
+
+    def test_str(self):
+        assert "male" in str(ProbabilityTerm(Q1, S1, 0))
+
+
+class TestExpressionAlgebra:
+    def test_addition_merges_coefficients(self):
+        expr = ProbabilityExpression.term(Q1, S1, 0) + ProbabilityExpression.term(
+            Q1, S1, 0
+        )
+        assert expr.coefficient(ProbabilityTerm(Q1, S1, 0)) == 2.0
+
+    def test_subtraction_cancels(self):
+        expr = ProbabilityExpression.term(Q1, S1, 0) - ProbabilityExpression.term(
+            Q1, S1, 0
+        )
+        assert expr.is_zero()
+
+    def test_scalar_multiplication(self):
+        expr = 3.0 * ProbabilityExpression.term(Q1, S1, 0)
+        assert expr.coefficient(ProbabilityTerm(Q1, S1, 0)) == 3.0
+
+    def test_zero_coefficients_dropped(self):
+        expr = ProbabilityExpression({ProbabilityTerm(Q1, S1, 0): 0.0})
+        assert expr.is_zero()
+        assert expr.terms == ()
+
+    def test_equality_semantic(self):
+        a = ProbabilityExpression.term(Q1, S1, 0) + ProbabilityExpression.term(
+            Q2, S2, 1
+        )
+        b = ProbabilityExpression.term(Q2, S2, 1) + ProbabilityExpression.term(
+            Q1, S1, 0
+        )
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_buckets(self):
+        expr = ProbabilityExpression.term(Q1, S1, 0) + ProbabilityExpression.term(
+            Q2, S2, 2
+        )
+        assert expr.buckets() == {0, 2}
+
+    def test_immutability_of_coefficients_copy(self):
+        expr = ProbabilityExpression.term(Q1, S1, 0)
+        expr.coefficients[ProbabilityTerm(Q1, S1, 0)] = 99.0
+        assert expr.coefficient(ProbabilityTerm(Q1, S1, 0)) == 1.0
+
+
+class TestEvaluation:
+    def test_evaluate_with_missing_terms_as_zero(self):
+        expr = ProbabilityExpression.term(Q1, S1, 0, coefficient=2.0)
+        assert expr.evaluate({}) == 0.0
+
+    def test_evaluate_linear_combination(self):
+        expr = (
+            ProbabilityExpression.term(Q1, S1, 0)
+            + 2.0 * ProbabilityExpression.term(Q2, S2, 1)
+        )
+        joint = {(Q1, S1, 0): 0.1, (Q2, S2, 1): 0.2}
+        assert expr.evaluate(joint) == pytest.approx(0.5)
+
+
+class TestLinearEquation:
+    def test_holds(self):
+        expr = ProbabilityExpression.term(Q1, S1, 0)
+        equation = LinearEquation(expr, 0.25)
+        assert equation.holds({(Q1, S1, 0): 0.25})
+        assert not equation.holds({(Q1, S1, 0): 0.3})
+
+    def test_str(self):
+        equation = LinearEquation(ProbabilityExpression.term(Q1, S1, 0), 0.2)
+        assert "= 0.2" in str(equation)

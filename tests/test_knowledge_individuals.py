@@ -1,0 +1,87 @@
+"""Unit tests for the pseudonym model and individual statements."""
+
+import pytest
+
+from repro.data.paper_example import Q1, Q2, Q4, S1, S4, paper_published
+from repro.errors import KnowledgeError
+from repro.knowledge.individuals import (
+    GroupCount,
+    IndividualDisjunction,
+    IndividualProbability,
+    PseudonymTable,
+)
+
+
+@pytest.fixture(scope="module")
+def pseudonyms():
+    return PseudonymTable(paper_published())
+
+
+class TestPseudonymTable:
+    def test_one_pseudonym_per_record(self, pseudonyms):
+        assert pseudonyms.n_people == 10
+
+    def test_group_sizes_match_multiplicity(self, pseudonyms):
+        # q1 occurs 3 times in the whole data (Figure 4: {i1, i2, i3}).
+        assert len(pseudonyms.of_qi(Q1)) == 3
+        assert len(pseudonyms.of_qi(Q2)) == 2
+        assert len(pseudonyms.of_qi(Q4)) == 1
+
+    def test_paper_naming(self, pseudonyms):
+        # First-appearance order: q1 gets i1..i3 (Figure 4).
+        names = [p.name for p in pseudonyms.of_qi(Q1)]
+        assert names == ["i1", "i2", "i3"]
+
+    def test_unique_names(self, pseudonyms):
+        names = [p.name for p in pseudonyms.pseudonyms]
+        assert len(set(names)) == len(names)
+
+    def test_by_name(self, pseudonyms):
+        person = pseudonyms.by_name("i1")
+        assert person.qi == Q1
+        with pytest.raises(KnowledgeError):
+            pseudonyms.by_name("i999")
+
+    def test_assign(self, pseudonyms):
+        alice = pseudonyms.assign(Q1)
+        bob = pseudonyms.assign(Q1, index=1)
+        assert alice.name != bob.name
+        with pytest.raises(KnowledgeError):
+            pseudonyms.assign(Q1, index=5)
+
+    def test_unknown_qi_rejected(self, pseudonyms):
+        with pytest.raises(KnowledgeError):
+            pseudonyms.of_qi(("martian", "phd"))
+
+
+class TestStatements:
+    def test_individual_probability_valid(self, pseudonyms):
+        alice = pseudonyms.assign(Q1)
+        stmt = IndividualProbability(person=alice, sa_value=S1, probability=0.2)
+        assert "0.2" in stmt.describe()
+
+    def test_individual_probability_range(self, pseudonyms):
+        alice = pseudonyms.assign(Q1)
+        with pytest.raises(KnowledgeError):
+            IndividualProbability(person=alice, sa_value=S1, probability=1.7)
+
+    def test_disjunction_needs_values(self, pseudonyms):
+        alice = pseudonyms.assign(Q1)
+        with pytest.raises(KnowledgeError):
+            IndividualDisjunction(person=alice, sa_values=())
+
+    def test_disjunction_distinct_values(self, pseudonyms):
+        alice = pseudonyms.assign(Q1)
+        with pytest.raises(KnowledgeError):
+            IndividualDisjunction(person=alice, sa_values=(S1, S1))
+
+    def test_group_count_validation(self, pseudonyms):
+        alice = pseudonyms.assign(Q1)
+        bob = pseudonyms.assign(Q2)
+        GroupCount(persons=(alice, bob), sa_value=S4, count=1)
+        with pytest.raises(KnowledgeError):
+            GroupCount(persons=(alice, bob), sa_value=S4, count=3)
+        with pytest.raises(KnowledgeError):
+            GroupCount(persons=(alice, alice), sa_value=S4, count=1)
+        with pytest.raises(KnowledgeError):
+            GroupCount(persons=(), sa_value=S4, count=1)

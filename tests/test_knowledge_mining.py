@@ -1,0 +1,152 @@
+"""Unit tests for association-rule mining."""
+
+from collections import Counter
+
+import pytest
+
+from repro.data.paper_example import paper_table
+from repro.errors import KnowledgeError
+from repro.knowledge.mining import MiningConfig, mine_association_rules
+from repro.knowledge.rules import NegativeRule, PositiveRule
+
+
+class TestMiningConfig:
+    def test_defaults(self):
+        config = MiningConfig()
+        assert config.min_support_count == 3  # the paper's setting
+
+    def test_invalid_support(self):
+        with pytest.raises(Exception):
+            MiningConfig(min_support_count=0)
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(KnowledgeError):
+            MiningConfig(antecedent_sizes=())
+
+    def test_bad_confidence(self):
+        with pytest.raises(KnowledgeError):
+            MiningConfig(min_confidence=1.5)
+
+
+class TestMiningOnPaperExample:
+    """Hand-verifiable counts on the 10-record Figure 1 table."""
+
+    @pytest.fixture(scope="class")
+    def rules(self):
+        return mine_association_rules(
+            paper_table(),
+            MiningConfig(min_support_count=1, max_antecedent=2),
+        )
+
+    def find(self, rules, antecedent, sa_value):
+        for rule in rules:
+            if rule.antecedent == antecedent and rule.sa_value == sa_value:
+                return rule
+        return None
+
+    def test_flu_given_male(self, rules):
+        # 3 of 6 males have Flu: P(Flu | male) = 0.5.
+        rule = self.find(rules.positive, {"gender": "male"}, "Flu")
+        assert rule is not None
+        assert rule.confidence == pytest.approx(0.5)
+        assert rule.support == pytest.approx(3 / 10)
+        assert rule.antecedent_count == 6
+
+    def test_breast_cancer_negative_for_male(self, rules):
+        # No male has Breast Cancer: the paper's canonical negative rule.
+        rule = self.find(rules.negative, {"gender": "male"}, "Breast Cancer")
+        assert rule is not None
+        assert rule.confidence == pytest.approx(1.0)
+        assert rule.support == pytest.approx(6 / 10)
+
+    def test_two_attribute_antecedent(self, rules):
+        # q1 = (male, college): 3 records, 1 with Pneumonia.
+        rule = self.find(
+            rules.positive,
+            {"gender": "male", "degree": "college"},
+            "Pneumonia",
+        )
+        assert rule is not None
+        assert rule.confidence == pytest.approx(1 / 3)
+        assert rule.antecedent_count == 3
+
+    def test_sorted_by_confidence(self, rules):
+        confidences = [r.confidence for r in rules.positive]
+        assert confidences == sorted(confidences, reverse=True)
+        confidences = [r.confidence for r in rules.negative]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_rule_types(self, rules):
+        assert all(isinstance(r, PositiveRule) for r in rules.positive)
+        assert all(isinstance(r, NegativeRule) for r in rules.negative)
+
+    def test_restricted_to_size(self, rules):
+        only_one = rules.restricted_to_size(1)
+        assert all(r.size == 1 for r in only_one.positive)
+        assert all(r.size == 1 for r in only_one.negative)
+        assert only_one.n_positive < rules.n_positive
+
+
+class TestSupportThreshold:
+    def test_min_support_filters(self):
+        strict = mine_association_rules(
+            paper_table(), MiningConfig(min_support_count=3, max_antecedent=1)
+        )
+        for rule in strict.positive:
+            assert rule.support * 10 >= 3 - 1e-9
+
+    def test_min_confidence_filters(self):
+        rules = mine_association_rules(
+            paper_table(),
+            MiningConfig(
+                min_support_count=1, max_antecedent=1, min_confidence=0.5
+            ),
+        )
+        assert all(r.confidence >= 0.5 for r in rules.positive)
+        assert all(r.confidence >= 0.5 for r in rules.negative)
+
+
+class TestConsistencyWithData:
+    """Every mined rule must reproduce exact empirical frequencies."""
+
+    def test_confidence_times_antecedent_is_integer(self, adult_small):
+        rules = mine_association_rules(
+            adult_small, MiningConfig(min_support_count=3, max_antecedent=2)
+        )
+        for rule in list(rules.positive)[:200]:
+            joint = rule.confidence * rule.antecedent_count
+            assert abs(joint - round(joint)) < 1e-9
+
+    def test_counts_match_table(self, adult_small):
+        rules = mine_association_rules(
+            adult_small, MiningConfig(min_support_count=3, max_antecedent=1)
+        )
+        sexes = adult_small.labels("sex")
+        educations = adult_small.labels("education")
+        male_hs = sum(
+            1 for s, e in zip(sexes, educations)
+            if s == "Male" and e == "HS-grad"
+        )
+        males = sexes.count("Male")
+        for rule in rules.positive:
+            if rule.antecedent == {"sex": "Male"} and rule.sa_value == "HS-grad":
+                assert rule.confidence == pytest.approx(male_hs / males)
+                assert rule.antecedent_count == males
+                break
+        else:
+            pytest.fail("expected the (sex=Male => HS-grad) rule")
+
+    def test_antecedent_sizes_filter(self, adult_small):
+        rules = mine_association_rules(
+            adult_small,
+            MiningConfig(min_support_count=3, antecedent_sizes=(2,)),
+        )
+        sizes = Counter(r.size for r in rules.positive)
+        assert set(sizes) == {2}
+
+    def test_empty_table_rejected(self, paper_schema_fixture):
+        from repro.data.table import Table
+
+        empty = Table.from_records(paper_schema_fixture, [])
+        with pytest.raises(KnowledgeError):
+            mine_association_rules(empty)

@@ -1,0 +1,91 @@
+"""Direct unit tests for rule objects (repro.knowledge.rules)."""
+
+import pytest
+
+from repro.errors import KnowledgeError
+from repro.knowledge.rules import NegativeRule, PositiveRule
+from repro.knowledge.statements import ConditionalProbability
+
+
+def positive(**overrides):
+    base = dict(
+        antecedent={"sex": "Male"},
+        sa_value="HS-grad",
+        support=0.2,
+        confidence=0.4,
+        antecedent_count=100,
+    )
+    base.update(overrides)
+    return PositiveRule(**base)
+
+
+def negative(**overrides):
+    base = dict(
+        antecedent={"sex": "Male"},
+        sa_value="Preschool",
+        support=0.6,
+        confidence=1.0,
+        antecedent_count=100,
+    )
+    base.update(overrides)
+    return NegativeRule(**base)
+
+
+class TestValidation:
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(KnowledgeError):
+            positive(antecedent={})
+
+    def test_support_range(self):
+        with pytest.raises(KnowledgeError):
+            positive(support=1.5)
+
+    def test_confidence_range(self):
+        with pytest.raises(KnowledgeError):
+            positive(confidence=-0.1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(KnowledgeError):
+            positive(antecedent_count=-1)
+
+
+class TestConversion:
+    def test_positive_statement(self):
+        statement = positive().to_statement()
+        assert isinstance(statement, ConditionalProbability)
+        assert statement.probability == pytest.approx(0.4)
+        assert statement.sa_value == "HS-grad"
+
+    def test_negative_statement_complements(self):
+        statement = negative(confidence=0.9).to_statement()
+        assert statement.probability == pytest.approx(0.1)
+
+    def test_confidence_one_negative_is_zero_rule(self):
+        statement = negative(confidence=1.0).to_statement()
+        assert statement.probability == 0.0
+
+
+class TestOrderingAndDisplay:
+    def test_sort_key_orders_by_confidence_then_support(self):
+        strong = positive(confidence=0.9, support=0.1)
+        weak = positive(confidence=0.5, support=0.9)
+        assert strong.sort_key() < weak.sort_key()
+        high_support = positive(confidence=0.5, support=0.3)
+        low_support = positive(confidence=0.5, support=0.1)
+        assert high_support.sort_key() < low_support.sort_key()
+
+    def test_sort_key_deterministic_tiebreak(self):
+        a = positive(antecedent={"sex": "Male"})
+        b = positive(antecedent={"race": "White"})
+        assert (a.sort_key() < b.sort_key()) != (b.sort_key() < a.sort_key())
+
+    def test_size(self):
+        rule = positive(antecedent={"sex": "Male", "race": "White"})
+        assert rule.size == 2
+
+    def test_describe_positive(self):
+        assert "=>" in positive().describe()
+        assert "NOT" not in positive().describe()
+
+    def test_describe_negative(self):
+        assert "NOT Preschool" in negative().describe()

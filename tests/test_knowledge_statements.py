@@ -1,0 +1,107 @@
+"""Unit tests for background-knowledge statement types."""
+
+import pytest
+
+from repro.errors import KnowledgeError
+from repro.knowledge.statements import (
+    Comparison,
+    ConditionalInterval,
+    ConditionalProbability,
+    JointProbability,
+)
+
+
+class TestConditionalProbability:
+    def test_valid(self):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value="Flu", probability=0.3
+        )
+        assert stmt.is_equality
+        assert "P(Flu | gender=male) = 0.3" == stmt.describe()
+
+    def test_empty_antecedent_rejected(self):
+        with pytest.raises(KnowledgeError):
+            ConditionalProbability(given={}, sa_value="Flu", probability=0.3)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(KnowledgeError):
+            ConditionalProbability(
+                given={"gender": "male"}, sa_value="Flu", probability=1.2
+            )
+
+    def test_non_string_antecedent_rejected(self):
+        with pytest.raises(KnowledgeError):
+            ConditionalProbability(
+                given={"gender": 5}, sa_value="Flu", probability=0.3
+            )
+
+    def test_with_vagueness_clamps(self):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value="Flu", probability=0.05
+        )
+        interval = stmt.with_vagueness(0.1)
+        assert interval.low == 0.0
+        assert interval.high == pytest.approx(0.15)
+
+    def test_with_negative_vagueness_rejected(self):
+        stmt = ConditionalProbability(
+            given={"gender": "male"}, sa_value="Flu", probability=0.5
+        )
+        with pytest.raises(KnowledgeError):
+            stmt.with_vagueness(-0.1)
+
+
+class TestJointProbability:
+    def test_describe(self):
+        stmt = JointProbability(
+            given={"gender": "male"}, sa_value="Flu", probability=0.18
+        )
+        assert "gender=male" in stmt.describe()
+        assert stmt.is_equality
+
+
+class TestConditionalInterval:
+    def test_valid(self):
+        stmt = ConditionalInterval(
+            given={"gender": "male"}, sa_value="Flu", low=0.2, high=0.4
+        )
+        assert not stmt.is_equality
+        assert "0.2" in stmt.describe() and "0.4" in stmt.describe()
+
+    def test_empty_interval_rejected(self):
+        with pytest.raises(KnowledgeError):
+            ConditionalInterval(
+                given={"gender": "male"}, sa_value="Flu", low=0.5, high=0.4
+            )
+
+    def test_degenerate_interval_allowed(self):
+        ConditionalInterval(
+            given={"gender": "male"}, sa_value="Flu", low=0.3, high=0.3
+        )
+
+
+class TestComparison:
+    def test_valid(self):
+        stmt = Comparison(
+            given={"gender": "male"},
+            more_likely="Flu",
+            less_likely="HIV",
+            margin=0.1,
+        )
+        assert not stmt.is_equality
+        assert ">=" in stmt.describe()
+
+    def test_same_values_rejected(self):
+        with pytest.raises(KnowledgeError):
+            Comparison(
+                given={"gender": "male"}, more_likely="Flu", less_likely="Flu"
+            )
+
+    def test_bad_margin_rejected(self):
+        with pytest.raises(KnowledgeError):
+            Comparison(
+                given={"gender": "male"},
+                more_likely="Flu",
+                less_likely="HIV",
+                margin=2.0,
+            )

@@ -1,0 +1,122 @@
+"""Unit tests for constraint systems and the data invariant rows."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import paper_published, paper_table, RECORDS
+from repro.errors import ReproError
+from repro.knowledge.individuals import PseudonymTable
+from repro.maxent.constraints import ConstraintSystem, data_constraints
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+
+from tests.helpers import empirical_joint
+
+
+@pytest.fixture(scope="module")
+def space():
+    return GroupVariableSpace(paper_published())
+
+
+class TestConstraintSystem:
+    def test_add_and_assemble(self):
+        system = ConstraintSystem(4)
+        system.add_equality([0, 2], [1.0, 2.0], 0.5, kind="bk")
+        system.add_inequality([1], [1.0], 0.2, kind="bk")
+        a_matrix, c = system.equality_matrix()
+        g_matrix, d = system.inequality_matrix()
+        assert a_matrix.shape == (1, 4)
+        assert a_matrix[0, 2] == 2.0
+        assert c[0] == 0.5
+        assert g_matrix.shape == (1, 4)
+        assert d[0] == 0.2
+
+    def test_out_of_range_rejected(self):
+        system = ConstraintSystem(2)
+        with pytest.raises(ReproError):
+            system.add_equality([5], [1.0], 0.1, kind="bk")
+
+    def test_duplicate_index_in_row_rejected(self):
+        system = ConstraintSystem(3)
+        with pytest.raises(ReproError):
+            system.add_equality([1, 1], [1.0, 1.0], 0.1, kind="bk")
+
+    def test_extend_merges(self):
+        a = ConstraintSystem(3)
+        a.add_equality([0], [1.0], 0.1, kind="qi")
+        b = ConstraintSystem(3)
+        b.add_inequality([1], [1.0], 0.2, kind="bk")
+        a.extend(b)
+        assert a.n_equalities == 1
+        assert a.n_inequalities == 1
+
+    def test_extend_size_mismatch(self):
+        a = ConstraintSystem(3)
+        b = ConstraintSystem(4)
+        with pytest.raises(ReproError):
+            a.extend(b)
+
+    def test_rows_of_kind(self):
+        system = ConstraintSystem(3)
+        system.add_equality([0], [1.0], 0.1, kind="qi")
+        system.add_equality([1], [1.0], 0.1, kind="sa")
+        assert len(system.rows_of_kind("qi")) == 1
+
+    def test_residual(self):
+        system = ConstraintSystem(2)
+        system.add_equality([0, 1], [1.0, 1.0], 1.0, kind="bk")
+        assert system.residual(np.array([0.5, 0.5])) == pytest.approx(0.0)
+        assert system.residual(np.array([0.2, 0.2])) == pytest.approx(0.6)
+
+    def test_empty_matrices(self):
+        system = ConstraintSystem(3)
+        a_matrix, c = system.equality_matrix()
+        assert a_matrix.shape == (0, 3)
+        assert c.size == 0
+
+
+class TestGroupDataConstraints:
+    def test_row_counts(self, space):
+        system = data_constraints(space)
+        # 3 distinct q per bucket x 3 buckets = 9 QI rows; same for SA.
+        assert len(system.rows_of_kind("qi")) == 9
+        assert len(system.rows_of_kind("sa")) == 9
+        assert system.n_inequalities == 0
+
+    def test_rhs_sums(self, space):
+        system = data_constraints(space)
+        qi_total = sum(r.rhs for r in system.rows_of_kind("qi"))
+        sa_total = sum(r.rhs for r in system.rows_of_kind("sa"))
+        assert qi_total == pytest.approx(1.0)
+        assert sa_total == pytest.approx(1.0)
+
+    def test_original_assignment_is_feasible(self, space):
+        """Soundness end-to-end: the true joint satisfies every data row."""
+        table = paper_table()
+        bucket_of_row = [bucket for *_r, bucket in RECORDS]
+        joint = empirical_joint(table, bucket_of_row)
+        p = np.zeros(space.n_vars)
+        for (q, s, b), value in joint.items():
+            p[space.index_of(q, s, b)] = value
+        system = data_constraints(space)
+        assert system.residual(p) < 1e-12
+
+
+class TestPersonDataConstraints:
+    def test_row_counts(self):
+        space = PersonVariableSpace(PseudonymTable(paper_published()))
+        system = data_constraints(space)
+        assert len(system.rows_of_kind("person")) == 10
+        assert len(system.rows_of_kind("slot")) == 9
+        assert len(system.rows_of_kind("sa")) == 9
+
+    def test_person_rows_partition_mass(self):
+        space = PersonVariableSpace(PseudonymTable(paper_published()))
+        system = data_constraints(space)
+        total = sum(r.rhs for r in system.rows_of_kind("person"))
+        assert total == pytest.approx(1.0)
+
+    def test_slot_rows_match_qi_rows(self):
+        space = PersonVariableSpace(PseudonymTable(paper_published()))
+        system = data_constraints(space)
+        slot_total = sum(r.rhs for r in system.rows_of_kind("slot"))
+        assert slot_total == pytest.approx(1.0)

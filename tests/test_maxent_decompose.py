@@ -1,0 +1,126 @@
+"""Unit tests for bucket-graph decomposition (Section 5.5)."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import paper_published
+from repro.errors import ReproError
+from repro.knowledge.compiler import compile_statements
+from repro.knowledge.statements import ConditionalProbability
+from repro.maxent.constraints import ConstraintSystem, data_constraints
+from repro.maxent.decompose import decompose
+from repro.maxent.indexing import GroupVariableSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return GroupVariableSpace(paper_published())
+
+
+def with_knowledge(space, statements):
+    system = data_constraints(space)
+    system.extend(compile_statements(statements, space))
+    return system
+
+
+class TestNoKnowledge:
+    def test_one_component_per_bucket(self, space):
+        components = decompose(space, data_constraints(space))
+        assert len(components) == 3
+        assert all(len(c.buckets) == 1 for c in components)
+        assert all(c.is_irrelevant for c in components)
+
+    def test_masses_sum_to_one(self, space):
+        components = decompose(space, data_constraints(space))
+        assert sum(c.mass for c in components) == pytest.approx(1.0)
+
+    def test_variables_partitioned(self, space):
+        components = decompose(space, data_constraints(space))
+        all_vars = np.concatenate([c.var_indices for c in components])
+        assert sorted(all_vars.tolist()) == list(range(space.n_vars))
+
+    def test_disabled_gives_single_component(self, space):
+        components = decompose(
+            space, data_constraints(space), enabled=False
+        )
+        assert len(components) == 1
+        assert components[0].buckets == (0, 1, 2)
+        assert components[0].mass == pytest.approx(1.0)
+
+
+class TestWithKnowledge:
+    def test_knowledge_links_buckets(self, space):
+        # P(s3 | q3): q3 occurs in buckets 0 and 1 -> they merge
+        # (the paper's Section 5.5 example).
+        system = with_knowledge(
+            space,
+            [
+                ConditionalProbability(
+                    given={"gender": "male", "degree": "high school"},
+                    sa_value="Pneumonia",
+                    probability=0.5,
+                )
+            ],
+        )
+        components = decompose(space, system)
+        assert len(components) == 2
+        merged = next(c for c in components if len(c.buckets) == 2)
+        assert merged.buckets == (0, 1)
+        assert merged.knowledge_rows == 1
+        assert not merged.is_irrelevant
+        single = next(c for c in components if len(c.buckets) == 1)
+        assert single.is_irrelevant  # bucket 2 untouched (Def. 5.6)
+
+    def test_single_bucket_knowledge_stays_local(self, space):
+        # Knowledge about q4 (only in bucket 1) must not merge anything.
+        system = with_knowledge(
+            space,
+            [
+                ConditionalProbability(
+                    given={"degree": "junior"},
+                    sa_value="Breast Cancer",
+                    probability=1.0,
+                )
+            ],
+        )
+        components = decompose(space, system)
+        assert len(components) == 3
+        touched = next(c for c in components if c.knowledge_rows)
+        assert touched.buckets == (1,)
+
+    def test_rows_land_in_their_component(self, space):
+        system = with_knowledge(
+            space,
+            [
+                ConditionalProbability(
+                    given={"gender": "male"}, sa_value="Flu", probability=0.3
+                )
+            ],
+        )
+        components = decompose(space, system)
+        for component in components:
+            for row in component.system.equalities:
+                assert row.indices.max() < component.n_vars
+
+    def test_component_system_self_consistent(self, space):
+        system = with_knowledge(
+            space,
+            [
+                ConditionalProbability(
+                    given={"gender": "male"}, sa_value="Flu", probability=0.3
+                )
+            ],
+        )
+        for component in decompose(space, system):
+            total_qi_rhs = sum(
+                r.rhs for r in component.system.rows_of_kind("qi")
+            )
+            assert total_qi_rhs == pytest.approx(component.mass)
+
+
+class TestErrors:
+    def test_missing_partition_rows_rejected(self, space):
+        bare = ConstraintSystem(space.n_vars)
+        bare.add_equality([0, 1], [1.0, 1.0], 0.2, kind="bk")
+        with pytest.raises(ReproError, match="data rows"):
+            decompose(space, bare)

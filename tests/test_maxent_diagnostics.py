@@ -1,0 +1,66 @@
+"""Tests for solution diagnostics rendering."""
+
+import pytest
+
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.data.paper_example import paper_published
+from repro.knowledge.statements import ConditionalProbability
+from repro.maxent.diagnostics import component_table, convergence_summary
+
+
+@pytest.fixture(scope="module")
+def solution():
+    engine = PrivacyMaxEnt(
+        paper_published(),
+        knowledge=[
+            ConditionalProbability(
+                given={"gender": "male"}, sa_value="Flu", probability=0.3
+            )
+        ],
+    )
+    return engine.solve()
+
+
+class TestConvergenceSummary:
+    def test_mentions_key_facts(self, solution):
+        text = convergence_summary(solution)
+        assert "lbfgs" in text
+        assert "converged" in text
+        assert "component" in text
+
+    def test_flags_non_convergence(self, solution):
+        from dataclasses import replace
+
+        broken = type(solution)(
+            solution.space,
+            solution.p,
+            replace(solution.stats, converged=False),
+            solution.components,
+        )
+        assert "NOT CONVERGED" in convergence_summary(broken)
+
+
+class TestComponentTable:
+    def test_one_row_per_component(self, solution):
+        text = component_table(solution, top=None)
+        # Header + separator + title lines + one row per component.
+        data_lines = [
+            line
+            for line in text.splitlines()
+            if line and not set(line) <= {"-", " ", "="}
+        ]
+        # title + header + component rows
+        assert len(data_lines) == 2 + len(solution.components)
+
+    def test_truncation_adds_aggregate_row(self, solution):
+        text = component_table(solution, top=1)
+        assert "more" in text
+
+    def test_hardest_component_listed_first(self, solution):
+        text = component_table(solution, top=None)
+        lines = text.splitlines()
+        # Layout: title, ===, header, ---, then data rows.
+        first_row = lines[4]
+        # The merged (knowledge-coupled) component has the iterations; the
+        # closed-form singleton has zero.
+        assert "lbfgs" in first_row

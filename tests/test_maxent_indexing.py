@@ -1,0 +1,119 @@
+"""Unit tests for variable index spaces."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import (
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    S1,
+    S2,
+    S4,
+    paper_published,
+)
+from repro.errors import KnowledgeError
+from repro.knowledge.individuals import PseudonymTable
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+
+
+@pytest.fixture(scope="module")
+def space():
+    return GroupVariableSpace(paper_published())
+
+
+@pytest.fixture(scope="module")
+def person_space():
+    return PersonVariableSpace(PseudonymTable(paper_published()))
+
+
+class TestGroupSpace:
+    def test_variable_count(self, space):
+        # Bucket 0: 3 distinct q x 3 distinct s = 9; bucket 1: 3 x 3 = 9;
+        # bucket 2: 3 x 3 = 9.
+        assert space.n_vars == 27
+
+    def test_zero_invariants_have_no_variable(self, space):
+        # q1 does not occur in bucket 2 (0-based), s1 does not either.
+        assert space.index_of(Q1, S2, 2) == -1
+        assert space.index_of(Q2, S1, 2) == -1
+
+    def test_valid_triples_indexed(self, space):
+        assert space.index_of(Q1, S2, 0) >= 0
+        assert space.index_of(Q4, S1, 1) >= 0
+
+    def test_describe_var_roundtrip(self, space):
+        for var in range(space.n_vars):
+            q, s, b = space.describe_var(var)
+            assert space.index_of(q, s, b) == var
+
+    def test_counts_match_paper(self, space):
+        qid = space.qi_id(Q1)
+        assert space.qi_bucket_count(qid, 0) == 2  # q1 twice in bucket 1
+        assert space.qi_bucket_count(qid, 1) == 1
+        assert space.qi_bucket_count(qid, 2) == 0
+        s2_id = space.sa_id_of[S2]
+        assert space.sa_bucket_count(s2_id, 0) == 2  # two Flu in bucket 1
+
+    def test_unknown_qi_raises(self, space):
+        with pytest.raises(KnowledgeError):
+            space.qi_id(("alien", "phd"))
+
+    def test_vars_matching_partial(self, space):
+        hits = space.vars_matching({"gender": "male"}, S2)
+        triples = {space.describe_var(int(v)) for v in hits}
+        assert triples == {(Q1, S2, 0), (Q3, S2, 0), (("male", "graduate"), S2, 2)}
+
+    def test_vars_matching_unknown_sa_empty(self, space):
+        assert space.vars_matching({"gender": "male"}, "Malaria").size == 0
+
+    def test_qv_probability(self, space):
+        assert space.qv_probability({"gender": "male"}) == pytest.approx(0.6)
+        assert space.qv_probability(
+            {"gender": "female", "degree": "college"}
+        ) == pytest.approx(0.2)
+
+    def test_empty_qv_rejected(self, space):
+        with pytest.raises(KnowledgeError):
+            space.qv_probability({})
+
+
+class TestPersonSpace:
+    def test_variable_count(self, person_space):
+        # Per bucket: (sum of pseudonym-group sizes over distinct q in the
+        # bucket) x distinct SA values.
+        # Bucket 0: q1(3) + q2(2) + q3(2) = 7 people x 3 SA = 21
+        # Bucket 1: q1(3) + q3(2) + q4(1) = 6 x 3 = 18
+        # Bucket 2: q2(2) + q5(1) + q6(1) = 4 x 3 = 12
+        assert person_space.n_vars == 51
+
+    def test_index_of_structural_zero(self, person_space):
+        # i9 is Charlie (q5), only in bucket 2.
+        assert person_space.index_of("i9", S4, 0) == -1
+        assert person_space.index_of("i9", S4, 2) >= 0
+
+    def test_describe_var_roundtrip(self, person_space):
+        for var in range(person_space.n_vars):
+            name, s, b = person_space.describe_var(var)
+            assert person_space.index_of(name, s, b) == var
+
+    def test_vars_of_person(self, person_space):
+        hits = person_space.vars_of_person("i1", S2)
+        buckets = {person_space.describe_var(int(v))[2] for v in hits}
+        assert buckets == {0}  # Flu is only available in bucket 0 for q1
+
+    def test_vars_of_unknown_person(self, person_space):
+        with pytest.raises(KnowledgeError):
+            person_space.vars_of_person("i999", S2)
+
+    def test_vars_matching_lifts_group_query(self, person_space):
+        hits = person_space.vars_matching({"gender": "male"}, S2)
+        people = {person_space.describe_var(int(v))[0] for v in hits}
+        # Males: i1..i3 (q1), i6, i7 (q3), i10 (q6).
+        assert people == {"i1", "i2", "i3", "i6", "i7", "i10"}
+
+    def test_qv_probability_matches_group(self, person_space, space):
+        assert person_space.qv_probability(
+            {"gender": "male"}
+        ) == space.qv_probability({"gender": "male"})

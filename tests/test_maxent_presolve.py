@@ -1,0 +1,212 @@
+"""Unit tests for the constraint presolver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasibleKnowledgeError
+from repro.maxent.constraints import ConstraintSystem
+from repro.maxent.presolve import presolve
+
+
+def system_of(n_vars, equalities=(), inequalities=()):
+    system = ConstraintSystem(n_vars)
+    for indices, coefficients, rhs in equalities:
+        system.add_equality(indices, coefficients, rhs, kind="bk")
+    for indices, coefficients, rhs in inequalities:
+        system.add_inequality(indices, coefficients, rhs, kind="bk")
+    return system
+
+
+class TestFixing:
+    def test_single_variable_row_fixes(self):
+        result = presolve(system_of(3, [([0], [1.0], 0.25)]))
+        assert result.fixed_values == {0: 0.25}
+        assert list(result.free_vars) == [1, 2]
+        assert result.system.n_equalities == 0
+
+    def test_zero_rhs_positive_row_fixes_all(self):
+        result = presolve(system_of(3, [([0, 1], [1.0, 1.0], 0.0)]))
+        assert result.fixed_values == {0: 0.0, 1: 0.0}
+
+    def test_cascade(self):
+        # Row 1 fixes x0; substituting into row 2 makes it single-variable.
+        result = presolve(
+            system_of(
+                3,
+                [
+                    ([0], [1.0], 0.2),
+                    ([0, 1], [1.0, 1.0], 0.5),
+                ],
+            )
+        )
+        assert result.fixed_values[0] == pytest.approx(0.2)
+        assert result.fixed_values[1] == pytest.approx(0.3)
+
+    def test_restore(self):
+        result = presolve(system_of(3, [([1], [2.0], 0.5)]))
+        full = result.restore(np.array([0.1, 0.2]))
+        assert full.tolist() == [0.1, 0.25, 0.2]
+
+    def test_restore_shape_checked(self):
+        result = presolve(system_of(3, [([1], [1.0], 0.5)]))
+        with pytest.raises(ValueError):
+            result.restore(np.zeros(5))
+
+    def test_mass_removed(self):
+        result = presolve(system_of(3, [([0], [1.0], 0.25)]))
+        assert result.mass_removed == pytest.approx(0.25)
+
+
+class TestInfeasibility:
+    def test_contradictory_fixes(self):
+        with pytest.raises(InfeasibleKnowledgeError):
+            presolve(
+                system_of(2, [([0], [1.0], 0.2), ([0], [1.0], 0.4)])
+            )
+
+    def test_negative_forced_value(self):
+        with pytest.raises(InfeasibleKnowledgeError):
+            presolve(system_of(2, [([0], [1.0], -0.2)]))
+
+    def test_value_above_one(self):
+        with pytest.raises(InfeasibleKnowledgeError):
+            presolve(system_of(2, [([0], [1.0], 1.5)]))
+
+    def test_empty_row_nonzero_rhs(self):
+        # x0 = 0.2 substituted into (x0 = 0.5-with-no-other-vars).
+        with pytest.raises(InfeasibleKnowledgeError):
+            presolve(
+                system_of(
+                    2, [([0], [1.0], 0.2), ([0], [2.0], 1.0)]
+                )
+            )
+
+    def test_duplicate_rows_conflicting(self):
+        with pytest.raises(InfeasibleKnowledgeError):
+            presolve(
+                system_of(
+                    3,
+                    [
+                        ([0, 1], [1.0, 1.0], 0.5),
+                        ([0, 1], [1.0, 1.0], 0.7),
+                    ],
+                )
+            )
+
+    def test_inequality_infeasible_after_substitution(self):
+        # x0 fixed to 0.5; inequality x0 <= 0.1 becomes 0 <= -0.4.
+        with pytest.raises(InfeasibleKnowledgeError):
+            presolve(
+                system_of(
+                    2,
+                    [([0], [1.0], 0.5)],
+                    [([0], [1.0], 0.1)],
+                )
+            )
+
+
+class TestReduction:
+    def test_duplicate_rows_deduped(self):
+        result = presolve(
+            system_of(
+                3,
+                [
+                    ([0, 1], [1.0, 1.0], 0.5),
+                    ([0, 1], [1.0, 1.0], 0.5),
+                ],
+            )
+        )
+        assert result.system.n_equalities == 1
+
+    def test_rows_reindexed(self):
+        result = presolve(
+            system_of(
+                4,
+                [
+                    ([1], [1.0], 0.25),
+                    ([1, 2, 3], [1.0, 1.0, 1.0], 0.75),
+                ],
+            )
+        )
+        assert list(result.free_vars) == [0, 2, 3]
+        row = result.system.equalities[0]
+        # Variables 2, 3 became reduced indices 1, 2.
+        assert sorted(row.indices.tolist()) == [1, 2]
+        assert row.rhs == pytest.approx(0.5)
+
+    def test_inequality_substitution(self):
+        result = presolve(
+            system_of(
+                3,
+                [([0], [1.0], 0.2)],
+                [([0, 1], [1.0, 1.0], 0.5)],
+            )
+        )
+        row = result.system.inequalities[0]
+        assert row.rhs == pytest.approx(0.3)
+
+    def test_zero_rhs_positive_inequality_fixes(self):
+        result = presolve(system_of(3, [], [([0, 1], [1.0, 1.0], 0.0)]))
+        assert result.fixed_values == {0: 0.0, 1: 0.0}
+
+    def test_no_op_on_clean_system(self):
+        system = system_of(3, [([0, 1, 2], [1.0, 1.0, 1.0], 1.0)])
+        result = presolve(system)
+        assert result.fixed_values == {}
+        assert result.system.n_equalities == 1
+        assert result.n_free == 3
+
+
+class TestPaperDeduction:
+    """Presolve alone reproduces the breast-cancer chain of Section 3.1.
+
+    With P(s1 | q2) = 0 and P(s1 or s2 | q3) = 0 known, the paper deduces
+    that in bucket 1 q3 maps to s3, q2 maps to s2, and the q1 records take
+    s1 and s2.  Those zero rules pin enough variables that presolve fixes
+    bucket 1 almost completely.
+    """
+
+    def test_zero_rules_cascade(self):
+        from repro.data.paper_example import (
+            Q2,
+            Q3,
+            S1,
+            S2,
+            S3,
+            paper_published,
+        )
+        from repro.knowledge.compiler import compile_statements
+        from repro.knowledge.statements import ConditionalProbability
+        from repro.maxent.constraints import data_constraints
+        from repro.maxent.indexing import GroupVariableSpace
+
+        space = GroupVariableSpace(paper_published())
+        system = data_constraints(space)
+        knowledge = compile_statements(
+            [
+                ConditionalProbability(
+                    given={"gender": "female", "degree": "college"},
+                    sa_value=S1,
+                    probability=0.0,
+                ),
+                ConditionalProbability(
+                    given={"gender": "male", "degree": "high school"},
+                    sa_value=S1,
+                    probability=0.0,
+                ),
+                ConditionalProbability(
+                    given={"gender": "male", "degree": "high school"},
+                    sa_value=S2,
+                    probability=0.0,
+                ),
+            ],
+            space,
+        )
+        system.extend(knowledge)
+        result = presolve(system)
+        # q3 -> s3 in bucket 1: P(q3, s3, 1) forced to 1/10.
+        var = space.index_of(Q3, S3, 0)
+        assert result.fixed_values.get(var) == pytest.approx(0.1)
+        # q2 -> s2 in bucket 1: P(q2, s2, 1) forced to 1/10.
+        var = space.index_of(Q2, S2, 0)
+        assert result.fixed_values.get(var) == pytest.approx(0.1)

@@ -1,0 +1,68 @@
+"""Direct unit tests for solution containers and solver statistics."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import paper_published
+from repro.maxent.closed_form import closed_form_solution
+from repro.maxent.indexing import GroupVariableSpace
+from repro.maxent.solution import ComponentRecord, MaxEntSolution, SolverStats
+
+
+@pytest.fixture(scope="module")
+def space():
+    return GroupVariableSpace(paper_published())
+
+
+def stats(**overrides):
+    base = dict(
+        solver="lbfgs",
+        iterations=10,
+        seconds=0.5,
+        n_vars=27,
+        n_equalities=18,
+        n_inequalities=0,
+        eq_residual=1e-9,
+        ineq_residual=0.0,
+        converged=True,
+    )
+    base.update(overrides)
+    return SolverStats(**base)
+
+
+class TestSolverStats:
+    def test_residual_is_worst_of_both(self):
+        record = stats(eq_residual=1e-9, ineq_residual=5e-8)
+        assert record.residual == 5e-8
+
+    def test_defaults(self):
+        record = stats()
+        assert record.n_components == 1
+        assert record.presolve_fixed == 0
+        assert record.message == ""
+
+
+class TestMaxEntSolution:
+    def test_shape_validated(self, space):
+        with pytest.raises(ValueError):
+            MaxEntSolution(space, np.zeros(5), stats())
+
+    def test_vector_read_only(self, space):
+        solution = MaxEntSolution(space, closed_form_solution(space), stats())
+        with pytest.raises(ValueError):
+            solution.p[0] = 1.0
+
+    def test_entropy_positive(self, space):
+        solution = MaxEntSolution(space, closed_form_solution(space), stats())
+        assert solution.entropy() > 0
+
+    def test_component_records(self, space):
+        record = ComponentRecord(buckets=(0, 1), stats=stats())
+        solution = MaxEntSolution(
+            space, closed_form_solution(space), stats(), [record]
+        )
+        assert solution.components[0].buckets == (0, 1)
+
+    def test_repr_mentions_solver(self, space):
+        solution = MaxEntSolution(space, closed_form_solution(space), stats())
+        assert "lbfgs" in repr(solution)

@@ -1,0 +1,204 @@
+"""Golden tests: every worked derivation in the paper, verified end to end.
+
+Each test quotes the paper's claim and checks our pipeline reproduces it on
+the Figure 1 data.
+"""
+
+import pytest
+
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.core.quantifier import PosteriorTable
+from repro.data.paper_example import (
+    Q1,
+    Q2,
+    Q3,
+    Q4,
+    S1,
+    S2,
+    S3,
+    paper_published,
+    paper_table,
+)
+from repro.knowledge.statements import ConditionalProbability
+from repro.maxent.solver import MaxEntConfig
+
+
+@pytest.fixture(scope="module")
+def published():
+    return paper_published()
+
+
+class TestFigure1:
+    def test_bucket_contents_match_figure(self, published):
+        """Figure 1(c): buckets {q1,q1,q2,q3 | s1,s2,s2,s3},
+        {q1,q3,q4 | s1,s3,s4}, {q2,q5,q6 | s2,s4,s5}."""
+        b0 = published.bucket(0)
+        assert sorted(b0.qi_tuples) == sorted([Q1, Q1, Q2, Q3])
+        assert sorted(b0.sa_values) == sorted(
+            ["Breast Cancer", "Flu", "Flu", "Pneumonia"]
+        )
+        b1 = published.bucket(1)
+        assert sorted(b1.sa_values) == sorted(["Breast Cancer", "Pneumonia", "HIV"])
+        b2 = published.bucket(2)
+        assert sorted(b2.sa_values) == sorted(["Flu", "HIV", "Lung Cancer"])
+
+    def test_q1_appears_three_times(self, published):
+        """Section 3.1: 'q1 represents {male, college}, and it appears
+        three times in the data.'"""
+        assert published.qi_marginal()[Q1] == 3
+
+
+class TestSection1Deduction:
+    """'We immediately know that both females in Bucket 1 and Bucket 2
+    have Breast Cancer, because they are the only females in their
+    respective buckets.'"""
+
+    @pytest.fixture(scope="class")
+    def informed(self, published):
+        return PrivacyMaxEnt(
+            published,
+            knowledge=[
+                ConditionalProbability(
+                    given={"gender": "male"}, sa_value=S1, probability=0.0
+                )
+            ],
+        )
+
+    def test_grace_fully_disclosed(self, informed):
+        posterior = informed.posterior()
+        assert posterior.prob(Q4, S1) == pytest.approx(1.0)
+
+    def test_cathy_disclosed_within_bucket(self, informed):
+        # Cathy (q2) is in buckets 1 and 3; s1 only occurs in bucket 1, so
+        # P(q2, s1, b=1) = P(q2, b=1): within bucket 1 the link is certain.
+        solution = informed.solve()
+        assert solution.joint(Q2, S1, 0) == pytest.approx(0.1)
+
+    def test_males_cleared(self, informed):
+        posterior = informed.posterior()
+        for q in (Q1, Q3):
+            assert posterior.prob(q, S1) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSection31Deduction:
+    """'If the adversaries know that P(s1|q2) = 0 and P(s1 or s2|q3) = 0
+    [...] in the first bucket, q3 can only be mapped to s3, q2 can only be
+    mapped to s2, and one of the q1 maps to s1 and the other maps to s2.'"""
+
+    @pytest.fixture(scope="class")
+    def solution(self, published):
+        knowledge = [
+            ConditionalProbability(
+                given={"gender": "female", "degree": "college"},
+                sa_value=S1,
+                probability=0.0,
+            ),
+            ConditionalProbability(
+                given={"gender": "male", "degree": "high school"},
+                sa_value=S1,
+                probability=0.0,
+            ),
+            ConditionalProbability(
+                given={"gender": "male", "degree": "high school"},
+                sa_value=S2,
+                probability=0.0,
+            ),
+        ]
+        return PrivacyMaxEnt(published, knowledge=knowledge).solve()
+
+    def test_q3_maps_to_s3(self, solution):
+        assert solution.joint(Q3, S3, 0) == pytest.approx(0.1)
+
+    def test_q2_maps_to_s2(self, solution):
+        assert solution.joint(Q2, S2, 0) == pytest.approx(0.1)
+
+    def test_q1_splits_s1_and_s2(self, solution):
+        # Two q1 records share {s1, s2}: one each.
+        assert solution.joint(Q1, S1, 0) == pytest.approx(0.1)
+        assert solution.joint(Q1, S2, 0) == pytest.approx(0.1)
+        assert solution.joint(Q1, S3, 0) == pytest.approx(0.0, abs=1e-9)
+
+
+class TestSection55Example:
+    """'P(s3 | q3) = 0.5, so P(q3, s3) = 0.1 [...] if we change the value
+    of P(q3, s3, 1), the value of P(q3, s3, 2) has to be changed
+    accordingly.'"""
+
+    def test_cross_bucket_constraint_satisfied(self, published):
+        engine = PrivacyMaxEnt(
+            published,
+            knowledge=[
+                ConditionalProbability(
+                    given={"gender": "male", "degree": "high school"},
+                    sa_value=S3,
+                    probability=0.5,
+                )
+            ],
+        )
+        solution = engine.solve()
+        total = solution.joint(Q3, S3, 0) + solution.joint(Q3, S3, 1)
+        assert total == pytest.approx(0.1)
+
+    def test_buckets_become_coupled(self, published):
+        engine = PrivacyMaxEnt(
+            published,
+            knowledge=[
+                ConditionalProbability(
+                    given={"gender": "male", "degree": "high school"},
+                    sa_value=S3,
+                    probability=0.5,
+                )
+            ],
+        )
+        solution = engine.solve()
+        merged = [r for r in solution.components if len(r.buckets) > 1]
+        assert len(merged) == 1
+        assert merged[0].buckets == (0, 1)
+
+
+class TestConsistencyWithPriorWork:
+    """Theorem 5: without knowledge, P(S | Q, b) = (# of S in b) / N_b."""
+
+    def test_posterior_matches_frequency_formula(self, published):
+        posterior = PrivacyMaxEnt(published).posterior()
+        # P*(s2 | q1): bucket 1 share 0.2 * (2/4), bucket 2 share 0.1 * 0.
+        assert posterior.prob(Q1, S2) == pytest.approx((0.2 * 0.5) / 0.3)
+        # P*(s4 | q4) = 1/3 (bucket 2 only).
+        assert posterior.prob(Q4, "HIV") == pytest.approx(1 / 3)
+
+    def test_solver_agrees_with_formula_when_forced_numeric(self, published):
+        numeric = PrivacyMaxEnt(
+            published, config=MaxEntConfig(use_closed_form=False)
+        ).posterior()
+        closed = PrivacyMaxEnt(published).posterior()
+        for q in closed.qi_tuples:
+            for s in closed.sa_domain:
+                assert numeric.prob(q, s) == pytest.approx(
+                    closed.prob(q, s), abs=1e-7
+                )
+
+
+class TestGroundTruthFeasibility:
+    """The original data is one of the assignments, so the true posterior
+    must be reachable: the MaxEnt estimate with *all* deterministic
+    knowledge pins down the truth exactly."""
+
+    def test_full_knowledge_recovers_truth(self, published):
+        truth = PosteriorTable.from_table(paper_table())
+        # Tell the adversary every P(s | q) of the original data.
+        knowledge = []
+        for q in truth.qi_tuples:
+            given = {"gender": q[0], "degree": q[1]}
+            for s in truth.sa_domain:
+                knowledge.append(
+                    ConditionalProbability(
+                        given=given, sa_value=s, probability=truth.prob(q, s)
+                    )
+                )
+        engine = PrivacyMaxEnt(published, knowledge=knowledge)
+        posterior = engine.posterior()
+        for q in truth.qi_tuples:
+            for s in truth.sa_domain:
+                assert posterior.prob(q, s) == pytest.approx(
+                    truth.prob(q, s), abs=1e-6
+                )

@@ -1,0 +1,133 @@
+"""Property-based tests for the anonymization and mining substrates."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize.anatomy import anatomize
+from repro.anonymize.diversity import auto_exempt, check_eligibility, table_is_diverse
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.errors import DiversityError
+from repro.knowledge.mining import MiningConfig, mine_association_rules
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=40
+)
+
+
+@st.composite
+def tables(draw):
+    """Random small categorical tables (2 QI attributes, 1 SA)."""
+    n_q0 = draw(st.integers(2, 3))
+    n_q1 = draw(st.integers(2, 3))
+    n_sa = draw(st.integers(2, 5))
+    n_rows = draw(st.integers(4, 24))
+    schema = Schema(
+        attributes=(
+            Attribute("q0", tuple(f"a{i}" for i in range(n_q0))),
+            Attribute("q1", tuple(f"b{i}" for i in range(n_q1))),
+            Attribute("s", tuple(f"s{i}" for i in range(n_sa))),
+        ),
+        qi_attributes=("q0", "q1"),
+        sa_attribute="s",
+    )
+    records = [
+        {
+            "q0": f"a{draw(st.integers(0, n_q0 - 1))}",
+            "q1": f"b{draw(st.integers(0, n_q1 - 1))}",
+            "s": f"s{draw(st.integers(0, n_sa - 1))}",
+        }
+        for _ in range(n_rows)
+    ]
+    return Table.from_records(schema, records)
+
+
+class TestAnatomyProperties:
+    @given(table=tables(), l=st.integers(2, 3), seed=st.integers(0, 5))
+    @settings(**COMMON)
+    def test_valid_whenever_it_succeeds(self, table, l, seed):
+        assume(table.n_rows >= l)
+        counts = Counter(table.sa_labels())
+        try:
+            exempt = auto_exempt(counts, l)
+            check_eligibility(counts, l, exempt=exempt)
+        except DiversityError:
+            assume(False)  # genuinely infeasible instance: skip
+        published = anatomize(table, l=l, exempt=exempt, seed=seed)
+        # 1. The release is a permutation-preserving partition.
+        total_sa: Counter = Counter()
+        for bucket in published.buckets:
+            total_sa.update(bucket.sa_counts())
+        assert total_sa == counts
+        assert published.qi_marginal() == table.qi_counts()
+        # 2. Diversity holds under the declared exemption.
+        assert table_is_diverse(published, l, exempt=exempt)
+        # 3. Bucket sizes: l or (for residue recipients) a bit more.
+        sizes = [bucket.size for bucket in published.buckets]
+        assert min(sizes) >= l
+        assert sum(sizes) == table.n_rows
+
+    @given(table=tables(), seed=st.integers(0, 3))
+    @settings(**COMMON)
+    def test_seed_determinism(self, table, seed):
+        assume(table.n_rows >= 2)
+        counts = Counter(table.sa_labels())
+        try:
+            exempt = auto_exempt(counts, 2)
+        except DiversityError:
+            assume(False)
+        first = anatomize(table, l=2, exempt=exempt, seed=seed)
+        second = anatomize(table, l=2, exempt=exempt, seed=seed)
+        assert [b.sa_values for b in first.buckets] == [
+            b.sa_values for b in second.buckets
+        ]
+
+
+class TestMiningProperties:
+    @given(table=tables())
+    @settings(**COMMON)
+    def test_rule_counts_recount_exactly(self, table):
+        rules = mine_association_rules(
+            table, MiningConfig(min_support_count=1, max_antecedent=2)
+        )
+        qi = table.qi_tuples()
+        sa = table.sa_labels()
+        schema = table.schema
+        for rule in list(rules.positive)[:20]:
+            positions = {
+                name: schema.qi_index(name) for name in rule.antecedent
+            }
+            matching = [
+                i
+                for i, q in enumerate(qi)
+                if all(
+                    q[positions[name]] == value
+                    for name, value in rule.antecedent.items()
+                )
+            ]
+            joint = sum(1 for i in matching if sa[i] == rule.sa_value)
+            assert rule.antecedent_count == len(matching)
+            assert rule.confidence == pytest.approx(joint / len(matching))
+            assert rule.support == pytest.approx(joint / table.n_rows)
+
+    @given(table=tables())
+    @settings(**COMMON)
+    def test_positive_negative_duality(self, table):
+        """For every (Qv, s): positive confidence + negative confidence = 1
+        whenever both rules were emitted."""
+        rules = mine_association_rules(
+            table, MiningConfig(min_support_count=1, max_antecedent=1)
+        )
+        negative_of = {
+            (tuple(sorted(r.antecedent.items())), r.sa_value): r.confidence
+            for r in rules.negative
+        }
+        for rule in rules.positive:
+            key = (tuple(sorted(rule.antecedent.items())), rule.sa_value)
+            if key in negative_of:
+                assert rule.confidence + negative_of[key] == pytest.approx(1.0)

@@ -1,0 +1,60 @@
+"""Property-based tests for Mondrian generalization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings
+from hypothesis import strategies as st
+
+from repro.anonymize.mondrian import mondrian_anonymize
+
+from tests.test_properties_anonymize import tables
+
+COMMON = dict(
+    deadline=None, suppress_health_check=[HealthCheck.too_slow], max_examples=30
+)
+
+
+class TestMondrianProperties:
+    @given(table=tables(), k=st.integers(2, 6))
+    @settings(**COMMON)
+    def test_k_anonymity_always_holds(self, table, k):
+        assume(table.n_rows >= k)
+        generalized = mondrian_anonymize(table, k)
+        assert generalized.k_anonymity() >= k
+
+    @given(table=tables(), k=st.integers(2, 6))
+    @settings(**COMMON)
+    def test_classes_partition_rows(self, table, k):
+        assume(table.n_rows >= k)
+        generalized = mondrian_anonymize(table, k)
+        covered = sorted(
+            i for cls in generalized.classes for i in cls.row_indices
+        )
+        assert covered == list(range(table.n_rows))
+
+    @given(table=tables(), k=st.integers(2, 4))
+    @settings(**COMMON)
+    def test_value_sets_cover_member_values(self, table, k):
+        """Every record's actual QI value must appear in its class's
+        published value set — the correctness core of generalization."""
+        assume(table.n_rows >= k)
+        generalized = mondrian_anonymize(table, k)
+        qi = table.qi_tuples()
+        for cls in generalized.classes:
+            for row in cls.row_indices:
+                for dim, value in enumerate(qi[row]):
+                    assert value in cls.qi_value_sets[dim]
+
+    @given(table=tables(), k=st.integers(2, 4))
+    @settings(**COMMON)
+    def test_bucket_view_preserves_sa_multiset(self, table, k):
+        assume(table.n_rows >= k)
+        from collections import Counter
+
+        generalized = mondrian_anonymize(table, k)
+        published = generalized.to_buckets()
+        total: Counter = Counter()
+        for bucket in published.buckets:
+            total.update(bucket.sa_counts())
+        assert total == Counter(table.sa_labels())

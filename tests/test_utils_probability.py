@@ -1,0 +1,122 @@
+"""Unit tests for repro.utils.probability."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.utils.probability import (
+    entropy,
+    kl_divergence,
+    normalize,
+    safe_log,
+    total_variation,
+    uniform,
+)
+
+
+class TestSafeLog:
+    def test_positive_values(self):
+        assert safe_log([1.0, 2.0, 4.0]).tolist() == [0.0, 1.0, 2.0]
+
+    def test_zero_maps_to_zero(self):
+        assert safe_log([0.0, 1.0]).tolist() == [0.0, 0.0]
+
+    def test_natural_base(self):
+        result = safe_log([math.e], base=math.e)
+        assert result[0] == pytest.approx(1.0)
+
+
+class TestNormalize:
+    def test_scales_to_one(self):
+        result = normalize([1.0, 3.0])
+        assert result.tolist() == [0.25, 0.75]
+
+    def test_already_normalized_unchanged(self):
+        result = normalize([0.5, 0.5])
+        assert result.tolist() == [0.5, 0.5]
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ReproError):
+            normalize([0.0, 0.0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            normalize([0.5, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ReproError):
+            normalize([])
+
+    def test_clips_tiny_negative_roundoff(self):
+        result = normalize([1.0, -1e-12])
+        assert result[0] == pytest.approx(1.0)
+
+
+class TestEntropy:
+    def test_uniform_is_log_n(self):
+        assert entropy([0.25] * 4) == pytest.approx(2.0)
+
+    def test_point_mass_is_zero(self):
+        assert entropy([1.0, 0.0, 0.0]) == pytest.approx(0.0)
+
+    def test_subdistribution_allowed(self):
+        # The MaxEnt objective runs on masses < 1.
+        value = entropy([0.25, 0.25])
+        assert value == pytest.approx(-2 * 0.25 * math.log2(0.25))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ReproError):
+            entropy([-0.1, 1.1])
+
+    def test_base_e(self):
+        assert entropy([0.5, 0.5], base=math.e) == pytest.approx(math.log(2))
+
+
+class TestKLDivergence:
+    def test_identical_is_zero(self):
+        assert kl_divergence([0.3, 0.7], [0.3, 0.7]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # D([1,0] || [0.5,0.5]) = log2(2) = 1 bit.
+        assert kl_divergence([1.0, 0.0], [0.5, 0.5]) == pytest.approx(1.0)
+
+    def test_infinite_when_support_mismatch(self):
+        assert math.isinf(kl_divergence([0.5, 0.5], [1.0, 0.0]))
+
+    def test_zero_p_term_ignored(self):
+        value = kl_divergence([0.0, 1.0], [0.5, 0.5])
+        assert value == pytest.approx(1.0)
+
+    def test_non_negative_on_random_pairs(self):
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            p = normalize(rng.random(6))
+            q = normalize(rng.random(6))
+            assert kl_divergence(p, q) >= -1e-12
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            kl_divergence([0.5, 0.5], [1.0])
+
+
+class TestTotalVariation:
+    def test_identical_zero(self):
+        assert total_variation([0.5, 0.5], [0.5, 0.5]) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation([1.0, 0.0], [0.0, 1.0]) == pytest.approx(1.0)
+
+    def test_symmetric(self):
+        a, b = [0.2, 0.8], [0.6, 0.4]
+        assert total_variation(a, b) == pytest.approx(total_variation(b, a))
+
+
+class TestUniform:
+    def test_sums_to_one(self):
+        assert uniform(7).sum() == pytest.approx(1.0)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ReproError):
+            uniform(0)
