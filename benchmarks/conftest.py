@@ -12,6 +12,7 @@ feed EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -33,3 +34,22 @@ def save_result(results_dir: Path, name: str, rendered: str) -> None:
     path = results_dir / f"{name}.txt"
     path.write_text(rendered + "\n")
     print(f"\n{rendered}\n[saved to {path}]")
+
+
+def save_json(
+    results_dir: Path, name: str, columns: list[str], rows: list[list]
+) -> None:
+    """Persist one experiment's raw rows as machine-readable JSON.
+
+    Same tabular shape every bench renders: ``{"name", "columns", "rows"}``
+    with one JSON array per table row, so downstream tooling can diff
+    numbers across runs without parsing the pretty tables.
+    """
+    path = results_dir / f"{name}.json"
+    path.write_text(
+        json.dumps(
+            {"name": name, "columns": columns, "rows": rows}, indent=2
+        )
+        + "\n"
+    )
+    print(f"[saved to {path}]")

@@ -71,6 +71,7 @@ from repro.knowledge import (
     TopKBound,
     mine_association_rules,
 )
+from repro.engine import PrivacyEngine
 from repro.maxent import MaxEntConfig, MaxEntSolution, solve_maxent
 
 __version__ = "1.0.0"
@@ -95,6 +96,7 @@ __all__ = [
     "MiningConfig",
     "PosteriorTable",
     "PrivacyAssessment",
+    "PrivacyEngine",
     "PrivacyMaxEnt",
     "PseudonymTable",
     "ReproError",

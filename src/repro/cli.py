@@ -14,6 +14,7 @@ Subcommands cover the full workflow a data publisher runs:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.anonymize.anatomy import anatomize
@@ -33,7 +34,43 @@ from repro.experiments.figures import (
 )
 from repro.knowledge.bounds import TopKBound
 from repro.knowledge.mining import MiningConfig, mine_association_rules
+from repro.maxent.config import MaxEntConfig
 from repro.utils.tabulate import render_table
+
+
+def _add_engine_args(parser: argparse.ArgumentParser) -> None:
+    """Execution-engine knobs shared by every solving subcommand."""
+    group = parser.add_argument_group("execution engine")
+    group.add_argument(
+        "--executor",
+        choices=("serial", "thread", "process"),
+        default=None,
+        help="fan decomposed components out across workers",
+    )
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker count for --executor thread/process (default: CPUs)",
+    )
+    group.add_argument(
+        "--cache-size",
+        type=int,
+        default=None,
+        help="bound of the component solve cache (0 disables)",
+    )
+
+
+def _engine_overrides(args: argparse.Namespace) -> dict:
+    """The MaxEntConfig overrides the engine flags imply (unset: keep)."""
+    overrides = {}
+    if args.executor is not None:
+        overrides["executor"] = args.executor
+    if args.workers is not None:
+        overrides["workers"] = args.workers
+    if args.cache_size is not None:
+        overrides["cache_size"] = args.cache_size
+    return overrides
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
@@ -86,6 +123,7 @@ def _cmd_assess(args: argparse.Namespace) -> int:
         published,
         bounds,
         mining=MiningConfig(max_antecedent=args.max_antecedent),
+        config=MaxEntConfig(**_engine_overrides(args)),
     )
     print(
         render_assessments(
@@ -121,10 +159,11 @@ def _cmd_utility(args: argparse.Namespace) -> int:
         rules = mine_association_rules(
             table, MiningConfig(max_antecedent=args.max_antecedent)
         )
+        config = MaxEntConfig(**_engine_overrides(args))
         for k in args.k:
             bound = TopKBound(k // 2, k - k // 2)
             engine = PrivacyMaxEnt(
-                published, knowledge=bound.statements(rules)
+                published, knowledge=bound.statements(rules), config=config
             )
             report = relative_query_error(
                 table, published, engine.posterior(), queries
@@ -140,16 +179,31 @@ def _cmd_utility(args: argparse.Namespace) -> int:
     return 0
 
 
+def _with_engine(config, args: argparse.Namespace):
+    """Apply the CLI's engine flags to a figure config's solver settings."""
+    overrides = _engine_overrides(args)
+    if not overrides:
+        return config
+    return dataclasses.replace(
+        config, solver=dataclasses.replace(config.solver, **overrides)
+    )
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     name = args.name.lower()
     if name == "5":
-        print(figure5(Figure5Config(n_records=args.records)).render())
+        config = _with_engine(Figure5Config(n_records=args.records), args)
+        print(figure5(config).render())
     elif name == "6":
-        print(figure6(Figure6Config(n_records=args.records)).render())
+        config = _with_engine(Figure6Config(n_records=args.records), args)
+        print(figure6(config).render())
     elif name == "7a":
-        print(figure7a(Figure7aConfig(n_records=args.records)).render())
+        config = _with_engine(Figure7aConfig(n_records=args.records), args)
+        print(figure7a(config).render())
     elif name in ("7b", "7c", "7bc"):
-        time_result, iteration_result = figure7bc(Figure7bcConfig())
+        time_result, iteration_result = figure7bc(
+            _with_engine(Figure7bcConfig(), args)
+        )
         if name in ("7b", "7bc"):
             print(time_result.render())
         if name in ("7c", "7bc"):
@@ -205,6 +259,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=[50, 200, 800],
         help="total rule counts to assess (split half positive, half negative)",
     )
+    _add_engine_args(assess_cmd)
     assess_cmd.set_defaults(func=_cmd_assess)
 
     utility = sub.add_parser(
@@ -224,11 +279,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         help="optionally also score knowledge-informed posteriors",
     )
+    _add_engine_args(utility)
     utility.set_defaults(func=_cmd_utility)
 
     figure = sub.add_parser("figure", help="regenerate a paper figure")
     figure.add_argument("name", help="5, 6, 7a, 7b or 7c")
     figure.add_argument("--records", type=int, default=1200)
+    _add_engine_args(figure)
     figure.set_defaults(func=_cmd_figure)
 
     return parser

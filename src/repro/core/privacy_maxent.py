@@ -21,6 +21,7 @@ from collections.abc import Iterable, Sequence
 
 from repro.anonymize.buckets import BucketizedTable
 from repro.core.accuracy import estimation_accuracy
+from repro.engine.engine import PrivacyEngine, shared_engine
 from repro.core.metrics import (
     bayes_vulnerability,
     effective_l,
@@ -38,7 +39,7 @@ from repro.knowledge.mining import MiningConfig, RuleSet, mine_association_rules
 from repro.maxent.constraints import ConstraintSystem, data_constraints
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
 from repro.maxent.solution import MaxEntSolution
-from repro.maxent.solver import MaxEntConfig, solve_maxent
+from repro.maxent.solver import MaxEntConfig
 
 
 class PrivacyMaxEnt:
@@ -59,6 +60,11 @@ class PrivacyMaxEnt:
         statement.
     config:
         Solver configuration; defaults to decomposed, presolved L-BFGS.
+    engine:
+        The :class:`repro.engine.PrivacyEngine` to execute on.  Defaults
+        to the process-wide shared engine for ``config``'s execution
+        knobs; pass a dedicated engine to isolate its solve cache or to
+        control worker-pool lifecycle.
 
     Example
     -------
@@ -74,6 +80,7 @@ class PrivacyMaxEnt:
         *,
         individuals: bool = False,
         config: MaxEntConfig | None = None,
+        engine: PrivacyEngine | None = None,
     ) -> None:
         statements = list(knowledge)
         needs_people = individuals or any(
@@ -81,6 +88,7 @@ class PrivacyMaxEnt:
         )
         self._published = published
         self._config = config or MaxEntConfig()
+        self._engine = engine
         if needs_people:
             self._pseudonyms = PseudonymTable(published)
             self._space: GroupVariableSpace | PersonVariableSpace = (
@@ -128,12 +136,19 @@ class PrivacyMaxEnt:
             + self._system.n_inequalities
         )
 
+    @property
+    def engine(self) -> PrivacyEngine:
+        """The execution engine solves run on."""
+        return self._engine or shared_engine(self._config)
+
     # -- solving ---------------------------------------------------------------
 
     def solve(self, *, force: bool = False) -> MaxEntSolution:
         """Run (or return the cached) MaxEnt solve."""
         if self._solution is None or force:
-            self._solution = solve_maxent(self._space, self._system, self._config)
+            self._solution = self.engine.solve(
+                self._space, self._system, self._config
+            )
         return self._solution
 
     def posterior(self) -> PosteriorTable:
@@ -177,6 +192,7 @@ def assess(
     mining: MiningConfig | None = None,
     config: MaxEntConfig | None = None,
     exclude_sa: frozenset[str] = frozenset(),
+    engine: PrivacyEngine | None = None,
 ) -> list[PrivacyAssessment]:
     """Quantify privacy of ``published`` under each candidate bound.
 
@@ -186,22 +202,30 @@ def assess(
     (bound, score) tuple of Section 4.3.  ``exclude_sa`` removes exempt
     (non-sensitive) SA values from the disclosure metrics, matching a
     footnote-3-style bucketization.
+
+    All bounds run on one execution engine (``engine``, or the shared
+    engine for ``config``), so components untouched by the growing
+    knowledge sets are solved once and served from cache thereafter.
     """
     if rules is None:
         rules = mine_association_rules(original, mining)
     truth = PosteriorTable.from_table(original)
+    execution = engine or shared_engine(config or MaxEntConfig())
 
     assessments = []
     for bound in bounds:
-        engine = PrivacyMaxEnt(
-            published, knowledge=bound.statements(rules), config=config
+        quantifier = PrivacyMaxEnt(
+            published,
+            knowledge=bound.statements(rules),
+            config=config,
+            engine=execution,
         )
-        posterior = engine.posterior()
-        solution = engine.solve()
+        posterior = quantifier.posterior()
+        solution = quantifier.solve()
         assessments.append(
             PrivacyAssessment(
                 bound=bound.describe(),
-                n_constraints=engine.n_knowledge_rows,
+                n_constraints=quantifier.n_knowledge_rows,
                 estimation_accuracy=estimation_accuracy(truth, posterior),
                 max_disclosure=max_disclosure(posterior, exclude=exclude_sa),
                 bayes_vulnerability=bayes_vulnerability(

@@ -1,0 +1,162 @@
+"""The per-component numeric solve task.
+
+This is the unit of work the executors fan out: presolve one component,
+dispatch to the configured solver, lift the solution back to component
+coordinates.  It lives at module level (not as a closure) so the process
+backend can pickle it, and it returns plain picklable data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.decompose import Component
+from repro.maxent.dual import build_dual
+from repro.maxent.gis import solve_gis
+from repro.maxent.iis import solve_iis
+from repro.maxent.lbfgs import DualSolveResult, solve_dual_lbfgs
+from repro.maxent.newton import solve_dual_newton
+from repro.maxent.presolve import presolve
+from repro.maxent.primal import solve_primal
+from repro.maxent.solution import SolverStats
+from repro.utils.timer import Timer
+
+
+@dataclass
+class ComponentSolve:
+    """Result of one component task: local solution, stats, warm-start."""
+
+    p: np.ndarray
+    stats: SolverStats
+    #: Converged dual multipliers of the *presolved* system (quasi-Newton
+    #: solvers only) — reusable as a warm start for structurally identical
+    #: components.
+    multipliers: np.ndarray | None = None
+
+
+def _dispatch(
+    system, mass: float, config: MaxEntConfig, warm_start: np.ndarray | None
+) -> DualSolveResult:
+    if config.solver == "lbfgs":
+        dual = build_dual(system, mass)
+        return solve_dual_lbfgs(
+            dual,
+            tol=config.tol,
+            max_iterations=config.max_iterations,
+            x0=_usable_warm_start(warm_start, dual.n_params),
+        )
+    if config.solver == "newton":
+        dual = build_dual(system, mass)
+        return solve_dual_newton(
+            dual,
+            tol=config.tol,
+            max_iterations=config.max_iterations,
+            x0=_usable_warm_start(warm_start, dual.n_params),
+        )
+    if config.solver == "gis":
+        return solve_gis(
+            system, mass, tol=config.tol, max_iterations=config.max_iterations
+        )
+    if config.solver == "iis":
+        return solve_iis(
+            system, mass, tol=config.tol, max_iterations=config.max_iterations
+        )
+    return solve_primal(
+        system, mass, tol=config.tol, max_iterations=config.max_iterations
+    )
+
+
+def _usable_warm_start(
+    warm_start: np.ndarray | None, n_params: int
+) -> np.ndarray | None:
+    """Validate a candidate warm start against the presolved dual size.
+
+    The warm-start store keys on pre-presolve structure, but presolve
+    eliminations depend on right-hand sides, so a near-miss system can
+    reduce to a different shape — in which case the stored vector is
+    silently discarded (a cold start is always correct).
+    """
+    if warm_start is None:
+        return None
+    warm_start = np.asarray(warm_start, dtype=float)
+    if warm_start.shape != (n_params,) or not np.all(np.isfinite(warm_start)):
+        return None
+    return warm_start
+
+
+def solve_component(
+    component: Component,
+    config: MaxEntConfig,
+    warm_start: np.ndarray | None = None,
+) -> ComponentSolve:
+    """Solve one component; the executor task.
+
+    ``stats.seconds`` measures this task's own elapsed time — under a
+    parallel executor the engine sums these into ``cpu_seconds`` and
+    reports overall wall time separately.
+    """
+    with Timer() as timer:
+        system = component.system
+        mass = component.mass
+        fixed_count = 0
+        if config.use_presolve:
+            reduction = presolve(system)
+            fixed_count = len(reduction.fixed_values)
+            system = reduction.system
+            mass = component.mass - reduction.mass_removed
+
+        multipliers: np.ndarray | None = None
+        if system.n_vars == 0 or mass <= 1e-15:
+            # Everything was forced by presolve.
+            p_local = (
+                reduction.restore(np.zeros(system.n_vars))
+                if config.use_presolve
+                else np.zeros(component.n_vars)
+            )
+            residual = component.system.residual(p_local)
+            stats = SolverStats(
+                solver="presolve",
+                iterations=0,
+                seconds=0.0,
+                n_vars=component.n_vars,
+                n_equalities=component.system.n_equalities,
+                n_inequalities=component.system.n_inequalities,
+                eq_residual=residual,
+                ineq_residual=0.0,
+                converged=residual <= config.tol,
+                presolve_fixed=fixed_count,
+            )
+        else:
+            result = _dispatch(system, mass, config, warm_start)
+            p_local = (
+                reduction.restore(result.p) if config.use_presolve else result.p
+            )
+            if result.converged:
+                multipliers = result.multipliers
+            stats = SolverStats(
+                solver=config.solver,
+                iterations=result.iterations,
+                seconds=0.0,
+                n_vars=component.n_vars,
+                n_equalities=component.system.n_equalities,
+                n_inequalities=component.system.n_inequalities,
+                eq_residual=result.eq_residual,
+                ineq_residual=result.ineq_residual,
+                converged=result.converged,
+                presolve_fixed=fixed_count,
+                message=result.message,
+            )
+    stats.seconds = timer.seconds
+    stats.cpu_seconds = timer.seconds
+    return ComponentSolve(p=p_local, stats=stats, multipliers=multipliers)
+
+
+def solve_component_task(
+    job: tuple[Component, MaxEntConfig, np.ndarray | None],
+) -> ComponentSolve:
+    """Single-argument wrapper for ``Executor.map`` (and pickling)."""
+    component, config, warm_start = job
+    return solve_component(component, config, warm_start)

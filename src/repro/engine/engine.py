@@ -1,0 +1,363 @@
+"""The execution engine facade: plan, fan out, cache, reassemble.
+
+:class:`PrivacyEngine` owns the executor backend, the component solve
+cache and the warm-start store, and runs the full Section 5.5 pipeline:
+
+1. (optionally) drop the per-bucket redundant row,
+2. build an :class:`~repro.engine.plan.ExecutionPlan`,
+3. solve every irrelevant component in one batched closed-form call,
+4. fingerprint each numeric component; cache hits return bit-identical
+   stored solutions, misses fan out across the executor (warm-started
+   from structurally identical past solves when available),
+5. reassemble the joint, aggregating per-component compute time
+   (``cpu_seconds``) separately from wall time (``seconds``).
+
+The core library (:class:`repro.core.privacy_maxent.PrivacyMaxEnt`), the
+CLI, the experiment drivers and the benchmarks all route through this
+facade; :func:`repro.maxent.solver.solve_maxent` is a thin wrapper over
+:func:`shared_engine`.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.engine.cache import CacheEntry, SolveCache, WarmStartStore
+from repro.engine.component import solve_component_task
+from repro.engine.executors import create_executor
+from repro.engine.fingerprint import component_fingerprint, structure_fingerprint
+from repro.engine.plan import ExecutionPlan, build_plan
+from repro.errors import InfeasibleKnowledgeError, ReproError, SolverError
+from repro.maxent.closed_form import closed_form_batch
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import ConstraintSystem
+from repro.maxent.decompose import Component, drop_redundant_data_rows
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+from repro.maxent.solution import ComponentRecord, MaxEntSolution, SolverStats
+from repro.utils.timer import Timer
+
+VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+
+def _check_component(
+    component: Component, stats: SolverStats, config: MaxEntConfig
+) -> None:
+    """Raise on an unconverged component per the config's failure policy."""
+    if stats.converged:
+        return
+    scale = max(abs(component.mass), 1e-12)
+    relative = stats.residual / scale
+    if relative > config.infeasibility_threshold:
+        if config.raise_on_infeasible:
+            raise InfeasibleKnowledgeError(
+                "the constraint system appears infeasible "
+                f"(relative residual {relative:.2e} on the component "
+                f"covering buckets {component.buckets[:8]}...); "
+                "check the supplied background knowledge for "
+                "contradictions",
+                residual=stats.residual,
+            )
+    elif config.raise_on_infeasible and config.solver in ("gis", "iis"):
+        raise SolverError(
+            f"{config.solver} did not converge "
+            f"(residual {stats.residual:.2e}); increase "
+            "max_iterations or use solver='lbfgs'",
+            solver=config.solver,
+            iterations=stats.iterations,
+        )
+
+
+class PrivacyEngine:
+    """Reusable execution engine for MaxEnt solves.
+
+    One engine = one executor backend + one solve cache + one warm-start
+    store.  Keep an engine alive across a sweep (figure drivers, skyline
+    enumeration, ``assess`` over many bounds) and repeated component
+    solves are served from cache, bit-identical and effectively free.
+
+    Parameters
+    ----------
+    executor:
+        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+    workers:
+        Worker count for pooled executors (``None``: CPU count).
+    cache_size:
+        LRU bound on cached component solutions; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        *,
+        executor: str = "serial",
+        workers: int | None = None,
+        cache_size: int = 128,
+    ) -> None:
+        self._executor = create_executor(executor, workers)
+        self.cache = SolveCache(cache_size)
+        self.warm_starts = WarmStartStore(cache_size)
+        self.n_solves = 0
+        self.wall_seconds = 0.0
+        self.cpu_seconds = 0.0
+        # Shared engines serve concurrent solve_maxent callers; telemetry
+        # updates must not drop under that concurrency.
+        self._telemetry_lock = threading.Lock()
+
+    @classmethod
+    def from_config(cls, config: MaxEntConfig) -> "PrivacyEngine":
+        """Build an engine from a config's execution knobs."""
+        return cls(
+            executor=config.executor,
+            workers=config.workers,
+            cache_size=config.cache_size,
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def executor_name(self) -> str:
+        """Name of the active executor backend."""
+        return self._executor.name
+
+    def close(self) -> None:
+        """Shut down any worker pool (idempotent)."""
+        self._executor.close()
+
+    def __enter__(self) -> "PrivacyEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def describe(self) -> str:
+        """One-line telemetry summary (used by experiment notes)."""
+        return (
+            f"engine[{self.executor_name}]: {self.n_solves} solve(s), "
+            f"{self.cache.hits}/{self.cache.hits + self.cache.misses} "
+            f"component cache hits, cpu {self.cpu_seconds:.3f}s / "
+            f"wall {self.wall_seconds:.3f}s"
+        )
+
+    # -- solving -------------------------------------------------------------
+
+    def solve(
+        self,
+        space: VariableSpace,
+        system: ConstraintSystem,
+        config: MaxEntConfig | None = None,
+    ) -> MaxEntSolution:
+        """Solve the full MaxEnt program over ``space`` with rows ``system``.
+
+        ``system`` must contain the data invariants (from
+        :func:`repro.maxent.constraints.data_constraints`) plus any
+        compiled background-knowledge rows.
+        """
+        config = config or MaxEntConfig()
+        if system.n_vars != space.n_vars:
+            raise ReproError(
+                f"system is over {system.n_vars} variables but the space has "
+                f"{space.n_vars}"
+            )
+
+        with Timer() as wall:
+            solve_system = system
+            if config.drop_redundant:
+                solve_system = drop_redundant_data_rows(space, system)
+
+            plan = build_plan(space, solve_system, config)
+            p = np.zeros(space.n_vars)
+            stats_by_position: dict[int, SolverStats] = {}
+
+            self._run_closed_form(space, plan, p, stats_by_position)
+            cpu_seconds = self._run_numeric(plan, config, p, stats_by_position)
+
+        with self._telemetry_lock:
+            self.n_solves += 1
+            self.wall_seconds += wall.seconds
+            self.cpu_seconds += cpu_seconds
+
+        return self._reassemble(
+            space,
+            system,
+            config,
+            plan,
+            p,
+            stats_by_position,
+            wall_seconds=wall.seconds,
+            cpu_seconds=cpu_seconds,
+        )
+
+    # -- the batched closed-form path ---------------------------------------
+
+    def _run_closed_form(
+        self,
+        space: VariableSpace,
+        plan: ExecutionPlan,
+        p: np.ndarray,
+        stats_by_position: dict[int, SolverStats],
+    ) -> None:
+        """Solve all irrelevant components in one vectorized Eq. (9) call."""
+        if not plan.closed_form:
+            return
+        indices = np.concatenate(
+            [plan.components[pos].var_indices for pos in plan.closed_form]
+        )
+        p[indices] = closed_form_batch(space, indices)
+        for pos in plan.closed_form:
+            component = plan.components[pos]
+            stats_by_position[pos] = SolverStats(
+                solver="closed-form",
+                iterations=0,
+                seconds=0.0,
+                n_vars=component.n_vars,
+                n_equalities=component.system.n_equalities,
+                n_inequalities=0,
+                eq_residual=0.0,
+                ineq_residual=0.0,
+                converged=True,
+            )
+
+    # -- the numeric path ----------------------------------------------------
+
+    def _run_numeric(
+        self,
+        plan: ExecutionPlan,
+        config: MaxEntConfig,
+        p: np.ndarray,
+        stats_by_position: dict[int, SolverStats],
+    ) -> float:
+        """Cache-check then fan numeric components out; returns CPU time."""
+        solve_key = config.solve_key()
+        caching = self.cache.enabled
+        pending: list[tuple[int, Component, str | None, str | None]] = []
+
+        for pos in plan.numeric:
+            component = plan.components[pos]
+            fingerprint = None
+            structure = None
+            if caching:
+                fingerprint = component_fingerprint(
+                    component.system, component.mass, solve_key
+                )
+                entry = self.cache.lookup(fingerprint)
+                if entry is not None:
+                    p[component.var_indices] = entry.p
+                    stats_by_position[pos] = entry.replay_stats()
+                    continue
+                if config.warm_start:
+                    structure = structure_fingerprint(component.system)
+            pending.append((pos, component, fingerprint, structure))
+
+        if not pending:
+            return 0.0
+
+        jobs = [
+            (
+                component,
+                config,
+                self.warm_starts.get(structure) if structure else None,
+            )
+            for _, component, _, structure in pending
+        ]
+        results = self._executor.imap(solve_component_task, jobs)
+
+        cpu_seconds = 0.0
+        for (pos, component, fingerprint, structure), result in zip(
+            pending, results
+        ):
+            p[component.var_indices] = result.p
+            stats_by_position[pos] = result.stats
+            cpu_seconds += result.stats.seconds
+            if fingerprint is not None and result.stats.converged:
+                self.cache.put(
+                    fingerprint, CacheEntry(p=result.p, stats=result.stats)
+                )
+            if structure is not None and result.multipliers is not None:
+                self.warm_starts.put(structure, result.multipliers)
+            # Fail fast: a contradictory knowledge set aborts here, at the
+            # first bad component — under the serial executor the remaining
+            # components are never solved at all.
+            _check_component(component, result.stats, config)
+        return cpu_seconds
+
+    # -- reassembly ----------------------------------------------------------
+
+    def _reassemble(
+        self,
+        space: VariableSpace,
+        system: ConstraintSystem,
+        config: MaxEntConfig,
+        plan: ExecutionPlan,
+        p: np.ndarray,
+        stats_by_position: dict[int, SolverStats],
+        *,
+        wall_seconds: float,
+        cpu_seconds: float,
+    ) -> MaxEntSolution:
+        """Aggregate component statistics and package the solution."""
+        records: list[ComponentRecord] = []
+        total_iterations = 0
+        worst_eq = 0.0
+        worst_ineq = 0.0
+        all_converged = True
+        presolve_fixed = 0
+        cache_hits = 0
+
+        for pos, component in enumerate(plan.components):
+            stats = stats_by_position[pos]
+            records.append(
+                ComponentRecord(buckets=component.buckets, stats=stats)
+            )
+            total_iterations += stats.iterations
+            worst_eq = max(worst_eq, stats.eq_residual)
+            worst_ineq = max(worst_ineq, stats.ineq_residual)
+            all_converged = all_converged and stats.converged
+            presolve_fixed += stats.presolve_fixed
+            cache_hits += stats.cache_hits
+
+        aggregate = SolverStats(
+            solver=config.solver,
+            iterations=total_iterations,
+            seconds=wall_seconds,
+            n_vars=space.n_vars,
+            n_equalities=system.n_equalities,
+            n_inequalities=system.n_inequalities,
+            eq_residual=worst_eq,
+            ineq_residual=worst_ineq,
+            converged=all_converged,
+            n_components=plan.n_components,
+            presolve_fixed=presolve_fixed,
+            cpu_seconds=cpu_seconds,
+            cache_hits=cache_hits,
+        )
+        return MaxEntSolution(space, p, aggregate, records)
+
+
+# -- shared engines ------------------------------------------------------------
+
+_SHARED_ENGINES: dict[tuple, PrivacyEngine] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def shared_engine(config: MaxEntConfig | None = None) -> PrivacyEngine:
+    """The process-wide engine for a config's execution knobs.
+
+    Engines are keyed by (executor, workers, cache_size), so every
+    ``solve_maxent`` call with the same knobs shares one cache — this is
+    what makes repeated quantifications (figure sweeps, skyline
+    enumeration, solver ablations) reuse each other's component solutions
+    without any plumbing.
+    """
+    config = config or MaxEntConfig()
+    key = (config.executor, config.workers, config.cache_size)
+    with _SHARED_LOCK:
+        engine = _SHARED_ENGINES.get(key)
+        if engine is None:
+            engine = PrivacyEngine(
+                executor=config.executor,
+                workers=config.workers,
+                cache_size=config.cache_size,
+            )
+            _SHARED_ENGINES[key] = engine
+        return engine

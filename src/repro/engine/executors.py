@@ -1,0 +1,143 @@
+"""Execution backends fanning component solves across workers.
+
+Decomposed components are independent sub-problems (Theorem 4 /
+Proposition 1), so solving them concurrently is a pure wall-clock
+optimization.  Three backends share one interface — ``map(fn, items)``
+preserving input order — so the engine is indifferent to where the work
+runs:
+
+- :class:`SerialExecutor` — a plain loop; zero overhead, the default.
+- :class:`ThreadExecutor` — a thread pool.  scipy's optimizers release the
+  GIL inside the BLAS/LAPACK kernels, so threads help on systems whose
+  per-component work is matrix-heavy.
+- :class:`ProcessExecutor` — a process pool for CPU-bound Python-heavy
+  workloads.  Components, configs and results all pickle (plain
+  dataclasses holding numpy arrays), which is load-bearing: anything added
+  to those types must stay picklable.
+
+Pools are created lazily and kept for the executor's lifetime (process
+startup is the dominant cost); ``close()`` tears them down, and executors
+work as context managers.
+"""
+
+from __future__ import annotations
+
+import atexit
+import concurrent.futures
+import os
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.errors import ReproError
+
+EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+def _default_workers() -> int:
+    return max(os.cpu_count() or 1, 1)
+
+
+class SerialExecutor:
+    """Run tasks inline, in order.  The no-dependency baseline backend."""
+
+    name = "serial"
+
+    def __init__(self, workers: int | None = None) -> None:
+        self.workers = 1
+
+    def imap(self, fn: Callable, items: Iterable):
+        """Lazily apply ``fn`` item by item, in input order.
+
+        Laziness is load-bearing: the engine checks each component for
+        infeasibility as its result arrives, so a contradictory knowledge
+        set aborts the solve at the first bad component instead of after
+        the whole sweep.
+        """
+        return (fn(item) for item in items)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` to every item, returning results in input order."""
+        return list(self.imap(fn, items))
+
+    def close(self) -> None:
+        """Nothing to tear down."""
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _PoolExecutor:
+    """Shared lazy-pool plumbing of the thread and process backends."""
+
+    name = "pool"
+    _pool_factory: Callable[..., concurrent.futures.Executor]
+
+    def __init__(self, workers: int | None = None) -> None:
+        if workers is not None and workers <= 0:
+            raise ReproError(f"workers must be positive, got {workers}")
+        self.workers = workers or _default_workers()
+        self._pool: concurrent.futures.Executor | None = None
+
+    def _ensure_pool(self) -> concurrent.futures.Executor:
+        if self._pool is None:
+            self._pool = self._pool_factory(max_workers=self.workers)
+            atexit.register(self.close)
+        return self._pool
+
+    def imap(self, fn: Callable, items: Iterable):
+        """Apply ``fn`` across the pool, yielding results in input order.
+
+        All tasks are submitted immediately (that is the parallelism);
+        results stream back in order as they complete.
+        """
+        items = list(items)
+        if len(items) <= 1:
+            # One task gains nothing from a pool (and on the process
+            # backend would pay a fork + pickle round-trip).
+            return (fn(item) for item in items)
+        return self._ensure_pool().map(fn, items)
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply ``fn`` across the pool, returning results in input order."""
+        return list(self.imap(fn, items))
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "_PoolExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ThreadExecutor(_PoolExecutor):
+    """Thread-pool backend (GIL-releasing numeric kernels)."""
+
+    name = "thread"
+    _pool_factory = staticmethod(concurrent.futures.ThreadPoolExecutor)
+
+
+class ProcessExecutor(_PoolExecutor):
+    """Process-pool backend (true CPU parallelism; tasks must pickle)."""
+
+    name = "process"
+    _pool_factory = staticmethod(concurrent.futures.ProcessPoolExecutor)
+
+
+def create_executor(name: str, workers: int | None = None):
+    """Build the executor backend called ``name``."""
+    if name == "serial":
+        return SerialExecutor()
+    if name == "thread":
+        return ThreadExecutor(workers)
+    if name == "process":
+        return ProcessExecutor(workers)
+    raise ReproError(
+        f"unknown executor {name!r}; choose one of {EXECUTOR_NAMES}"
+    )

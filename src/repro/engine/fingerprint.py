@@ -1,0 +1,91 @@
+"""Canonical fingerprints of constraint systems.
+
+A fingerprint is a stable SHA-256 over a canonical encoding of a system:
+row order never matters (rows are encoded independently and sorted), and
+within a row the (index, coefficient) pairs are sorted by index, so two
+systems describing the same mathematics hash identically no matter how the
+knowledge compiler happened to emit them.  Labels and ``kind`` tags are
+deliberately excluded — they are diagnostics, not mathematics.
+
+Two variants:
+
+- :func:`fingerprint_system` — the *full* fingerprint (rows, coefficients,
+  right-hand sides, total mass).  Equal fingerprints mean equal MaxEnt
+  solutions, so this keys the solve cache.
+- :func:`structure_fingerprint` — the same encoding *minus* right-hand
+  sides and mass.  Equal structure means the dual has the same shape, so a
+  previously converged multiplier vector is a useful warm start even when
+  the rhs changed (the figure sweeps' "near-miss" systems).
+
+Floats are encoded via their IEEE-754 bytes: no rounding, no repr
+ambiguity, bit-identical inputs give bit-identical keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+import numpy as np
+
+from repro.maxent.constraints import ConstraintSystem, Row
+
+
+def _encode_row(row: Row, family: bytes, *, with_rhs: bool) -> bytes:
+    order = np.argsort(row.indices, kind="stable")
+    indices = np.ascontiguousarray(row.indices[order], dtype=np.int64)
+    coefficients = np.ascontiguousarray(row.coefficients[order], dtype=np.float64)
+    parts = [family, indices.tobytes(), coefficients.tobytes()]
+    if with_rhs:
+        parts.append(struct.pack("<d", row.rhs))
+    return b"\x00".join(parts)
+
+
+def _digest(
+    system: ConstraintSystem, *, mass: float | None, with_rhs: bool
+) -> str:
+    rows = [_encode_row(r, b"E", with_rhs=with_rhs) for r in system.equalities]
+    rows += [_encode_row(r, b"I", with_rhs=with_rhs) for r in system.inequalities]
+    rows.sort()
+    digest = hashlib.sha256()
+    digest.update(struct.pack("<q", system.n_vars))
+    if mass is not None:
+        digest.update(struct.pack("<d", mass))
+    for encoded in rows:
+        digest.update(struct.pack("<q", len(encoded)))
+        digest.update(encoded)
+    return digest.hexdigest()
+
+
+def fingerprint_system(system: ConstraintSystem, mass: float = 1.0) -> str:
+    """Full canonical fingerprint of ``system`` at total mass ``mass``.
+
+    Stable under row permutation and within-row index reordering; sensitive
+    to every index, coefficient, right-hand side, the variable count and
+    the mass — exactly the inputs the solution depends on.
+    """
+    return _digest(system, mass=mass, with_rhs=True)
+
+
+def structure_fingerprint(system: ConstraintSystem) -> str:
+    """Fingerprint of the row *structure* only (no rhs, no mass).
+
+    Keys the warm-start store: systems sharing a structure share a dual
+    geometry, so converged multipliers transfer as starting points.
+    """
+    return _digest(system, mass=None, with_rhs=False)
+
+
+def component_fingerprint(
+    system: ConstraintSystem, mass: float, solve_key: tuple
+) -> str:
+    """Cache key of one component solve: system + mass + solver facets.
+
+    ``solve_key`` is :meth:`repro.maxent.config.MaxEntConfig.solve_key` —
+    the configuration facets (solver, presolve, tolerance, budget) a cached
+    solution depends on.
+    """
+    digest = hashlib.sha256()
+    digest.update(fingerprint_system(system, mass).encode())
+    digest.update(repr(solve_key).encode())
+    return digest.hexdigest()

@@ -1,0 +1,74 @@
+"""Execution planning: classify decomposed components by solve path.
+
+A plan is the engine's unit of scheduling: the decomposition's components,
+split into the *batched closed-form* path (irrelevant components of a
+group space, Definition 5.6 — all solved in one vectorized Eq. (9) call)
+and the *numeric* path (everything touched by knowledge, fanned out across
+the configured executor).  Keeping the classification separate from
+execution is what lets later scaling work (sharding, async serving)
+schedule the same plan differently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import ConstraintSystem
+from repro.maxent.decompose import Component, decompose
+from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+
+VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+
+@dataclass
+class ExecutionPlan:
+    """The scheduled shape of one MaxEnt solve."""
+
+    components: list[Component]
+    #: Positions (into ``components``) taking the batched Eq. (9) path.
+    closed_form: list[int] = field(default_factory=list)
+    #: Positions solved numerically (presolve + configured solver).
+    numeric: list[int] = field(default_factory=list)
+    executor: str = "serial"
+    workers: int | None = None
+
+    @property
+    def n_components(self) -> int:
+        """Total number of components scheduled."""
+        return len(self.components)
+
+    def describe(self) -> str:
+        """One-line summary for logs and diagnostics."""
+        return (
+            f"{self.n_components} component(s): {len(self.closed_form)} "
+            f"closed-form (batched), {len(self.numeric)} numeric via "
+            f"{self.executor!r} executor"
+        )
+
+
+def build_plan(
+    space: VariableSpace,
+    system: ConstraintSystem,
+    config: MaxEntConfig,
+) -> ExecutionPlan:
+    """Decompose ``system`` and classify every component's solve path.
+
+    The closed form applies exactly where Theorem 5 proves it: irrelevant
+    components of a group-level space, with ``config.use_closed_form`` on.
+    """
+    components = decompose(space, system, enabled=config.decompose)
+    plan = ExecutionPlan(
+        components=components,
+        executor=config.executor,
+        workers=config.workers,
+    )
+    closed_form_ok = config.use_closed_form and isinstance(
+        space, GroupVariableSpace
+    )
+    for position, component in enumerate(components):
+        if closed_form_ok and component.is_irrelevant:
+            plan.closed_form.append(position)
+        else:
+            plan.numeric.append(position)
+    return plan

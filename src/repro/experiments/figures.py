@@ -27,24 +27,29 @@ from dataclasses import dataclass, replace
 
 from repro.core.accuracy import estimation_accuracy
 from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.engine.engine import PrivacyEngine
 from repro.errors import ExperimentError
-from repro.experiments.harness import ExperimentResult
+from repro.experiments.harness import ExperimentResult, append_engine_notes
 from repro.experiments.workloads import AdultWorkload, build_adult_workload, k_grid
 from repro.knowledge.bounds import TopKBound
 from repro.maxent.solver import MaxEntConfig
 
 
 def _accuracy_under_bound(
-    workload: AdultWorkload, bound: TopKBound, config: MaxEntConfig
+    workload: AdultWorkload,
+    bound: TopKBound,
+    config: MaxEntConfig,
+    engine: PrivacyEngine | None = None,
 ) -> tuple[float, int, object]:
-    engine = PrivacyMaxEnt(
+    quantifier = PrivacyMaxEnt(
         workload.published,
         knowledge=bound.statements(workload.rules),
         config=config,
+        engine=engine,
     )
-    posterior = engine.posterior()
+    posterior = quantifier.posterior()
     accuracy = estimation_accuracy(workload.truth, posterior)
-    return accuracy, engine.n_knowledge_rows, engine.solve().stats
+    return accuracy, quantifier.n_knowledge_rows, quantifier.solve().stats
 
 
 # --- Figure 5 -----------------------------------------------------------------
@@ -90,6 +95,7 @@ def figure5(config: Figure5Config | None = None) -> ExperimentResult:
             f"{workload.rules.n_negative} negative available)."
         ),
     )
+    engine = PrivacyEngine.from_config(config.solver)
     for k in k_grid(config.max_k, config.points):
         for name, bound in (
             ("K+", TopKBound(k, 0)),
@@ -97,7 +103,7 @@ def figure5(config: Figure5Config | None = None) -> ExperimentResult:
             ("(K+, K-)", TopKBound(k // 2, k - k // 2)),
         ):
             accuracy, n_rows, stats = _accuracy_under_bound(
-                workload, bound, config.solver
+                workload, bound, config.solver, engine
             )
             result.add(
                 name,
@@ -107,7 +113,7 @@ def figure5(config: Figure5Config | None = None) -> ExperimentResult:
                 iterations=stats.iterations,
                 seconds=stats.seconds,
             )
-    return result
+    return append_engine_notes(result, engine)
 
 
 # --- Figure 6 --------------------------------------------------------------------
@@ -151,6 +157,7 @@ def figure6(config: Figure6Config | None = None) -> ExperimentResult:
         ),
     )
     grid = k_grid(config.max_k, config.points)
+    engine = PrivacyEngine.from_config(config.solver)
     for size in config.sizes:
         workload = build_adult_workload(
             n_records=config.n_records,
@@ -162,7 +169,7 @@ def figure6(config: Figure6Config | None = None) -> ExperimentResult:
         for k in grid:
             bound = TopKBound(k // 2, k - k // 2)
             accuracy, n_rows, stats = _accuracy_under_bound(
-                workload, bound, config.solver
+                workload, bound, config.solver, engine
             )
             result.add(
                 f"T={size}",
@@ -171,7 +178,7 @@ def figure6(config: Figure6Config | None = None) -> ExperimentResult:
                 constraints=n_rows,
                 iterations=stats.iterations,
             )
-    return result
+    return append_engine_notes(result, engine)
 
 
 # --- Figure 7(a) ------------------------------------------------------------------
@@ -186,8 +193,14 @@ class Figure7aConfig:
     max_antecedent: int = 3
     constraint_counts: tuple[int, ...] = (10, 30, 100, 300, 1000, 3000)
     seed: int = 20080609
+    # Performance figures measure the raw solve: no decomposition (the
+    # paper's unoptimized setup) and no engine cache (timings must reflect
+    # numeric work, not cache bookkeeping).
     solver: MaxEntConfig = MaxEntConfig(
-        decompose=False, use_closed_form=False, raise_on_infeasible=False
+        decompose=False,
+        use_closed_form=False,
+        raise_on_infeasible=False,
+        cache_size=0,
     )
 
     @classmethod
@@ -220,10 +233,11 @@ def figure7a(config: Figure7aConfig | None = None) -> ExperimentResult:
             "values."
         ),
     )
+    engine = PrivacyEngine.from_config(config.solver)
     for count in config.constraint_counts:
         bound = TopKBound(count // 2, count - count // 2)
         _accuracy, n_rows, stats = _accuracy_under_bound(
-            workload, bound, config.solver
+            workload, bound, config.solver, engine
         )
         result.add(
             "running time (s)", x=count, y=stats.seconds, constraints=n_rows
@@ -248,9 +262,13 @@ class Figure7bcConfig:
     seed: int = 20080609
     # The paper measured the fully unoptimized solver: no decomposition and
     # a numeric solve even without knowledge (otherwise the 0-constraint
-    # series would be closed-form and take no time at all).
+    # series would be closed-form and take no time at all).  The engine
+    # cache is off for the same reason.
     solver: MaxEntConfig = MaxEntConfig(
-        decompose=False, use_closed_form=False, raise_on_infeasible=False
+        decompose=False,
+        use_closed_form=False,
+        raise_on_infeasible=False,
+        cache_size=0,
     )
 
     @classmethod
@@ -282,6 +300,7 @@ def figure7bc(
         series={},
         notes="Decomposition disabled; one series per knowledge size.",
     )
+    engine = PrivacyEngine.from_config(config.solver)
     for n_buckets in config.bucket_counts:
         workload = build_adult_workload(
             n_records=n_buckets * config.l,
@@ -292,7 +311,7 @@ def figure7bc(
         for size in config.knowledge_sizes:
             bound = TopKBound(size // 2, size - size // 2)
             _accuracy, n_rows, stats = _accuracy_under_bound(
-                workload, bound, config.solver
+                workload, bound, config.solver, engine
             )
             label = f"#Constraints = {size}"
             time_result.add(label, x=n_buckets, y=stats.seconds, constraints=n_rows)

@@ -87,3 +87,17 @@ class ExperimentResult:
         if self.notes:
             parts += ["", self.notes]
         return "\n".join(parts)
+
+
+def append_engine_notes(result: ExperimentResult, engine) -> ExperimentResult:
+    """Record an execution engine's telemetry in a result's notes.
+
+    ``engine`` is a :class:`repro.engine.PrivacyEngine` (duck-typed via its
+    ``describe()`` method).  Every figure driver runs its whole sweep on
+    one engine, so the appended line — solve count, component cache hit
+    rate, cpu vs wall seconds — tells the reader how much of the sweep was
+    served from cache rather than recomputed.
+    """
+    line = engine.describe()
+    result.notes = f"{result.notes}\n{line}" if result.notes else line
+    return result

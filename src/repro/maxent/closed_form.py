@@ -9,9 +9,9 @@ product
 
 equivalently Eq. (9)'s ``P(S | Q, b) = (# of S in bucket b) / N_b`` — the
 uniform-assignment formula all prior work uses implicitly.  This module
-evaluates it directly; the solver uses it for irrelevant components, and it
-doubles as the "no background knowledge" baseline estimator in the
-experiments.
+evaluates it directly; the execution engine batches it over *all*
+irrelevant components in one vectorized call, and it doubles as the "no
+background knowledge" baseline estimator in the experiments.
 """
 
 from __future__ import annotations
@@ -21,30 +21,31 @@ import numpy as np
 from repro.maxent.indexing import GroupVariableSpace
 
 
+def closed_form_batch(
+    space: GroupVariableSpace, var_indices: np.ndarray
+) -> np.ndarray:
+    """The Eq. (9) values of ``var_indices``, in one vectorized call.
+
+    ``p[i] = n(q_i, b_i) * n(s_i, b_i) / (N * N_{b_i})`` evaluated with
+    three array gathers — this is the engine's batched path covering every
+    irrelevant component at once.
+    """
+    var_indices = np.asarray(var_indices, dtype=np.int64)
+    if var_indices.size == 0:
+        return np.empty(0)
+    buckets = space.var_bucket[var_indices]
+    bucket_sizes = np.array(
+        [bucket.size for bucket in space.published.buckets], dtype=float
+    )
+    n_qb = space.qi_bucket_counts(space.var_qi[var_indices], buckets)
+    n_sb = space.sa_bucket_counts(space.var_sa[var_indices], buckets)
+    return n_qb * n_sb / (space.n_records * bucket_sizes[buckets])
+
+
 def closed_form_solution(space: GroupVariableSpace) -> np.ndarray:
     """The Eq. (9) joint for every variable of a group space.
 
     Returns the full vector ``p`` with ``p[var] = n(q,b) n(s,b) / (N N_b)``;
     components of a decomposition slice it by their variable indices.
     """
-    published = space.published
-    n = space.n_records
-    bucket_sizes = np.array(
-        [bucket.size for bucket in published.buckets], dtype=float
-    )
-
-    n_qb = np.array(
-        [
-            space.qi_bucket_count(int(qid), int(bucket))
-            for qid, bucket in zip(space.var_qi, space.var_bucket)
-        ],
-        dtype=float,
-    )
-    n_sb = np.array(
-        [
-            space.sa_bucket_count(int(sid), int(bucket))
-            for sid, bucket in zip(space.var_sa, space.var_bucket)
-        ],
-        dtype=float,
-    )
-    return n_qb * n_sb / (n * bucket_sizes[space.var_bucket])
+    return closed_form_batch(space, np.arange(space.n_vars, dtype=np.int64))

@@ -1,0 +1,116 @@
+"""Configuration of the MaxEnt solve pipeline.
+
+:class:`MaxEntConfig` lives in its own module (rather than next to
+``solve_maxent``) because both the solver façade and the execution engine
+(:mod:`repro.engine`) consume it, and the engine must not import the façade
+it powers.  ``repro.maxent.solver`` re-exports it, so existing imports keep
+working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+_SOLVER_NAMES = ("lbfgs", "newton", "gis", "iis", "primal")
+_EXECUTOR_NAMES = ("serial", "thread", "process")
+
+
+@dataclass(frozen=True)
+class MaxEntConfig:
+    """Tuning knobs of the MaxEnt pipeline.
+
+    Parameters
+    ----------
+    solver:
+        ``"lbfgs"`` (default, the paper's choice), ``"newton"``
+        (truncated-Newton on the dual), ``"gis"``, ``"iis"`` or
+        ``"primal"``.
+    decompose:
+        Solve per bucket-component (Section 5.5).  Disable to reproduce the
+        paper's unoptimized performance experiments.
+    use_presolve:
+        Eliminate forced variables first.  GIS/IIS require this.
+    use_closed_form:
+        Use Eq. (9) directly for components without knowledge rows.
+    tol:
+        Relative residual target for convergence.
+    max_iterations:
+        Outer iteration budget per component.
+    raise_on_infeasible:
+        Raise :class:`InfeasibleKnowledgeError` when the residual indicates
+        contradictory constraints; otherwise return with
+        ``stats.converged = False``.
+    executor:
+        How decomposed components are fanned out: ``"serial"`` (default),
+        ``"thread"`` or ``"process"``.  Components are independent
+        sub-problems, so thread/process execution is a pure wall-clock
+        optimization — the solution is identical by construction.
+    workers:
+        Worker count for the thread/process executors (``None`` uses the
+        machine's CPU count).
+    cache_size:
+        Bound of the per-engine LRU solve cache (entries are solved
+        components, keyed by a canonical constraint-system fingerprint).
+        ``0`` disables caching entirely.
+    warm_start:
+        Reuse converged dual multipliers from a structurally identical
+        component (same rows, different right-hand sides) as the starting
+        point of the next solve.  Changes only the iteration count, never
+        the converged solution.
+    """
+
+    solver: str = "lbfgs"
+    decompose: bool = True
+    use_presolve: bool = True
+    use_closed_form: bool = True
+    tol: float = 1e-6
+    max_iterations: int = 1000
+    raise_on_infeasible: bool = True
+    infeasibility_threshold: float = 1e-2
+    # Removing the per-bucket redundant row (Theorem 3) is available as an
+    # ablation; empirically the redundant rows *help* L-BFGS (they act as a
+    # mild preconditioner along bucket-mass directions), so default off.
+    drop_redundant: bool = False
+    # Execution-engine knobs (see repro.engine).
+    executor: str = "serial"
+    workers: int | None = None
+    cache_size: int = 128
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.solver not in _SOLVER_NAMES:
+            raise ReproError(
+                f"unknown solver {self.solver!r}; choose one of {_SOLVER_NAMES}"
+            )
+        if self.tol <= 0:
+            raise ReproError(f"tol must be positive, got {self.tol}")
+        if self.max_iterations <= 0:
+            raise ReproError("max_iterations must be positive")
+        if self.executor not in _EXECUTOR_NAMES:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; choose one of "
+                f"{_EXECUTOR_NAMES}"
+            )
+        if self.workers is not None and self.workers <= 0:
+            raise ReproError(f"workers must be positive, got {self.workers}")
+        if self.cache_size < 0:
+            raise ReproError(
+                f"cache_size must be non-negative, got {self.cache_size}"
+            )
+
+    def solve_key(self) -> tuple:
+        """The configuration facets a cached solution depends on.
+
+        Two configs with equal ``solve_key()`` produce the same solution for
+        the same constraint system, so cache entries are shared across
+        executor/cache-bookkeeping differences but never across solver or
+        tolerance changes.
+        """
+        return (
+            self.solver,
+            self.use_presolve,
+            self.tol,
+            self.max_iterations,
+        )

@@ -74,6 +74,35 @@ def _component_mass(space: VariableSpace, rows: list[Row]) -> float:
     return float(mass)
 
 
+def drop_redundant_data_rows(
+    space: VariableSpace, system: ConstraintSystem
+) -> ConstraintSystem:
+    """Remove one implied SA-invariant row per bucket (Theorem 3).
+
+    The conciseness theorem: within each bucket the QI- and SA-invariant
+    rows satisfy ``sum(QI rows) - sum(SA rows) = 0``, so any one row is
+    implied by the rest.  Dropping one "sa" row per bucket removes the exact
+    linear dependency, which conditions the dual and speeds every iterative
+    solver without changing the feasible set.
+    """
+    filtered = ConstraintSystem(system.n_vars)
+    dropped: set[int] = set()
+    for row in system.equalities:
+        if row.kind == "sa":
+            bucket = int(space.var_bucket[row.indices[0]])
+            if bucket not in dropped:
+                dropped.add(bucket)
+                continue
+        filtered.add_equality(
+            row.indices, row.coefficients, row.rhs, kind=row.kind, label=row.label
+        )
+    for row in system.inequalities:
+        filtered.add_inequality(
+            row.indices, row.coefficients, row.rhs, kind=row.kind, label=row.label
+        )
+    return filtered
+
+
 def decompose(
     space: VariableSpace,
     system: ConstraintSystem,

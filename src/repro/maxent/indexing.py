@@ -63,6 +63,38 @@ class _QIRegistry:
         return np.nonzero(mask)[0]
 
 
+def _gather_counts(
+    counts: dict[tuple[int, int], int], keys_a: np.ndarray, keys_b: np.ndarray
+) -> np.ndarray:
+    """Vectorized ``counts.get((a, b), 0)`` for parallel key arrays.
+
+    Encodes each (a, b) pair as a single integer and resolves all lookups
+    with one ``searchsorted`` over the dict's sorted keys — no
+    per-element Python dispatch, which is what makes the engine's batched
+    closed-form path a single vectorized call.
+    """
+    keys_a = np.asarray(keys_a, dtype=np.int64)
+    if keys_a.size == 0 or not counts:
+        return np.zeros(keys_a.size)
+    keys_b = np.asarray(keys_b, dtype=np.int64)
+    stride = max(int(keys_b.max()) + 1, 1)
+    table = np.array(
+        [[a * stride + b, value] for (a, b), value in counts.items() if b < stride],
+        dtype=np.int64,
+    ).reshape(-1, 2)
+    if table.shape[0] == 0:
+        # Every stored bucket lies beyond the queried range: all zeros.
+        return np.zeros(keys_a.size)
+    order = np.argsort(table[:, 0])
+    sorted_keys = table[order, 0]
+    sorted_values = table[order, 1].astype(float)
+    wanted = keys_a * stride + keys_b
+    position = np.searchsorted(sorted_keys, wanted)
+    position = np.clip(position, 0, sorted_keys.size - 1)
+    found = sorted_keys[position] == wanted
+    return np.where(found, sorted_values[position], 0.0)
+
+
 class GroupVariableSpace:
     """Variables ``P(q, s, b)`` over valid (QI tuple, SA value, bucket).
 
@@ -180,6 +212,18 @@ class GroupVariableSpace:
     def sa_bucket_pairs(self) -> list[tuple[int, int]]:
         """All (sid, bucket) pairs with ``n(s, b) > 0`` (SA-invariant rows)."""
         return sorted(self._n_sb)
+
+    def qi_bucket_counts(
+        self, qids: np.ndarray, buckets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``n(q, b)`` over parallel (qid, bucket) arrays."""
+        return _gather_counts(self._n_qb, qids, buckets)
+
+    def sa_bucket_counts(
+        self, sids: np.ndarray, buckets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``n(s, b)`` over parallel (sid, bucket) arrays."""
+        return _gather_counts(self._n_sb, sids, buckets)
 
     # -- knowledge-compiler queries ---------------------------------------------
 

@@ -36,6 +36,9 @@ class DualSolveResult:
     scale: float
     converged: bool
     message: str
+    #: Final dual multipliers (quasi-Newton solvers only) — the engine
+    #: stores these to warm-start structurally identical systems.
+    multipliers: np.ndarray | None = None
 
     @property
     def relative_residual(self) -> float:
@@ -61,6 +64,7 @@ def _package(
         scale=scale,
         converged=max(eq_res, ineq_res) <= tol * scale,
         message=message,
+        multipliers=np.asarray(x, dtype=float),
     )
 
 
@@ -69,12 +73,17 @@ def solve_dual_lbfgs(
     *,
     tol: float = 1e-6,
     max_iterations: int = 1000,
+    x0: np.ndarray | None = None,
 ) -> DualSolveResult:
     """Minimize the dual with L-BFGS-B, Newton-CG polishing if needed.
 
     ``tol`` is a *relative* residual target: convergence means the worst
     constraint violation is below ``tol * scale`` where ``scale`` is the
     magnitude of the right-hand sides.
+
+    ``x0`` optionally warm-starts the multipliers (e.g. from a previous
+    solve of a structurally identical system); the dual is convex, so the
+    starting point affects the iteration count, never the optimum.
     """
     scale = dual.residual_scale()
     gtol = max(tol * scale * 0.1, 1e-15)
@@ -82,7 +91,7 @@ def solve_dual_lbfgs(
 
     result = minimize(
         dual.value_and_grad,
-        np.zeros(dual.n_params),
+        np.zeros(dual.n_params) if x0 is None else np.asarray(x0, dtype=float),
         jac=True,
         method="L-BFGS-B",
         bounds=bounds,

@@ -29,8 +29,13 @@ def solve_dual_newton(
     *,
     tol: float = 1e-6,
     max_iterations: int = 1000,
+    x0: np.ndarray | None = None,
 ) -> DualSolveResult:
-    """Minimize the dual with Newton-CG (equality systems only)."""
+    """Minimize the dual with Newton-CG (equality systems only).
+
+    ``x0`` optionally warm-starts the multipliers; the dual is convex, so
+    it affects iteration count only.
+    """
     if dual.n_inequalities:
         raise NotSupportedError(
             "the newton solver handles equality constraints only; use "
@@ -39,7 +44,7 @@ def solve_dual_newton(
     scale = dual.residual_scale()
     result = minimize(
         dual.value_and_grad,
-        np.zeros(dual.n_params),
+        np.zeros(dual.n_params) if x0 is None else np.asarray(x0, dtype=float),
         jac=True,
         hessp=dual.hess_vec,
         method="Newton-CG",
@@ -55,4 +60,5 @@ def solve_dual_newton(
         scale=scale,
         converged=max(eq_res, ineq_res) <= tol * scale,
         message=str(result.message),
+        multipliers=np.asarray(result.x, dtype=float),
     )

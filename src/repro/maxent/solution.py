@@ -19,6 +19,12 @@ class SolverStats:
     ``iterations`` counts outer solver iterations (L-BFGS iterations, GIS /
     IIS scaling rounds, trust-constr iterations) — the quantity plotted on
     the y-axis of the paper's Figures 7(a) and 7(c).
+
+    ``seconds`` is wall-clock time; under a parallel executor it is shorter
+    than ``cpu_seconds``, the summed compute time of the individual
+    component solves (equal to ``seconds`` up to overhead when serial).
+    ``cache_hits`` counts components served from the engine's solve cache
+    without any numeric work this run.
     """
 
     solver: str
@@ -33,6 +39,8 @@ class SolverStats:
     n_components: int = 1
     presolve_fixed: int = 0
     message: str = ""
+    cpu_seconds: float = 0.0
+    cache_hits: int = 0
 
     @property
     def residual(self) -> float:

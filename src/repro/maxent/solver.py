@@ -6,200 +6,38 @@ implements the full Section 5.5 pipeline:
 1. split the program into bucket components (unless disabled, to reproduce
    the paper's unoptimized performance numbers),
 2. irrelevant components (Definition 5.6) take the closed-form Eq. (9)
-   solution (Theorem 5),
+   solution (Theorem 5) — batched over all of them in one vectorized call,
 3. the rest are presolved (forced variables eliminated) and handed to the
    configured solver (L-BFGS dual by default; GIS / IIS / primal for the
-   solver-comparison ablation),
+   solver-comparison ablation), fanned out across the configured executor,
 4. per-component solutions are reassembled, statistics aggregated, and
    clear errors raised when the constraints turn out infeasible.
+
+The actual execution — parallel fan-out, the component solve cache,
+warm-started duals, the batched closed form — lives in
+:mod:`repro.engine`; this module is the stable entry point wrapping the
+process-wide shared :class:`~repro.engine.engine.PrivacyEngine` for the
+config's execution knobs.  :class:`MaxEntConfig` and
+:func:`drop_redundant_data_rows` are re-exported here for compatibility
+with their original home.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.errors import InfeasibleKnowledgeError, ReproError, SolverError
-from repro.maxent.closed_form import closed_form_solution
+from repro.engine.engine import shared_engine
+from repro.maxent.config import MaxEntConfig
 from repro.maxent.constraints import ConstraintSystem
-from repro.maxent.decompose import Component, decompose
-from repro.maxent.dual import build_dual
-from repro.maxent.gis import solve_gis
-from repro.maxent.iis import solve_iis
+from repro.maxent.decompose import drop_redundant_data_rows
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
-from repro.maxent.lbfgs import DualSolveResult, solve_dual_lbfgs
-from repro.maxent.newton import solve_dual_newton
-from repro.maxent.presolve import presolve
-from repro.maxent.primal import solve_primal
-from repro.maxent.solution import ComponentRecord, MaxEntSolution, SolverStats
-from repro.utils.timer import Timer
+from repro.maxent.solution import MaxEntSolution
 
 VariableSpace = GroupVariableSpace | PersonVariableSpace
 
-_SOLVER_NAMES = ("lbfgs", "newton", "gis", "iis", "primal")
-
-
-@dataclass(frozen=True)
-class MaxEntConfig:
-    """Tuning knobs of the MaxEnt pipeline.
-
-    Parameters
-    ----------
-    solver:
-        ``"lbfgs"`` (default, the paper's choice), ``"newton"``
-        (truncated-Newton on the dual), ``"gis"``, ``"iis"`` or
-        ``"primal"``.
-    decompose:
-        Solve per bucket-component (Section 5.5).  Disable to reproduce the
-        paper's unoptimized performance experiments.
-    use_presolve:
-        Eliminate forced variables first.  GIS/IIS require this.
-    use_closed_form:
-        Use Eq. (9) directly for components without knowledge rows.
-    tol:
-        Relative residual target for convergence.
-    max_iterations:
-        Outer iteration budget per component.
-    raise_on_infeasible:
-        Raise :class:`InfeasibleKnowledgeError` when the residual indicates
-        contradictory constraints; otherwise return with
-        ``stats.converged = False``.
-    """
-
-    solver: str = "lbfgs"
-    decompose: bool = True
-    use_presolve: bool = True
-    use_closed_form: bool = True
-    tol: float = 1e-6
-    max_iterations: int = 1000
-    raise_on_infeasible: bool = True
-    infeasibility_threshold: float = 1e-2
-    # Removing the per-bucket redundant row (Theorem 3) is available as an
-    # ablation; empirically the redundant rows *help* L-BFGS (they act as a
-    # mild preconditioner along bucket-mass directions), so default off.
-    drop_redundant: bool = False
-
-    def __post_init__(self) -> None:
-        if self.solver not in _SOLVER_NAMES:
-            raise ReproError(
-                f"unknown solver {self.solver!r}; choose one of {_SOLVER_NAMES}"
-            )
-        if self.tol <= 0:
-            raise ReproError(f"tol must be positive, got {self.tol}")
-        if self.max_iterations <= 0:
-            raise ReproError("max_iterations must be positive")
-
-
-def _dispatch(
-    system: ConstraintSystem, mass: float, config: MaxEntConfig
-) -> DualSolveResult:
-    if config.solver == "lbfgs":
-        dual = build_dual(system, mass)
-        return solve_dual_lbfgs(
-            dual, tol=config.tol, max_iterations=config.max_iterations
-        )
-    if config.solver == "newton":
-        dual = build_dual(system, mass)
-        return solve_dual_newton(
-            dual, tol=config.tol, max_iterations=config.max_iterations
-        )
-    if config.solver == "gis":
-        return solve_gis(
-            system, mass, tol=config.tol, max_iterations=config.max_iterations
-        )
-    if config.solver == "iis":
-        return solve_iis(
-            system, mass, tol=config.tol, max_iterations=config.max_iterations
-        )
-    return solve_primal(
-        system, mass, tol=config.tol, max_iterations=config.max_iterations
-    )
-
-
-def _solve_component(
-    component: Component, config: MaxEntConfig
-) -> tuple[np.ndarray, SolverStats]:
-    """Solve one component; returns (local p, stats)."""
-    with Timer() as timer:
-        system = component.system
-        mass = component.mass
-        fixed_count = 0
-        if config.use_presolve:
-            reduction = presolve(system)
-            fixed_count = len(reduction.fixed_values)
-            system = reduction.system
-            mass = component.mass - reduction.mass_removed
-
-        if system.n_vars == 0 or mass <= 1e-15:
-            # Everything was forced by presolve.
-            p_local = (
-                reduction.restore(np.zeros(system.n_vars))
-                if config.use_presolve
-                else np.zeros(component.n_vars)
-            )
-            residual = component.system.residual(p_local)
-            stats = SolverStats(
-                solver="presolve",
-                iterations=0,
-                seconds=0.0,
-                n_vars=component.n_vars,
-                n_equalities=component.system.n_equalities,
-                n_inequalities=component.system.n_inequalities,
-                eq_residual=residual,
-                ineq_residual=0.0,
-                converged=residual <= config.tol,
-                presolve_fixed=fixed_count,
-            )
-        else:
-            result = _dispatch(system, mass, config)
-            p_local = (
-                reduction.restore(result.p) if config.use_presolve else result.p
-            )
-            stats = SolverStats(
-                solver=config.solver,
-                iterations=result.iterations,
-                seconds=0.0,
-                n_vars=component.n_vars,
-                n_equalities=component.system.n_equalities,
-                n_inequalities=component.system.n_inequalities,
-                eq_residual=result.eq_residual,
-                ineq_residual=result.ineq_residual,
-                converged=result.converged,
-                presolve_fixed=fixed_count,
-                message=result.message,
-            )
-    stats.seconds = timer.seconds
-    return p_local, stats
-
-
-def drop_redundant_data_rows(
-    space: VariableSpace, system: ConstraintSystem
-) -> ConstraintSystem:
-    """Remove one implied SA-invariant row per bucket (Theorem 3).
-
-    The conciseness theorem: within each bucket the QI- and SA-invariant
-    rows satisfy ``sum(QI rows) - sum(SA rows) = 0``, so any one row is
-    implied by the rest.  Dropping one "sa" row per bucket removes the exact
-    linear dependency, which conditions the dual and speeds every iterative
-    solver without changing the feasible set.
-    """
-    filtered = ConstraintSystem(system.n_vars)
-    dropped: set[int] = set()
-    for row in system.equalities:
-        if row.kind == "sa":
-            bucket = int(space.var_bucket[row.indices[0]])
-            if bucket not in dropped:
-                dropped.add(bucket)
-                continue
-        filtered.add_equality(
-            row.indices, row.coefficients, row.rhs, kind=row.kind, label=row.label
-        )
-    for row in system.inequalities:
-        filtered.add_inequality(
-            row.indices, row.coefficients, row.rhs, kind=row.kind, label=row.label
-        )
-    return filtered
+__all__ = [
+    "MaxEntConfig",
+    "drop_redundant_data_rows",
+    "solve_maxent",
+]
 
 
 def solve_maxent(
@@ -212,95 +50,12 @@ def solve_maxent(
     ``system`` must contain the data invariants (from
     :func:`repro.maxent.constraints.data_constraints`) plus any compiled
     background-knowledge rows.
+
+    Routes through the process-wide shared engine for ``config``'s
+    execution knobs (executor / workers / cache_size), so repeated solves
+    of overlapping programs reuse per-component solutions.  Hold a
+    dedicated :class:`repro.engine.PrivacyEngine` instead when you need an
+    isolated cache or explicit pool lifecycle.
     """
     config = config or MaxEntConfig()
-    if system.n_vars != space.n_vars:
-        raise ReproError(
-            f"system is over {system.n_vars} variables but the space has "
-            f"{space.n_vars}"
-        )
-
-    solve_system = system
-    if config.drop_redundant:
-        solve_system = drop_redundant_data_rows(space, system)
-
-    components = decompose(space, solve_system, enabled=config.decompose)
-    p = np.zeros(space.n_vars)
-    records: list[ComponentRecord] = []
-
-    closed_form: np.ndarray | None = None
-    total_seconds = 0.0
-    total_iterations = 0
-    worst_eq = 0.0
-    worst_ineq = 0.0
-    all_converged = True
-    presolve_fixed = 0
-
-    for component in components:
-        if (
-            component.is_irrelevant
-            and config.use_closed_form
-            and isinstance(space, GroupVariableSpace)
-        ):
-            if closed_form is None:
-                closed_form = closed_form_solution(space)
-            p[component.var_indices] = closed_form[component.var_indices]
-            stats = SolverStats(
-                solver="closed-form",
-                iterations=0,
-                seconds=0.0,
-                n_vars=component.n_vars,
-                n_equalities=component.system.n_equalities,
-                n_inequalities=0,
-                eq_residual=0.0,
-                ineq_residual=0.0,
-                converged=True,
-            )
-        else:
-            p_local, stats = _solve_component(component, config)
-            p[component.var_indices] = p_local
-
-        records.append(ComponentRecord(buckets=component.buckets, stats=stats))
-        total_seconds += stats.seconds
-        total_iterations += stats.iterations
-        worst_eq = max(worst_eq, stats.eq_residual)
-        worst_ineq = max(worst_ineq, stats.ineq_residual)
-        all_converged = all_converged and stats.converged
-        presolve_fixed += stats.presolve_fixed
-
-        if not stats.converged:
-            scale = max(abs(component.mass), 1e-12)
-            relative = stats.residual / scale
-            if relative > config.infeasibility_threshold:
-                if config.raise_on_infeasible:
-                    raise InfeasibleKnowledgeError(
-                        "the constraint system appears infeasible "
-                        f"(relative residual {relative:.2e} on the component "
-                        f"covering buckets {component.buckets[:8]}...); "
-                        "check the supplied background knowledge for "
-                        "contradictions",
-                        residual=stats.residual,
-                    )
-            elif config.raise_on_infeasible and config.solver in ("gis", "iis"):
-                raise SolverError(
-                    f"{config.solver} did not converge "
-                    f"(residual {stats.residual:.2e}); increase "
-                    "max_iterations or use solver='lbfgs'",
-                    solver=config.solver,
-                    iterations=stats.iterations,
-                )
-
-    aggregate = SolverStats(
-        solver=config.solver,
-        iterations=total_iterations,
-        seconds=total_seconds,
-        n_vars=space.n_vars,
-        n_equalities=system.n_equalities,
-        n_inequalities=system.n_inequalities,
-        eq_residual=worst_eq,
-        ineq_residual=worst_ineq,
-        converged=all_converged,
-        n_components=len(components),
-        presolve_fixed=presolve_fixed,
-    )
-    return MaxEntSolution(space, p, aggregate, records)
+    return shared_engine(config).solve(space, system, config)

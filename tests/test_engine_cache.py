@@ -1,0 +1,197 @@
+"""Solve-cache correctness: hits, misses, eviction, bit-identity."""
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import paper_published
+from repro.engine import PrivacyEngine
+from repro.engine.cache import CacheEntry, SolveCache, WarmStartStore
+from repro.knowledge.compiler import compile_statements
+from repro.knowledge.statements import ConditionalProbability
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import data_constraints
+from repro.maxent.indexing import GroupVariableSpace
+from repro.maxent.solution import SolverStats
+
+
+def make_stats(**overrides) -> SolverStats:
+    base = dict(
+        solver="lbfgs",
+        iterations=7,
+        seconds=0.25,
+        n_vars=3,
+        n_equalities=2,
+        n_inequalities=0,
+        eq_residual=1e-9,
+        ineq_residual=0.0,
+        converged=True,
+    )
+    base.update(overrides)
+    return SolverStats(**base)
+
+
+def paper_system(probability: float = 0.3):
+    space = GroupVariableSpace(paper_published())
+    system = data_constraints(space)
+    system.extend(
+        compile_statements(
+            [
+                ConditionalProbability(
+                    given={"gender": "male"},
+                    sa_value="Flu",
+                    probability=probability,
+                )
+            ],
+            space,
+        )
+    )
+    return space, system
+
+
+class TestLRU:
+    def test_eviction_respects_cache_size(self):
+        cache = SolveCache(2)
+        for key in ("a", "b", "c"):
+            cache.put(key, CacheEntry(p=np.ones(2), stats=make_stats()))
+        assert len(cache) == 2
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_get_refreshes_recency(self):
+        cache = SolveCache(2)
+        cache.put("a", CacheEntry(p=np.ones(2), stats=make_stats()))
+        cache.put("b", CacheEntry(p=np.ones(2), stats=make_stats()))
+        cache.get("a")
+        cache.put("c", CacheEntry(p=np.ones(2), stats=make_stats()))
+        assert "a" in cache and "b" not in cache
+
+    def test_zero_size_disables(self):
+        cache = SolveCache(0)
+        cache.put("a", CacheEntry(p=np.ones(2), stats=make_stats()))
+        assert not cache.enabled
+        assert len(cache) == 0
+
+    def test_lookup_counts_hits_and_misses(self):
+        cache = SolveCache(4)
+        assert cache.lookup("a") is None
+        cache.put("a", CacheEntry(p=np.ones(2), stats=make_stats()))
+        assert cache.lookup("a") is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == 0.5
+
+    def test_entry_is_immutable(self):
+        entry = CacheEntry(p=np.ones(3), stats=make_stats())
+        with pytest.raises(ValueError):
+            entry.p[0] = 2.0
+
+    def test_replay_stats_zeroes_time_and_counts_hit(self):
+        entry = CacheEntry(
+            p=np.ones(3), stats=make_stats(cpu_seconds=0.25)
+        )
+        replay = entry.replay_stats()
+        assert replay.seconds == 0.0
+        assert replay.cpu_seconds == 0.0  # no numeric work this run
+        assert replay.cache_hits == 1
+        assert replay.iterations == entry.stats.iterations
+
+    def test_warm_start_store_copies(self):
+        store = WarmStartStore(2)
+        x = np.ones(3)
+        store.put("k", x)
+        x[0] = 99.0
+        assert store.get("k")[0] == 1.0
+
+
+class TestEngineCaching:
+    def test_identical_system_hits_and_is_bit_identical(self):
+        space, system = paper_system()
+        engine = PrivacyEngine(cache_size=16)
+        first = engine.solve(space, system)
+        second = engine.solve(space, system)
+        assert engine.cache.hits == 1
+        assert np.array_equal(first.p, second.p)
+        assert second.stats.cache_hits == 1
+        assert second.stats.cpu_seconds == 0.0
+        assert second.stats.converged
+
+    def test_different_rhs_misses(self):
+        space, system_a = paper_system(0.3)
+        _, system_b = paper_system(0.35)
+        engine = PrivacyEngine(cache_size=16)
+        engine.solve(space, system_a)
+        engine.solve(space, system_b)
+        assert engine.cache.hits == 0
+        assert engine.cache.misses == 2
+
+    def test_cache_disabled_by_config(self):
+        space, system = paper_system()
+        engine = PrivacyEngine(cache_size=0)
+        engine.solve(space, system)
+        second = engine.solve(space, system)
+        assert engine.cache.hits == 0
+        assert second.stats.cache_hits == 0
+
+    def test_eviction_forces_resolve(self):
+        space, system_a = paper_system(0.3)
+        _, system_b = paper_system(0.35)
+        engine = PrivacyEngine(cache_size=1)
+        engine.solve(space, system_a)
+        engine.solve(space, system_b)  # evicts the first entry
+        engine.solve(space, system_a)
+        assert engine.cache.hits == 0
+        assert len(engine.cache) == 1
+
+    def test_different_solver_config_misses(self):
+        space, system = paper_system()
+        engine = PrivacyEngine(cache_size=16)
+        engine.solve(space, system, MaxEntConfig(tol=1e-6))
+        engine.solve(space, system, MaxEntConfig(tol=1e-8))
+        assert engine.cache.hits == 0
+
+    def test_hit_component_records_report_no_compute(self):
+        space, system = paper_system()
+        engine = PrivacyEngine(cache_size=16)
+        engine.solve(space, system)
+        second = engine.solve(space, system)
+        hit_records = [
+            r for r in second.components if r.stats.cache_hits
+        ]
+        assert hit_records
+        assert all(r.stats.cpu_seconds == 0.0 for r in hit_records)
+
+    def test_concurrent_shared_solves_are_safe(self):
+        import threading
+
+        space, system_a = paper_system(0.3)
+        _, system_b = paper_system(0.35)
+        engine = PrivacyEngine(cache_size=4)
+        errors = []
+
+        def worker(system):
+            try:
+                for _ in range(5):
+                    solution = engine.solve(space, system)
+                    assert solution.stats.converged
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,))
+            for s in (system_a, system_b) * 4
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert engine.n_solves == 40
+
+    def test_warm_start_preserves_solution(self):
+        space, system_a = paper_system(0.3)
+        _, system_b = paper_system(0.35)
+        warm = PrivacyEngine(cache_size=16)
+        warm.solve(space, system_a)
+        warmed = warm.solve(space, system_b)  # same structure, new rhs
+        cold = PrivacyEngine(cache_size=0).solve(space, system_b)
+        assert warmed.stats.converged and cold.stats.converged
+        assert np.abs(warmed.p - cold.p).max() < 1e-6
