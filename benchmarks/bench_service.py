@@ -1,0 +1,158 @@
+"""Serving subsystem: cold vs warm throughput and latency.
+
+The serving layer's job is to make repeated quantification requests
+against one release effectively free: the first pass over a set of
+knowledge configurations pays full solves, the second pass must be
+answered from the finished-result cache (and the engine's component
+cache under it).  This bench boots a real service on a loopback socket,
+drives it with the stdlib client over HTTP, and measures:
+
+- *cold* — first-ever requests, every one a full solve,
+- *warm* — the same requests repeated, served without re-solving,
+
+asserting warm throughput >= 3x cold (the acceptance bar; in practice it
+is one to two orders of magnitude) and that the telemetry endpoint
+confirms zero additional solves during the warm pass.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import PAPER_SCALE, save_json, save_result
+from repro.experiments.workloads import build_adult_workload
+from repro.knowledge.bounds import TopKBound
+from repro.maxent.config import MaxEntConfig
+from repro.service import (
+    BackgroundService,
+    PrivacyService,
+    ServiceClient,
+    ServiceConfig,
+)
+from repro.utils.tabulate import render_table
+from repro.utils.timer import Timer
+
+N_RECORDS = 2000 if PAPER_SCALE else 600
+KS = (40, 80, 120, 160) if PAPER_SCALE else (5, 10, 15, 20, 25, 30)
+WARM_ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return build_adult_workload(n_records=N_RECORDS, max_antecedent=2)
+
+
+@pytest.fixture(scope="module")
+def statement_sets(workload):
+    """Distinct knowledge configurations, one request each."""
+    return [
+        TopKBound(k // 2, k - k // 2).statements(workload.rules) for k in KS
+    ]
+
+
+def _drive(client, release_id, statement_sets, config):
+    served = []
+    with Timer() as timer:
+        for statements in statement_sets:
+            result = client.posterior(release_id, statements, config=config)
+            served.append(result.served_from)
+    return timer.seconds, served
+
+
+@pytest.mark.benchmark(group="service")
+def test_serving_cold_vs_warm(benchmark, results_dir, workload, statement_sets):
+    config = MaxEntConfig(raise_on_infeasible=False)
+
+    def run_all():
+        service = PrivacyService(ServiceConfig(port=0))
+        with BackgroundService(service) as background:
+            client = ServiceClient(port=background.port)
+            client.wait_until_healthy(timeout=30)
+            release_id = client.register(workload.published, name="bench")
+
+            cold_seconds, cold_served = _drive(
+                client, release_id, statement_sets, config
+            )
+            solves_after_cold = client.telemetry()["service"]["counters"][
+                "solves_started"
+            ]
+
+            warm_seconds = 0.0
+            warm_served: list[str] = []
+            for _round in range(WARM_ROUNDS):
+                seconds, served = _drive(
+                    client, release_id, statement_sets, config
+                )
+                warm_seconds += seconds
+                warm_served.extend(served)
+
+            telemetry = client.telemetry()
+            client.close()
+        return (
+            cold_seconds,
+            cold_served,
+            warm_seconds / WARM_ROUNDS,
+            warm_served,
+            solves_after_cold,
+            telemetry,
+        )
+
+    (
+        cold_seconds,
+        cold_served,
+        warm_seconds,
+        warm_served,
+        solves_after_cold,
+        telemetry,
+    ) = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    n = len(statement_sets)
+    cold_rps = n / cold_seconds
+    warm_rps = n / warm_seconds
+    speedup = warm_rps / cold_rps
+    posterior_latency = telemetry["service"]["endpoints"][
+        "POST /v1/releases/{id}/posterior"
+    ]
+
+    columns = ["path", "requests", "seconds", "req/s", "speedup"]
+    rows = [
+        ["cold (every request solves)", n, cold_seconds, cold_rps, 1.0],
+        ["warm (result cache)", n, warm_seconds, warm_rps, speedup],
+    ]
+    table = render_table(
+        columns,
+        rows,
+        title=(
+            f"Serving throughput over HTTP: {n} knowledge configurations "
+            f"on {workload.published.n_buckets} buckets "
+            f"(p50 {posterior_latency['p50_seconds'] * 1e3:.2f}ms, "
+            f"p95 {posterior_latency['p95_seconds'] * 1e3:.2f}ms across "
+            "all posterior requests)"
+        ),
+    )
+    save_result(results_dir, "service_throughput", table)
+    save_json(
+        results_dir,
+        "service_throughput",
+        columns,
+        rows
+        + [
+            [
+                "latency p50/p95 (s)",
+                posterior_latency["count"],
+                posterior_latency["p50_seconds"],
+                posterior_latency["p95_seconds"],
+                0.0,
+            ]
+        ],
+    )
+
+    # The cold pass really solved, once per configuration.
+    assert cold_served.count("solve") == n
+    assert solves_after_cold == n
+    # The warm pass never solved again...
+    assert all(s == "result-cache" for s in warm_served)
+    final_solves = telemetry["service"]["counters"]["solves_started"]
+    assert final_solves == n
+    # ... and was at least 3x the cold throughput (acceptance bar).
+    assert speedup >= 3.0, f"warm serving only {speedup:.1f}x cold"

@@ -1,0 +1,137 @@
+"""A scripted client session against a running `repro serve` instance.
+
+Reproduces the paper's running example (Figure 1) over the wire:
+register the 3-bucket release with its original table, read the
+no-knowledge posterior, add the "males do not get Breast Cancer"
+statement to watch Grace's full disclosure, run a Section 4.3
+assessment over candidate bounds, and finally verify via the telemetry
+endpoint that repeated queries were served from cache rather than
+re-solved.
+
+Run ``repro serve`` (or ``python -m repro serve``) first, then:
+
+    python examples/serve_client.py [--host H] [--port P] [--wait SECONDS]
+
+Exits non-zero on any mismatch — the CI smoke job leans on that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.data.paper_example import Q2, Q4, S1, paper_published, paper_table
+from repro.knowledge.bounds import TopKBound
+from repro.knowledge.statements import ConditionalProbability
+from repro.service.client import ServiceClient
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"  ok: {message}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8711)
+    parser.add_argument(
+        "--wait",
+        type=float,
+        default=30.0,
+        help="seconds to wait for the service to come up",
+    )
+    args = parser.parse_args()
+
+    client = ServiceClient(args.host, args.port)
+    health = client.wait_until_healthy(timeout=args.wait)
+    print(f"service is healthy after {health['uptime_seconds']:.2f}s uptime")
+
+    release_id = client.register(
+        paper_published(), original=paper_table(), name="paper-figure-1"
+    )
+    print(f"registered the Figure 1 release as {release_id}")
+
+    # -- no background knowledge: the uniform Eq. (9) estimate --------------
+    result = client.posterior(release_id)
+    p_uniform = result.posterior.prob(Q2, S1)
+    print(f"P*(Breast Cancer | female college) = {p_uniform:.3f} "
+          f"(served from {result.served_from})")
+    check(abs(p_uniform - 0.125) < 1e-9, "uniform estimate matches Eq. (9)")
+
+    # -- one medical fact fully discloses Grace -----------------------------
+    knowledge = [
+        ConditionalProbability(
+            given={"gender": "male"}, sa_value=S1, probability=0.0
+        )
+    ]
+    result = client.posterior(release_id, knowledge)
+    p_grace = result.posterior.prob(Q4, S1)
+    print(f"P*(Breast Cancer | female junior)  = {p_grace:.3f} "
+          f"(served from {result.served_from})")
+    check(abs(p_grace - 1.0) < 1e-6, "Grace is fully disclosed")
+    check(result.served_from == "solve", "first knowledge query ran a solve")
+
+    # -- the repeat costs nothing: served from cache, not re-solved ---------
+    repeat = client.posterior(release_id, knowledge)
+    check(
+        repeat.served_from in ("result-cache", "coalesced"),
+        f"repeat served from {repeat.served_from}, no re-solve",
+    )
+    check(
+        abs(repeat.posterior.prob(Q4, S1) - p_grace) < 1e-12,
+        "cached posterior is bit-identical",
+    )
+
+    # -- Section 4.3: one assessment per candidate bound --------------------
+    assessments = client.assess(
+        release_id,
+        [TopKBound(0, 0), TopKBound(2, 2), TopKBound(4, 4)],
+        mining={"min_support_count": 1, "max_antecedent": 1},
+    )
+    print("assessment table:")
+    for row in assessments:
+        print(
+            f"  {row['bound']:<18} accuracy={row['estimation_accuracy']:.4f} "
+            f"max_disclosure={row['max_disclosure']:.3f} "
+            f"(served from {row['served_from']})"
+        )
+    check(len(assessments) == 3, "one assessment per bound")
+    accuracies = [row["estimation_accuracy"] for row in assessments]
+    check(
+        accuracies[0] >= accuracies[-1],
+        "more knowledge does not worsen estimation accuracy",
+    )
+
+    # -- telemetry proves the serving layer did its job ---------------------
+    telemetry = client.telemetry()
+    counters = telemetry["service"]["counters"]
+    cache = telemetry["store"]["result_cache"]
+    check(telemetry["status"] == "ok", "telemetry endpoint is healthy")
+    # healthz + register + 3 posteriors + assess answered so far (the
+    # in-flight telemetry request is not yet in its own snapshot).
+    check(counters.get("requests_total", 0) >= 6, "requests were counted")
+    check(
+        cache["hits"] + telemetry["coalescing"]["coalesced"] >= 1,
+        "repeat queries hit the result cache / coalesced",
+    )
+    check(
+        counters.get("solves_started", 0) < counters.get("requests_total", 0),
+        "fewer solves than requests (the service amortized work)",
+    )
+    latencies = telemetry["service"]["endpoints"]
+    posterior_summary = latencies.get("POST /v1/releases/{id}/posterior", {})
+    check(posterior_summary.get("count", 0) >= 3, "latency histogram recorded")
+    print(
+        "posterior latency: "
+        f"p50={posterior_summary['p50_seconds'] * 1000:.2f}ms "
+        f"p95={posterior_summary['p95_seconds'] * 1000:.2f}ms"
+    )
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

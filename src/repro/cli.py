@@ -8,7 +8,9 @@ Subcommands cover the full workflow a data publisher runs:
 - ``assess`` — the Section 4.3 deliverable: a (bound, privacy score) table
   for a list of candidate Top-(K+, K-) bounds,
 - ``figure`` — regenerate any of the paper's figures as tables + ASCII
-  plots.
+  plots,
+- ``serve`` — run the long-lived privacy-quantification service
+  (:mod:`repro.service`) over a shared execution engine.
 """
 
 from __future__ import annotations
@@ -214,6 +216,28 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import PrivacyService, ServiceConfig
+
+    engine_config = MaxEntConfig(
+        **_engine_overrides(args),
+        cache_path=args.cache_path,
+    )
+    service = PrivacyService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_concurrency=args.max_concurrency,
+            max_queue=args.queue_size,
+            batch_window_seconds=args.batch_window,
+            result_cache_size=args.result_cache_size,
+            engine=engine_config,
+        )
+    )
+    service.run()
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -287,6 +311,43 @@ def build_parser() -> argparse.ArgumentParser:
     figure.add_argument("--records", type=int, default=1200)
     _add_engine_args(figure)
     figure.set_defaults(func=_cmd_figure)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived privacy-quantification service"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8711)
+    serve.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="admitted-but-waiting solves before backpressure (429)",
+    )
+    serve.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        help="solves running at once (default: engine worker count)",
+    )
+    serve.add_argument(
+        "--batch-window",
+        type=float,
+        default=0.002,
+        help="micro-batching window for closed-form requests (seconds)",
+    )
+    serve.add_argument(
+        "--result-cache-size",
+        type=int,
+        default=256,
+        help="finished-response LRU entries",
+    )
+    serve.add_argument(
+        "--cache-path",
+        default=None,
+        help="persist the engine solve cache here (warm restarts)",
+    )
+    _add_engine_args(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     return parser
 

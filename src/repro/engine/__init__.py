@@ -22,7 +22,11 @@ here rather than into the solvers themselves.
 """
 
 from repro.engine.cache import CacheEntry, SolveCache, WarmStartStore
-from repro.engine.engine import PrivacyEngine, shared_engine
+from repro.engine.engine import (
+    PrivacyEngine,
+    shared_engine,
+    shutdown_shared_engines,
+)
 from repro.engine.executors import (
     ProcessExecutor,
     SerialExecutor,
@@ -50,5 +54,6 @@ __all__ = [
     "create_executor",
     "fingerprint_system",
     "shared_engine",
+    "shutdown_shared_engines",
     "structure_fingerprint",
 ]

@@ -91,6 +91,15 @@ class _LRU:
         with self._lock:
             self._entries.clear()
 
+    def items(self) -> list[tuple[str, object]]:
+        """Snapshot of (key, value) pairs, least recently used first.
+
+        The ordering lets a persisted cache be replayed through
+        :meth:`put` so the restored LRU recency matches the saved one.
+        """
+        with self._lock:
+            return list(self._entries.items())
+
 
 class SolveCache(_LRU):
     """LRU of :class:`CacheEntry` keyed by component fingerprint."""

@@ -20,6 +20,10 @@ facade; :func:`repro.maxent.solver.solve_maxent` is a thin wrapper over
 
 from __future__ import annotations
 
+import atexit
+import os
+import pickle
+import sys
 import threading
 
 import numpy as np
@@ -39,6 +43,10 @@ from repro.maxent.solution import ComponentRecord, MaxEntSolution, SolverStats
 from repro.utils.timer import Timer
 
 VariableSpace = GroupVariableSpace | PersonVariableSpace
+
+#: Version tag of the persisted-cache pickle; bump on incompatible changes
+#: so stale snapshots are ignored instead of mis-loaded.
+_CACHE_FORMAT = "privacy-maxent-solve-cache/1"
 
 
 def _check_component(
@@ -93,16 +101,21 @@ class PrivacyEngine:
         executor: str = "serial",
         workers: int | None = None,
         cache_size: int = 128,
+        cache_path: str | os.PathLike | None = None,
     ) -> None:
         self._executor = create_executor(executor, workers)
         self.cache = SolveCache(cache_size)
         self.warm_starts = WarmStartStore(cache_size)
+        self.cache_path = os.fspath(cache_path) if cache_path else None
         self.n_solves = 0
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
+        self._closed = False
         # Shared engines serve concurrent solve_maxent callers; telemetry
         # updates must not drop under that concurrency.
         self._telemetry_lock = threading.Lock()
+        if self.cache_path:
+            self.load_cache(self.cache_path)
 
     @classmethod
     def from_config(cls, config: MaxEntConfig) -> "PrivacyEngine":
@@ -111,6 +124,7 @@ class PrivacyEngine:
             executor=config.executor,
             workers=config.workers,
             cache_size=config.cache_size,
+            cache_path=config.cache_path,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -120,9 +134,26 @@ class PrivacyEngine:
         """Name of the active executor backend."""
         return self._executor.name
 
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has run."""
+        return self._closed
+
     def close(self) -> None:
-        """Shut down any worker pool (idempotent)."""
-        self._executor.close()
+        """Persist the cache (when configured) and shut down worker pools.
+
+        Idempotent: repeated calls re-run only no-op teardown, so engines
+        can be closed both explicitly and by the ``atexit`` teardown of
+        :func:`shutdown_shared_engines` without harm.  Worker pools are
+        torn down even when persisting the cache fails (full disk) — the
+        save error still propagates, but never leaks processes.
+        """
+        try:
+            if self.cache_path and self.cache.enabled and not self._closed:
+                self.save_cache(self.cache_path)
+        finally:
+            self._closed = True
+            self._executor.close()
 
     def __enter__(self) -> "PrivacyEngine":
         return self
@@ -138,6 +169,110 @@ class PrivacyEngine:
             f"component cache hits, cpu {self.cpu_seconds:.3f}s / "
             f"wall {self.wall_seconds:.3f}s"
         )
+
+    def stats(self) -> dict:
+        """Telemetry snapshot as a JSON-ready dict (the serving export).
+
+        Everything the ``/v1/telemetry`` endpoint surfaces about the
+        engine comes from here, so new engine counters become visible to
+        operators by extending this one method.
+        """
+        with self._telemetry_lock:
+            n_solves = self.n_solves
+            wall = self.wall_seconds
+            cpu = self.cpu_seconds
+        return {
+            "executor": self.executor_name,
+            "workers": getattr(self._executor, "workers", 1),
+            "n_solves": n_solves,
+            "wall_seconds": wall,
+            "cpu_seconds": cpu,
+            "cache": {
+                "size": len(self.cache),
+                "max_entries": self.cache.max_entries,
+                "hits": self.cache.hits,
+                "misses": self.cache.misses,
+                "hit_rate": self.cache.hit_rate,
+            },
+            "warm_starts": len(self.warm_starts),
+            "cache_path": self.cache_path,
+        }
+
+    # -- coalescing hook -----------------------------------------------------
+
+    def request_fingerprint(
+        self, system: ConstraintSystem, config: MaxEntConfig | None = None
+    ) -> str:
+        """Canonical identity of a full solve request.
+
+        Two (system, config) pairs with equal fingerprints produce the
+        same :meth:`solve` output, so the serving layer uses this key to
+        deduplicate/coalesce identical in-flight solves and to cache
+        finished results.  It is the whole-system analogue of the
+        per-component cache key (same canonical encoding, total mass 1).
+        """
+        config = config or MaxEntConfig()
+        return component_fingerprint(system, 1.0, config.solve_key())
+
+    # -- cache persistence ---------------------------------------------------
+
+    def save_cache(self, path: str | os.PathLike | None = None) -> int:
+        """Persist the solve cache (and warm starts) to ``path``.
+
+        Written atomically (temp file + rename) so a crash mid-save never
+        corrupts an existing snapshot.  Returns the number of component
+        entries saved.
+        """
+        path = os.fspath(path or self.cache_path or "")
+        if not path:
+            raise ReproError(
+                "no cache path: pass one or construct the engine with "
+                "cache_path"
+            )
+        entries = self.cache.items()
+        payload = {
+            "format": _CACHE_FORMAT,
+            "entries": [
+                (key, entry.p, entry.stats) for key, entry in entries
+            ],
+            "warm_starts": self.warm_starts.items(),
+        }
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return len(entries)
+
+    def load_cache(self, path: str | os.PathLike | None = None) -> int:
+        """Warm the solve cache from a snapshot written by :meth:`save_cache`.
+
+        A missing, truncated or incompatible file is treated as a cold
+        start (returns 0) — restart resilience must not depend on the
+        snapshot's health.  Returns the number of entries restored.
+        """
+        path = os.fspath(path or self.cache_path or "")
+        if not path or not self.cache.enabled:
+            return 0
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return 0
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != _CACHE_FORMAT
+        ):
+            return 0
+        restored = 0
+        for key, p, stats in payload.get("entries", []):
+            self.cache.put(key, CacheEntry(p=p, stats=stats))
+            restored += 1
+        for key, multipliers in payload.get("warm_starts", []):
+            self.warm_starts.put(key, multipliers)
+        return restored
 
     # -- solving -------------------------------------------------------------
 
@@ -350,7 +485,7 @@ def shared_engine(config: MaxEntConfig | None = None) -> PrivacyEngine:
     without any plumbing.
     """
     config = config or MaxEntConfig()
-    key = (config.executor, config.workers, config.cache_size)
+    key = (config.executor, config.workers, config.cache_size, config.cache_path)
     with _SHARED_LOCK:
         engine = _SHARED_ENGINES.get(key)
         if engine is None:
@@ -358,6 +493,33 @@ def shared_engine(config: MaxEntConfig | None = None) -> PrivacyEngine:
                 executor=config.executor,
                 workers=config.workers,
                 cache_size=config.cache_size,
+                cache_path=config.cache_path,
             )
             _SHARED_ENGINES[key] = engine
         return engine
+
+
+def shutdown_shared_engines() -> int:
+    """Close every process-wide shared engine and forget them all.
+
+    Each close persists the engine's cache (when a ``cache_path`` is
+    configured) and tears down its worker pools, so no process-pool
+    children outlive the registry.  Registered with :mod:`atexit` so a
+    normally exiting process always cleans up; safe to call repeatedly —
+    after a shutdown, :func:`shared_engine` simply builds fresh engines.
+    Returns the number of engines closed.
+    """
+    with _SHARED_LOCK:
+        engines = list(_SHARED_ENGINES.values())
+        _SHARED_ENGINES.clear()
+    for engine in engines:
+        try:
+            engine.close()
+        except Exception as exc:  # noqa: BLE001 - keep closing the rest
+            print(
+                f"warning: shared engine close failed: {exc}", file=sys.stderr
+            )
+    return len(engines)
+
+
+atexit.register(shutdown_shared_engines)

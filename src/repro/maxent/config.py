@@ -54,6 +54,12 @@ class MaxEntConfig:
         Bound of the per-engine LRU solve cache (entries are solved
         components, keyed by a canonical constraint-system fingerprint).
         ``0`` disables caching entirely.
+    cache_path:
+        Optional file the engine persists its solve cache to.  When set,
+        an engine loads the stored cache on construction (starting warm
+        after a process restart — the serving workflow) and saves it on
+        ``close()``.  A missing or unreadable file simply means a cold
+        start; it is never an error.
     warm_start:
         Reuse converged dual multipliers from a structurally identical
         component (same rows, different right-hand sides) as the starting
@@ -77,6 +83,7 @@ class MaxEntConfig:
     executor: str = "serial"
     workers: int | None = None
     cache_size: int = 128
+    cache_path: str | None = None
     warm_start: bool = True
 
     def __post_init__(self) -> None:

@@ -1,0 +1,58 @@
+"""Async serving subsystem: Privacy-MaxEnt as a long-lived service.
+
+The paper's Section 4.3 workflow — assess one release under many
+candidate (bound, knowledge) configurations — and the interactive
+auditor workflow of leakage-style quantification both issue many small
+queries against the same release.  Running each from a cold process
+re-imports, re-indexes, re-compiles and re-solves everything; this
+package keeps one :class:`~repro.engine.PrivacyEngine` (worker pools,
+component solve cache, warm-started duals) alive behind a stdlib-only
+asyncio HTTP/JSON front-end instead:
+
+- :mod:`repro.service.protocol` — HTTP/1.1 framing over asyncio streams,
+- :mod:`repro.service.telemetry` — counters + latency histograms,
+- :mod:`repro.service.admission` — bounded-queue admission control,
+  in-flight solve coalescing and closed-form micro-batching,
+- :mod:`repro.service.store` — registered releases with their variable
+  spaces, invariants, mined rules and compiled systems cached,
+- :mod:`repro.service.server` — :class:`PrivacyService` and its routes,
+- :mod:`repro.service.client` — the blocking stdlib client,
+- :mod:`repro.service.background` — run a service beside synchronous
+  code on its own event-loop thread (tests, benchmarks, embedding).
+
+Start one with ``repro serve`` (see ``README.md`` here for the
+architecture notes and the wire protocol).
+"""
+
+from repro.service.admission import (
+    AdmissionController,
+    ClosedFormBatcher,
+    Coalescer,
+    QueueFullError,
+)
+from repro.service.background import BackgroundService
+from repro.service.client import PosteriorResult, ServiceClient, ServiceError
+from repro.service.protocol import HttpError, HttpRequest
+from repro.service.server import DEFAULT_PORT, PrivacyService, ServiceConfig
+from repro.service.store import RegisteredRelease, SessionStore
+from repro.service.telemetry import LatencyHistogram, ServiceTelemetry
+
+__all__ = [
+    "AdmissionController",
+    "BackgroundService",
+    "ClosedFormBatcher",
+    "Coalescer",
+    "DEFAULT_PORT",
+    "HttpError",
+    "HttpRequest",
+    "LatencyHistogram",
+    "PosteriorResult",
+    "PrivacyService",
+    "QueueFullError",
+    "RegisteredRelease",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceTelemetry",
+    "SessionStore",
+]

@@ -1,0 +1,97 @@
+"""Run a :class:`PrivacyService` on a dedicated event-loop thread.
+
+The blocking entry point (``repro serve``) owns the process; embedders —
+tests, benchmarks, applications that want a quantification sidecar next
+to synchronous code — need the service running *beside* them instead.
+:class:`BackgroundService` pins one event loop to one daemon thread,
+starts the service there, and gives back a joinable handle:
+
+    with BackgroundService(PrivacyService(ServiceConfig(port=0))) as svc:
+        client = ServiceClient(port=svc.port)
+        ...
+
+Shutdown is cooperative: ``stop()`` trips an event on the loop, the loop
+closes the listening socket, drains, and the thread exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from repro.service.server import PrivacyService
+
+
+class BackgroundService:
+    """A service instance running on its own event-loop thread."""
+
+    def __init__(self, service: PrivacyService) -> None:
+        self.service = service
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        """The bound port (meaningful once started)."""
+        return self.service.port
+
+    def start(self, *, timeout: float = 10.0) -> int:
+        """Start serving; returns the bound port."""
+        if self._thread is not None:
+            return self.service.port
+        self._thread = threading.Thread(
+            target=self._run, name="privacy-maxent-service", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise RuntimeError("service failed to start in time")
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self.service.port
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        self._loop = loop
+        asyncio.set_event_loop(loop)
+
+        async def main() -> None:
+            self._shutdown = asyncio.Event()
+            try:
+                # start_server accepts connections as soon as it binds;
+                # no serve_forever needed, just keep the loop alive.
+                await self.service.start()
+            except BaseException as exc:  # noqa: BLE001 - report to starter
+                self._startup_error = exc
+                self._started.set()
+                return
+            self._started.set()
+            await self._shutdown.wait()
+            await self.service.stop()
+
+        try:
+            loop.run_until_complete(main())
+        finally:
+            loop.close()
+
+    def stop(self, *, timeout: float = 10.0) -> None:
+        """Stop serving and join the thread (idempotent)."""
+        loop, thread = self._loop, self._thread
+        if loop is not None and thread is not None and thread.is_alive():
+            def trip() -> None:
+                if self._shutdown is not None:
+                    self._shutdown.set()
+
+            loop.call_soon_threadsafe(trip)
+            thread.join(timeout)
+        self._thread = None
+        self.service.close()
+
+    def __enter__(self) -> "BackgroundService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

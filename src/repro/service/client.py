@@ -1,0 +1,206 @@
+"""A blocking stdlib client for the privacy-quantification service.
+
+:class:`ServiceClient` wraps :mod:`http.client` with the wire encodings
+of :mod:`repro.core.serialize`, so callers hand over and receive domain
+objects (:class:`BucketizedTable`, statements, :class:`PosteriorTable`)
+rather than dicts.  One client = one keep-alive connection; it reconnects
+transparently after a server-side close, and is what the examples, the
+tests, the benchmark and the CI smoke job all drive the service with.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from dataclasses import dataclass
+
+from repro.core.quantifier import PosteriorTable
+from repro.core.serialize import (
+    bound_to_dict,
+    config_to_dict,
+    posterior_from_dict,
+    published_to_dict,
+    statement_to_dict,
+    table_to_dict,
+)
+from repro.errors import ReproError
+from repro.maxent.config import MaxEntConfig
+
+
+class ServiceError(ReproError):
+    """A non-2xx service response, carrying status and machine code."""
+
+    def __init__(self, status: int, code: str, message: str) -> None:
+        super().__init__(f"HTTP {status} [{code}]: {message}")
+        self.status = status
+        self.code = code
+
+
+@dataclass(frozen=True)
+class PosteriorResult:
+    """One decoded posterior response."""
+
+    release_id: str
+    posterior: PosteriorTable
+    stats: dict
+    n_knowledge_rows: int
+    served_from: str
+    fingerprint: str
+
+
+class ServiceClient:
+    """Synchronous client bound to one service address."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8711, *, timeout: float = 60.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    # -- plumbing ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drop the underlying connection (reopened on the next call)."""
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload=None) -> dict:
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        # One retry after a stale keep-alive connection; fresh failures
+        # (server down) propagate.
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=body, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, socket.error):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                response.status, "bad_response", f"undecodable body: {exc}"
+            ) from exc
+        if response.status >= 400:
+            error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
+            raise ServiceError(
+                response.status,
+                error.get("code", "error"),
+                error.get("message", raw.decode("utf-8", "replace")),
+            )
+        return decoded
+
+    def wait_until_healthy(self, *, timeout: float = 30.0) -> dict:
+        """Poll ``/v1/healthz`` until the service answers (or time out)."""
+        deadline = time.perf_counter() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ServiceError, OSError):
+                if time.perf_counter() >= deadline:
+                    raise
+                self.close()
+                time.sleep(0.1)
+
+    # -- endpoints -----------------------------------------------------------
+
+    def healthz(self) -> dict:
+        """The liveness payload."""
+        return self._request("GET", "/v1/healthz")
+
+    def telemetry(self) -> dict:
+        """The full telemetry snapshot."""
+        return self._request("GET", "/v1/telemetry")
+
+    def releases(self) -> list[dict]:
+        """Summaries of all registered releases."""
+        return self._request("GET", "/v1/releases")["releases"]
+
+    def release(self, release_id: str) -> dict:
+        """One release's registration summary."""
+        return self._request("GET", f"/v1/releases/{release_id}")
+
+    def register(
+        self, published, *, original=None, name: str | None = None
+    ) -> str:
+        """Register a bucketized release (idempotent); returns its id.
+
+        Pass ``original`` (the pre-anonymization table) to enable the
+        assess endpoint — the service mines rules and builds the ground
+        truth posterior from it server-side, once.
+        """
+        payload: dict = {"release": published_to_dict(published)}
+        if original is not None:
+            payload["original"] = table_to_dict(original)
+        if name is not None:
+            payload["name"] = name
+        return self._request("POST", "/v1/releases", payload)["release_id"]
+
+    def posterior(
+        self,
+        release_id: str,
+        statements=(),
+        *,
+        config: MaxEntConfig | None = None,
+    ) -> PosteriorResult:
+        """Solve (or fetch) ``P*(SA | QI)`` under ``statements``."""
+        payload: dict = {
+            "statements": [statement_to_dict(s) for s in statements]
+        }
+        if config is not None:
+            payload["config"] = config_to_dict(config)
+        decoded = self._request(
+            "POST", f"/v1/releases/{release_id}/posterior", payload
+        )
+        return PosteriorResult(
+            release_id=decoded["release_id"],
+            posterior=posterior_from_dict(decoded["posterior"]),
+            stats=decoded["stats"],
+            n_knowledge_rows=decoded["n_knowledge_rows"],
+            served_from=decoded["served_from"],
+            fingerprint=decoded["fingerprint"],
+        )
+
+    def assess(
+        self,
+        release_id: str,
+        bounds,
+        *,
+        mining: dict | None = None,
+        config: MaxEntConfig | None = None,
+        exclude_sa=(),
+    ) -> list[dict]:
+        """The Section 4.3 (bound, privacy score) table for ``bounds``."""
+        payload: dict = {"bounds": [bound_to_dict(b) for b in bounds]}
+        if mining is not None:
+            payload["mining"] = mining
+        if config is not None:
+            payload["config"] = config_to_dict(config)
+        if exclude_sa:
+            payload["exclude_sa"] = list(exclude_sa)
+        decoded = self._request(
+            "POST", f"/v1/releases/{release_id}/assess", payload
+        )
+        return decoded["assessments"]

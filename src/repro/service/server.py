@@ -1,0 +1,654 @@
+"""The asyncio serving front-end over a long-lived :class:`PrivacyEngine`.
+
+One :class:`PrivacyService` = one engine + one session store + one
+request layer (admission control, coalescing, micro-batching) + one
+telemetry aggregate, exposed over a stdlib-only HTTP/JSON protocol:
+
+====== ================================== =====================================
+method path                               purpose
+====== ================================== =====================================
+GET    ``/v1/healthz``                    liveness probe
+GET    ``/v1/telemetry``                  engine + service counters, latencies
+GET    ``/v1/releases``                   list registered releases
+POST   ``/v1/releases``                   register a bucketized release
+GET    ``/v1/releases/{id}``              one release's summary
+POST   ``/v1/releases/{id}/posterior``    solve ``P*(SA|QI)`` under knowledge
+POST   ``/v1/releases/{id}/assess``       Section 4.3 (bound, score) table
+====== ================================== =====================================
+
+The solve path is where the serving layer earns its keep: compiled
+constraint systems are cached per release, finished results are cached by
+the engine's canonical request fingerprint, identical in-flight solves
+coalesce onto one computation, no-knowledge posteriors micro-batch into a
+single vectorized Eq. (9) call, and everything else funnels through the
+bounded admission queue onto worker threads over the shared engine (whose
+own component cache and warm starts persist across requests — and across
+restarts, with ``cache_path``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+import traceback
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.core.accuracy import estimation_accuracy
+from repro.core.metrics import (
+    bayes_vulnerability,
+    effective_l,
+    expected_posterior_entropy,
+    max_disclosure,
+)
+from repro.core.quantifier import PosteriorTable
+from repro.core.serialize import (
+    bound_from_dict,
+    config_from_dict,
+    mining_config_from_dict,
+    posterior_from_dict,
+    posterior_to_dict,
+    published_from_dict,
+    statements_from_list,
+    stats_to_dict,
+    table_from_dict,
+)
+from repro.engine.engine import PrivacyEngine
+from repro.errors import InfeasibleKnowledgeError, ReproError
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.solution import MaxEntSolution, SolverStats
+from repro.service.admission import (
+    AdmissionController,
+    ClosedFormBatcher,
+    Coalescer,
+    QueueFullError,
+)
+from repro.service.protocol import (
+    MAX_BODY_BYTES,
+    HttpError,
+    HttpRequest,
+    error_body,
+    json_body,
+    read_request,
+    response_bytes,
+)
+from repro.service.store import SessionStore
+from repro.service.telemetry import ServiceTelemetry
+
+DEFAULT_PORT = 8711
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Deployment knobs of one service instance.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port 0 asks the OS for a free port (tests).
+    max_concurrency:
+        Solves running at once (``None``: the engine's worker count, or 4
+        for the serial executor — threads still overlap closed-form and
+        packaging work with GIL-releasing numeric kernels).
+    max_queue:
+        Admitted-but-waiting solves beyond ``max_concurrency``; past
+        both, requests get HTTP 429 (backpressure).
+    batch_window_seconds, max_batch:
+        Micro-batching window and cap for closed-form requests.
+    result_cache_size:
+        Finished-response LRU entries (keyed by release + request
+        fingerprint).
+    max_body_bytes:
+        Request-body cap (HTTP 413 beyond).
+    engine:
+        Execution-engine knobs (executor, workers, component cache size,
+        ``cache_path`` for warm restarts).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    max_concurrency: int | None = None
+    max_queue: int = 64
+    batch_window_seconds: float = 0.002
+    max_batch: int = 64
+    result_cache_size: int = 256
+    max_body_bytes: int = MAX_BODY_BYTES
+    engine: MaxEntConfig = field(default_factory=MaxEntConfig)
+
+
+class PrivacyService:
+    """A long-lived privacy-quantification service over one engine."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        engine: PrivacyEngine | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.engine = engine or PrivacyEngine.from_config(self.config.engine)
+        self._owns_engine = engine is None
+        self.store = SessionStore(
+            result_cache_size=self.config.result_cache_size
+        )
+        self.telemetry = ServiceTelemetry()
+        concurrency = self.config.max_concurrency
+        if concurrency is None:
+            workers = getattr(self.engine, "_executor", None)
+            concurrency = max(getattr(workers, "workers", 1), 4)
+        self.admission = AdmissionController(
+            max_concurrency=concurrency, max_queue=self.config.max_queue
+        )
+        self.coalescer = Coalescer()
+        self.batcher = ClosedFormBatcher(
+            window_seconds=self.config.batch_window_seconds,
+            max_batch=self.config.max_batch,
+        )
+        self._register_lock: asyncio.Lock | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self.port = self.config.port
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (idempotent)."""
+        if self._server is not None:
+            return
+        self._register_lock = asyncio.Lock()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Run until cancelled (``start`` is called if needed)."""
+        await self.start()
+        assert self._server is not None
+        async with self._server:
+            await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Stop accepting connections (the engine outlives the socket)."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    def close(self) -> None:
+        """Release resources; closes (and persists) an owned engine."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def run(self) -> None:  # pragma: no cover - exercised by the CLI smoke
+        """Blocking entry point: serve until SIGINT/SIGTERM, then clean up.
+
+        Both signals shut down gracefully (persisting the solve cache
+        when ``cache_path`` is set) — SIGTERM matters because service
+        managers and CI send it by default.
+        """
+        async def main() -> None:
+            loop = asyncio.get_running_loop()
+            stopping = asyncio.Event()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(signum, stopping.set)
+            await self.start()
+            print(
+                "privacy-maxent service listening on "
+                f"http://{self.config.host}:{self.port} "
+                f"({self.engine.describe()})",
+                flush=True,
+            )
+            await stopping.wait()
+            await self.stop()
+
+        try:
+            asyncio.run(main())
+        except KeyboardInterrupt:
+            pass
+        finally:
+            self.close()
+            print(f"service stopped: {self.engine.describe()}", flush=True)
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body=self.config.max_body_bytes
+                    )
+                except HttpError as exc:
+                    writer.write(
+                        response_bytes(
+                            exc.status,
+                            error_body(exc),
+                            keep_alive=False,
+                            extra_headers=exc.headers,
+                        )
+                    )
+                    await writer.drain()
+                    return
+                if request is None:
+                    return
+                started = time.perf_counter()
+                endpoint, status, payload, headers = await self._dispatch(
+                    request
+                )
+                keep_alive = request.keep_alive
+                writer.write(
+                    response_bytes(
+                        status,
+                        json_body(payload),
+                        keep_alive=keep_alive,
+                        extra_headers=headers,
+                    )
+                )
+                await writer.drain()
+                self.telemetry.observe(
+                    endpoint, status, time.perf_counter() - started
+                )
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            with contextlib.suppress(Exception):
+                writer.close()
+                await writer.wait_closed()
+
+    async def _dispatch(
+        self, request: HttpRequest
+    ) -> tuple[str, int, dict, dict]:
+        endpoint = request.method + " " + request.path
+        try:
+            endpoint, handler = self._route(request)
+            if handler is None:
+                raise HttpError(
+                    404, f"no such endpoint: {request.path}", code="not_found"
+                )
+            status, payload = await handler(request)
+            return endpoint, status, payload, {}
+        except HttpError as exc:
+            self.telemetry.incr("errors")
+            return (
+                endpoint,
+                exc.status,
+                {"error": {"code": exc.code, "message": exc.message}},
+                exc.headers,
+            )
+        except QueueFullError as exc:
+            self.telemetry.incr("rejected")
+            return (
+                endpoint,
+                429,
+                {"error": {"code": "queue_full", "message": str(exc)}},
+                {"Retry-After": "1"},
+            )
+        except LookupError as exc:
+            self.telemetry.incr("errors")
+            return (
+                endpoint,
+                404,
+                {"error": {"code": "unknown_release", "message": str(exc)}},
+                {},
+            )
+        except InfeasibleKnowledgeError as exc:
+            self.telemetry.incr("errors")
+            return (
+                endpoint,
+                409,
+                {"error": {"code": "infeasible_knowledge", "message": str(exc)}},
+                {},
+            )
+        except ReproError as exc:
+            self.telemetry.incr("errors")
+            return (
+                endpoint,
+                400,
+                {"error": {"code": "bad_request", "message": str(exc)}},
+                {},
+            )
+        except Exception as exc:  # noqa: BLE001 - the service must not die
+            self.telemetry.incr("errors")
+            traceback.print_exc()
+            return (
+                endpoint,
+                500,
+                {
+                    "error": {
+                        "code": "internal",
+                        "message": f"{type(exc).__name__}: {exc}",
+                    }
+                },
+                {},
+            )
+
+    def _route(self, request: HttpRequest):
+        """Map (method, path) to (endpoint label, handler coroutine)."""
+        segments = request.segments
+        method = request.method
+
+        def allow(*methods: str) -> None:
+            if method not in methods:
+                raise_allowed = ", ".join(methods)
+                raise HttpError(
+                    405,
+                    f"{method} not allowed here (allowed: {raise_allowed})",
+                    code="method_not_allowed",
+                    headers={"Allow": raise_allowed},
+                )
+
+        try:
+            if segments == ():
+                allow("GET")
+                return "GET /", self._handle_root
+            if segments == ("v1", "healthz"):
+                allow("GET")
+                return "GET /v1/healthz", self._handle_healthz
+            if segments == ("v1", "telemetry"):
+                allow("GET")
+                return "GET /v1/telemetry", self._handle_telemetry
+            if segments == ("v1", "releases"):
+                allow("GET", "POST")
+                if method == "GET":
+                    return "GET /v1/releases", self._handle_list_releases
+                return "POST /v1/releases", self._handle_register
+            if len(segments) == 3 and segments[:2] == ("v1", "releases"):
+                allow("GET")
+                return "GET /v1/releases/{id}", self._handle_release
+            if len(segments) == 4 and segments[:2] == ("v1", "releases"):
+                action = segments[3]
+                if action == "posterior":
+                    allow("POST")
+                    return (
+                        "POST /v1/releases/{id}/posterior",
+                        self._handle_posterior,
+                    )
+                if action == "assess":
+                    allow("POST")
+                    return (
+                        "POST /v1/releases/{id}/assess",
+                        self._handle_assess,
+                    )
+        except HttpError:
+            raise
+        return request.method + " " + request.path, None
+
+    # -- simple endpoints ----------------------------------------------------
+
+    async def _handle_root(self, request: HttpRequest) -> tuple[int, dict]:
+        return 200, {
+            "service": "privacy-maxent",
+            "endpoints": [
+                "GET /v1/healthz",
+                "GET /v1/telemetry",
+                "GET /v1/releases",
+                "POST /v1/releases",
+                "GET /v1/releases/{id}",
+                "POST /v1/releases/{id}/posterior",
+                "POST /v1/releases/{id}/assess",
+            ],
+        }
+
+    async def _handle_healthz(self, request: HttpRequest) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "uptime_seconds": self.telemetry.uptime_seconds,
+            "releases": len(self.store),
+        }
+
+    async def _handle_telemetry(self, request: HttpRequest) -> tuple[int, dict]:
+        return 200, {
+            "status": "ok",
+            "service": self.telemetry.snapshot(),
+            "queue": self.admission.snapshot(),
+            "coalescing": {
+                "started": self.coalescer.started,
+                "coalesced": self.coalescer.coalesced,
+                "inflight": self.coalescer.inflight,
+            },
+            "batching": self.batcher.snapshot(),
+            "engine": self.engine.stats(),
+            "store": self.store.snapshot(),
+        }
+
+    # -- the release registry ------------------------------------------------
+
+    @staticmethod
+    def _body_object(request: HttpRequest, allowed: tuple[str, ...]) -> dict:
+        body = request.json()
+        if body is None:
+            body = {}
+        if not isinstance(body, dict):
+            raise HttpError(
+                400, "request body must be a JSON object", code="bad_request"
+            )
+        unknown = set(body) - set(allowed)
+        if unknown:
+            raise HttpError(
+                400,
+                f"unknown request field(s): {sorted(unknown)}",
+                code="bad_request",
+            )
+        return body
+
+    async def _handle_list_releases(
+        self, request: HttpRequest
+    ) -> tuple[int, dict]:
+        return 200, {"releases": self.store.list()}
+
+    async def _handle_release(self, request: HttpRequest) -> tuple[int, dict]:
+        record = self.store.get(request.segments[2])
+        return 200, record.summary()
+
+    async def _handle_register(self, request: HttpRequest) -> tuple[int, dict]:
+        body = self._body_object(request, ("release", "original", "name"))
+        release_payload = body.get("release")
+        if release_payload is None:
+            raise HttpError(
+                400, "registration needs a 'release' object", code="bad_request"
+            )
+        loop = asyncio.get_running_loop()
+
+        def build():
+            published = published_from_dict(release_payload)
+            original = (
+                table_from_dict(body["original"])
+                if body.get("original") is not None
+                else None
+            )
+            return published, original
+
+        published, original = await loop.run_in_executor(None, build)
+        assert self._register_lock is not None
+        async with self._register_lock:
+            record, created = await loop.run_in_executor(
+                None,
+                partial(
+                    self.store.register,
+                    release_payload,
+                    published,
+                    name=body.get("name"),
+                    original=original,
+                ),
+            )
+        if created:
+            self.telemetry.incr("releases_registered")
+        summary = record.summary()
+        summary["created"] = created
+        return (201 if created else 200), summary
+
+    # -- the solve path ------------------------------------------------------
+
+    async def _handle_posterior(self, request: HttpRequest) -> tuple[int, dict]:
+        record = self.store.get(request.segments[2])
+        body = self._body_object(request, ("statements", "config"))
+        statements = statements_from_list(body.get("statements"))
+        config = config_from_dict(body.get("config"))
+        payload, served_from = await self._posterior_payload(
+            record, statements, config
+        )
+        return 200, {
+            "release_id": record.release_id,
+            "served_from": served_from,
+            **payload,
+        }
+
+    async def _posterior_payload(
+        self, record, statements, config: MaxEntConfig
+    ) -> tuple[dict, str]:
+        """The cached/coalesced/solved posterior payload for one request."""
+        loop = asyncio.get_running_loop()
+
+        def prepare():
+            system, n_rows, was_cached = record.compiled_system(statements)
+            fingerprint = self.engine.request_fingerprint(system, config)
+            return system, n_rows, was_cached, fingerprint
+
+        system, n_rows, _, fingerprint = await loop.run_in_executor(
+            None, prepare
+        )
+        # The engine fingerprint identifies the *solution*; the response
+        # additionally depends on the failure policy (raise vs return a
+        # non-converged posterior), so that is part of the result key —
+        # one client's lenient config must not answer a strict client.
+        policy = (
+            f"{int(config.raise_on_infeasible)}"
+            f":{config.infeasibility_threshold!r}"
+        )
+        key = f"{record.release_id}:{fingerprint}:{policy}"
+        cached = self.store.results.lookup(key)
+        if cached is not None:
+            return cached, "result-cache"
+        solve = lambda: self._solve_payload(  # noqa: E731
+            record, system, n_rows, config, fingerprint, key
+        )
+
+        async def compute():
+            if n_rows == 0 and config.use_closed_form:
+                # Closed-form requests are sub-millisecond reads: they
+                # micro-batch with their peers instead of occupying (and
+                # back-pressuring) solve slots.
+                return await solve()
+            return await self.admission.run(solve)
+
+        payload, coalesced = await self.coalescer.run(key, compute)
+        return payload, ("coalesced" if coalesced else "solve")
+
+    async def _solve_payload(
+        self,
+        record,
+        system,
+        n_rows: int,
+        config: MaxEntConfig,
+        fingerprint: str,
+        key: str,
+    ) -> dict:
+        """Run one admitted solve (batched closed form or full engine)."""
+        loop = asyncio.get_running_loop()
+        self.telemetry.incr("solves_started")
+        if n_rows == 0 and config.use_closed_form:
+            # No knowledge rows: Theorem 5's closed form, micro-batched
+            # with whatever compatible requests are in flight.
+            started = time.perf_counter()
+            p = await self.batcher.compute(record.space)
+            stats = SolverStats(
+                solver="closed-form",
+                iterations=0,
+                seconds=time.perf_counter() - started,
+                n_vars=record.space.n_vars,
+                n_equalities=system.n_equalities,
+                n_inequalities=system.n_inequalities,
+                eq_residual=0.0,
+                ineq_residual=0.0,
+                converged=True,
+                n_components=record.published.n_buckets,
+            )
+            solution = MaxEntSolution(record.space, p, stats)
+        else:
+            solution = await loop.run_in_executor(
+                None, self.engine.solve, record.space, system, config
+            )
+
+        def package(result: MaxEntSolution) -> dict:
+            posterior = PosteriorTable.from_solution(result)
+            return {
+                "posterior": posterior_to_dict(posterior),
+                "stats": stats_to_dict(result.stats),
+                "n_knowledge_rows": n_rows,
+                "fingerprint": fingerprint,
+            }
+
+        payload = await loop.run_in_executor(None, package, solution)
+        self.store.results.put(key, payload)
+        self.telemetry.incr("solves_completed")
+        return payload
+
+    async def _handle_assess(self, request: HttpRequest) -> tuple[int, dict]:
+        record = self.store.get(request.segments[2])
+        body = self._body_object(
+            request, ("bounds", "mining", "config", "exclude_sa")
+        )
+        raw_bounds = body.get("bounds")
+        if not isinstance(raw_bounds, list) or not raw_bounds:
+            raise HttpError(
+                400,
+                "assessment needs a non-empty 'bounds' list",
+                code="bad_request",
+            )
+        bounds = [bound_from_dict(b) for b in raw_bounds]
+        if not record.has_original:
+            raise HttpError(
+                409,
+                f"release {record.release_id!r} was registered without its "
+                "original table, so there is no ground truth to assess "
+                "against; re-register with 'original'",
+                code="no_original",
+            )
+        mining = mining_config_from_dict(body.get("mining"))
+        config = config_from_dict(body.get("config"))
+        exclude = frozenset(body.get("exclude_sa") or ())
+        loop = asyncio.get_running_loop()
+        rules = await loop.run_in_executor(None, record.rules, mining)
+
+        async def one(bound) -> dict:
+            statements = bound.statements(rules)
+            payload, served_from = await self._posterior_payload(
+                record, statements, config
+            )
+
+            def metrics() -> dict:
+                posterior = posterior_from_dict(payload["posterior"])
+                return {
+                    "bound": bound.describe(),
+                    "n_constraints": payload["n_knowledge_rows"],
+                    "estimation_accuracy": estimation_accuracy(
+                        record.truth, posterior
+                    ),
+                    "max_disclosure": max_disclosure(posterior, exclude=exclude),
+                    "bayes_vulnerability": bayes_vulnerability(
+                        posterior, exclude=exclude
+                    ),
+                    "effective_l": effective_l(posterior, exclude=exclude),
+                    "expected_entropy_bits": expected_posterior_entropy(
+                        posterior
+                    ),
+                    "stats": payload["stats"],
+                    "served_from": served_from,
+                }
+
+            return await loop.run_in_executor(None, metrics)
+
+        # Bounds fan out concurrently; shared components across their
+        # growing knowledge sets meet again in the engine's solve cache.
+        assessments = await asyncio.gather(*(one(bound) for bound in bounds))
+        return 200, {
+            "release_id": record.release_id,
+            "assessments": list(assessments),
+        }

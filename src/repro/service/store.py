@@ -1,0 +1,233 @@
+"""Session state of the serving subsystem: releases, systems, results.
+
+A long-lived service amortizes everything a cold ``PrivacyMaxEnt`` run
+pays per query:
+
+- :class:`RegisteredRelease` holds one registered bucketization with its
+  variable space and data-invariant rows built exactly once, the mined
+  rule sets per mining config, and an LRU of compiled constraint systems
+  keyed by the knowledge list — so a repeat query skips indexing,
+  invariant derivation, mining and compilation entirely and goes
+  straight to the (cached, coalesced) solve.
+- :class:`SessionStore` owns the id → release map and the finished-result
+  LRU (response payloads keyed by release + engine request fingerprint).
+
+Registration is idempotent: the same release payload (by canonical
+content digest) returns the existing id, so fleets of identical clients
+don't balloon the store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+import time
+
+from repro.core.quantifier import PosteriorTable
+from repro.core.serialize import statement_to_dict
+from repro.engine.cache import SolveCache
+from repro.knowledge.compiler import compile_statements
+from repro.knowledge.mining import MiningConfig, RuleSet, mine_association_rules
+from repro.maxent.constraints import ConstraintSystem, data_constraints
+from repro.maxent.indexing import GroupVariableSpace
+
+
+def release_digest(payload: dict) -> str:
+    """Canonical content digest of a release wire payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def statements_key(statements) -> str:
+    """Stable key of a knowledge list (order-insensitive)."""
+    encoded = sorted(
+        json.dumps(statement_to_dict(s), sort_keys=True) for s in statements
+    )
+    return hashlib.sha256("\n".join(encoded).encode("utf-8")).hexdigest()
+
+
+class RegisteredRelease:
+    """One registered bucketized release and its compiled artifacts."""
+
+    def __init__(
+        self,
+        release_id: str,
+        published,
+        *,
+        name: str | None = None,
+        original=None,
+        system_cache_size: int = 64,
+    ) -> None:
+        self.release_id = release_id
+        self.name = name or release_id
+        self.published = published
+        self.original = original
+        self.created_at = time.time()
+        # Indexing and invariant derivation happen once, at registration.
+        self.space = GroupVariableSpace(published)
+        self.data_system = data_constraints(self.space)
+        self.truth = (
+            PosteriorTable.from_table(original) if original is not None else None
+        )
+        self._rules: dict[tuple, RuleSet] = {}
+        self._systems = SolveCache(system_cache_size)
+        # Compilation can be requested concurrently from handler
+        # coroutines interleaved with executor threads; keep it safe.
+        self._lock = threading.Lock()
+
+    @property
+    def has_original(self) -> bool:
+        """True when ground truth was registered alongside the release."""
+        return self.original is not None
+
+    def attach_original(self, original) -> None:
+        """Late-bind the ground truth (a re-registration supplied it)."""
+        with self._lock:
+            self.original = original
+            self.truth = PosteriorTable.from_table(original)
+            self._rules.clear()
+
+    def compiled_system(
+        self, statements
+    ) -> tuple[ConstraintSystem, int, bool]:
+        """The full constraint system for ``statements`` (cached).
+
+        Returns ``(system, n_knowledge_rows, was_cached)``.  The data
+        rows are shared across all systems of this release; only the
+        knowledge rows are compiled per distinct statement list.
+        """
+        key = statements_key(statements)
+        cached = self._systems.lookup(key)
+        if cached is not None:
+            system, n_rows = cached
+            return system, n_rows, True
+        with self._lock:
+            cached = self._systems.get(key)
+            if cached is not None:
+                system, n_rows = cached
+                return system, n_rows, True
+            system = ConstraintSystem(self.space.n_vars)
+            system.extend(self.data_system)
+            knowledge = compile_statements(list(statements), self.space)
+            system.extend(knowledge)
+            n_rows = knowledge.n_equalities + knowledge.n_inequalities
+            self._systems.put(key, (system, n_rows))
+        return system, n_rows, False
+
+    def rules(self, mining: MiningConfig | None = None) -> RuleSet:
+        """Association rules mined from the registered original (cached)."""
+        if self.original is None:
+            raise LookupError(
+                f"release {self.release_id!r} was registered without its "
+                "original table; assessment needs ground truth to mine from"
+            )
+        mining = mining or MiningConfig()
+        key = (
+            mining.min_support_count,
+            mining.max_antecedent,
+            mining.min_confidence,
+        )
+        with self._lock:
+            rules = self._rules.get(key)
+            if rules is None:
+                rules = mine_association_rules(self.original, mining)
+                self._rules[key] = rules
+            return rules
+
+    def summary(self) -> dict:
+        """JSON-ready registration record."""
+        return {
+            "release_id": self.release_id,
+            "name": self.name,
+            "n_buckets": self.published.n_buckets,
+            "n_records": self.published.n_records,
+            "n_vars": self.space.n_vars,
+            "has_original": self.has_original,
+            "created_at_unix": self.created_at,
+            "compiled_systems": len(self._systems),
+            "system_cache_hits": self._systems.hits,
+        }
+
+
+class SessionStore:
+    """Releases by id plus the finished-result LRU.
+
+    Registrations run on executor threads while list/get serve from the
+    event loop, so the registry maps are guarded by a lock.
+    """
+
+    def __init__(self, *, result_cache_size: int = 256) -> None:
+        self._releases: dict[str, RegisteredRelease] = {}
+        self._by_digest: dict[str, str] = {}
+        self._counter = 0
+        self._lock = threading.Lock()
+        self.results = SolveCache(result_cache_size)
+
+    def register(
+        self, payload: dict, published, *, name: str | None = None, original=None
+    ) -> tuple[RegisteredRelease, bool]:
+        """Register a release; returns ``(record, created)``.
+
+        ``payload`` is the wire form used for the idempotency digest so
+        re-posting an identical release returns the existing record.  A
+        re-registration can still *add* what the first one lacked — the
+        original table (enabling assess) or a fresh name.
+        """
+        digest = release_digest(payload)
+        with self._lock:
+            existing_id = self._by_digest.get(digest)
+            record = self._releases.get(existing_id) if existing_id else None
+        if record is not None:
+            if original is not None and record.original is None:
+                record.attach_original(original)
+            if name is not None:
+                record.name = name
+            return record, False
+        fresh = RegisteredRelease(
+            "rel-pending", published, name=name, original=original
+        )
+        with self._lock:
+            # Re-check: a racing registration of the same payload wins.
+            existing_id = self._by_digest.get(digest)
+            if existing_id is not None:
+                return self._releases[existing_id], False
+            self._counter += 1
+            release_id = f"rel-{self._counter}-{digest[:8]}"
+            fresh.release_id = release_id
+            if name is None:
+                fresh.name = release_id
+            self._releases[release_id] = fresh
+            self._by_digest[digest] = release_id
+        return fresh, True
+
+    def get(self, release_id: str) -> RegisteredRelease:
+        """The registered release, or :class:`LookupError` (→ HTTP 404)."""
+        with self._lock:
+            record = self._releases.get(release_id)
+        if record is None:
+            raise LookupError(f"unknown release {release_id!r}")
+        return record
+
+    def list(self) -> list[dict]:
+        """Summaries of every registered release, oldest first."""
+        with self._lock:
+            records = list(self._releases.values())
+        return [record.summary() for record in records]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._releases)
+
+    def snapshot(self) -> dict:
+        """JSON-ready store state for the telemetry endpoint."""
+        return {
+            "releases": len(self._releases),
+            "result_cache": {
+                "size": len(self.results),
+                "max_entries": self.results.max_entries,
+                "hits": self.results.hits,
+                "misses": self.results.misses,
+                "hit_rate": self.results.hit_rate,
+            },
+        }

@@ -1,0 +1,134 @@
+"""Service telemetry: counters and per-endpoint latency histograms.
+
+Everything the ``/v1/telemetry`` endpoint returns is aggregated here.
+The histograms use fixed log-spaced bucket bounds (sub-millisecond to a
+minute) so percentile estimates cost O(#buckets) memory regardless of
+traffic volume; quantiles are read as the upper bound of the bucket the
+rank falls in, clamped to the largest observation — the standard
+monitoring-system compromise (small, mergeable, slightly pessimistic).
+
+All mutation happens on the event loop (handlers observe after
+responding), so no locking is needed; the engine keeps its own
+thread-safe counters and is merged into the snapshot by the server.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+#: Upper bounds (seconds) of the latency buckets; the final implicit
+#: bucket catches everything slower.
+LATENCY_BOUNDS = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+    60.0,
+)
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with quantile reads."""
+
+    def __init__(self) -> None:
+        self.counts = [0] * (len(LATENCY_BOUNDS) + 1)
+        self.count = 0
+        self.total_seconds = 0.0
+        self.max_seconds = 0.0
+
+    def observe(self, seconds: float) -> None:
+        """Record one measurement."""
+        slot = len(LATENCY_BOUNDS)
+        for i, bound in enumerate(LATENCY_BOUNDS):
+            if seconds <= bound:
+                slot = i
+                break
+        self.counts[slot] += 1
+        self.count += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0..1) as a bucket upper bound, clamped."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, observed in enumerate(self.counts):
+            seen += observed
+            if seen >= rank and observed:
+                bound = (
+                    LATENCY_BOUNDS[i]
+                    if i < len(LATENCY_BOUNDS)
+                    else self.max_seconds
+                )
+                return min(bound, self.max_seconds)
+        return self.max_seconds
+
+    def summary(self) -> dict:
+        """JSON-ready digest: count, mean and the headline percentiles."""
+        mean = self.total_seconds / self.count if self.count else 0.0
+        return {
+            "count": self.count,
+            "total_seconds": self.total_seconds,
+            "mean_seconds": mean,
+            "p50_seconds": self.quantile(0.50),
+            "p95_seconds": self.quantile(0.95),
+            "p99_seconds": self.quantile(0.99),
+            "max_seconds": self.max_seconds,
+        }
+
+
+class ServiceTelemetry:
+    """Counters plus one latency histogram per logical endpoint."""
+
+    def __init__(self) -> None:
+        self.started_at = time.time()
+        self._start_clock = time.perf_counter()
+        self.counters: defaultdict[str, int] = defaultdict(int)
+        self.status_counts: defaultdict[int, int] = defaultdict(int)
+        self.endpoints: dict[str, LatencyHistogram] = {}
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        """Bump a named counter."""
+        self.counters[name] += amount
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one finished request against its endpoint histogram."""
+        self.counters["requests_total"] += 1
+        self.status_counts[status] += 1
+        histogram = self.endpoints.get(endpoint)
+        if histogram is None:
+            histogram = self.endpoints[endpoint] = LatencyHistogram()
+        histogram.observe(seconds)
+
+    @property
+    def uptime_seconds(self) -> float:
+        return time.perf_counter() - self._start_clock
+
+    def snapshot(self) -> dict:
+        """The telemetry endpoint's service-side section."""
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "started_at_unix": self.started_at,
+            "counters": dict(self.counters),
+            "responses_by_status": {
+                str(status): count for status, count in self.status_counts.items()
+            },
+            "endpoints": {
+                name: histogram.summary()
+                for name, histogram in self.endpoints.items()
+            },
+        }

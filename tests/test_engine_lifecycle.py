@@ -1,0 +1,130 @@
+"""Tests for engine shutdown hygiene: idempotent close, no worker leaks."""
+
+import multiprocessing
+
+from repro.core.privacy_maxent import PrivacyMaxEnt
+from repro.data.paper_example import S2, paper_published
+from repro.engine import (
+    PrivacyEngine,
+    ProcessExecutor,
+    shared_engine,
+    shutdown_shared_engines,
+)
+from repro.knowledge.statements import ConditionalProbability
+from repro.maxent.config import MaxEntConfig
+
+
+def _square(x: int) -> int:
+    """Module-level so the process pool can pickle it."""
+    return x * x
+
+
+def alive_worker_pids() -> set[int]:
+    return {child.pid for child in multiprocessing.active_children()}
+
+
+class TestIdempotentClose:
+    def test_close_twice_is_safe(self):
+        engine = PrivacyEngine()
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_context_manager_then_close(self):
+        with PrivacyEngine(executor="thread", workers=2) as engine:
+            PrivacyMaxEnt(
+                paper_published(),
+                knowledge=[
+                    ConditionalProbability(
+                        given={"gender": "male"}, sa_value=S2, probability=0.3
+                    )
+                ],
+                engine=engine,
+            ).solve()
+        engine.close()  # second close after __exit__ must be harmless
+        assert engine.closed
+
+
+class TestNoWorkerLeaks:
+    def test_process_pool_workers_die_with_each_lifecycle(self):
+        """Repeated engine lifecycles leave no child processes behind."""
+        baseline = alive_worker_pids()
+        for _cycle in range(3):
+            executor = ProcessExecutor(workers=2)
+            assert executor.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+            spawned = alive_worker_pids() - baseline
+            assert spawned, "the pool should have spawned workers"
+            executor.close()
+            assert alive_worker_pids() - baseline == set()
+
+    def test_engine_close_tears_down_its_pool(self):
+        baseline = alive_worker_pids()
+        engine = PrivacyEngine(executor="process", workers=2)
+        # Drive the pool through the engine's own executor (a solve with
+        # >1 numeric component would do the same, more slowly).
+        assert engine._executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert alive_worker_pids() - baseline
+        engine.close()
+        assert alive_worker_pids() - baseline == set()
+
+
+class TestCloseResilience:
+    def test_failed_cache_save_still_tears_down_the_pool(self, tmp_path):
+        baseline = alive_worker_pids()
+        engine = PrivacyEngine(
+            executor="process", workers=2, cache_path=tmp_path / "c.pkl"
+        )
+        assert engine._executor.map(_square, [1, 2]) == [1, 4]
+        engine.cache.put("k", object())  # non-empty so close() tries saving
+
+        def broken_save(path=None):
+            raise OSError("disk full")
+
+        engine.save_cache = broken_save
+        try:
+            engine.close()
+        except OSError:
+            pass
+        assert engine.closed
+        assert alive_worker_pids() - baseline == set()
+
+    def test_shutdown_survives_a_failing_engine(self, capsys):
+        shutdown_shared_engines()
+        bad = shared_engine(MaxEntConfig(cache_size=7))
+        good = shared_engine(MaxEntConfig(cache_size=9))
+
+        def explode():
+            raise RuntimeError("boom")
+
+        bad.close = explode
+        assert shutdown_shared_engines() == 2
+        assert good.closed
+        assert "close failed" in capsys.readouterr().err
+
+
+class TestSharedEngineShutdown:
+    def test_shutdown_closes_and_forgets(self):
+        shutdown_shared_engines()
+        first = shared_engine(MaxEntConfig())
+        again = shared_engine(MaxEntConfig())
+        assert again is first
+        closed = shutdown_shared_engines()
+        assert closed >= 1
+        assert first.closed
+        fresh = shared_engine(MaxEntConfig())
+        assert fresh is not first
+        shutdown_shared_engines()
+
+    def test_shutdown_with_nothing_registered(self):
+        shutdown_shared_engines()
+        assert shutdown_shared_engines() == 0
+
+    def test_shutdown_kills_shared_process_pools(self):
+        shutdown_shared_engines()
+        baseline = alive_worker_pids()
+        config = MaxEntConfig(executor="process", workers=2)
+        engine = shared_engine(config)
+        assert engine._executor.map(_square, [5, 6]) == [25, 36]
+        assert alive_worker_pids() - baseline
+        shutdown_shared_engines()
+        assert alive_worker_pids() - baseline == set()
