@@ -40,6 +40,7 @@ from repro.maxent.constraints import ConstraintSystem, data_constraints
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
 from repro.maxent.solution import MaxEntSolution
 from repro.maxent.solver import MaxEntConfig
+from repro.utils.timer import Timer
 
 
 class PrivacyMaxEnt:
@@ -89,21 +90,25 @@ class PrivacyMaxEnt:
         self._published = published
         self._config = config or MaxEntConfig()
         self._engine = engine
-        if needs_people:
-            self._pseudonyms = PseudonymTable(published)
-            self._space: GroupVariableSpace | PersonVariableSpace = (
-                PersonVariableSpace(self._pseudonyms)
-            )
-        else:
-            self._pseudonyms = None
-            self._space = GroupVariableSpace(published)
+        with Timer() as build_timer:
+            if needs_people:
+                self._pseudonyms = PseudonymTable(published)
+                self._space: GroupVariableSpace | PersonVariableSpace = (
+                    PersonVariableSpace(self._pseudonyms)
+                )
+            else:
+                self._pseudonyms = None
+                self._space = GroupVariableSpace(published)
 
-        self._system: ConstraintSystem = data_constraints(self._space)
-        self._n_data_rows = self._system.n_equalities
-        knowledge_system = compile_statements(statements, self._space)
-        self._system.extend(knowledge_system)
+            self._system: ConstraintSystem = data_constraints(self._space)
+            self._n_data_rows = self._system.n_equalities
+            knowledge_system = compile_statements(statements, self._space)
+            self._system.extend(knowledge_system)
         self._statements = statements
         self._solution: MaxEntSolution | None = None
+        # Construction cost of this quantifier, reported to the engine with
+        # the first solve (once — re-solves reuse the built system).
+        self._build_seconds = build_timer.seconds
 
     # -- introspection ------------------------------------------------------
 
@@ -147,8 +152,12 @@ class PrivacyMaxEnt:
         """Run (or return the cached) MaxEnt solve."""
         if self._solution is None or force:
             self._solution = self.engine.solve(
-                self._space, self._system, self._config
+                self._space,
+                self._system,
+                self._config,
+                build_seconds=self._build_seconds,
             )
+            self._build_seconds = 0.0
         return self._solution
 
     def posterior(self) -> PosteriorTable:

@@ -110,6 +110,13 @@ class PrivacyEngine:
         self.n_solves = 0
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
+        # Construction-side phase accumulators (the observability
+        # counterpart of the array-native pipeline): system build time is
+        # recorded by callers via solve(..., build_seconds=...);
+        # decomposition and fingerprint time are measured in-engine.
+        self.build_seconds = 0.0
+        self.decompose_seconds = 0.0
+        self.fingerprint_seconds = 0.0
         self._closed = False
         # Shared engines serve concurrent solve_maxent callers; telemetry
         # updates must not drop under that concurrency.
@@ -181,12 +188,18 @@ class PrivacyEngine:
             n_solves = self.n_solves
             wall = self.wall_seconds
             cpu = self.cpu_seconds
+            build = self.build_seconds
+            decompose_s = self.decompose_seconds
+            fingerprint_s = self.fingerprint_seconds
         return {
             "executor": self.executor_name,
             "workers": getattr(self._executor, "workers", 1),
             "n_solves": n_solves,
             "wall_seconds": wall,
             "cpu_seconds": cpu,
+            "build_seconds": build,
+            "decompose_seconds": decompose_s,
+            "fingerprint_seconds": fingerprint_s,
             "cache": {
                 "size": len(self.cache),
                 "max_entries": self.cache.max_entries,
@@ -281,12 +294,17 @@ class PrivacyEngine:
         space: VariableSpace,
         system: ConstraintSystem,
         config: MaxEntConfig | None = None,
+        *,
+        build_seconds: float = 0.0,
     ) -> MaxEntSolution:
         """Solve the full MaxEnt program over ``space`` with rows ``system``.
 
         ``system`` must contain the data invariants (from
         :func:`repro.maxent.constraints.data_constraints`) plus any
-        compiled background-knowledge rows.
+        compiled background-knowledge rows.  ``build_seconds`` lets the
+        caller attribute the wall time it spent *constructing* that system
+        (indexing, invariants, knowledge compilation) to this solve's
+        telemetry — the engine cannot observe that phase itself.
         """
         config = config or MaxEntConfig()
         if system.n_vars != space.n_vars:
@@ -305,12 +323,17 @@ class PrivacyEngine:
             stats_by_position: dict[int, SolverStats] = {}
 
             self._run_closed_form(space, plan, p, stats_by_position)
-            cpu_seconds = self._run_numeric(plan, config, p, stats_by_position)
+            cpu_seconds, fingerprint_seconds = self._run_numeric(
+                plan, config, p, stats_by_position
+            )
 
         with self._telemetry_lock:
             self.n_solves += 1
             self.wall_seconds += wall.seconds
             self.cpu_seconds += cpu_seconds
+            self.build_seconds += build_seconds
+            self.decompose_seconds += plan.decompose_seconds
+            self.fingerprint_seconds += fingerprint_seconds
 
         return self._reassemble(
             space,
@@ -321,6 +344,8 @@ class PrivacyEngine:
             stats_by_position,
             wall_seconds=wall.seconds,
             cpu_seconds=cpu_seconds,
+            build_seconds=build_seconds,
+            fingerprint_seconds=fingerprint_seconds,
         )
 
     # -- the batched closed-form path ---------------------------------------
@@ -361,31 +386,41 @@ class PrivacyEngine:
         config: MaxEntConfig,
         p: np.ndarray,
         stats_by_position: dict[int, SolverStats],
-    ) -> float:
-        """Cache-check then fan numeric components out; returns CPU time."""
+    ) -> tuple[float, float]:
+        """Cache-check then fan numeric components out.
+
+        Returns ``(cpu_seconds, fingerprint_seconds)`` — summed component
+        compute time and the wall time spent encoding cache keys.
+        """
         solve_key = config.solve_key()
         caching = self.cache.enabled
         pending: list[tuple[int, Component, str | None, str | None]] = []
+        fingerprint_timer = Timer()
+        fingerprint_seconds = 0.0
 
         for pos in plan.numeric:
             component = plan.components[pos]
             fingerprint = None
             structure = None
             if caching:
+                fingerprint_timer.start()
                 fingerprint = component_fingerprint(
                     component.system, component.mass, solve_key
                 )
+                fingerprint_seconds += fingerprint_timer.stop()
                 entry = self.cache.lookup(fingerprint)
                 if entry is not None:
                     p[component.var_indices] = entry.p
                     stats_by_position[pos] = entry.replay_stats()
                     continue
                 if config.warm_start:
+                    fingerprint_timer.start()
                     structure = structure_fingerprint(component.system)
+                    fingerprint_seconds += fingerprint_timer.stop()
             pending.append((pos, component, fingerprint, structure))
 
         if not pending:
-            return 0.0
+            return 0.0, fingerprint_seconds
 
         jobs = [
             (
@@ -414,7 +449,7 @@ class PrivacyEngine:
             # first bad component — under the serial executor the remaining
             # components are never solved at all.
             _check_component(component, result.stats, config)
-        return cpu_seconds
+        return cpu_seconds, fingerprint_seconds
 
     # -- reassembly ----------------------------------------------------------
 
@@ -429,6 +464,8 @@ class PrivacyEngine:
         *,
         wall_seconds: float,
         cpu_seconds: float,
+        build_seconds: float = 0.0,
+        fingerprint_seconds: float = 0.0,
     ) -> MaxEntSolution:
         """Aggregate component statistics and package the solution."""
         records: list[ComponentRecord] = []
@@ -465,6 +502,9 @@ class PrivacyEngine:
             presolve_fixed=presolve_fixed,
             cpu_seconds=cpu_seconds,
             cache_hits=cache_hits,
+            build_seconds=build_seconds,
+            decompose_seconds=plan.decompose_seconds,
+            fingerprint_seconds=fingerprint_seconds,
         )
         return MaxEntSolution(space, p, aggregate, records)
 

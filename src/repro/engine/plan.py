@@ -17,6 +17,7 @@ from repro.maxent.config import MaxEntConfig
 from repro.maxent.constraints import ConstraintSystem
 from repro.maxent.decompose import Component, decompose
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
+from repro.utils.timer import Timer
 
 VariableSpace = GroupVariableSpace | PersonVariableSpace
 
@@ -32,6 +33,8 @@ class ExecutionPlan:
     numeric: list[int] = field(default_factory=list)
     executor: str = "serial"
     workers: int | None = None
+    #: Wall time of the Section 5.5 decomposition that produced the plan.
+    decompose_seconds: float = 0.0
 
     @property
     def n_components(self) -> int:
@@ -57,11 +60,13 @@ def build_plan(
     The closed form applies exactly where Theorem 5 proves it: irrelevant
     components of a group-level space, with ``config.use_closed_form`` on.
     """
-    components = decompose(space, system, enabled=config.decompose)
+    with Timer() as timer:
+        components = decompose(space, system, enabled=config.decompose)
     plan = ExecutionPlan(
         components=components,
         executor=config.executor,
         workers=config.workers,
+        decompose_seconds=timer.seconds,
     )
     closed_form_ok = config.use_closed_form and isinstance(
         space, GroupVariableSpace

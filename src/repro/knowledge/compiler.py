@@ -86,9 +86,15 @@ def _joint_row(
 def compile_statement(
     statement: Statement | IndividualStatement,
     space: VariableSpace,
-    system: ConstraintSystem,
+    system: ConstraintSystem | _RowBatch,
 ) -> None:
-    """Append the rows of one statement to ``system`` (dispatch by type)."""
+    """Append the rows of one statement to ``system`` (dispatch by type).
+
+    ``system`` is anything exposing ``add_equality`` / ``add_inequality``
+    — a real :class:`ConstraintSystem`, or the :class:`_RowBatch`
+    accumulator :func:`compile_statements` uses to emit one batch append
+    per family.
+    """
     if isinstance(statement, ConditionalProbability):
         p_qv = _antecedent_probability(space, statement.given)
         _joint_row(
@@ -255,6 +261,47 @@ def _compile_individual(
     )
 
 
+class _RowBatch:
+    """Accumulates compiled rows, emitted as one batch append per family.
+
+    Duck-types the two append methods :func:`compile_statement` uses, so
+    per-statement compilation stays row-at-a-time (where the eager
+    diagnostics live) while the constraint system receives the whole
+    knowledge block through the array-native batch API.
+    """
+
+    def __init__(self) -> None:
+        self._eq: list[tuple] = []
+        self._ineq: list[tuple] = []
+
+    def add_equality(self, indices, coefficients, rhs, *, kind, label=""):
+        self._eq.append((indices, coefficients, float(rhs), kind, label))
+
+    def add_inequality(self, indices, coefficients, upper, *, kind, label=""):
+        self._ineq.append((indices, coefficients, float(upper), kind, label))
+
+    @staticmethod
+    def _flush(rows: list[tuple], append_batch) -> None:
+        if not rows:
+            return
+        lengths = np.array([len(r[0]) for r in rows], dtype=np.int64)
+        indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        append_batch(
+            indptr,
+            np.concatenate([np.asarray(r[0], dtype=np.int64) for r in rows]),
+            np.concatenate([np.asarray(r[1], dtype=float) for r in rows]),
+            np.array([r[2] for r in rows]),
+            kinds=[r[3] for r in rows],
+            labels=[r[4] or f"{r[3]}[{i}]" for i, r in enumerate(rows)],
+        )
+
+    def emit(self, system: ConstraintSystem) -> None:
+        """Append every accumulated row to ``system`` in two batches."""
+        self._flush(self._eq, system.add_equalities)
+        self._flush(self._ineq, system.add_inequalities)
+
+
 def compile_statements(
     statements: Iterable[Statement | IndividualStatement] | Sequence,
     space: VariableSpace,
@@ -263,8 +310,12 @@ def compile_statements(
 
     The returned system holds only the background-knowledge rows; callers
     merge it with :func:`repro.maxent.constraints.data_constraints`.
+    Rows are accumulated per statement and appended through the batch CSR
+    API in one shot per family.
     """
     system = ConstraintSystem(space.n_vars)
+    batch = _RowBatch()
     for statement in statements:
-        compile_statement(statement, space, system)
+        compile_statement(statement, space, batch)
+    batch.emit(system)
     return system

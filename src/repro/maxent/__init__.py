@@ -1,6 +1,11 @@
 """The MaxEnt engine: variable spaces, constraints, presolve, solvers."""
 
-from repro.maxent.constraints import ConstraintSystem, Row, data_constraints
+from repro.maxent.constraints import (
+    ConstraintSystem,
+    Row,
+    RowArrays,
+    data_constraints,
+)
 from repro.maxent.diagnostics import component_table, convergence_summary
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
 from repro.maxent.solution import MaxEntSolution, SolverStats
@@ -13,6 +18,7 @@ __all__ = [
     "MaxEntSolution",
     "PersonVariableSpace",
     "Row",
+    "RowArrays",
     "SolverStats",
     "component_table",
     "convergence_summary",

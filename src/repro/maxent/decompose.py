@@ -1,4 +1,4 @@
-"""Bucket-graph decomposition (Section 5.5).
+"""Bucket-graph decomposition (Section 5.5), array-native.
 
 Without background knowledge, every bucket's distribution is independent
 (Lemma 2), so the global maximum entropy is the product of per-bucket
@@ -12,6 +12,15 @@ split the MaxEnt program by connected component.  Singleton components with
 only data rows are the paper's irrelevant buckets and get the closed-form
 solution; the rest are solved jointly per component — still far cheaper
 than one global solve.
+
+The implementation is flat-array end to end: the bucket graph is one
+sparse adjacency matrix fed to ``scipy.sparse.csgraph.connected_components``
+(no Python union-find), variables and rows are assigned to components with
+single gathers over the system's CSR arrays, and local reindexing is one
+vectorized scatter — no per-variable loops, no per-row dict remaps, no
+re-validation of rows that were validated when first appended.  A
+:class:`Component` is therefore a picklable bundle of flat arrays, which
+keeps process-executor IPC cheap.
 """
 
 from __future__ import annotations
@@ -19,11 +28,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 import numpy as np
+import scipy.sparse as sp
+from scipy.sparse.csgraph import connected_components
 
 from repro.errors import ReproError
-from repro.maxent.constraints import ConstraintSystem, Row
-from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
-from repro.utils.unionfind import UnionFind
+from repro.maxent.constraints import (
+    ConstraintSystem,
+    RowArrays,
+    kind_code,
+    known_kind_codes,
+)
+from repro.maxent.indexing import (
+    GroupVariableSpace,
+    PersonVariableSpace,
+    _take_ranges,
+)
 
 VariableSpace = GroupVariableSpace | PersonVariableSpace
 
@@ -57,21 +76,84 @@ class Component:
         return self.knowledge_rows == 0 and self.inequality_rows == 0
 
 
-def _component_mass(space: VariableSpace, rows: list[Row]) -> float:
-    """Total probability mass of a component.
+def _row_first_buckets(
+    space: VariableSpace, arrays: RowArrays
+) -> tuple[np.ndarray, np.ndarray]:
+    """(bucket of each row's first entry, per-row entry counts).
 
-    The rows of ``space.mass_partition_kind`` partition the component's
-    variables, so their right-hand sides sum to the component's mass.
+    A row's component is its first variable's bucket's component — the
+    same convention the row-wise pipeline used.  Empty rows cannot be
+    placed and are rejected up front with a real message.
     """
-    kind = space.mass_partition_kind
-    mass = sum(row.rhs for row in rows if row.kind == kind)
-    if mass <= 0:
+    lengths = arrays.row_lengths()
+    if arrays.n_rows and bool((lengths == 0).any()):
+        empty = int(np.nonzero(lengths == 0)[0][0])
         raise ReproError(
-            "component mass is non-positive; the constraint system must "
-            f"include the {kind!r} data rows (build them with "
-            "data_constraints() before solving)"
+            f"row {arrays.labels[empty]!r} references no variables and "
+            "cannot be assigned to a component"
         )
-    return float(mass)
+    if arrays.n_rows == 0:
+        return np.empty(0, dtype=np.int64), lengths
+    first = space.var_bucket[arrays.indices[arrays.indptr[:-1]]]
+    return first, lengths
+
+
+def _bucket_labels(
+    space: VariableSpace,
+    eq: RowArrays,
+    ineq: RowArrays,
+    n_buckets: int,
+    enabled: bool,
+) -> tuple[int, np.ndarray]:
+    """Connected-component labels of the bucket graph, min-bucket ordered."""
+    if not enabled:
+        return 1, np.zeros(n_buckets, dtype=np.int64)
+
+    edge_src: list[np.ndarray] = []
+    edge_dst: list[np.ndarray] = []
+    for arrays in (eq, ineq):
+        if arrays.n_rows == 0:
+            continue
+        first, lengths = _row_first_buckets(space, arrays)
+        # Star edges: every entry's bucket joins its row's first bucket —
+        # enough to make each row's bucket set one connected clique.
+        edge_src.append(np.repeat(first, lengths))
+        edge_dst.append(space.var_bucket[arrays.indices])
+
+    if edge_src:
+        src = np.concatenate(edge_src)
+        dst = np.concatenate(edge_dst)
+        graph = sp.coo_matrix(
+            (np.ones(src.size, dtype=np.int8), (src, dst)),
+            shape=(n_buckets, n_buckets),
+        )
+    else:
+        graph = sp.coo_matrix((n_buckets, n_buckets), dtype=np.int8)
+    n_components, labels = connected_components(graph, directed=False)
+
+    # Canonical order: components sorted by their smallest bucket id.
+    first_bucket = np.full(n_components, n_buckets, dtype=np.int64)
+    np.minimum.at(first_bucket, labels, np.arange(n_buckets, dtype=np.int64))
+    remap = np.empty(n_components, dtype=np.int64)
+    remap[np.argsort(first_bucket)] = np.arange(n_components, dtype=np.int64)
+    return n_components, remap[labels]
+
+
+def _permute_rows(
+    arrays: RowArrays, order: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Row-permuted CSR pieces ``(indptr, entry_positions, rhs)``.
+
+    ``entry_positions`` gathers the flat entry arrays into the permuted
+    layout; callers index ``arrays.indices`` / ``arrays.coefficients``
+    with it.
+    """
+    lengths = arrays.row_lengths()[order]
+    indptr = np.zeros(order.size + 1, dtype=np.int64)
+    np.cumsum(lengths, out=indptr[1:])
+    starts = arrays.indptr[order]
+    positions = _take_ranges(starts, starts + lengths)
+    return indptr, positions, arrays.rhs[order]
 
 
 def drop_redundant_data_rows(
@@ -84,21 +166,44 @@ def drop_redundant_data_rows(
     implied by the rest.  Dropping one "sa" row per bucket removes the exact
     linear dependency, which conditions the dual and speeds every iterative
     solver without changing the feasible set.
+
+    Implemented as a vectorized row filter over the CSR arrays: the first
+    "sa" row of each bucket (in insertion order) is masked out and the
+    survivors are re-appended as one batch.
     """
+    eq = system.equality_arrays()
     filtered = ConstraintSystem(system.n_vars)
-    dropped: set[int] = set()
-    for row in system.equalities:
-        if row.kind == "sa":
-            bucket = int(space.var_bucket[row.indices[0]])
-            if bucket not in dropped:
-                dropped.add(bucket)
-                continue
-        filtered.add_equality(
-            row.indices, row.coefficients, row.rhs, kind=row.kind, label=row.label
+
+    keep = np.ones(eq.n_rows, dtype=bool)
+    sa_rows = np.nonzero(eq.kind_codes == kind_code("sa"))[0]
+    if sa_rows.size:
+        first_entries = eq.indices[eq.indptr[sa_rows]]
+        sa_buckets = space.var_bucket[first_entries]
+        _, first_of_bucket = np.unique(sa_buckets, return_index=True)
+        keep[sa_rows[first_of_bucket]] = False
+
+    kept = np.nonzero(keep)[0]
+    if kept.size:
+        indptr, positions, rhs = _permute_rows(eq, kept)
+        filtered.add_equalities(
+            indptr,
+            eq.indices[positions],
+            eq.coefficients[positions],
+            rhs,
+            kinds=eq.kind_codes[kept],
+            labels=[eq.labels[int(r)] for r in kept],
+            validate=False,
         )
-    for row in system.inequalities:
-        filtered.add_inequality(
-            row.indices, row.coefficients, row.rhs, kind=row.kind, label=row.label
+    ineq = system.inequality_arrays()
+    if ineq.n_rows:
+        filtered.add_inequalities(
+            ineq.indptr,
+            ineq.indices,
+            ineq.coefficients,
+            ineq.rhs,
+            kinds=ineq.kind_codes,
+            labels=list(ineq.labels),
+            validate=False,
         )
     return filtered
 
@@ -117,70 +222,141 @@ def decompose(
     which the performance figures rely on.
     """
     n_buckets = int(space.var_bucket.max()) + 1 if space.n_vars else 0
-    all_rows = [*system.equalities, *system.inequalities]
+    eq = system.equality_arrays()
+    ineq = system.inequality_arrays()
 
-    union = UnionFind(n_buckets)
-    if enabled:
-        for row in all_rows:
-            touched = sorted(row.buckets(space))
-            for other in touched[1:]:
-                union.union(touched[0], other)
+    n_components, labels = _bucket_labels(space, eq, ineq, n_buckets, enabled)
+    if n_components == 0:
+        return []
+
+    # -- variables per component (single stable sort + one scatter) ----------
+    var_component = labels[space.var_bucket]
+    var_order = np.argsort(var_component, kind="stable")
+    var_counts = np.bincount(var_component, minlength=n_components)
+    var_indptr = np.zeros(n_components + 1, dtype=np.int64)
+    np.cumsum(var_counts, out=var_indptr[1:])
+    # Local index of every variable within its component, as one gather:
+    # position within the component-sorted order minus the component start.
+    local_of_var = np.empty(space.n_vars, dtype=np.int64)
+    local_of_var[var_order] = np.arange(space.n_vars, dtype=np.int64) - np.repeat(
+        var_indptr[:-1], var_counts
+    )
+
+    # -- buckets per component ------------------------------------------------
+    bucket_order = np.argsort(labels, kind="stable")
+    bucket_counts = np.bincount(labels, minlength=n_components)
+    bucket_indptr = np.zeros(n_components + 1, dtype=np.int64)
+    np.cumsum(bucket_counts, out=bucket_indptr[1:])
+
+    # -- rows per component, one family at a time ----------------------------
+    mass_code = kind_code(space.mass_partition_kind)
+    data_codes = known_kind_codes(DATA_ROW_KINDS)
+
+    def family_by_component(arrays: RowArrays):
+        """Rows grouped by component: permuted CSR + per-component counts."""
+        if arrays.n_rows == 0:
+            empty = np.zeros(n_components, dtype=np.int64)
+            return None, empty
+        first, _ = _row_first_buckets(space, arrays)
+        row_component = labels[first]
+        order = np.argsort(row_component, kind="stable")
+        counts = np.bincount(row_component, minlength=n_components)
+        indptr, positions, rhs = _permute_rows(arrays, order)
+        local_indices = local_of_var[arrays.indices[positions]]
+        coefficients = arrays.coefficients[positions]
+        kind_codes = arrays.kind_codes[order]
+        return (
+            order,
+            indptr,
+            local_indices,
+            coefficients,
+            rhs,
+            kind_codes,
+            row_component,
+        ), counts
+
+    eq_grouped, eq_counts = family_by_component(eq)
+    ineq_grouped, ineq_counts = family_by_component(ineq)
+
+    # Component masses: rhs-sum of the mass-partition rows, accumulated in
+    # insertion order (the stable sort preserves it within a component).
+    # Reuses the row -> component map family_by_component already built.
+    if eq_grouped is not None:
+        row_component = eq_grouped[-1]
+        mass_mask = eq.kind_codes == mass_code
+        masses = np.bincount(
+            row_component[mass_mask],
+            weights=eq.rhs[mass_mask],
+            minlength=n_components,
+        )
+        knowledge_counts = np.bincount(
+            row_component[~np.isin(eq.kind_codes, data_codes)],
+            minlength=n_components,
+        )
     else:
-        for bucket in range(1, n_buckets):
-            union.union(0, bucket)
+        masses = np.zeros(n_components)
+        knowledge_counts = np.zeros(n_components, dtype=np.int64)
 
-    # Group buckets, variables and rows by component root.
-    bucket_groups: dict[int, list[int]] = {}
-    for bucket in range(n_buckets):
-        bucket_groups.setdefault(union.find(bucket), []).append(bucket)
-
-    var_groups: dict[int, list[int]] = {}
-    for var in range(space.n_vars):
-        root = union.find(int(space.var_bucket[var]))
-        var_groups.setdefault(root, []).append(var)
-
-    row_groups: dict[int, list[tuple[Row, bool]]] = {}
-    for row in system.equalities:
-        root = union.find(int(space.var_bucket[row.indices[0]]))
-        row_groups.setdefault(root, []).append((row, True))
-    for row in system.inequalities:
-        root = union.find(int(space.var_bucket[row.indices[0]]))
-        row_groups.setdefault(root, []).append((row, False))
+    eq_row_indptr = np.zeros(n_components + 1, dtype=np.int64)
+    np.cumsum(eq_counts, out=eq_row_indptr[1:])
+    ineq_row_indptr = np.zeros(n_components + 1, dtype=np.int64)
+    np.cumsum(ineq_counts, out=ineq_row_indptr[1:])
 
     components: list[Component] = []
-    for root in sorted(bucket_groups):
-        variables = np.array(var_groups.get(root, []), dtype=np.int64)
-        if variables.size == 0:
+    for comp in range(n_components):
+        n_local = int(var_counts[comp])
+        if n_local == 0:
             continue
-        local_index = {int(old): new for new, old in enumerate(variables)}
-        local = ConstraintSystem(int(variables.size))
-        eq_rows: list[Row] = []
-        knowledge_rows = 0
-        inequality_rows = 0
-        for row, is_equality in row_groups.get(root, []):
-            local_indices = [local_index[int(i)] for i in row.indices]
-            if is_equality:
-                local.add_equality(
-                    local_indices, row.coefficients, row.rhs,
-                    kind=row.kind, label=row.label,
-                )
-                eq_rows.append(row)
-                if row.kind not in DATA_ROW_KINDS:
-                    knowledge_rows += 1
-            else:
-                local.add_inequality(
-                    local_indices, row.coefficients, row.rhs,
-                    kind=row.kind, label=row.label,
-                )
-                inequality_rows += 1
+        variables = var_order[var_indptr[comp] : var_indptr[comp + 1]]
+        local = ConstraintSystem(n_local)
+
+        if eq_grouped is not None and eq_counts[comp]:
+            order, indptr, idx, coef, rhs, codes, _ = eq_grouped
+            r0, r1 = int(eq_row_indptr[comp]), int(eq_row_indptr[comp + 1])
+            e0, e1 = int(indptr[r0]), int(indptr[r1])
+            local.add_equalities(
+                indptr[r0 : r1 + 1] - e0,
+                idx[e0:e1],
+                coef[e0:e1],
+                rhs[r0:r1],
+                kinds=codes[r0:r1],
+                labels=[eq.labels[int(order[r])] for r in range(r0, r1)],
+                validate=False,
+            )
+        if ineq_grouped is not None and ineq_counts[comp]:
+            order, indptr, idx, coef, rhs, codes, _ = ineq_grouped
+            r0, r1 = int(ineq_row_indptr[comp]), int(ineq_row_indptr[comp + 1])
+            e0, e1 = int(indptr[r0]), int(indptr[r1])
+            local.add_inequalities(
+                indptr[r0 : r1 + 1] - e0,
+                idx[e0:e1],
+                coef[e0:e1],
+                rhs[r0:r1],
+                kinds=codes[r0:r1],
+                labels=[ineq.labels[int(order[r])] for r in range(r0, r1)],
+                validate=False,
+            )
+
+        mass = float(masses[comp])
+        if mass <= 0:
+            raise ReproError(
+                "component mass is non-positive; the constraint system must "
+                f"include the {space.mass_partition_kind!r} data rows (build "
+                "them with data_constraints() before solving)"
+            )
         components.append(
             Component(
-                buckets=tuple(bucket_groups[root]),
+                buckets=tuple(
+                    int(b)
+                    for b in bucket_order[
+                        bucket_indptr[comp] : bucket_indptr[comp + 1]
+                    ]
+                ),
                 var_indices=variables,
                 system=local,
-                mass=_component_mass(space, eq_rows),
-                knowledge_rows=knowledge_rows,
-                inequality_rows=inequality_rows,
+                mass=mass,
+                knowledge_rows=int(knowledge_counts[comp]),
+                inequality_rows=int(ineq_counts[comp]),
             )
         )
     return components

@@ -16,11 +16,17 @@ and the solvers:
   of Section 4.1 constraints),
 - ``qv_probability(qv)`` — the published marginal ``P(Qv)`` used for
   right-hand sides.
+
+Everything on the hot construction path is array-native: variable
+enumeration is built with ``repeat`` / ``tile`` per bucket, invariant
+cardinality lookups resolve through sorted key tables
+(:class:`_CountTable`), and the vars-matching summation sets come from one
+precomputed composite-key sort (:class:`_PairIndex`) instead of a
+full-length boolean mask per query.  The triple -> variable dict needed by
+point lookups (``index_of``) is built lazily, off the construction path.
 """
 
 from __future__ import annotations
-
-from collections import Counter
 
 import numpy as np
 
@@ -63,36 +69,102 @@ class _QIRegistry:
         return np.nonzero(mask)[0]
 
 
+class _CountTable:
+    """Sorted (a, b) -> count table supporting vectorized batch lookups.
+
+    Built once from a counts dict (bulk conversion, no per-item Python
+    loop on the query path); every lookup is one composite-key encode plus
+    one ``searchsorted``.  The composite stride always covers both the
+    stored and the queried key range, so stored buckets beyond the queried
+    range simply never match (they read as zero — no crash, no aliasing).
+    """
+
+    def __init__(self, counts: dict[tuple[int, int], int]) -> None:
+        if counts:
+            pairs = np.array(list(counts), dtype=np.int64).reshape(-1, 2)
+            values = np.fromiter(
+                counts.values(), dtype=np.float64, count=len(counts)
+            )
+            order = np.lexsort((pairs[:, 1], pairs[:, 0]))
+            self._a = pairs[order, 0]
+            self._b = pairs[order, 1]
+            self._values = values[order]
+            self._max_b = int(self._b.max())
+        else:
+            self._a = np.empty(0, dtype=np.int64)
+            self._b = np.empty(0, dtype=np.int64)
+            self._values = np.empty(0)
+            self._max_b = -1
+
+    def lookup(self, keys_a: np.ndarray, keys_b: np.ndarray) -> np.ndarray:
+        keys_a = np.asarray(keys_a, dtype=np.int64)
+        if keys_a.size == 0 or self._a.size == 0:
+            return np.zeros(keys_a.size)
+        keys_b = np.asarray(keys_b, dtype=np.int64)
+        stride = max(self._max_b, int(keys_b.max())) + 1
+        # Sorting by (a, b) lexicographically equals sorting by the
+        # composite for any stride exceeding every b, so the stored order
+        # is valid for whatever stride this query needs.
+        stored = self._a * stride + self._b
+        wanted = keys_a * stride + keys_b
+        position = np.searchsorted(stored, wanted)
+        position = np.clip(position, 0, stored.size - 1)
+        found = stored[position] == wanted
+        return np.where(found, self._values[position], 0.0)
+
+
 def _gather_counts(
     counts: dict[tuple[int, int], int], keys_a: np.ndarray, keys_b: np.ndarray
 ) -> np.ndarray:
     """Vectorized ``counts.get((a, b), 0)`` for parallel key arrays.
 
-    Encodes each (a, b) pair as a single integer and resolves all lookups
-    with one ``searchsorted`` over the dict's sorted keys — no
-    per-element Python dispatch, which is what makes the engine's batched
-    closed-form path a single vectorized call.
+    One-shot convenience over :class:`_CountTable` — the variable spaces
+    keep persistent tables instead so the dict -> array conversion happens
+    once, not per query.
     """
-    keys_a = np.asarray(keys_a, dtype=np.int64)
-    if keys_a.size == 0 or not counts:
-        return np.zeros(keys_a.size)
-    keys_b = np.asarray(keys_b, dtype=np.int64)
-    stride = max(int(keys_b.max()) + 1, 1)
-    table = np.array(
-        [[a * stride + b, value] for (a, b), value in counts.items() if b < stride],
-        dtype=np.int64,
-    ).reshape(-1, 2)
-    if table.shape[0] == 0:
-        # Every stored bucket lies beyond the queried range: all zeros.
-        return np.zeros(keys_a.size)
-    order = np.argsort(table[:, 0])
-    sorted_keys = table[order, 0]
-    sorted_values = table[order, 1].astype(float)
-    wanted = keys_a * stride + keys_b
-    position = np.searchsorted(sorted_keys, wanted)
-    position = np.clip(position, 0, sorted_keys.size - 1)
-    found = sorted_keys[position] == wanted
-    return np.where(found, sorted_values[position], 0.0)
+    return _CountTable(counts).lookup(keys_a, keys_b)
+
+
+class _PairIndex:
+    """Variables sorted by a composite (key_a, key_b) for grouped queries.
+
+    ``lookup_many(a_values, b_value)`` returns every variable whose keys
+    match any ``(a, b_value)`` pair — resolved as ``searchsorted`` range
+    probes into one precomputed sort, instead of a fresh full-length
+    boolean mask per query.
+    """
+
+    def __init__(self, key_a: np.ndarray, key_b: np.ndarray) -> None:
+        self._stride = int(key_b.max()) + 1 if key_b.size else 1
+        composite = key_a * self._stride + key_b
+        self._order = np.argsort(composite, kind="stable")
+        self._sorted = composite[self._order]
+
+    def lookup_many(self, a_values: np.ndarray, b_value: int) -> np.ndarray:
+        """All variables with ``key_a in a_values`` and ``key_b == b_value``,
+        ascending."""
+        a_values = np.asarray(a_values, dtype=np.int64)
+        if a_values.size == 0 or self._sorted.size == 0:
+            return np.empty(0, dtype=np.int64)
+        wanted = a_values * self._stride + int(b_value)
+        starts = np.searchsorted(self._sorted, wanted, side="left")
+        ends = np.searchsorted(self._sorted, wanted, side="right")
+        hits = self._order[_take_ranges(starts, ends)]
+        hits.sort()
+        return hits
+
+
+def _take_ranges(starts: np.ndarray, ends: np.ndarray) -> np.ndarray:
+    """Concatenate ``[arange(s, e) for s, e in zip(starts, ends)]`` without
+    a Python loop."""
+    lengths = ends - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    return np.arange(total, dtype=np.int64) + np.repeat(
+        starts - out_starts, lengths
+    )
 
 
 class GroupVariableSpace:
@@ -115,38 +187,51 @@ class GroupVariableSpace:
         self.sa_values: list[str] = list(sa_marginal)
         self.sa_id_of: dict[str, int] = {s: i for i, s in enumerate(self.sa_values)}
 
-        buckets: list[int] = []
-        qi_ids: list[int] = []
-        sa_ids: list[int] = []
-        index: dict[tuple[int, int, int], int] = {}
         # n(q, b) and n(s, b) multiplicities drive the invariant right-hand
         # sides; keep them next to the variables they govern.
         self._n_qb: dict[tuple[int, int], int] = {}
         self._n_sb: dict[tuple[int, int], int] = {}
 
+        bucket_chunks: list[np.ndarray] = []
+        qi_chunks: list[np.ndarray] = []
+        sa_chunks: list[np.ndarray] = []
         for bucket in published.buckets:
             qi_counts = bucket.qi_counts()
             sa_counts = bucket.sa_counts()
-            q_ids = [self._registry.id_of[q] for q in qi_counts]
-            s_ids = [self.sa_id_of[s] for s in sa_counts]
+            q_ids = np.array(
+                [self._registry.id_of[q] for q in qi_counts], dtype=np.int64
+            )
+            s_ids = np.array(
+                [self.sa_id_of[s] for s in sa_counts], dtype=np.int64
+            )
             for q, count in qi_counts.items():
                 self._n_qb[(self._registry.id_of[q], bucket.index)] = count
             for s, count in sa_counts.items():
                 self._n_sb[(self.sa_id_of[s], bucket.index)] = count
-            for qid in q_ids:
-                for sid in s_ids:
-                    index[(bucket.index, qid, sid)] = len(buckets)
-                    buckets.append(bucket.index)
-                    qi_ids.append(qid)
-                    sa_ids.append(sid)
+            # The (qid, sid) product in legacy nesting order: qid-major.
+            n_pairs = q_ids.size * s_ids.size
+            bucket_chunks.append(
+                np.full(n_pairs, bucket.index, dtype=np.int64)
+            )
+            qi_chunks.append(np.repeat(q_ids, s_ids.size))
+            sa_chunks.append(np.tile(s_ids, q_ids.size))
 
-        self.var_bucket = np.array(buckets, dtype=np.int64)
-        self.var_qi = np.array(qi_ids, dtype=np.int64)
-        self.var_sa = np.array(sa_ids, dtype=np.int64)
-        self._index = index
-        self._vars_by_qi_sa: dict[tuple[int, int], list[int]] = {}
-        for var, (qid, sid) in enumerate(zip(self.var_qi, self.var_sa)):
-            self._vars_by_qi_sa.setdefault((int(qid), int(sid)), []).append(var)
+        if bucket_chunks:
+            self.var_bucket = np.concatenate(bucket_chunks)
+            self.var_qi = np.concatenate(qi_chunks)
+            self.var_sa = np.concatenate(sa_chunks)
+        else:
+            self.var_bucket = np.empty(0, dtype=np.int64)
+            self.var_qi = np.empty(0, dtype=np.int64)
+            self.var_sa = np.empty(0, dtype=np.int64)
+
+        # Point-lookup and grouped-query structures are built lazily so the
+        # cold construction path (build -> decompose -> fingerprint) never
+        # pays for them.
+        self._index_cache: dict[tuple[int, int, int], int] | None = None
+        self._qi_sa_index: _PairIndex | None = None
+        self._qb_table: _CountTable | None = None
+        self._sb_table: _CountTable | None = None
 
     # -- geometry ------------------------------------------------------------
 
@@ -169,6 +254,17 @@ class GroupVariableSpace:
     def qi_tuples(self) -> list[QITuple]:
         """Distinct QI tuples, id order."""
         return self._registry.tuples
+
+    @property
+    def _index(self) -> dict[tuple[int, int, int], int]:
+        if self._index_cache is None:
+            self._index_cache = {
+                (int(b), int(q), int(s)): var
+                for var, (b, q, s) in enumerate(
+                    zip(self.var_bucket, self.var_qi, self.var_sa)
+                )
+            }
+        return self._index_cache
 
     def qi_id(self, q: QITuple) -> int:
         """Id of a distinct QI tuple."""
@@ -217,13 +313,17 @@ class GroupVariableSpace:
         self, qids: np.ndarray, buckets: np.ndarray
     ) -> np.ndarray:
         """Vectorized ``n(q, b)`` over parallel (qid, bucket) arrays."""
-        return _gather_counts(self._n_qb, qids, buckets)
+        if self._qb_table is None:
+            self._qb_table = _CountTable(self._n_qb)
+        return self._qb_table.lookup(qids, buckets)
 
     def sa_bucket_counts(
         self, sids: np.ndarray, buckets: np.ndarray
     ) -> np.ndarray:
         """Vectorized ``n(s, b)`` over parallel (sid, bucket) arrays."""
-        return _gather_counts(self._n_sb, sids, buckets)
+        if self._sb_table is None:
+            self._sb_table = _CountTable(self._n_sb)
+        return self._sb_table.lookup(sids, buckets)
 
     # -- knowledge-compiler queries ---------------------------------------------
 
@@ -234,10 +334,9 @@ class GroupVariableSpace:
         if sid is None:
             return np.empty(0, dtype=np.int64)
         qids = self._registry.matching_ids(qv)
-        hits: list[int] = []
-        for qid in qids:
-            hits.extend(self._vars_by_qi_sa.get((int(qid), sid), ()))
-        return np.array(sorted(hits), dtype=np.int64)
+        if self._qi_sa_index is None:
+            self._qi_sa_index = _PairIndex(self.var_qi, self.var_sa)
+        return self._qi_sa_index.lookup_many(qids, sid)
 
     def qv_probability(self, qv: dict[str, str]) -> float:
         """Published marginal ``P(Qv)`` of a partial QI assignment."""
@@ -274,12 +373,15 @@ class PersonVariableSpace:
             [self._registry.id_of[p.qi] for p in people], dtype=np.int64
         )
 
+        # Pseudonym ids grouped by distinct QI tuple, in naming order —
+        # shared across every bucket containing that tuple.
+        pids_by_q: dict[QITuple, np.ndarray] = {}
+
         self._n_qb: dict[tuple[int, int], int] = {}
         self._n_sb: dict[tuple[int, int], int] = {}
-        persons: list[int] = []
-        buckets: list[int] = []
-        sa_ids: list[int] = []
-        index: dict[tuple[int, int, int], int] = {}
+        person_chunks: list[np.ndarray] = []
+        bucket_chunks: list[np.ndarray] = []
+        sa_chunks: list[np.ndarray] = []
 
         for bucket in published.buckets:
             qi_counts = bucket.qi_counts()
@@ -288,23 +390,49 @@ class PersonVariableSpace:
                 self._n_qb[(self._registry.id_of[q], bucket.index)] = count
             for s, count in sa_counts.items():
                 self._n_sb[(self.sa_id_of[s], bucket.index)] = count
-            bucket_sids = [self.sa_id_of[s] for s in sa_counts]
+            bucket_sids = np.array(
+                [self.sa_id_of[s] for s in sa_counts], dtype=np.int64
+            )
+            pid_groups = []
             for q in qi_counts:
-                for person in pseudonyms.of_qi(q):
-                    pid = self.person_id_of[person.name]
-                    for sid in bucket_sids:
-                        key = (pid, sid, bucket.index)
-                        if key in index:
-                            continue
-                        index[key] = len(persons)
-                        persons.append(pid)
-                        buckets.append(bucket.index)
-                        sa_ids.append(sid)
+                pids = pids_by_q.get(q)
+                if pids is None:
+                    pids = np.array(
+                        [
+                            self.person_id_of[person.name]
+                            for person in pseudonyms.of_qi(q)
+                        ],
+                        dtype=np.int64,
+                    )
+                    pids_by_q[q] = pids
+                pid_groups.append(pids)
+            bucket_pids = (
+                np.concatenate(pid_groups)
+                if pid_groups
+                else np.empty(0, dtype=np.int64)
+            )
+            # Legacy nesting order: person-major, SA-minor, per bucket.
+            n_pairs = bucket_pids.size * bucket_sids.size
+            person_chunks.append(np.repeat(bucket_pids, bucket_sids.size))
+            sa_chunks.append(np.tile(bucket_sids, bucket_pids.size))
+            bucket_chunks.append(
+                np.full(n_pairs, bucket.index, dtype=np.int64)
+            )
 
-        self.var_person = np.array(persons, dtype=np.int64)
-        self.var_bucket = np.array(buckets, dtype=np.int64)
-        self.var_sa = np.array(sa_ids, dtype=np.int64)
-        self._index = index
+        if person_chunks:
+            self.var_person = np.concatenate(person_chunks)
+            self.var_bucket = np.concatenate(bucket_chunks)
+            self.var_sa = np.concatenate(sa_chunks)
+        else:
+            self.var_person = np.empty(0, dtype=np.int64)
+            self.var_bucket = np.empty(0, dtype=np.int64)
+            self.var_sa = np.empty(0, dtype=np.int64)
+
+        self._index_cache: dict[tuple[int, int, int], int] | None = None
+        self._person_sa_index: _PairIndex | None = None
+        self._qi_sa_index: _PairIndex | None = None
+        self._qb_table: _CountTable | None = None
+        self._sb_table: _CountTable | None = None
 
     # -- geometry ------------------------------------------------------------
 
@@ -328,6 +456,17 @@ class PersonVariableSpace:
         """Total record count ``N`` (= number of pseudonyms)."""
         return self._published.n_records
 
+    @property
+    def _index(self) -> dict[tuple[int, int, int], int]:
+        if self._index_cache is None:
+            self._index_cache = {
+                (int(p), int(s), int(b)): var
+                for var, (p, s, b) in enumerate(
+                    zip(self.var_person, self.var_sa, self.var_bucket)
+                )
+            }
+        return self._index_cache
+
     def index_of(self, person: Pseudonym | str, s: str, bucket: int) -> int:
         """Variable index of ``P(person, s, bucket)``; -1 if structurally 0."""
         name = person.name if isinstance(person, Pseudonym) else person
@@ -349,6 +488,10 @@ class PersonVariableSpace:
         """The distinct-QI id of pseudonym ``pid``."""
         return int(self._person_qi[pid])
 
+    def person_qi_ids(self) -> np.ndarray:
+        """The distinct-QI id of every pseudonym, id order (read-only)."""
+        return self._person_qi
+
     # -- invariant cardinalities ----------------------------------------------
 
     def qi_bucket_count(self, qid: int, bucket: int) -> int:
@@ -367,6 +510,22 @@ class PersonVariableSpace:
         """All (sid, bucket) pairs with ``n(s, b) > 0``."""
         return sorted(self._n_sb)
 
+    def qi_bucket_counts(
+        self, qids: np.ndarray, buckets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``n(q, b)`` over parallel (qid, bucket) arrays."""
+        if self._qb_table is None:
+            self._qb_table = _CountTable(self._n_qb)
+        return self._qb_table.lookup(qids, buckets)
+
+    def sa_bucket_counts(
+        self, sids: np.ndarray, buckets: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized ``n(s, b)`` over parallel (sid, bucket) arrays."""
+        if self._sb_table is None:
+            self._sb_table = _CountTable(self._n_sb)
+        return self._sb_table.lookup(sids, buckets)
+
     # -- knowledge-compiler queries ---------------------------------------------
 
     def vars_of_person(self, person: Pseudonym | str, sa_value: str) -> np.ndarray:
@@ -378,18 +537,23 @@ class PersonVariableSpace:
             raise KnowledgeError(f"unknown pseudonym {name!r}")
         if sid is None:
             return np.empty(0, dtype=np.int64)
-        mask = (self.var_person == pid) & (self.var_sa == sid)
-        return np.nonzero(mask)[0].astype(np.int64)
+        if self._person_sa_index is None:
+            self._person_sa_index = _PairIndex(self.var_person, self.var_sa)
+        return self._person_sa_index.lookup_many(
+            np.array([pid], dtype=np.int64), sid
+        )
 
     def vars_matching(self, qv: dict[str, str], sa_value: str) -> np.ndarray:
         """Data-distribution summation set, lifted to the pseudonym space."""
         sid = self.sa_id_of.get(sa_value)
         if sid is None:
             return np.empty(0, dtype=np.int64)
-        qids = set(int(q) for q in self._registry.matching_ids(qv))
-        person_mask = np.isin(self._person_qi[self.var_person], list(qids))
-        mask = person_mask & (self.var_sa == sid)
-        return np.nonzero(mask)[0].astype(np.int64)
+        qids = self._registry.matching_ids(qv)
+        if self._qi_sa_index is None:
+            self._qi_sa_index = _PairIndex(
+                self._person_qi[self.var_person], self.var_sa
+            )
+        return self._qi_sa_index.lookup_many(qids, sid)
 
     def qv_probability(self, qv: dict[str, str]) -> float:
         """Published marginal ``P(Qv)``."""

@@ -81,25 +81,41 @@ class _WorkRow:
     __slots__ = ("indices", "coefficients", "rhs", "kind", "label", "alive")
 
     def __init__(self, indices, coefficients, rhs, kind, label):
-        self.indices = list(int(i) for i in indices)
-        self.coefficients = list(float(c) for c in coefficients)
+        if isinstance(indices, np.ndarray):
+            self.indices = indices.tolist()
+        else:
+            self.indices = list(int(i) for i in indices)
+        if isinstance(coefficients, np.ndarray):
+            self.coefficients = coefficients.tolist()
+        else:
+            self.coefficients = list(float(c) for c in coefficients)
         self.rhs = float(rhs)
         self.kind = kind
         self.label = label
         self.alive = True
 
 
+def _work_rows(arrays) -> list[_WorkRow]:
+    """Mutable work rows straight from a family's CSR arrays (no Row views)."""
+    indptr = arrays.indptr
+    kinds = arrays.kinds()
+    return [
+        _WorkRow(
+            arrays.indices[indptr[r] : indptr[r + 1]],
+            arrays.coefficients[indptr[r] : indptr[r + 1]],
+            arrays.rhs[r],
+            kinds[r],
+            arrays.labels[r],
+        )
+        for r in range(arrays.n_rows)
+    ]
+
+
 def presolve(system: ConstraintSystem) -> PresolveResult:
     """Run the reductions to a fixed point and return the reduced problem."""
     n_vars = system.n_vars
-    eq_rows = [
-        _WorkRow(r.indices, r.coefficients, r.rhs, r.kind, r.label)
-        for r in system.equalities
-    ]
-    ineq_rows = [
-        _WorkRow(r.indices, r.coefficients, r.rhs, r.kind, r.label)
-        for r in system.inequalities
-    ]
+    eq_rows = _work_rows(system.equality_arrays())
+    ineq_rows = _work_rows(system.inequality_arrays())
 
     fixed: dict[int, float] = {}
     newly_fixed: dict[int, float] = {}
@@ -232,27 +248,38 @@ def presolve(system: ConstraintSystem) -> PresolveResult:
     for var in fixed:
         free_mask[var] = False
     free_vars = np.nonzero(free_mask)[0]
-    new_index = {int(old): new for new, old in enumerate(free_vars)}
+    # Old -> reduced index remap as one scatter; surviving rows reference
+    # free variables only (fixed ones were substituted out), so the gather
+    # below never reads a -1 slot.
+    remap = np.full(n_vars, -1, dtype=np.int64)
+    remap[free_vars] = np.arange(free_vars.size, dtype=np.int64)
 
     reduced = ConstraintSystem(int(free_vars.size))
-    for row in eq_rows:
-        if row.alive and row.indices:
-            reduced.add_equality(
-                [new_index[i] for i in row.indices],
-                row.coefficients,
-                row.rhs,
-                kind=row.kind,
-                label=row.label,
-            )
-    for row in ineq_rows:
-        if row.alive and row.indices:
-            reduced.add_inequality(
-                [new_index[i] for i in row.indices],
-                row.coefficients,
-                row.rhs,
-                kind=row.kind,
-                label=row.label,
-            )
+
+    def rebuild(rows: list[_WorkRow], append_batch) -> None:
+        survivors = [row for row in rows if row.alive and row.indices]
+        if not survivors:
+            return
+        lengths = np.array([len(row.indices) for row in survivors])
+        indptr = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=indptr[1:])
+        flat_old = np.concatenate(
+            [np.asarray(row.indices, dtype=np.int64) for row in survivors]
+        )
+        append_batch(
+            indptr,
+            remap[flat_old],
+            np.concatenate(
+                [np.asarray(row.coefficients, float) for row in survivors]
+            ),
+            np.array([row.rhs for row in survivors]),
+            kinds=[row.kind for row in survivors],
+            labels=[row.label for row in survivors],
+            validate=False,
+        )
+
+    rebuild(eq_rows, reduced.add_equalities)
+    rebuild(ineq_rows, reduced.add_inequalities)
 
     return PresolveResult(
         original_n_vars=n_vars,

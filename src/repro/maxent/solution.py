@@ -25,6 +25,14 @@ class SolverStats:
     component solves (equal to ``seconds`` up to overhead when serial).
     ``cache_hits`` counts components served from the engine's solve cache
     without any numeric work this run.
+
+    The three construction-phase timers break out where a solve's
+    non-numeric time went: ``build_seconds`` (variable-space indexing,
+    data invariants and knowledge compilation — recorded by whoever built
+    the system and passed through the engine), ``decompose_seconds``
+    (Section 5.5 component splitting) and ``fingerprint_seconds``
+    (canonical cache-key encoding).  Aggregate-level only; per-component
+    records leave them zero.
     """
 
     solver: str
@@ -41,6 +49,9 @@ class SolverStats:
     message: str = ""
     cpu_seconds: float = 0.0
     cache_hits: int = 0
+    build_seconds: float = 0.0
+    decompose_seconds: float = 0.0
+    fingerprint_seconds: float = 0.0
 
     @property
     def residual(self) -> float:

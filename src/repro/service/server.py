@@ -507,11 +507,13 @@ class PrivacyService:
         loop = asyncio.get_running_loop()
 
         def prepare():
-            system, n_rows, was_cached = record.compiled_system(statements)
+            system, n_rows, _, build_seconds = record.compiled_system(
+                statements
+            )
             fingerprint = self.engine.request_fingerprint(system, config)
-            return system, n_rows, was_cached, fingerprint
+            return system, n_rows, build_seconds, fingerprint
 
-        system, n_rows, _, fingerprint = await loop.run_in_executor(
+        system, n_rows, build_seconds, fingerprint = await loop.run_in_executor(
             None, prepare
         )
         # The engine fingerprint identifies the *solution*; the response
@@ -527,7 +529,7 @@ class PrivacyService:
         if cached is not None:
             return cached, "result-cache"
         solve = lambda: self._solve_payload(  # noqa: E731
-            record, system, n_rows, config, fingerprint, key
+            record, system, n_rows, config, fingerprint, key, build_seconds
         )
 
         async def compute():
@@ -549,6 +551,7 @@ class PrivacyService:
         config: MaxEntConfig,
         fingerprint: str,
         key: str,
+        build_seconds: float = 0.0,
     ) -> dict:
         """Run one admitted solve (batched closed form or full engine)."""
         loop = asyncio.get_running_loop()
@@ -573,7 +576,14 @@ class PrivacyService:
             solution = MaxEntSolution(record.space, p, stats)
         else:
             solution = await loop.run_in_executor(
-                None, self.engine.solve, record.space, system, config
+                None,
+                partial(
+                    self.engine.solve,
+                    record.space,
+                    system,
+                    config,
+                    build_seconds=build_seconds,
+                ),
             )
 
         def package(result: MaxEntSolution) -> dict:

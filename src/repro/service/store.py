@@ -31,6 +31,7 @@ from repro.knowledge.compiler import compile_statements
 from repro.knowledge.mining import MiningConfig, RuleSet, mine_association_rules
 from repro.maxent.constraints import ConstraintSystem, data_constraints
 from repro.maxent.indexing import GroupVariableSpace
+from repro.utils.timer import Timer
 
 
 def release_digest(payload: dict) -> str:
@@ -90,30 +91,35 @@ class RegisteredRelease:
 
     def compiled_system(
         self, statements
-    ) -> tuple[ConstraintSystem, int, bool]:
+    ) -> tuple[ConstraintSystem, int, bool, float]:
         """The full constraint system for ``statements`` (cached).
 
-        Returns ``(system, n_knowledge_rows, was_cached)``.  The data
-        rows are shared across all systems of this release; only the
-        knowledge rows are compiled per distinct statement list.
+        Returns ``(system, n_knowledge_rows, was_cached, build_seconds)``.
+        The data rows are shared across all systems of this release (the
+        merge is an array-native block append, not a per-row copy); only
+        the knowledge rows are compiled per distinct statement list.
+        ``build_seconds`` is the compilation wall time actually paid by
+        this call — zero on a cache hit — which the server attributes to
+        the solve's engine telemetry.
         """
         key = statements_key(statements)
         cached = self._systems.lookup(key)
         if cached is not None:
             system, n_rows = cached
-            return system, n_rows, True
+            return system, n_rows, True, 0.0
         with self._lock:
             cached = self._systems.get(key)
             if cached is not None:
                 system, n_rows = cached
-                return system, n_rows, True
-            system = ConstraintSystem(self.space.n_vars)
-            system.extend(self.data_system)
-            knowledge = compile_statements(list(statements), self.space)
-            system.extend(knowledge)
-            n_rows = knowledge.n_equalities + knowledge.n_inequalities
+                return system, n_rows, True, 0.0
+            with Timer() as timer:
+                system = ConstraintSystem(self.space.n_vars)
+                system.extend(self.data_system)
+                knowledge = compile_statements(list(statements), self.space)
+                system.extend(knowledge)
+                n_rows = knowledge.n_equalities + knowledge.n_inequalities
             self._systems.put(key, (system, n_rows))
-        return system, n_rows, False
+        return system, n_rows, False, timer.seconds
 
     def rules(self, mining: MiningConfig | None = None) -> RuleSet:
         """Association rules mined from the registered original (cached)."""

@@ -117,3 +117,63 @@ class TestPersonSpace:
         assert person_space.qv_probability(
             {"gender": "male"}
         ) == space.qv_probability({"gender": "male"})
+
+
+class TestGatherCounts:
+    """Vectorized (a, b) -> count lookups, including range edge cases."""
+
+    def test_basic_lookup(self):
+        from repro.maxent.indexing import _gather_counts
+
+        counts = {(0, 0): 3, (0, 2): 5, (1, 1): 7}
+        out = _gather_counts(
+            counts, np.array([0, 0, 1, 1]), np.array([0, 2, 1, 0])
+        )
+        assert out.tolist() == [3.0, 5.0, 7.0, 0.0]
+
+    def test_stored_bucket_beyond_queried_range_reads_zero(self):
+        from repro.maxent.indexing import _gather_counts
+
+        # Stored buckets 5 and 9 lie beyond the queried bucket range
+        # [0, 1]; they must read as zero without crashing or aliasing
+        # onto a different (a, b) key through a too-small stride.
+        counts = {(0, 5): 11, (1, 9): 13, (1, 0): 2}
+        out = _gather_counts(
+            counts, np.array([0, 1, 1]), np.array([0, 0, 1])
+        )
+        assert out.tolist() == [0.0, 2.0, 0.0]
+
+    def test_all_stored_beyond_range(self):
+        from repro.maxent.indexing import _gather_counts
+
+        counts = {(0, 100): 1, (2, 50): 4}
+        out = _gather_counts(counts, np.array([0, 2]), np.array([0, 1]))
+        assert out.tolist() == [0.0, 0.0]
+
+    def test_no_false_positive_from_stride_aliasing(self):
+        from repro.maxent.indexing import _gather_counts
+
+        # With a stride derived only from the *queried* b-range (the old
+        # bug surface), key (1, 0) would alias stored (0, 5) when the
+        # stride collapsed; the combined stride must keep them distinct.
+        counts = {(0, 5): 42}
+        out = _gather_counts(counts, np.array([1]), np.array([0]))
+        assert out.tolist() == [0.0]
+
+    def test_empty_inputs(self):
+        from repro.maxent.indexing import _gather_counts
+
+        assert _gather_counts({}, np.array([1]), np.array([1])).tolist() == [0.0]
+        assert _gather_counts({(1, 1): 2}, np.array([]), np.array([])).size == 0
+
+    def test_space_count_tables_match_scalar_lookups(self, space):
+        pairs = space.qi_bucket_pairs()
+        qids = np.array([q for q, _ in pairs])
+        buckets = np.array([b for _, b in pairs])
+        batch = space.qi_bucket_counts(qids, buckets)
+        scalar = [space.qi_bucket_count(q, b) for q, b in pairs]
+        assert batch.tolist() == scalar
+        # Out-of-range bucket queries read zero.
+        assert space.qi_bucket_counts(
+            qids[:1], np.array([10_000])
+        ).tolist() == [0.0]

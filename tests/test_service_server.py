@@ -319,6 +319,20 @@ class TestTelemetry:
         assert endpoint["p95_seconds"] >= endpoint["p50_seconds"]
         assert telemetry["batching"]["batched_requests"] >= 1
 
+    def test_construction_phase_timers_exposed(self, client, release_id):
+        statements = [
+            ConditionalProbability(
+                given={"gender": "male"}, sa_value=S2, probability=0.21
+            )
+        ]
+        client.posterior(release_id, statements)
+        engine = client.telemetry()["engine"]
+        # Construction cost is observable: compile time recorded by the
+        # store, decomposition and fingerprinting measured in-engine.
+        assert engine["build_seconds"] > 0.0
+        assert engine["decompose_seconds"] > 0.0
+        assert engine["fingerprint_seconds"] >= 0.0
+
 
 class TestCoalescing:
     def test_concurrent_identical_requests_solve_once(self):
@@ -369,10 +383,10 @@ class TestBackpressure:
         release_solve = threading.Event()
         real_solve = instance.engine.solve
 
-        def slow_solve(space, system, config):
+        def slow_solve(space, system, config, **kwargs):
             solve_started.set()
             assert release_solve.wait(30)
-            return real_solve(space, system, config)
+            return real_solve(space, system, config, **kwargs)
 
         instance.engine.solve = slow_solve
         blocked = [
