@@ -1,0 +1,230 @@
+"""Cluster subsystem: 2-worker sharded execution vs the single engine.
+
+The cluster layer exists to break the single-process ceiling: a solve
+whose decomposed components scatter across two shard workers should
+finish in roughly half the wall clock of one serial engine, minus wire
+overhead.  This bench spawns a real 2-worker fleet (``repro
+shard-worker`` subprocesses driven over HTTP), runs the worst-case
+background-knowledge shape — one distinct statement per bucket, so every
+bucket is a distinct *relevant* component (cf. Martin et al.'s
+adversarial sweeps) — on small/medium/large synthetic releases, and
+measures:
+
+- *cold sharded vs cold single-engine* — the scaling headline; the
+  largest workload must hold the ``SPEEDUP_FLOOR`` whenever the host
+  actually has two cores to scale onto (on a single-CPU machine the
+  numbers are still recorded, flagged unchecked — two workers cannot
+  beat one engine without a second core),
+- *warm repeat through the fleet* — the same solve again must be served
+  from the shards' own fingerprint-keyed caches,
+- *equivalence* — every sharded posterior must match the single-engine
+  result bit for bit (the 1e-10 acceptance bar, delivered exactly by the
+  raw-bytes wire encoding).
+
+Besides the usual ``benchmarks/results/`` artifacts it appends each
+run's trajectory to ``BENCH_cluster.json`` at the repo root, so scaling
+numbers can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import PAPER_SCALE, save_json, save_result
+from repro.cluster import ClusterCoordinator, ClusterExecutor
+from repro.engine import PrivacyEngine
+from repro.experiments.workloads import (
+    build_synthetic_release,
+    per_bucket_statements,
+)
+from repro.knowledge.compiler import compile_statements
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import ConstraintSystem, data_constraints
+from repro.maxent.indexing import GroupVariableSpace
+from repro.utils.tabulate import render_table
+from repro.utils.timer import Timer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+N_WORKERS = 2
+
+#: Minimum cold-solve speedup (largest workload) the 2-worker fleet must
+#: hold over one serial engine — asserted when the host has the cores.
+SPEEDUP_FLOOR = 1.5
+
+#: Wide QI domains keep bucket components decoupled; large-ish buckets
+#: keep per-component solve cost well above per-component wire cost.
+QI_DOMAINS = (40, 30, 20, 10)
+N_SA_VALUES = 25
+L = 25
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _workloads() -> dict[str, int]:
+    if PAPER_SCALE:
+        return {"small": 4000, "medium": 12000, "large": 24000}
+    return {"small": 2000, "medium": 6000, "large": 12000}
+
+
+def _build(n_records: int):
+    published = build_synthetic_release(
+        n_records, qi_domain_sizes=QI_DOMAINS, n_sa_values=N_SA_VALUES, l=L
+    )
+    space = GroupVariableSpace(published)
+    system = ConstraintSystem(space.n_vars)
+    system.extend(data_constraints(space))
+    system.extend(compile_statements(per_bucket_statements(published), space))
+    return space, system
+
+
+@pytest.mark.benchmark(group="cluster")
+def test_cluster_scaling(benchmark, results_dir):
+    config = MaxEntConfig(raise_on_infeasible=False)
+
+    def run_all():
+        rows = []
+        trajectory = []
+        with ClusterCoordinator.spawn_local(
+            N_WORKERS,
+            chunk_size=64,
+            # Shard caches must hold the largest workload's components so
+            # the warm repeat measures replay, not LRU eviction churn.
+            worker_args=["--cache-size", "8192"],
+        ) as coordinator:
+            for name, n_records in _workloads().items():
+                space, system = _build(n_records)
+
+                with PrivacyEngine(executor="serial", cache_size=0) as single:
+                    with Timer() as t:
+                        baseline = single.solve(space, system, config)
+                single_seconds = t.seconds
+
+                # The engine's own cache stays off: every component must
+                # cross the wire, so the cold pass measures scatter and
+                # the repeat measures the *shards'* fingerprint caches.
+                engine = PrivacyEngine(
+                    executor=ClusterExecutor(coordinator), cache_size=0
+                )
+                with Timer() as t:
+                    sharded = engine.solve(space, system, config)
+                cluster_seconds = t.seconds
+
+                # Correctness-equivalence is the precondition for any
+                # scaling number: bit-identical posteriors (=> 1e-10).
+                assert np.array_equal(sharded.p, baseline.p)
+                assert np.abs(sharded.p - baseline.p).max() <= 1e-10
+
+                # The repeat must replay from the shards' solve caches.
+                with Timer() as t:
+                    again = engine.solve(space, system, config)
+                warm_seconds = t.seconds
+                assert np.array_equal(again.p, baseline.p)
+
+                speedup = (
+                    single_seconds / cluster_seconds
+                    if cluster_seconds > 0
+                    else float("inf")
+                )
+                rows.append(
+                    [
+                        name,
+                        space.published.n_buckets,
+                        sharded.stats.n_components,
+                        single_seconds,
+                        cluster_seconds,
+                        warm_seconds,
+                        speedup,
+                    ]
+                )
+                trajectory.append(
+                    {
+                        "workload": name,
+                        "n_records": n_records,
+                        "n_buckets": space.published.n_buckets,
+                        "n_components": sharded.stats.n_components,
+                        "single_engine_seconds": single_seconds,
+                        "cluster_seconds": cluster_seconds,
+                        "warm_repeat_seconds": warm_seconds,
+                        "speedup": speedup,
+                    }
+                )
+            telemetry = coordinator.aggregate_telemetry()
+        return rows, trajectory, telemetry
+
+    rows, trajectory, telemetry = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+
+    n_cpus = _usable_cpus()
+    scaling_checkable = n_cpus >= N_WORKERS
+    columns = [
+        "workload",
+        "buckets",
+        "components",
+        "single engine (s)",
+        f"{N_WORKERS}-worker cluster (s)",
+        "warm repeat (s)",
+        "speedup",
+    ]
+    table = render_table(
+        columns,
+        rows,
+        title=(
+            f"Component sharding across {N_WORKERS} shard workers "
+            f"({n_cpus} usable CPU(s))"
+        ),
+    )
+    save_result(results_dir, "cluster_scaling", table)
+    save_json(results_dir, "cluster_scaling", columns, rows)
+
+    bench_path = REPO_ROOT / "BENCH_cluster.json"
+    payload = {"name": "cluster_scaling", "runs": []}
+    if bench_path.exists():
+        try:
+            existing = json.loads(bench_path.read_text())
+            if isinstance(existing.get("runs"), list):
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload["speedup_floor"] = SPEEDUP_FLOOR
+    payload["runs"].append(
+        {
+            "n_workers": N_WORKERS,
+            "n_cpus": n_cpus,
+            "scaling_floor_checked": scaling_checkable,
+            "aggregate_cache": {
+                key: telemetry["aggregate"][key]
+                for key in ("cache_hits", "cache_misses", "cache_hit_rate")
+            },
+            "workloads": trajectory,
+        }
+    )
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Shards really served cache hits during the warm repeats.
+    assert telemetry["aggregate"]["cache_hits"] > 0
+
+    largest = rows[-1]
+    assert largest[0] == "large"
+    if scaling_checkable:
+        assert largest[6] >= SPEEDUP_FLOOR, (
+            f"{N_WORKERS}-worker sharded speedup {largest[6]:.2f}x on the "
+            f"largest workload fell below the {SPEEDUP_FLOOR:.1f}x floor"
+        )
+    else:
+        print(
+            f"\n[cluster] scaling floor not checked: {n_cpus} usable CPU(s) "
+            f"cannot scale {N_WORKERS} workers; recorded speedup "
+            f"{largest[6]:.2f}x"
+        )

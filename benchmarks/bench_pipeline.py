@@ -22,9 +22,8 @@ from pathlib import Path
 import pytest
 
 from benchmarks.conftest import PAPER_SCALE, save_json, save_result
-from repro.anonymize.anatomy import anatomize
-from repro.data.synthetic import SyntheticConfig, generate_synthetic
 from repro.engine.fingerprint import fingerprint_system
+from repro.experiments.workloads import build_synthetic_release
 from repro.maxent import legacy
 from repro.maxent.constraints import data_constraints
 from repro.maxent.decompose import decompose
@@ -46,16 +45,7 @@ def _workloads() -> dict[str, int]:
 
 
 def _release(n_records: int) -> GroupVariableSpace:
-    table = generate_synthetic(
-        SyntheticConfig(
-            n_records=n_records,
-            qi_domain_sizes=(6, 5, 4, 3),
-            n_sa_values=10,
-            seed=20080609,
-        )
-    )
-    published = anatomize(table, l=5, seed=20080609)
-    return GroupVariableSpace(published)
+    return GroupVariableSpace(build_synthetic_release(n_records))
 
 
 def _run_new(space: GroupVariableSpace) -> tuple[dict, list[str]]:

@@ -43,11 +43,30 @@ def main() -> int:
         default=30.0,
         help="seconds to wait for the service to come up",
     )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "expect a sharded front-end with this many shard workers "
+            "(0: a plain single-engine service)"
+        ),
+    )
     args = parser.parse_args()
 
     client = ServiceClient(args.host, args.port)
     health = client.wait_until_healthy(timeout=args.wait)
     print(f"service is healthy after {health['uptime_seconds']:.2f}s uptime")
+    if args.shards:
+        shard_reports = health.get("shards", [])
+        check(
+            len(shard_reports) == args.shards,
+            f"health reports {args.shards} shard worker(s)",
+        )
+        check(
+            all(report["alive"] for report in shard_reports),
+            "every shard worker is alive",
+        )
 
     release_id = client.register(
         paper_published(), original=paper_table(), name="paper-figure-1"
@@ -108,15 +127,45 @@ def main() -> int:
     # -- telemetry proves the serving layer did its job ---------------------
     telemetry = client.telemetry()
     counters = telemetry["service"]["counters"]
-    cache = telemetry["store"]["result_cache"]
     check(telemetry["status"] == "ok", "telemetry endpoint is healthy")
     # healthz + register + 3 posteriors + assess answered so far (the
     # in-flight telemetry request is not yet in its own snapshot).
     check(counters.get("requests_total", 0) >= 6, "requests were counted")
-    check(
-        cache["hits"] + telemetry["coalescing"]["coalesced"] >= 1,
-        "repeat queries hit the result cache / coalesced",
-    )
+    if args.shards:
+        # Sharded front-end: the repeats were served by the owning
+        # worker's caches, visible in the aggregated fleet telemetry.
+        cluster = telemetry["cluster"]
+        check(
+            len(cluster["workers"]) == args.shards,
+            "telemetry aggregates every shard worker",
+        )
+        shard_hits = sum(
+            worker["telemetry"]["store"]["result_cache"]["hits"]
+            + worker["telemetry"]["coalescing"]["coalesced"]
+            for worker in cluster["workers"]
+            if worker.get("telemetry")
+        )
+        check(
+            shard_hits >= 1,
+            "repeat queries hit a shard's result cache / coalesced",
+        )
+        check(
+            sum(
+                worker["telemetry"]["service"]["counters"].get(
+                    "releases_registered", 0
+                )
+                for worker in cluster["workers"]
+                if worker.get("telemetry")
+            )
+            >= 1,
+            "the release lives on a shard worker",
+        )
+    else:
+        cache = telemetry["store"]["result_cache"]
+        check(
+            cache["hits"] + telemetry["coalescing"]["coalesced"] >= 1,
+            "repeat queries hit the result cache / coalesced",
+        )
     check(
         counters.get("solves_started", 0) < counters.get("requests_total", 0),
         "fewer solves than requests (the service amortized work)",

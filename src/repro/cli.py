@@ -10,7 +10,10 @@ Subcommands cover the full workflow a data publisher runs:
 - ``figure`` — regenerate any of the paper's figures as tables + ASCII
   plots,
 - ``serve`` — run the long-lived privacy-quantification service
-  (:mod:`repro.service`) over a shared execution engine.
+  (:mod:`repro.service`) over a shared execution engine, or with
+  ``--shards N`` the sharded multi-engine front-end (:mod:`repro.cluster`),
+- ``shard-worker`` — run one cluster shard worker (an engine plus the
+  shard wire-protocol endpoints a coordinator drives).
 """
 
 from __future__ import annotations
@@ -45,7 +48,7 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
     group = parser.add_argument_group("execution engine")
     group.add_argument(
         "--executor",
-        choices=("serial", "thread", "process"),
+        choices=("serial", "thread", "process", "cluster"),
         default=None,
         help="fan decomposed components out across workers",
     )
@@ -61,6 +64,14 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="bound of the component solve cache (0 disables)",
     )
+    group.add_argument(
+        "--cluster-workers",
+        default=None,
+        help=(
+            "host:port,host:port shard workers for --executor cluster "
+            "(default: the REPRO_CLUSTER_WORKERS environment variable)"
+        ),
+    )
 
 
 def _engine_overrides(args: argparse.Namespace) -> dict:
@@ -72,6 +83,8 @@ def _engine_overrides(args: argparse.Namespace) -> dict:
         overrides["workers"] = args.workers
     if args.cache_size is not None:
         overrides["cache_size"] = args.cache_size
+    if getattr(args, "cluster_workers", None) is not None:
+        overrides["cluster_workers"] = args.cluster_workers
     return overrides
 
 
@@ -216,25 +229,88 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _shard_worker_args(args: argparse.Namespace) -> list[str]:
+    """CLI flags to replicate this serve command's engine on each shard."""
+    forwarded: list[str] = []
+    if args.executor is not None and args.executor != "cluster":
+        forwarded += ["--executor", args.executor]
+    if args.workers is not None:
+        forwarded += ["--workers", str(args.workers)]
+    if args.cache_size is not None:
+        forwarded += ["--cache-size", str(args.cache_size)]
+    forwarded += ["--queue-size", str(args.queue_size)]
+    if args.max_concurrency is not None:
+        forwarded += ["--max-concurrency", str(args.max_concurrency)]
+    return forwarded
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import PrivacyService, ServiceConfig
+
+    sharded = args.shards > 0 or args.shard_address
+    engine_config = MaxEntConfig(
+        **_engine_overrides(args),
+        # In sharded mode the workers own the solve caches; the
+        # front-end engine stays a cold default.
+        cache_path=None if sharded else args.cache_path,
+    )
+    service_config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_concurrency=args.max_concurrency,
+        max_queue=args.queue_size,
+        batch_window_seconds=args.batch_window,
+        result_cache_size=args.result_cache_size,
+        engine=engine_config,
+    )
+    if sharded:
+        from repro.cluster import ClusterCoordinator, ShardedFrontend
+
+        if args.shard_address:
+            coordinator = ClusterCoordinator.attach(args.shard_address)
+        else:
+            coordinator = ClusterCoordinator.spawn_local(
+                args.shards,
+                worker_args=_shard_worker_args(args),
+                cache_path=args.cache_path,
+            )
+        print(
+            f"shard fleet: {', '.join(coordinator.router.worker_ids)}",
+            flush=True,
+        )
+        try:
+            service = ShardedFrontend(service_config, coordinator=coordinator)
+            service.run()
+        finally:
+            # Idempotent after a clean run (service.close() already shut
+            # the fleet down); load-bearing when construction or bind
+            # fails — spawned shard workers must not outlive a front-end
+            # that never served.
+            coordinator.shutdown()
+    else:
+        service = PrivacyService(service_config)
+        service.run()
+    return 0
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.worker import ShardWorker
+    from repro.service.server import ServiceConfig
 
     engine_config = MaxEntConfig(
         **_engine_overrides(args),
         cache_path=args.cache_path,
     )
-    service = PrivacyService(
+    worker = ShardWorker(
         ServiceConfig(
             host=args.host,
             port=args.port,
             max_concurrency=args.max_concurrency,
             max_queue=args.queue_size,
-            batch_window_seconds=args.batch_window,
-            result_cache_size=args.result_cache_size,
             engine=engine_config,
         )
     )
-    service.run()
+    worker.run()
     return 0
 
 
@@ -344,10 +420,61 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--cache-path",
         default=None,
-        help="persist the engine solve cache here (warm restarts)",
+        help=(
+            "persist the engine solve cache here (warm restarts); with "
+            "--shards each worker gets a per-shard '<path>.shardN' file "
+            "(spawned ports are ephemeral, so restarts re-route some "
+            "keys; use fixed-port --shard-address workers for fully "
+            "warm restarts)"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help=(
+            "spawn N local shard workers and serve through the sharded "
+            "front-end (releases partitioned across worker engines)"
+        ),
+    )
+    serve.add_argument(
+        "--shard-address",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help=(
+            "attach to an already-running `repro shard-worker` instead of "
+            "spawning locally (repeatable)"
+        ),
     )
     _add_engine_args(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="run one cluster shard worker (engine + shard endpoints)",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1")
+    shard_worker.add_argument("--port", type=int, default=0)
+    shard_worker.add_argument(
+        "--queue-size",
+        type=int,
+        default=64,
+        help="admitted-but-waiting solves before backpressure (429)",
+    )
+    shard_worker.add_argument(
+        "--max-concurrency",
+        type=int,
+        default=None,
+        help="solves running at once (default: engine worker count)",
+    )
+    shard_worker.add_argument(
+        "--cache-path",
+        default=None,
+        help="persist this shard's solve cache here (warm restarts)",
+    )
+    _add_engine_args(shard_worker)
+    shard_worker.set_defaults(func=_cmd_shard_worker)
 
     return parser
 

@@ -1,0 +1,580 @@
+"""The shard coordinator: worker fleet, scatter/gather, failure handling.
+
+A :class:`ClusterCoordinator` owns a set of shard workers — subprocesses
+it spawned locally (``spawn_local``) or remote ``repro shard-worker``
+instances it merely attached to (``attach``) — and provides the two
+cluster operations everything else builds on:
+
+- :meth:`solve_components` — scatter pre-fingerprinted component bundles
+  across workers (rendezvous-routed by fingerprint, so repeat solves hit
+  the shard whose cache already holds them), gather the per-component
+  posteriors, and reassign the share of any worker that dies mid-solve.
+  Jobs are deduplicated by fingerprint before dispatch and results are
+  applied first-write-wins, so even when a presumed-dead worker's answer
+  races a reassigned copy, each component contributes exactly once
+  (at-most-once application).
+- :meth:`check_health` / :meth:`aggregate_telemetry` — fleet-level
+  probes: health re-probes revive workers that recovered, and telemetry
+  merges every shard's engine counters (including the per-fingerprint-
+  prefix cache breakdown) for the front-end's ``/v1/telemetry``.
+
+The coordinator is deliberately state-light: routing derives from the
+worker list, dedup state lives per scatter call, and release ownership
+(for the serving front-end) lives in :mod:`repro.cluster.frontend`.
+Worker death is detected by failed requests and health probes, not by
+leases — on loopback and LAN deployments, connection errors are prompt.
+"""
+
+from __future__ import annotations
+
+import http.client
+import os
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.cluster.protocol import (
+    ShardClient,
+    solve_request_to_wire,
+    solve_response_from_wire,
+)
+from repro.cluster.router import ClusterError, ShardRouter
+from repro.engine.component import ComponentSolve
+from repro.errors import InfeasibleKnowledgeError
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.decompose import Component
+from repro.service.client import ServiceError
+
+#: Jobs per wire request; bounds message sizes and gives the reassignment
+#: logic mid-solve granularity (a dead worker loses at most one chunk of
+#: in-flight work per round, not its whole share).
+DEFAULT_CHUNK_SIZE = 32
+
+#: How long one chunk may take end to end before the worker is presumed
+#: dead.  Generous: a chunk is at most DEFAULT_CHUNK_SIZE solves.
+DEFAULT_SOLVE_TIMEOUT = 600.0
+
+
+def free_port(host: str = "127.0.0.1") -> int:
+    """Ask the OS for a currently free TCP port (spawn-time allocation)."""
+    import socket
+
+    with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as sock:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, 0))
+        return sock.getsockname()[1]
+
+
+@dataclass
+class WorkerHandle:
+    """One shard worker: address, optional local process, liveness flag."""
+
+    worker_id: str
+    host: str
+    port: int
+    process: subprocess.Popen | None = None
+    alive: bool = True
+    failures: int = 0
+    reassigned_jobs: int = 0
+    spawned_at: float = field(default_factory=time.time)
+
+    def client(self, *, timeout: float = DEFAULT_SOLVE_TIMEOUT) -> ShardClient:
+        """A fresh blocking client (one per call site: thread safety)."""
+        return ShardClient(self.host, self.port, timeout=timeout)
+
+    def is_local(self) -> bool:
+        """True for workers this coordinator spawned (and may kill)."""
+        return self.process is not None
+
+    def summary(self) -> dict:
+        """JSON-ready fleet-listing entry."""
+        return {
+            "worker": self.worker_id,
+            "alive": self.alive,
+            "local": self.is_local(),
+            "failures": self.failures,
+            "reassigned_jobs": self.reassigned_jobs,
+        }
+
+
+def _worker_environment() -> dict[str, str]:
+    """Subprocess env with this checkout's ``src`` on the import path."""
+    env = os.environ.copy()
+    src_dir = str(Path(__file__).resolve().parents[2])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_dir if not existing else os.pathsep.join([src_dir, existing])
+    )
+    return env
+
+
+class ClusterCoordinator:
+    """Shard fleet management plus the scatter/gather solve primitive."""
+
+    def __init__(
+        self,
+        handles: list[WorkerHandle],
+        *,
+        owns_workers: bool = False,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        solve_timeout: float = DEFAULT_SOLVE_TIMEOUT,
+    ) -> None:
+        if not handles:
+            raise ClusterError("a cluster needs at least one shard worker")
+        self.handles = list(handles)
+        self.owns_workers = owns_workers
+        self.chunk_size = max(int(chunk_size), 1)
+        self.solve_timeout = solve_timeout
+        self.router = ShardRouter([h.worker_id for h in self.handles])
+        self._by_id = {h.worker_id: h for h in self.handles}
+        self._lock = threading.Lock()
+        self._closed = False
+        #: Test/diagnostic hook: called as ``hook(worker_id, chunk_index)``
+        #: after each successfully gathered chunk — the deterministic
+        #: "kill a worker mid-solve" injection point.
+        self.after_chunk_hook = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def spawn_local(
+        cls,
+        n_workers: int,
+        *,
+        worker_args: list[str] | None = None,
+        cache_path: str | None = None,
+        startup_timeout: float = 60.0,
+        host: str = "127.0.0.1",
+        **kwargs,
+    ) -> "ClusterCoordinator":
+        """Spawn ``n_workers`` ``repro shard-worker`` subprocesses.
+
+        Each worker gets its own OS-assigned port and (when
+        ``cache_path`` is set) a per-shard ``<path>.shardN`` cache file.
+        Because worker ids are ``host:port`` and ports are ephemeral, a
+        *restarted* spawned fleet routes keys afresh — each shard
+        reloads its index-named snapshot, but roughly half the keys land
+        on the other shard cold.  Fleets that need routing-stable warm
+        restarts should run fixed-port ``repro shard-worker`` processes
+        and :meth:`attach` to them (what the CI smoke job does).
+        """
+        if n_workers <= 0:
+            raise ClusterError(f"n_workers must be positive, got {n_workers}")
+        handles: list[WorkerHandle] = []
+        env = _worker_environment()
+        try:
+            for index in range(n_workers):
+                port = free_port(host)
+                command = [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "shard-worker",
+                    "--host",
+                    host,
+                    "--port",
+                    str(port),
+                    *(worker_args or []),
+                ]
+                if cache_path:
+                    command += ["--cache-path", f"{cache_path}.shard{index}"]
+                process = subprocess.Popen(command, env=env)
+                handles.append(
+                    WorkerHandle(
+                        worker_id=f"{host}:{port}",
+                        host=host,
+                        port=port,
+                        process=process,
+                    )
+                )
+            for handle in handles:
+                with handle.client(timeout=startup_timeout) as client:
+                    client.wait_until_healthy(timeout=startup_timeout)
+        except BaseException:
+            for handle in handles:
+                if handle.process is not None:
+                    handle.process.terminate()
+            raise
+        return cls(handles, owns_workers=True, **kwargs)
+
+    @classmethod
+    def attach(cls, addresses, **kwargs) -> "ClusterCoordinator":
+        """Attach to already-running workers (``host:port`` strings)."""
+        if isinstance(addresses, str):
+            addresses = [a for a in addresses.split(",") if a.strip()]
+        handles = []
+        for address in addresses:
+            address = address.strip()
+            host, _, port_text = address.rpartition(":")
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise ClusterError(
+                    f"worker address {address!r} is not host:port"
+                ) from None
+            handles.append(
+                WorkerHandle(
+                    worker_id=address, host=host or "127.0.0.1", port=port
+                )
+            )
+        return cls(handles, owns_workers=False, **kwargs)
+
+    # -- fleet state ---------------------------------------------------------
+
+    @property
+    def n_workers(self) -> int:
+        """Registered workers, dead or alive."""
+        return len(self.handles)
+
+    def worker(self, worker_id: str) -> WorkerHandle:
+        """The handle registered under ``worker_id``."""
+        try:
+            return self._by_id[worker_id]
+        except KeyError:
+            raise ClusterError(f"unknown worker {worker_id!r}") from None
+
+    def alive_ids(self) -> list[str]:
+        """Ids of workers currently considered alive."""
+        with self._lock:
+            return [h.worker_id for h in self.handles if h.alive]
+
+    def dead_ids(self) -> list[str]:
+        """Ids of workers currently considered dead."""
+        with self._lock:
+            return [h.worker_id for h in self.handles if not h.alive]
+
+    def mark_dead(self, worker_id: str) -> None:
+        """Exclude a worker from routing until a health probe revives it."""
+        with self._lock:
+            handle = self._by_id.get(worker_id)
+            if handle is not None and handle.alive:
+                handle.alive = False
+                handle.failures += 1
+
+    def check_health(self, *, timeout: float = 2.0) -> list[dict]:
+        """Probe every worker's ``/v1/healthz``; revive those that answer.
+
+        Probes run in parallel, so one unreachable worker costs the
+        caller one probe timeout, not one per dead worker — front-end
+        health checks must answer inside a load balancer's own timeout.
+        Returns one entry per worker: the worker id, liveness, and the
+        health payload (which carries ``"status": "degraded"`` when the
+        worker's admission queue is saturated).
+        """
+
+        def probe(handle: WorkerHandle) -> dict:
+            payload = None
+            error = None
+            try:
+                with handle.client(timeout=timeout) as client:
+                    payload = client.healthz()
+                alive = True
+            except ServiceError as exc:
+                # An HTTP answer means the process lives — a saturated
+                # worker answers 503 with a degraded body.
+                payload = {"status": "degraded", "error": str(exc)}
+                alive = True
+            except OSError as exc:
+                alive = False
+                error = str(exc)
+            with self._lock:
+                handle.alive = alive
+            return {
+                "worker": handle.worker_id,
+                "alive": alive,
+                "health": payload,
+                "error": error,
+            }
+
+        with ThreadPoolExecutor(max_workers=len(self.handles)) as pool:
+            return list(pool.map(probe, self.handles))
+
+    # -- the scatter/gather solve primitive ----------------------------------
+
+    def solve_components(
+        self,
+        fingerprints: list[str],
+        components: list[Component],
+        config: MaxEntConfig,
+        warm_starts: list[np.ndarray | None] | None = None,
+    ) -> list[ComponentSolve]:
+        """Scatter component jobs across the fleet; gather in job order.
+
+        Dedup happens at two layers: identical fingerprints within the
+        call dispatch once (their result fans back out to every
+        position), and gathered results apply first-write-wins per
+        fingerprint, so a retried job whose original answer arrives late
+        is dropped rather than double-applied.
+        """
+        n = len(components)
+        if len(fingerprints) != n:
+            raise ClusterError(
+                f"{len(fingerprints)} fingerprint(s) for {n} component(s)"
+            )
+        warm_list = (
+            list(warm_starts) if warm_starts is not None else [None] * n
+        )
+        representative: dict[str, int] = {}
+        for index, fingerprint in enumerate(fingerprints):
+            representative.setdefault(fingerprint, index)
+
+        resolved: dict[str, ComponentSolve] = {}
+        todo = list(representative)
+        rounds = 0
+        max_rounds = self.n_workers + 2
+        while todo:
+            rounds += 1
+            if rounds > max_rounds:
+                raise ClusterError(
+                    f"{len(todo)} component(s) still unsolved after "
+                    f"{max_rounds} scatter rounds; giving up"
+                )
+            alive = self.alive_ids()
+            if not alive:
+                # Dead marks are sticky until a probe revives them, and
+                # a standalone cluster executor has no front-end running
+                # probes for it — give workers that merely *looked* dead
+                # (a crashed request, a transient network hiccup) one
+                # health check before declaring the fleet lost.
+                self.check_health()
+                alive = self.alive_ids()
+            if not alive:
+                raise ClusterError(
+                    "no alive shard workers remain "
+                    f"({len(todo)} component(s) unsolved)"
+                )
+            dead = set(self.dead_ids())
+            assignment: dict[str, list[str]] = {}
+            for fingerprint in todo:
+                owner = self.router.owner(fingerprint, exclude=dead)
+                assignment.setdefault(owner, []).append(fingerprint)
+
+            with ThreadPoolExecutor(max_workers=len(assignment)) as pool:
+                futures = {
+                    pool.submit(
+                        self._dispatch_worker,
+                        worker_id,
+                        batch,
+                        representative,
+                        components,
+                        config,
+                        warm_list,
+                    ): worker_id
+                    for worker_id, batch in assignment.items()
+                }
+                gathered: list[tuple[str, ComponentSolve]] = []
+                any_failed = False
+                for future, worker_id in futures.items():
+                    results, failed = future.result()
+                    gathered.extend(results)
+                    if failed:
+                        any_failed = True
+                        self.worker(worker_id).reassigned_jobs += len(failed)
+
+            for fingerprint, solve in gathered:
+                # First write wins: a racing duplicate (reassigned copy
+                # vs a slow original) must not double-apply.
+                resolved.setdefault(fingerprint, solve)
+            todo = [f for f in todo if f not in resolved]
+            if todo and any_failed:
+                # Give a transiently saturated fleet a beat before the
+                # reassignment round.
+                time.sleep(0.05)
+
+        return [resolved[fingerprint] for fingerprint in fingerprints]
+
+    def _dispatch_worker(
+        self,
+        worker_id: str,
+        batch: list[str],
+        representative: dict[str, int],
+        components: list[Component],
+        config: MaxEntConfig,
+        warm_list: list[np.ndarray | None],
+    ) -> tuple[list[tuple[str, ComponentSolve]], list[str]]:
+        """Send one worker its share, chunk by chunk.
+
+        Returns ``(gathered, failed)``; on the first transport failure
+        the worker is marked dead and its remaining fingerprints are
+        returned for reassignment.  HTTP 429 (the worker's admission
+        backpressure) is retried in place with backoff — a saturated
+        worker is busy, not dead.
+        """
+        handle = self.worker(worker_id)
+        gathered: list[tuple[str, ComponentSolve]] = []
+        chunks = [
+            batch[start : start + self.chunk_size]
+            for start in range(0, len(batch), self.chunk_size)
+        ]
+        for chunk_index, chunk in enumerate(chunks):
+            payload = solve_request_to_wire(
+                chunk,
+                [components[representative[f]] for f in chunk],
+                config,
+                [warm_list[representative[f]] for f in chunk],
+            )
+            try:
+                response = self._post_chunk(handle, payload)
+            except (OSError, http.client.HTTPException):
+                # The connection died (refused, reset, or truncated
+                # mid-response): presume the worker dead and hand its
+                # remaining share back for reassignment.
+                self.mark_dead(worker_id)
+                remaining = [
+                    f for c in chunks[chunk_index:] for f in c
+                ]
+                return gathered, remaining
+            except ServiceError as exc:
+                if exc.code == "infeasible_knowledge":
+                    # The same exception a local executor would surface:
+                    # backend choice must not change the error contract
+                    # (callers and the serving layer switch on the type).
+                    raise InfeasibleKnowledgeError(str(exc)) from exc
+                if exc.status >= 500:
+                    self.mark_dead(worker_id)
+                    remaining = [
+                        f for c in chunks[chunk_index:] for f in c
+                    ]
+                    return gathered, remaining
+                if exc.status == 429:
+                    # The worker answered 429 past the whole backoff
+                    # window: it is alive but cannot absorb this chunk
+                    # within the solve timeout.  That is a capacity
+                    # failure of the request, not a death of the worker
+                    # — marking it dead would wrongly fail over its
+                    # releases and cold-start its caches.
+                    raise ClusterError(
+                        f"worker {worker_id} stayed saturated beyond "
+                        f"{self.solve_timeout:.0f}s; the fleet lacks "
+                        "capacity for this solve"
+                    ) from exc
+                raise ClusterError(
+                    f"worker {worker_id} rejected a solve chunk: {exc}"
+                ) from exc
+            for fingerprint, solve, _cached in solve_response_from_wire(
+                response
+            ):
+                gathered.append((fingerprint, solve))
+            hook = self.after_chunk_hook
+            if hook is not None:
+                hook(worker_id, chunk_index)
+        return gathered, []
+
+    def _post_chunk(self, handle: WorkerHandle, payload: dict) -> dict:
+        """POST one chunk, absorbing 429 backpressure in place.
+
+        A saturated worker is busy, not dead: retries back off (50ms
+        doubling to 1s) for up to the solve timeout — the time budget
+        one chunk already has — before the 429 escapes to the caller.
+        """
+        deadline = time.monotonic() + self.solve_timeout
+        delay = 0.05
+        while True:
+            try:
+                with handle.client(timeout=self.solve_timeout) as client:
+                    return client.solve_components(payload)
+            except ServiceError as exc:
+                if exc.status != 429 or time.monotonic() >= deadline:
+                    raise
+                time.sleep(delay)
+                delay = min(delay * 2, 1.0)
+
+    # -- fleet telemetry -----------------------------------------------------
+
+    def aggregate_telemetry(self, *, timeout: float = 10.0) -> dict:
+        """Every shard's telemetry plus cross-shard engine aggregates.
+
+        Shards are polled in parallel (like :meth:`check_health`), so an
+        unreachable worker costs one probe timeout, not one per worker.
+        """
+
+        def fetch(handle: WorkerHandle):
+            try:
+                with handle.client(timeout=timeout) as client:
+                    return handle, client.telemetry(), None
+            except (OSError, ServiceError) as exc:
+                return handle, None, str(exc)
+
+        with ThreadPoolExecutor(max_workers=len(self.handles)) as pool:
+            fetched = list(pool.map(fetch, self.handles))
+
+        shards = []
+        totals = {
+            "n_solves": 0,
+            "component_solves": 0,
+            "wall_seconds": 0.0,
+            "cpu_seconds": 0.0,
+            "cache_hits": 0,
+            "cache_misses": 0,
+            "cache_evictions": 0,
+            "cache_entries": 0,
+        }
+        prefix_totals: dict[str, dict[str, int]] = {}
+        for handle, telemetry, error in fetched:
+            entry: dict = {"worker": handle.worker_id, **handle.summary()}
+            if telemetry is None:
+                entry["error"] = error
+                entry["telemetry"] = None
+                shards.append(entry)
+                continue
+            entry["telemetry"] = telemetry
+            shards.append(entry)
+            engine = telemetry.get("engine", {})
+            cache = engine.get("cache", {})
+            totals["n_solves"] += engine.get("n_solves", 0)
+            totals["component_solves"] += engine.get("component_solves", 0)
+            totals["wall_seconds"] += engine.get("wall_seconds", 0.0)
+            totals["cpu_seconds"] += engine.get("cpu_seconds", 0.0)
+            totals["cache_hits"] += cache.get("hits", 0)
+            totals["cache_misses"] += cache.get("misses", 0)
+            totals["cache_evictions"] += cache.get("evictions", 0)
+            totals["cache_entries"] += cache.get("size", 0)
+            for prefix, counters in (cache.get("by_prefix") or {}).items():
+                slot = prefix_totals.setdefault(
+                    prefix, {"hits": 0, "misses": 0, "evictions": 0}
+                )
+                for key in slot:
+                    slot[key] += counters.get(key, 0)
+        lookups = totals["cache_hits"] + totals["cache_misses"]
+        totals["cache_hit_rate"] = (
+            totals["cache_hits"] / lookups if lookups else 0.0
+        )
+        return {
+            "workers": shards,
+            "aggregate": {**totals, "cache_by_prefix": prefix_totals},
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def shutdown(self, *, timeout: float = 10.0) -> None:
+        """Stop owning work: kill spawned workers, detach from the rest."""
+        if self._closed:
+            return
+        self._closed = True
+        if not self.owns_workers:
+            return
+        for handle in self.handles:
+            if handle.process is not None:
+                handle.process.terminate()
+        deadline = time.monotonic() + timeout
+        for handle in self.handles:
+            if handle.process is None:
+                continue
+            remaining = max(deadline - time.monotonic(), 0.1)
+            try:
+                handle.process.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                handle.process.kill()
+                handle.process.wait(timeout=5.0)
+
+    def __enter__(self) -> "ClusterCoordinator":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()

@@ -1,0 +1,372 @@
+"""The sharded serving front-end: one address, N engine workers behind it.
+
+``repro serve --shards N`` runs a :class:`ShardedFrontend` — the same
+HTTP surface as the single-engine service, but every release lives on
+exactly one shard worker (rendezvous-routed by the release's canonical
+content digest), so each worker owns its releases' compiled constraint
+systems, solve caches and warm starts, and the fleet's total memory and
+core count — not one process's — bounds the serving capacity.
+
+Routing and failure semantics:
+
+- *registration* — the front-end computes the same content digest the
+  session store uses for idempotency, routes to the owning worker, and
+  remembers ``(digest, body, worker)`` so the release can be re-homed;
+  the client-visible release id is pinned at first registration and
+  survives failover.
+- *solves* — posterior/assess bodies forward verbatim to the owner;
+  worker errors map back status-for-status (a 429 from a saturated
+  shard is real backpressure the client should see).
+- *failover* — a connection failure marks the worker dead; the release
+  re-registers on its rendezvous successor from the stored payload and
+  the request retries there once.  Health probes revive recovered
+  workers, and rendezvous hashing sends their keys straight back.
+- *health/telemetry* — ``/v1/healthz`` aggregates worker liveness (any
+  dead or degraded shard degrades the fleet, HTTP 503), and
+  ``/v1/telemetry`` embeds every shard's counters plus cross-shard
+  engine aggregates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import threading
+from dataclasses import dataclass, field
+from functools import partial
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.router import ClusterError
+from repro.service.admission import AdmissionController
+from repro.service.client import ServiceError
+from repro.service.protocol import HttpError, HttpRequest
+from repro.service.server import PrivacyService, ServiceConfig
+from repro.service.store import release_digest
+
+#: Per-forward HTTP timeout; solves can be long, registration is not.
+FORWARD_TIMEOUT = 600.0
+
+
+@dataclass
+class ReleaseEntry:
+    """One registered release's routing record."""
+
+    release_id: str
+    digest: str
+    body: dict
+    worker_id: str
+    worker_release_id: str
+    summary: dict = field(default_factory=dict)
+
+
+class ShardedFrontend(PrivacyService):
+    """Release-sharding HTTP front-end over a worker fleet."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        *,
+        coordinator: ClusterCoordinator,
+        owns_coordinator: bool = True,
+    ) -> None:
+        super().__init__(config)
+        self.coordinator = coordinator
+        self.owns_coordinator = owns_coordinator
+        if self.config.max_concurrency is None:
+            # The base class sized admission for its own (idle) engine;
+            # a front-end's capacity is the fleet's, so let several
+            # forwards per worker be in flight before 429ing clients.
+            self.admission = AdmissionController(
+                max_concurrency=max(4, 4 * coordinator.n_workers),
+                max_queue=self.config.max_queue,
+            )
+        self._directory: dict[str, ReleaseEntry] = {}
+        self._by_digest: dict[str, str] = {}
+        self._directory_lock = threading.Lock()
+
+    def close(self) -> None:
+        super().close()
+        if self.owns_coordinator:
+            self.coordinator.shutdown()
+
+    # -- forwarding plumbing -------------------------------------------------
+
+    def _forward(
+        self, worker_id: str, method: str, path: str, payload=None
+    ) -> dict:
+        """One blocking request to one worker; HTTP errors map through."""
+        handle = self.coordinator.worker(worker_id)
+        try:
+            with handle.client(timeout=FORWARD_TIMEOUT) as client:
+                return client.request(method, path, payload)
+        except ServiceError as exc:
+            # The worker answered: relay its verdict status-for-status.
+            raise HttpError(exc.status, str(exc), code=exc.code) from exc
+
+    def _entry(self, release_id: str) -> ReleaseEntry:
+        with self._directory_lock:
+            entry = self._directory.get(release_id)
+        if entry is None:
+            raise LookupError(f"unknown release {release_id!r}")
+        return entry
+
+    def _register_on(self, worker_id: str, entry_body: dict) -> dict:
+        return self._forward(worker_id, "POST", "/v1/releases", entry_body)
+
+    def _register_anywhere(
+        self, digest: str, entry: ReleaseEntry | None, body: dict
+    ) -> tuple[str, dict]:
+        """Register on the digest's owner, walking successors past deaths.
+
+        A connection failure marks the owner dead and moves to the next
+        rendezvous choice, so registration survives a just-died worker
+        the same way solves do; HTTP answers (including 429) relay
+        verbatim — the worker is alive and its verdict stands.
+        """
+        last_exc: Exception | None = None
+        for _attempt in range(self.coordinator.n_workers):
+            dead = set(self.coordinator.dead_ids())
+            if entry is not None and entry.worker_id not in dead:
+                owner = entry.worker_id
+            else:
+                try:
+                    owner = self.coordinator.router.owner(
+                        digest, exclude=dead
+                    )
+                except ClusterError as exc:
+                    last_exc = exc
+                    break
+            try:
+                return owner, self._register_on(owner, body)
+            except HttpError:
+                raise
+            except (OSError, http.client.HTTPException) as exc:
+                self.coordinator.mark_dead(owner)
+                last_exc = exc
+        raise HttpError(
+            503,
+            f"no shard worker accepted the registration: {last_exc}",
+            code="shard_unavailable",
+        ) from last_exc
+
+    def _failover(self, entry: ReleaseEntry) -> None:
+        """Re-home a release whose owner died (rendezvous successor)."""
+        self.coordinator.mark_dead(entry.worker_id)
+        dead = set(self.coordinator.dead_ids())
+        successor = self.coordinator.router.owner(entry.digest, exclude=dead)
+        try:
+            response = self._register_on(successor, entry.body)
+        except (OSError, http.client.HTTPException):
+            # The successor is gone too: exclude *it*, so the caller's
+            # next attempt walks further down the rendezvous order
+            # instead of re-trying a worker we just watched fail.
+            self.coordinator.mark_dead(successor)
+            raise
+        with self._directory_lock:
+            entry.worker_id = successor
+            entry.worker_release_id = response["release_id"]
+        self.telemetry.incr("release_failovers")
+
+    def _entry_target(self, entry: ReleaseEntry) -> tuple[str, str]:
+        """A consistent (worker_id, worker_release_id) pair for ``entry``.
+
+        Both fields change together under a failover; reading them under
+        the directory lock prevents a torn pair (new worker, stale
+        release id) from racing a concurrent re-home.
+        """
+        with self._directory_lock:
+            return entry.worker_id, entry.worker_release_id
+
+    def _forward_release(
+        self, entry: ReleaseEntry, method: str, path_suffix: str, payload=None
+    ) -> dict:
+        """Forward to a release's owner, walking failures.
+
+        Every failed attempt eliminates at least one worker from
+        routing, so ``n_workers + 1`` attempts suffice to reach the last
+        healthy candidate.  An owner that is alive but no longer knows
+        the release (restarted by a supervisor with an empty store) gets
+        the release re-registered from the stored body once — the
+        pinned client-visible id must survive worker restarts, not only
+        deaths.
+        """
+        last_exc: Exception | None = None
+        rehomed_404 = False
+        for _attempt in range(self.coordinator.n_workers + 1):
+            worker_id, worker_release_id = self._entry_target(entry)
+            try:
+                if worker_id in set(self.coordinator.dead_ids()):
+                    self._failover(entry)
+                    worker_id, worker_release_id = self._entry_target(entry)
+                path = f"/v1/releases/{worker_release_id}{path_suffix}"
+                return self._forward(worker_id, method, path, payload)
+            except HttpError as exc:
+                if (
+                    exc.status == 404
+                    and exc.code == "unknown_release"
+                    and not rehomed_404
+                ):
+                    rehomed_404 = True
+                    try:
+                        response = self._register_on(worker_id, entry.body)
+                    except (OSError, http.client.HTTPException) as reg_exc:
+                        self.coordinator.mark_dead(worker_id)
+                        last_exc = reg_exc
+                        continue
+                    with self._directory_lock:
+                        entry.worker_id = worker_id
+                        entry.worker_release_id = response["release_id"]
+                    continue
+                # The worker (or its successor) answered; relay verbatim.
+                raise
+            except (OSError, http.client.HTTPException, ClusterError) as exc:
+                self.coordinator.mark_dead(worker_id)
+                last_exc = exc
+        raise HttpError(
+            503,
+            f"shard {entry.worker_id} is unreachable and failover failed: "
+            f"{last_exc}",
+            code="shard_unavailable",
+        ) from last_exc
+
+    # -- endpoint overrides --------------------------------------------------
+
+    async def _handle_register(self, request: HttpRequest) -> tuple[int, dict]:
+        body = self._body_object(request, ("release", "original", "name"))
+        release_payload = body.get("release")
+        if release_payload is None:
+            raise HttpError(
+                400, "registration needs a 'release' object", code="bad_request"
+            )
+        loop = asyncio.get_running_loop()
+        assert self._register_lock is not None
+        async with self._register_lock:
+            status, summary = await loop.run_in_executor(
+                None, partial(self._register_sync, body, release_payload)
+            )
+        return status, summary
+
+    def _register_sync(self, body: dict, release_payload) -> tuple[int, dict]:
+        digest = release_digest(release_payload)
+        with self._directory_lock:
+            known_id = self._by_digest.get(digest)
+            entry = self._directory.get(known_id) if known_id else None
+        owner, response = self._register_anywhere(digest, entry, body)
+        created = bool(response.pop("created", False)) and entry is None
+        if entry is None:
+            entry = ReleaseEntry(
+                release_id=response["release_id"],
+                digest=digest,
+                body=body,
+                worker_id=owner,
+                worker_release_id=response["release_id"],
+            )
+            with self._directory_lock:
+                # Pin the client-visible id once; a racing duplicate
+                # keeps the first registration's record.
+                existing_id = self._by_digest.get(digest)
+                if existing_id is None:
+                    self._by_digest[digest] = entry.release_id
+                    self._directory[entry.release_id] = entry
+                else:
+                    entry = self._directory[existing_id]
+        else:
+            with self._directory_lock:
+                entry.worker_id = owner
+                entry.worker_release_id = response["release_id"]
+                # A re-registration may add what the first lacked (the
+                # original table, a fresh name): keep the richer body.
+                if body.get("original") is not None or entry.body.get(
+                    "original"
+                ) is None:
+                    entry.body = body
+        summary = dict(response)
+        summary["release_id"] = entry.release_id
+        summary["shard"] = entry.worker_id
+        summary["created"] = created
+        entry.summary = summary
+        if created:
+            self.telemetry.incr("releases_registered")
+        return (201 if created else 200), summary
+
+    async def _handle_list_releases(
+        self, request: HttpRequest
+    ) -> tuple[int, dict]:
+        with self._directory_lock:
+            entries = list(self._directory.values())
+        return 200, {"releases": [dict(entry.summary) for entry in entries]}
+
+    async def _handle_release(self, request: HttpRequest) -> tuple[int, dict]:
+        entry = self._entry(request.segments[2])
+        loop = asyncio.get_running_loop()
+        summary = await loop.run_in_executor(
+            None, partial(self._forward_release, entry, "GET", "")
+        )
+        summary["release_id"] = entry.release_id
+        summary["shard"] = entry.worker_id
+        return 200, summary
+
+    async def _handle_posterior(self, request: HttpRequest) -> tuple[int, dict]:
+        return await self._forward_solve(request, "/posterior")
+
+    async def _handle_assess(self, request: HttpRequest) -> tuple[int, dict]:
+        return await self._forward_solve(request, "/assess")
+
+    async def _forward_solve(
+        self, request: HttpRequest, suffix: str
+    ) -> tuple[int, dict]:
+        entry = self._entry(request.segments[2])
+        body = request.json()
+        loop = asyncio.get_running_loop()
+
+        async def run():
+            return await loop.run_in_executor(
+                None,
+                partial(self._forward_release, entry, "POST", suffix, body),
+            )
+
+        # Forwards occupy a worker thread for the length of the shard's
+        # solve; admitting them (429 past capacity) keeps the thread
+        # pool free for health/registration and makes front-end
+        # saturation visible on /v1/healthz, exactly as for the
+        # single-engine service.
+        payload = await self.admission.run(run)
+        payload["release_id"] = entry.release_id
+        payload["shard"] = entry.worker_id
+        self.telemetry.incr("solves_forwarded")
+        return 200, payload
+
+    # -- fleet health and telemetry ------------------------------------------
+
+    async def _handle_healthz(self, request: HttpRequest) -> tuple[int, dict]:
+        loop = asyncio.get_running_loop()
+        reports = await loop.run_in_executor(
+            None, partial(self.coordinator.check_health, timeout=2.0)
+        )
+        dead = [r["worker"] for r in reports if not r["alive"]]
+        degraded_shards = [
+            r["worker"]
+            for r in reports
+            if r["alive"] and (r["health"] or {}).get("status") != "ok"
+        ]
+        queue = self.admission.snapshot()
+        saturated = queue["depth"] >= queue["capacity"]
+        healthy = not dead and not degraded_shards and not saturated
+        payload = {
+            "status": "ok" if healthy else "degraded",
+            "uptime_seconds": self.telemetry.uptime_seconds,
+            "releases": len(self._directory),
+            "shards": reports,
+            "dead_shards": dead,
+            "degraded_shards": degraded_shards,
+            "queue": queue,
+        }
+        return (200 if healthy else 503), payload
+
+    async def _handle_telemetry(self, request: HttpRequest) -> tuple[int, dict]:
+        status, payload = await super()._handle_telemetry(request)
+        loop = asyncio.get_running_loop()
+        payload["cluster"] = await loop.run_in_executor(
+            None, self.coordinator.aggregate_telemetry
+        )
+        return status, payload

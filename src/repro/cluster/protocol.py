@@ -1,0 +1,188 @@
+"""The versioned coordinator <-> worker wire protocol.
+
+One protocol version string (:data:`SHARD_PROTOCOL`) tags every shard
+message; a worker rejects (and a coordinator refuses to decode) anything
+else, so mixed-version fleets fail loudly at the first request instead
+of mis-solving quietly.  Payloads are plain JSON over the same stdlib
+HTTP stack the serving subsystem already speaks:
+
+- *solve request* — a batch of component jobs for one worker: each job
+  carries its canonical solve fingerprint (the at-most-once dedup key),
+  the flat-array component bundle (:mod:`repro.maxent.wire`) and an
+  optional warm-start multiplier vector; the solver config rides once
+  per batch.
+- *solve response* — per-job results in request order: the probability
+  vector (bit-exact raw-bytes encoding), the solver stats, converged
+  dual multipliers when available, and whether the worker's own cache
+  served the job.
+
+:class:`ShardClient` extends the blocking service client with the shard
+endpoints, so a coordinator drives workers exactly the way external
+clients drive the service (keep-alive, retries on stale connections,
+uniform error decoding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.serialize import (
+    config_from_dict,
+    config_to_dict,
+    stats_from_dict,
+    stats_to_dict,
+)
+from repro.engine.component import ComponentSolve
+from repro.errors import ReproError
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.decompose import Component
+from repro.maxent.wire import (
+    component_from_wire,
+    component_to_wire,
+    decode_array,
+    encode_array,
+)
+from repro.service.client import ServiceClient
+
+#: Protocol tag of every shard message; bump on incompatible changes.
+SHARD_PROTOCOL = "privacy-maxent-shard/1"
+
+
+def check_protocol(payload, what: str) -> None:
+    """Reject a message not speaking :data:`SHARD_PROTOCOL`."""
+    if not isinstance(payload, dict):
+        raise ReproError(f"{what} must be a JSON object")
+    version = payload.get("protocol")
+    if version != SHARD_PROTOCOL:
+        raise ReproError(
+            f"{what} speaks protocol {version!r}, expected "
+            f"{SHARD_PROTOCOL!r}; coordinator and workers must run the "
+            "same version"
+        )
+
+
+def solve_request_to_wire(
+    fingerprints: list[str],
+    components: list[Component],
+    config: MaxEntConfig,
+    warm_starts: list[np.ndarray | None],
+) -> dict:
+    """Encode one batch of component jobs for a worker."""
+    jobs = []
+    for fingerprint, component, warm in zip(
+        fingerprints, components, warm_starts
+    ):
+        jobs.append(
+            {
+                "fingerprint": fingerprint,
+                "component": component_to_wire(component),
+                "warm_start": (
+                    encode_array(warm, "<f8") if warm is not None else None
+                ),
+            }
+        )
+    return {
+        "protocol": SHARD_PROTOCOL,
+        "config": config_to_dict(config),
+        "jobs": jobs,
+    }
+
+
+def solve_request_from_wire(payload) -> tuple[
+    list[str], list[Component], MaxEntConfig, list[np.ndarray | None]
+]:
+    """Decode a worker-side solve request (strict)."""
+    check_protocol(payload, "solve request")
+    unknown = set(payload) - {"protocol", "config", "jobs"}
+    if unknown:
+        raise ReproError(f"solve request has unknown field(s): {sorted(unknown)}")
+    config = config_from_dict(payload.get("config"))
+    jobs = payload.get("jobs")
+    if not isinstance(jobs, list):
+        raise ReproError("solve request jobs must be a JSON list")
+    fingerprints: list[str] = []
+    components: list[Component] = []
+    warm_starts: list[np.ndarray | None] = []
+    for index, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise ReproError(f"job {index} must be a JSON object")
+        unknown = set(job) - {"fingerprint", "component", "warm_start"}
+        if unknown:
+            raise ReproError(
+                f"job {index} has unknown field(s): {sorted(unknown)}"
+            )
+        fingerprint = job.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ReproError(f"job {index} needs a non-empty fingerprint")
+        fingerprints.append(fingerprint)
+        components.append(component_from_wire(job.get("component")))
+        warm = job.get("warm_start")
+        warm_starts.append(
+            decode_array(warm, "<f8") if warm is not None else None
+        )
+    return fingerprints, components, config, warm_starts
+
+
+def solve_result_to_wire(
+    fingerprint: str, result: ComponentSolve, *, cached: bool
+) -> dict:
+    """Encode one solved component for the response."""
+    return {
+        "fingerprint": fingerprint,
+        "p": encode_array(result.p, "<f8"),
+        "stats": stats_to_dict(result.stats),
+        "multipliers": (
+            encode_array(result.multipliers, "<f8")
+            if result.multipliers is not None
+            else None
+        ),
+        "cached": bool(cached),
+    }
+
+
+def solve_response_from_wire(payload) -> list[tuple[str, ComponentSolve, bool]]:
+    """Decode a worker's response into ``(fingerprint, solve, cached)``."""
+    check_protocol(payload, "solve response")
+    results = payload.get("results")
+    if not isinstance(results, list):
+        raise ReproError("solve response results must be a JSON list")
+    decoded: list[tuple[str, ComponentSolve, bool]] = []
+    for index, entry in enumerate(results):
+        if not isinstance(entry, dict):
+            raise ReproError(f"result {index} must be a JSON object")
+        fingerprint = entry.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise ReproError(f"result {index} needs a non-empty fingerprint")
+        multipliers = entry.get("multipliers")
+        decoded.append(
+            (
+                fingerprint,
+                ComponentSolve(
+                    p=decode_array(entry.get("p"), "<f8"),
+                    stats=stats_from_dict(entry.get("stats")),
+                    multipliers=(
+                        decode_array(multipliers, "<f8")
+                        if multipliers is not None
+                        else None
+                    ),
+                ),
+                bool(entry.get("cached", False)),
+            )
+        )
+    return decoded
+
+
+class ShardClient(ServiceClient):
+    """Blocking client a coordinator drives one shard worker with."""
+
+    def request(self, method: str, path: str, payload=None) -> dict:
+        """A raw JSON request (the forwarding primitive)."""
+        return self._request(method, path, payload)
+
+    def solve_components(self, payload: dict) -> dict:
+        """POST one encoded solve batch; returns the raw response."""
+        return self._request("POST", "/shard/v1/components", payload)
+
+    def shard_state(self) -> dict:
+        """The worker's shard-level identity and counters."""
+        return self._request("GET", "/shard/v1/state")

@@ -1,0 +1,159 @@
+"""The shard worker runtime: a privacy service that also solves bundles.
+
+A :class:`ShardWorker` is a full :class:`~repro.service.server.
+PrivacyService` — release registry, posterior/assess endpoints, result
+cache, admission control, telemetry — plus the shard protocol surface a
+coordinator drives:
+
+====== ============================ =======================================
+method path                         purpose
+====== ============================ =======================================
+POST   ``/shard/v1/components``     solve a batch of component bundles
+GET    ``/shard/v1/state``          shard identity + component counters
+====== ============================ =======================================
+
+Under *release sharding* the front-end forwards whole requests here and
+the inherited service endpoints do the work — each worker owns its
+releases' compiled systems, solve caches and warm starts.  Under
+*component sharding* the components endpoint is the leaf of the
+coordinator's scatter: decode the flat-array bundles, cache-check them
+by the coordinator-supplied fingerprint, fan misses across this
+worker's own executor (``--executor thread/process`` turns each shard
+into a multi-core solver), and stream the bit-exact results back.
+
+Start one with ``repro shard-worker``; it is just a process, so any
+process supervisor (systemd, k8s, a coordinator's ``spawn_local``) can
+run fleets of them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+
+from repro.cluster.protocol import (
+    SHARD_PROTOCOL,
+    solve_request_from_wire,
+    solve_result_to_wire,
+)
+from repro.service.protocol import HttpError, HttpRequest
+from repro.service.server import PrivacyService
+
+
+class ShardWorker(PrivacyService):
+    """One shard: a privacy service plus the component-solve endpoint."""
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.component_batches = 0
+        self.components_solved = 0
+        self.components_cached = 0
+
+    @property
+    def worker_id(self) -> str:
+        """This shard's routing identity (bind address)."""
+        return f"{self.config.host}:{self.port}"
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, request: HttpRequest):
+        segments = request.segments
+        if segments == ("shard", "v1", "components"):
+            if request.method != "POST":
+                raise HttpError(
+                    405,
+                    f"{request.method} not allowed here (allowed: POST)",
+                    code="method_not_allowed",
+                    headers={"Allow": "POST"},
+                )
+            return "POST /shard/v1/components", self._handle_components
+        if segments == ("shard", "v1", "state"):
+            if request.method != "GET":
+                raise HttpError(
+                    405,
+                    f"{request.method} not allowed here (allowed: GET)",
+                    code="method_not_allowed",
+                    headers={"Allow": "GET"},
+                )
+            return "GET /shard/v1/state", self._handle_state
+        return super()._route(request)
+
+    # -- shard endpoints -----------------------------------------------------
+
+    async def _handle_components(
+        self, request: HttpRequest
+    ) -> tuple[int, dict]:
+        body = request.json()
+        loop = asyncio.get_running_loop()
+        fingerprints, components, config, warm_starts = (
+            await loop.run_in_executor(None, solve_request_from_wire, body)
+        )
+
+        async def run():
+            return await loop.run_in_executor(
+                None,
+                partial(
+                    self.engine.solve_components,
+                    fingerprints,
+                    components,
+                    config,
+                    warm_starts,
+                ),
+            )
+
+        # One admission slot per batch: a batch is one solve-shaped unit
+        # of CPU work, and coordinator retries absorb the 429s.
+        results = await self.admission.run(run)
+
+        def encode() -> tuple[dict, int, int]:
+            entries = []
+            solved = 0
+            cached = 0
+            for fingerprint, (solve, was_cached) in zip(
+                fingerprints, results
+            ):
+                entries.append(
+                    solve_result_to_wire(fingerprint, solve, cached=was_cached)
+                )
+                if was_cached:
+                    cached += 1
+                else:
+                    solved += 1
+            return {
+                "protocol": SHARD_PROTOCOL,
+                "worker": self.worker_id,
+                "results": entries,
+            }, solved, cached
+
+        payload, solved, cached = await loop.run_in_executor(None, encode)
+        self.component_batches += 1
+        self.components_solved += solved
+        self.components_cached += cached
+        self.telemetry.incr("component_batches")
+        self.telemetry.incr("components_solved", solved)
+        self.telemetry.incr("components_cached", cached)
+        return 200, payload
+
+    async def _handle_state(self, request: HttpRequest) -> tuple[int, dict]:
+        return 200, {
+            "protocol": SHARD_PROTOCOL,
+            "worker": self.worker_id,
+            "releases": len(self.store),
+            "component_batches": self.component_batches,
+            "components_solved": self.components_solved,
+            "components_cached": self.components_cached,
+            "engine": self.engine.stats(),
+        }
+
+    # -- telemetry -----------------------------------------------------------
+
+    async def _handle_telemetry(self, request: HttpRequest) -> tuple[int, dict]:
+        status, payload = await super()._handle_telemetry(request)
+        payload["shard"] = {
+            "worker": self.worker_id,
+            "protocol": SHARD_PROTOCOL,
+            "component_batches": self.component_batches,
+            "components_solved": self.components_solved,
+            "components_cached": self.components_cached,
+        }
+        return status, payload

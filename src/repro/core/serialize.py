@@ -250,6 +250,22 @@ def stats_to_dict(stats: SolverStats) -> dict:
     return payload
 
 
+def stats_from_dict(payload) -> SolverStats:
+    """Rebuild a :class:`SolverStats` from its wire form (strict).
+
+    The derived ``residual`` key :func:`stats_to_dict` adds is accepted
+    and discarded — it is recomputed from the residual fields.
+    """
+    payload = dict(_require_mapping(payload, "stats"))
+    payload.pop("residual", None)
+    fields = {f.name for f in dataclasses.fields(SolverStats)}
+    _check_keys(payload, fields, "stats")
+    try:
+        return SolverStats(**payload)
+    except TypeError as exc:
+        raise ReproError(f"malformed stats payload: {exc}") from exc
+
+
 def posterior_to_dict(posterior: PosteriorTable) -> dict:
     """Wire form of a posterior table ``P*(SA | QI)``."""
     return {
@@ -294,12 +310,8 @@ def assessment_to_dict(assessment: PrivacyAssessment) -> dict:
 def assessment_from_dict(payload) -> PrivacyAssessment:
     """Rebuild a :class:`PrivacyAssessment` (the client-side decode)."""
     payload = _require_mapping(payload, "assessment")
-    stats_payload = dict(_require_mapping(payload.get("stats"), "stats"))
-    stats_payload.pop("residual", None)
-    fields = {f.name for f in dataclasses.fields(SolverStats)}
-    _check_keys(stats_payload, fields, "stats")
+    stats = stats_from_dict(payload.get("stats"))
     try:
-        stats = SolverStats(**stats_payload)
         return PrivacyAssessment(
             bound=payload["bound"],
             n_constraints=payload["n_constraints"],

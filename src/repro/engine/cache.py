@@ -78,14 +78,18 @@ class _LRU:
                 self._entries.move_to_end(key)
             return entry
 
-    def put(self, key: str, value) -> None:
+    def put(self, key: str, value) -> list[str]:
+        """Store ``value``; returns the keys evicted to make room."""
         if not self.enabled:
-            return
+            return []
+        evicted: list[str] = []
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
             while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+                old_key, _ = self._entries.popitem(last=False)
+                evicted.append(old_key)
+        return evicted
 
     def clear(self) -> None:
         with self._lock:
@@ -101,23 +105,69 @@ class _LRU:
             return list(self._entries.items())
 
 
+#: Fingerprint-prefix length of the per-prefix counters.  Eight hex chars
+#: (32 bits) keep distinct solves' prefixes collision-free in practice
+#: while staying short enough to read off a telemetry dump.
+PREFIX_LENGTH = 8
+
+#: Bound on distinct prefixes tracked; a long-lived shard serving an
+#: unbounded stream of releases must not grow telemetry without limit.
+MAX_TRACKED_PREFIXES = 512
+
+
 class SolveCache(_LRU):
-    """LRU of :class:`CacheEntry` keyed by component fingerprint."""
+    """LRU of :class:`CacheEntry` keyed by component fingerprint.
+
+    Besides the aggregate hit/miss counters the cache keeps per-prefix
+    counters (the first :data:`PREFIX_LENGTH` characters of each key):
+    in a sharded deployment every shard owns a disjoint slice of the
+    fingerprint space, so the prefix breakdown is what makes per-shard
+    cache efficiency visible in aggregated telemetry.
+    """
 
     def __init__(self, max_entries: int) -> None:
         super().__init__(max_entries)
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._prefix_stats: dict[str, dict[str, int]] = {}
+
+    def _prefix_slot(self, key: str) -> dict[str, int] | None:
+        prefix = key[:PREFIX_LENGTH]
+        slot = self._prefix_stats.get(prefix)
+        if slot is None:
+            if len(self._prefix_stats) >= MAX_TRACKED_PREFIXES:
+                return None
+            slot = self._prefix_stats[prefix] = {
+                "hits": 0, "misses": 0, "evictions": 0
+            }
+        return slot
 
     def lookup(self, key: str) -> CacheEntry | None:
-        """A counted get: bumps ``hits``/``misses``."""
+        """A counted get: bumps ``hits``/``misses`` (total and per prefix)."""
         entry = self.get(key)
         with self._lock:
+            slot = self._prefix_slot(key)
             if entry is None:
                 self.misses += 1
+                if slot is not None:
+                    slot["misses"] += 1
             else:
                 self.hits += 1
+                if slot is not None:
+                    slot["hits"] += 1
         return entry
+
+    def put(self, key: str, value) -> list[str]:
+        evicted = super().put(key, value)
+        if evicted:
+            with self._lock:
+                self.evictions += len(evicted)
+                for old_key in evicted:
+                    slot = self._prefix_slot(old_key)
+                    if slot is not None:
+                        slot["evictions"] += 1
+        return evicted
 
     @property
     def hit_rate(self) -> float:
@@ -125,10 +175,20 @@ class SolveCache(_LRU):
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def prefix_stats(self) -> dict[str, dict[str, int]]:
+        """Per-fingerprint-prefix counters (JSON-ready snapshot)."""
+        with self._lock:
+            return {
+                prefix: dict(counters)
+                for prefix, counters in self._prefix_stats.items()
+            }
+
     def clear(self) -> None:
         super().clear()
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self._prefix_stats = {}
 
 
 class WarmStartStore(_LRU):

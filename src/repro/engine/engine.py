@@ -29,7 +29,7 @@ import threading
 import numpy as np
 
 from repro.engine.cache import CacheEntry, SolveCache, WarmStartStore
-from repro.engine.component import solve_component_task
+from repro.engine.component import ComponentSolve, solve_component_task
 from repro.engine.executors import create_executor
 from repro.engine.fingerprint import component_fingerprint, structure_fingerprint
 from repro.engine.plan import ExecutionPlan, build_plan
@@ -88,11 +88,17 @@ class PrivacyEngine:
     Parameters
     ----------
     executor:
-        ``"serial"`` (default), ``"thread"`` or ``"process"``.
+        ``"serial"`` (default), ``"thread"``, ``"process"``, ``"cluster"``
+        (scatter components to shard workers over HTTP), or a pre-built
+        executor object (how a live cluster coordinator hands its
+        executor to an engine).
     workers:
         Worker count for pooled executors (``None``: CPU count).
     cache_size:
         LRU bound on cached component solutions; ``0`` disables caching.
+    cluster_workers:
+        ``host:port,host:port`` list the ``"cluster"`` backend attaches
+        to (default: the ``REPRO_CLUSTER_WORKERS`` environment variable).
     """
 
     def __init__(
@@ -102,12 +108,18 @@ class PrivacyEngine:
         workers: int | None = None,
         cache_size: int = 128,
         cache_path: str | os.PathLike | None = None,
+        cluster_workers: str | None = None,
     ) -> None:
-        self._executor = create_executor(executor, workers)
+        self._executor = create_executor(
+            executor, workers, cluster_workers=cluster_workers
+        )
         self.cache = SolveCache(cache_size)
         self.warm_starts = WarmStartStore(cache_size)
         self.cache_path = os.fspath(cache_path) if cache_path else None
         self.n_solves = 0
+        # Components solved through the shard-runtime entry point
+        # (solve_components) — full solves count in n_solves instead.
+        self.component_solves = 0
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
         # Construction-side phase accumulators (the observability
@@ -132,6 +144,7 @@ class PrivacyEngine:
             workers=config.workers,
             cache_size=config.cache_size,
             cache_path=config.cache_path,
+            cluster_workers=config.cluster_workers,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -186,6 +199,7 @@ class PrivacyEngine:
         """
         with self._telemetry_lock:
             n_solves = self.n_solves
+            component_solves = self.component_solves
             wall = self.wall_seconds
             cpu = self.cpu_seconds
             build = self.build_seconds
@@ -195,6 +209,7 @@ class PrivacyEngine:
             "executor": self.executor_name,
             "workers": getattr(self._executor, "workers", 1),
             "n_solves": n_solves,
+            "component_solves": component_solves,
             "wall_seconds": wall,
             "cpu_seconds": cpu,
             "build_seconds": build,
@@ -206,6 +221,12 @@ class PrivacyEngine:
                 "hits": self.cache.hits,
                 "misses": self.cache.misses,
                 "hit_rate": self.cache.hit_rate,
+                "evictions": self.cache.evictions,
+                # Per fingerprint prefix: in a sharded deployment each
+                # shard owns a disjoint slice of the fingerprint space, so
+                # this breakdown is the per-shard cache-efficiency signal
+                # the aggregated telemetry surfaces.
+                "by_prefix": self.cache.prefix_stats(),
             },
             "warm_starts": len(self.warm_starts),
             "cache_path": self.cache_path,
@@ -226,6 +247,103 @@ class PrivacyEngine:
         """
         config = config or MaxEntConfig()
         return component_fingerprint(system, 1.0, config.solve_key())
+
+    # -- the shard-runtime entry point ---------------------------------------
+
+    def solve_components(
+        self,
+        fingerprints: list[str],
+        components: list[Component],
+        config: MaxEntConfig | None = None,
+        warm_starts: list[np.ndarray | None] | None = None,
+    ) -> list[tuple[ComponentSolve, bool]]:
+        """Solve pre-fingerprinted component bundles (the shard worker path).
+
+        This is :meth:`solve` with the planning already done elsewhere: a
+        cluster coordinator decomposed a system, fingerprinted the
+        components, and scattered them here.  Each job is cache-checked
+        under its supplied fingerprint; misses fan out across this
+        engine's own executor; duplicate fingerprints within the batch
+        solve once (at-most-once per key — the coordinator's dedup
+        guarantee ends at this method).  Returns ``(solve, cached)`` per
+        job, in job order.  Convergence-policy enforcement stays with the
+        caller (the coordinator applies the config's failure policy once
+        results are gathered).
+
+        Warm starts are used exactly as supplied — this engine's own
+        warm-start store is deliberately *not* consulted, because which
+        multipliers a shard happens to hold depends on chunk arrival
+        order, and cluster solves must stay bit-identical to
+        single-engine runs.
+        """
+        config = config or MaxEntConfig()
+        n = len(components)
+        if len(fingerprints) != n:
+            raise ReproError(
+                f"{len(fingerprints)} fingerprint(s) for {n} component(s)"
+            )
+        warm_list = list(warm_starts) if warm_starts is not None else [None] * n
+        if len(warm_list) != n:
+            raise ReproError(
+                f"{len(warm_list)} warm start(s) for {n} component(s)"
+            )
+        caching = self.cache.enabled
+        out: list[tuple[ComponentSolve, bool] | None] = [None] * n
+        first_of: dict[str, int] = {}
+        duplicate_of: dict[int, int] = {}
+        pending: list[tuple[int, Component, str, np.ndarray | None]] = []
+
+        for position, (fingerprint, component) in enumerate(
+            zip(fingerprints, components)
+        ):
+            if caching:
+                entry = self.cache.lookup(fingerprint)
+                if entry is not None:
+                    out[position] = (
+                        ComponentSolve(p=entry.p, stats=entry.replay_stats()),
+                        True,
+                    )
+                    continue
+            earlier = first_of.get(fingerprint)
+            if earlier is not None:
+                duplicate_of[position] = earlier
+                continue
+            first_of[fingerprint] = position
+            pending.append(
+                (position, component, fingerprint, warm_list[position])
+            )
+
+        if pending:
+            jobs = [
+                (component, config, warm)
+                for _, component, _, warm in pending
+            ]
+            results = self._executor.imap(solve_component_task, jobs)
+            for (position, component, fingerprint, _), result in zip(
+                pending, results
+            ):
+                out[position] = (result, False)
+                if caching and result.stats.converged:
+                    self.cache.put(
+                        fingerprint,
+                        CacheEntry(p=result.p, stats=result.stats),
+                    )
+            with self._telemetry_lock:
+                self.component_solves += len(pending)
+
+        for position, earlier in duplicate_of.items():
+            solved = out[earlier]
+            assert solved is not None
+            out[position] = (solved[0], True)
+        filled: list[tuple[ComponentSolve, bool]] = []
+        for position, entry in enumerate(out):
+            if entry is None:
+                raise ReproError(
+                    f"component {position} produced no result (executor "
+                    "returned short)"
+                )
+            filled.append(entry)
+        return filled
 
     # -- cache persistence ---------------------------------------------------
 
@@ -525,7 +643,13 @@ def shared_engine(config: MaxEntConfig | None = None) -> PrivacyEngine:
     without any plumbing.
     """
     config = config or MaxEntConfig()
-    key = (config.executor, config.workers, config.cache_size, config.cache_path)
+    key = (
+        config.executor,
+        config.workers,
+        config.cache_size,
+        config.cache_path,
+        config.cluster_workers,
+    )
     with _SHARED_LOCK:
         engine = _SHARED_ENGINES.get(key)
         if engine is None:
@@ -534,6 +658,7 @@ def shared_engine(config: MaxEntConfig | None = None) -> PrivacyEngine:
                 workers=config.workers,
                 cache_size=config.cache_size,
                 cache_path=config.cache_path,
+                cluster_workers=config.cluster_workers,
             )
             _SHARED_ENGINES[key] = engine
         return engine

@@ -14,10 +14,17 @@ runs:
   workloads.  Components, configs and results all pickle (plain
   dataclasses holding numpy arrays), which is load-bearing: anything added
   to those types must stay picklable.
+- ``"cluster"`` — the cross-machine backend
+  (:class:`repro.cluster.executor.ClusterExecutor`): components scatter
+  over HTTP to long-lived shard workers.  Built here from the worker
+  addresses in the config (or the ``REPRO_CLUSTER_WORKERS`` environment
+  variable); the cluster package owns the implementation.
 
 Pools are created lazily and kept for the executor's lifetime (process
 startup is the dominant cost); ``close()`` tears them down, and executors
-work as context managers.
+work as context managers.  :func:`create_executor` also passes through
+pre-built executor objects (anything with ``imap``/``close``), which is
+how an engine adopts a cluster executor wired to an existing coordinator.
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from collections.abc import Callable, Iterable, Sequence
 
 from repro.errors import ReproError
 
-EXECUTOR_NAMES = ("serial", "thread", "process")
+EXECUTOR_NAMES = ("serial", "thread", "process", "cluster")
 
 
 def _default_workers() -> int:
@@ -130,14 +137,40 @@ class ProcessExecutor(_PoolExecutor):
     _pool_factory = staticmethod(concurrent.futures.ProcessPoolExecutor)
 
 
-def create_executor(name: str, workers: int | None = None):
-    """Build the executor backend called ``name``."""
+def create_executor(
+    name,
+    workers: int | None = None,
+    *,
+    cluster_workers: str | None = None,
+):
+    """Build the executor backend called ``name``.
+
+    A pre-built executor object (``imap`` + ``close``) passes through
+    unchanged, so callers holding a live cluster coordinator can hand its
+    executor straight to :class:`~repro.engine.engine.PrivacyEngine`.
+    ``cluster_workers`` is the comma-separated ``host:port`` list the
+    ``"cluster"`` backend attaches to (falling back to the
+    ``REPRO_CLUSTER_WORKERS`` environment variable).
+    """
+    if not isinstance(name, str):
+        if hasattr(name, "imap") and hasattr(name, "close"):
+            return name
+        raise ReproError(
+            f"executor must be a backend name or an executor object, got "
+            f"{type(name).__name__}"
+        )
     if name == "serial":
         return SerialExecutor()
     if name == "thread":
         return ThreadExecutor(workers)
     if name == "process":
         return ProcessExecutor(workers)
+    if name == "cluster":
+        # Imported here: the cluster package builds *on* the engine, so
+        # the engine must not import it at module load.
+        from repro.cluster.executor import create_cluster_executor
+
+        return create_cluster_executor(cluster_workers)
     raise ReproError(
         f"unknown executor {name!r}; choose one of {EXECUTOR_NAMES}"
     )

@@ -17,8 +17,10 @@ from repro.anonymize.anatomy import anatomize
 from repro.anonymize.buckets import BucketizedTable
 from repro.core.quantifier import PosteriorTable
 from repro.data.adult import load_adult_synthetic
+from repro.data.synthetic import SyntheticConfig, generate_synthetic
 from repro.data.table import Table
 from repro.knowledge.mining import MiningConfig, RuleSet, mine_association_rules
+from repro.knowledge.statements import ConditionalProbability, Statement
 
 
 @dataclass(frozen=True)
@@ -58,6 +60,70 @@ def build_adult_workload(
     return AdultWorkload(
         table=table, published=published, rules=rules, truth=truth
     )
+
+
+def build_synthetic_release(
+    n_records: int,
+    *,
+    qi_domain_sizes: tuple[int, ...] = (6, 5, 4, 3),
+    n_sa_values: int = 10,
+    l: int = 5,
+    seed: int = 20080609,
+) -> BucketizedTable:
+    """One synthetic bucketized release (the scaling-benchmark workload).
+
+    The construction benchmarks use the default small QI domains; the
+    cluster benchmarks widen them (unique QI tuples keep per-bucket
+    knowledge from coupling buckets into one giant component).
+    """
+    table = generate_synthetic(
+        SyntheticConfig(
+            n_records=n_records,
+            qi_domain_sizes=qi_domain_sizes,
+            n_sa_values=n_sa_values,
+            seed=seed,
+        )
+    )
+    return anatomize(table, l=l, seed=seed)
+
+
+def per_bucket_statements(
+    published: BucketizedTable,
+    *,
+    low: float = 0.05,
+    high: float = 0.30,
+) -> list[Statement]:
+    """One distinct conditional-probability statement per bucket.
+
+    Models the worst-case background-knowledge sweeps of Martin et al.
+    (an adversary with a separate belief about every group): each bucket
+    gets ``P(first SA value | first QI tuple) = p`` with a bucket-unique
+    ``p`` swept across ``[low, high]``.  Every bucket becomes a distinct
+    *relevant* component — no two solve to the same fingerprint — which
+    is exactly the shape that stresses component sharding.  The
+    probabilities stay small enough to be feasible against the bucket
+    invariants, and a bucket whose first QI tuple another bucket already
+    claimed is skipped: at large scales QI tuples collide across buckets
+    (and the collision couples those buckets into one component), so a
+    second statement on the same left side would contradict the first.
+    """
+    n = max(len(published.buckets), 1)
+    qi_attributes = published.schema.qi_attributes
+    statements: list[Statement] = []
+    claimed: set[tuple] = set()
+    for index, bucket in enumerate(published.buckets):
+        given_tuple = bucket.qi_tuples[0]
+        if given_tuple in claimed:
+            continue
+        claimed.add(given_tuple)
+        statements.append(
+            ConditionalProbability(
+                given=dict(zip(qi_attributes, given_tuple)),
+                sa_value=bucket.sa_values[0],
+                probability=round(low + (high - low) * index / n, 6),
+            )
+        )
+    return statements
 
 
 def k_grid(max_k: int, points: int = 8) -> list[int]:

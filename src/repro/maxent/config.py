@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from repro.errors import ReproError
 
 _SOLVER_NAMES = ("lbfgs", "newton", "gis", "iis", "primal")
-_EXECUTOR_NAMES = ("serial", "thread", "process")
+_EXECUTOR_NAMES = ("serial", "thread", "process", "cluster")
 
 
 @dataclass(frozen=True)
@@ -44,12 +44,18 @@ class MaxEntConfig:
         ``stats.converged = False``.
     executor:
         How decomposed components are fanned out: ``"serial"`` (default),
-        ``"thread"`` or ``"process"``.  Components are independent
-        sub-problems, so thread/process execution is a pure wall-clock
-        optimization — the solution is identical by construction.
+        ``"thread"``, ``"process"``, or ``"cluster"`` (scatter to
+        long-lived shard workers over HTTP — see :mod:`repro.cluster`).
+        Components are independent sub-problems, so parallel execution is
+        a pure wall-clock optimization — the solution is identical by
+        construction.
     workers:
         Worker count for the thread/process executors (``None`` uses the
         machine's CPU count).
+    cluster_workers:
+        Comma-separated ``host:port`` list of shard workers the
+        ``"cluster"`` executor attaches to; ``None`` falls back to the
+        ``REPRO_CLUSTER_WORKERS`` environment variable.
     cache_size:
         Bound of the per-engine LRU solve cache (entries are solved
         components, keyed by a canonical constraint-system fingerprint).
@@ -85,6 +91,7 @@ class MaxEntConfig:
     cache_size: int = 128
     cache_path: str | None = None
     warm_start: bool = True
+    cluster_workers: str | None = None
 
     def __post_init__(self) -> None:
         if self.solver not in _SOLVER_NAMES:

@@ -1,0 +1,169 @@
+"""JSON-safe wire forms of the flat-array solve bundles.
+
+The array-native pipeline made decomposed :class:`~repro.maxent.decompose.
+Component` objects picklable flat-array bundles precisely so they could
+cross machine boundaries; this module gives those bundles (and the
+:class:`~repro.maxent.constraints.ConstraintSystem` inside them) a
+JSON-safe encoding the cluster wire protocol can ship over HTTP.
+
+Exactness is the contract: numeric arrays are encoded as base64 of their
+little-endian raw bytes (``<i8`` for indices, ``<f8`` for coefficients,
+right-hand sides and probability vectors), so a component that travels
+coordinator -> worker -> coordinator solves to the *bit-identical*
+probability vector a local solve would have produced — the solve cache,
+the result cache and the equivalence tests all depend on that.  JSON
+float round-tripping would also be exact (shortest-repr), but raw bytes
+are both faster and unambiguous about dtype and endianness.
+
+Labels and kind codes ride along: they are diagnostics (error messages,
+telemetry) rather than mathematics, but a worker that fails a component
+must be able to name the offending row.
+"""
+
+from __future__ import annotations
+
+import base64
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.maxent.constraints import ConstraintSystem, RowArrays
+from repro.maxent.decompose import Component
+
+
+def encode_array(values: np.ndarray, dtype: str) -> str:
+    """Base64 of ``values`` as raw little-endian ``dtype`` bytes."""
+    data = np.ascontiguousarray(np.asarray(values), dtype=np.dtype(dtype))
+    return base64.b64encode(data.tobytes()).decode("ascii")
+
+
+def decode_array(payload, dtype: str) -> np.ndarray:
+    """Inverse of :func:`encode_array` (strict: payload must be a string)."""
+    if not isinstance(payload, str):
+        raise ReproError(
+            f"array payload must be a base64 string, got {type(payload).__name__}"
+        )
+    try:
+        raw = base64.b64decode(payload.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise ReproError(f"undecodable array payload: {exc}") from exc
+    item = np.dtype(dtype).itemsize
+    if len(raw) % item:
+        raise ReproError(
+            f"array payload of {len(raw)} bytes is not a multiple of the "
+            f"{item}-byte {dtype!r} item size"
+        )
+    return np.frombuffer(raw, dtype=np.dtype(dtype)).copy()
+
+
+def _family_to_wire(arrays: RowArrays) -> dict:
+    return {
+        "indptr": encode_array(arrays.indptr, "<i8"),
+        "indices": encode_array(arrays.indices, "<i8"),
+        "coefficients": encode_array(arrays.coefficients, "<f8"),
+        "rhs": encode_array(arrays.rhs, "<f8"),
+        "kinds": arrays.kinds(),
+        "labels": list(arrays.labels),
+    }
+
+
+def _family_from_wire(payload, what: str) -> tuple:
+    if not isinstance(payload, dict):
+        raise ReproError(f"{what} must be a JSON object")
+    unknown = set(payload) - {
+        "indptr", "indices", "coefficients", "rhs", "kinds", "labels"
+    }
+    if unknown:
+        raise ReproError(f"{what} has unknown field(s): {sorted(unknown)}")
+    indptr = decode_array(payload.get("indptr"), "<i8")
+    indices = decode_array(payload.get("indices"), "<i8")
+    coefficients = decode_array(payload.get("coefficients"), "<f8")
+    rhs = decode_array(payload.get("rhs"), "<f8")
+    kinds = payload.get("kinds")
+    labels = payload.get("labels")
+    n_rows = int(rhs.size)
+    if indptr.size != n_rows + 1:
+        raise ReproError(
+            f"{what}: indptr has {indptr.size} entries for {n_rows} row(s)"
+        )
+    if not isinstance(kinds, list) or len(kinds) != n_rows:
+        raise ReproError(f"{what}: kinds must list one kind per row")
+    if not isinstance(labels, list) or len(labels) != n_rows:
+        raise ReproError(f"{what}: labels must list one label per row")
+    return indptr, indices, coefficients, rhs, kinds, labels
+
+
+def system_to_wire(system: ConstraintSystem) -> dict:
+    """Wire form of a constraint system's CSR blocks."""
+    return {
+        "n_vars": system.n_vars,
+        "equalities": _family_to_wire(system.equality_arrays()),
+        "inequalities": _family_to_wire(system.inequality_arrays()),
+    }
+
+
+def system_from_wire(payload) -> ConstraintSystem:
+    """Rebuild a :class:`ConstraintSystem` from :func:`system_to_wire`.
+
+    Rows are re-validated on append — a hostile or corrupted peer must
+    not be able to smuggle malformed rows into a solver.
+    """
+    if not isinstance(payload, dict):
+        raise ReproError("system payload must be a JSON object")
+    unknown = set(payload) - {"n_vars", "equalities", "inequalities"}
+    if unknown:
+        raise ReproError(f"system has unknown field(s): {sorted(unknown)}")
+    n_vars = payload.get("n_vars")
+    if not isinstance(n_vars, int) or n_vars < 0:
+        raise ReproError(f"system n_vars must be a non-negative int, got {n_vars!r}")
+    system = ConstraintSystem(n_vars)
+    indptr, indices, coefficients, rhs, kinds, labels = _family_from_wire(
+        payload.get("equalities"), "equality block"
+    )
+    if rhs.size:
+        system.add_equalities(
+            indptr, indices, coefficients, rhs, kinds=kinds, labels=labels
+        )
+    indptr, indices, coefficients, rhs, kinds, labels = _family_from_wire(
+        payload.get("inequalities"), "inequality block"
+    )
+    if rhs.size:
+        system.add_inequalities(
+            indptr, indices, coefficients, rhs, kinds=kinds, labels=labels
+        )
+    return system
+
+
+def component_to_wire(component: Component) -> dict:
+    """Wire form of one decomposed component bundle."""
+    return {
+        "buckets": [int(b) for b in component.buckets],
+        "var_indices": encode_array(component.var_indices, "<i8"),
+        "system": system_to_wire(component.system),
+        "mass": float(component.mass),
+        "knowledge_rows": int(component.knowledge_rows),
+        "inequality_rows": int(component.inequality_rows),
+    }
+
+
+def component_from_wire(payload) -> Component:
+    """Rebuild a :class:`Component` from :func:`component_to_wire`."""
+    if not isinstance(payload, dict):
+        raise ReproError("component payload must be a JSON object")
+    unknown = set(payload) - {
+        "buckets", "var_indices", "system", "mass",
+        "knowledge_rows", "inequality_rows",
+    }
+    if unknown:
+        raise ReproError(f"component has unknown field(s): {sorted(unknown)}")
+    try:
+        return Component(
+            buckets=tuple(int(b) for b in payload["buckets"]),
+            var_indices=decode_array(payload["var_indices"], "<i8"),
+            system=system_from_wire(payload["system"]),
+            mass=float(payload["mass"]),
+            knowledge_rows=int(payload["knowledge_rows"]),
+            inequality_rows=int(payload["inequality_rows"]),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ReproError(f"malformed component payload: {exc!r}") from exc

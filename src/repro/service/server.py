@@ -397,10 +397,17 @@ class PrivacyService:
         }
 
     async def _handle_healthz(self, request: HttpRequest) -> tuple[int, dict]:
-        return 200, {
-            "status": "ok",
+        # Liveness alone is not health: when the admission queue is full
+        # the service is answering 429s, and load balancers and cluster
+        # coordinators doing health checks must see that backpressure
+        # here rather than keep routing traffic at a saturated instance.
+        queue = self.admission.snapshot()
+        saturated = queue["depth"] >= queue["capacity"]
+        return (503 if saturated else 200), {
+            "status": "degraded" if saturated else "ok",
             "uptime_seconds": self.telemetry.uptime_seconds,
             "releases": len(self.store),
+            "queue": queue,
         }
 
     async def _handle_telemetry(self, request: HttpRequest) -> tuple[int, dict]:

@@ -1,0 +1,137 @@
+"""Worker-failure paths: mid-solve death, reassignment, dedup, exhaustion.
+
+These tests kill real worker subprocesses (SIGKILL — no goodbye) and
+assert the coordinator's contract: the dead worker's components are
+reassigned, the gathered posterior is bit-identical to a single-engine
+run, and no component is solved or cached twice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterCoordinator, ClusterExecutor, ClusterError, ShardClient
+from repro.engine.engine import PrivacyEngine
+from repro.engine.fingerprint import component_fingerprint
+from repro.experiments.workloads import (
+    build_synthetic_release,
+    per_bucket_statements,
+)
+from repro.knowledge.compiler import compile_statements
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import ConstraintSystem, data_constraints
+from repro.maxent.decompose import decompose
+from repro.maxent.indexing import GroupVariableSpace
+
+CONFIG = MaxEntConfig(raise_on_infeasible=False)
+
+
+@pytest.fixture()
+def workload():
+    published = build_synthetic_release(
+        480, qi_domain_sizes=(40, 30, 20, 10), n_sa_values=8, l=8
+    )
+    space = GroupVariableSpace(published)
+    system = ConstraintSystem(space.n_vars)
+    system.extend(data_constraints(space))
+    system.extend(compile_statements(per_bucket_statements(published), space))
+    return space, system
+
+
+def _unique_numeric_fingerprints(space, system) -> set[str]:
+    components = decompose(space, system)
+    return {
+        component_fingerprint(c.system, c.mass, CONFIG.solve_key())
+        for c in components
+        if not c.is_irrelevant
+    }
+
+
+def test_kill_worker_mid_solve_reassigns_and_stays_bit_identical(workload):
+    space, system = workload
+    baseline = PrivacyEngine(cache_size=0).solve(space, system, CONFIG)
+    unique = _unique_numeric_fingerprints(space, system)
+    assert len(unique) > 20  # the workload really is distinct-per-bucket
+
+    with ClusterCoordinator.spawn_local(2, chunk_size=4) as coordinator:
+        victim = coordinator.handles[1]
+        killed = []
+
+        def kill_after_first_chunk(worker_id: str, chunk_index: int) -> None:
+            if not killed and worker_id == victim.worker_id:
+                victim.process.kill()
+                victim.process.wait(timeout=10)
+                killed.append(worker_id)
+
+        coordinator.after_chunk_hook = kill_after_first_chunk
+        engine = PrivacyEngine(
+            executor=ClusterExecutor(coordinator), cache_size=1024
+        )
+        solution = engine.solve(space, system, CONFIG)
+
+        # The victim completed at least one chunk, then died mid-solve.
+        assert killed == [victim.worker_id]
+        assert victim.worker_id in coordinator.dead_ids()
+        assert coordinator.alive_ids() == [coordinator.handles[0].worker_id]
+
+        # Reassignment happened and the result is bit-identical.
+        assert np.array_equal(solution.p, baseline.p)
+        assert solution.stats.converged == baseline.stats.converged
+
+        # No duplicate solve was cached: every distinct fingerprint was
+        # looked up exactly once (one miss each, no hits) and cached once.
+        assert engine.cache.misses == len(unique)
+        assert engine.cache.hits == 0
+        assert len(engine.cache) == len(unique)
+
+        # The survivor never re-solved anything it already held: its own
+        # cache has exactly one entry per component it solved.
+        survivor = coordinator.handles[0]
+        with ShardClient(survivor.host, survivor.port) as client:
+            state = client.shard_state()
+        assert state["components_solved"] == state["engine"]["cache"]["size"]
+        assert state["components_cached"] == 0
+        # Fleet-wide each component solved at most once: the survivor
+        # solved everything except what the victim finished pre-death.
+        assert state["components_solved"] < len(unique)
+
+
+def test_worker_dead_before_solve_is_routed_around(workload):
+    space, system = workload
+    baseline = PrivacyEngine(cache_size=0).solve(space, system, CONFIG)
+    with ClusterCoordinator.spawn_local(2) as coordinator:
+        victim = coordinator.handles[0]
+        victim.process.kill()
+        victim.process.wait(timeout=10)
+        engine = PrivacyEngine(
+            executor=ClusterExecutor(coordinator), cache_size=0
+        )
+        solution = engine.solve(space, system, CONFIG)
+        assert np.array_equal(solution.p, baseline.p)
+        assert victim.worker_id in coordinator.dead_ids()
+        assert victim.reassigned_jobs > 0
+
+
+def test_all_workers_dead_raises_cluster_error(workload):
+    space, system = workload
+    with ClusterCoordinator.spawn_local(1) as coordinator:
+        coordinator.handles[0].process.kill()
+        coordinator.handles[0].process.wait(timeout=10)
+        engine = PrivacyEngine(
+            executor=ClusterExecutor(coordinator), cache_size=0
+        )
+        with pytest.raises(ClusterError, match="no alive shard workers"):
+            engine.solve(space, system, CONFIG)
+
+
+def test_health_probe_revives_recovered_worker(workload):
+    with ClusterCoordinator.spawn_local(2) as coordinator:
+        target = coordinator.handles[0]
+        coordinator.mark_dead(target.worker_id)
+        assert target.worker_id in coordinator.dead_ids()
+        reports = coordinator.check_health()
+        assert all(report["alive"] for report in reports)
+        assert coordinator.dead_ids() == []
+        statuses = {r["worker"]: r["health"]["status"] for r in reports}
+        assert statuses[target.worker_id] == "ok"

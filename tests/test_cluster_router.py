@@ -1,0 +1,81 @@
+"""Rendezvous routing: determinism, balance, minimal reassignment."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.cluster.router import ClusterError, ShardRouter
+
+
+def _keys(n: int) -> list[str]:
+    return [hashlib.sha256(str(i).encode()).hexdigest() for i in range(n)]
+
+
+class TestShardRouter:
+    def test_owner_is_deterministic(self):
+        router = ShardRouter(["w1", "w2", "w3"])
+        again = ShardRouter(["w3", "w1", "w2"])  # registration order differs
+        for key in _keys(50):
+            assert router.owner(key) == again.owner(key)
+
+    def test_every_worker_gets_a_share(self):
+        router = ShardRouter([f"w{i}" for i in range(4)])
+        assignment = router.partition(_keys(400))
+        assert set(assignment) == set(router.worker_ids)
+        # Rendezvous balance is binomial: each worker should land within
+        # a loose band around 100 of 400.
+        for indices in assignment.values():
+            assert 40 <= len(indices) <= 180
+
+    def test_partition_covers_all_positions(self):
+        router = ShardRouter(["a", "b"])
+        keys = _keys(31)
+        assignment = router.partition(keys)
+        positions = sorted(p for block in assignment.values() for p in block)
+        assert positions == list(range(31))
+
+    def test_removal_moves_only_the_dead_workers_keys(self):
+        """The failover property: survivors keep every key they owned."""
+        workers = [f"w{i}" for i in range(5)]
+        router = ShardRouter(workers)
+        keys = _keys(300)
+        before = {key: router.owner(key) for key in keys}
+        router.remove("w2")
+        for key in keys:
+            after = router.owner(key)
+            if before[key] != "w2":
+                assert after == before[key]
+            else:
+                assert after != "w2"
+
+    def test_exclude_matches_removal(self):
+        router = ShardRouter(["a", "b", "c"])
+        removed = ShardRouter(["a", "c"])
+        for key in _keys(40):
+            assert router.owner(key, exclude={"b"}) == removed.owner(key)
+
+    def test_ranked_is_the_failover_order(self):
+        router = ShardRouter(["a", "b", "c"])
+        for key in _keys(20):
+            ranked = router.ranked(key)
+            assert ranked[0] == router.owner(key)
+            assert router.owner(key, exclude={ranked[0]}) == ranked[1]
+
+    def test_no_candidates_raises(self):
+        router = ShardRouter(["only"])
+        with pytest.raises(ClusterError, match="no eligible worker"):
+            router.owner("key", exclude={"only"})
+        with pytest.raises(ClusterError):
+            ShardRouter([]).owner("key")
+
+    def test_add_and_remove_are_idempotent(self):
+        router = ShardRouter(["a"])
+        router.add("a")
+        router.add("b")
+        assert router.worker_ids == ("a", "b")
+        router.remove("missing")
+        router.remove("b")
+        router.remove("b")
+        assert router.worker_ids == ("a",)

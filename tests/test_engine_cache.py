@@ -102,6 +102,66 @@ class TestLRU:
         assert store.get("k")[0] == 1.0
 
 
+class TestPrefixCounters:
+    """Per-fingerprint-prefix telemetry (the per-shard cache signal)."""
+
+    def test_eviction_counter_and_per_prefix_attribution(self):
+        cache = SolveCache(2)
+        entry = CacheEntry(p=np.ones(2), stats=make_stats())
+        for key in ("aaaaaaaa-1", "bbbbbbbb-1", "bbbbbbbb-2"):
+            cache.put(key, entry)
+        assert cache.evictions == 1  # "aaaaaaaa-1" fell out
+        stats = cache.prefix_stats()
+        assert stats["aaaaaaaa"]["evictions"] == 1
+        # Slots are created lazily (lookups/evictions), so the never-
+        # evicted, never-looked-up prefix has no counters yet.
+        assert stats.get("bbbbbbbb", {"evictions": 0})["evictions"] == 0
+
+    def test_lookup_counts_split_by_prefix(self):
+        cache = SolveCache(4)
+        entry = CacheEntry(p=np.ones(2), stats=make_stats())
+        cache.put("aaaaaaaa-1", entry)
+        assert cache.lookup("aaaaaaaa-1") is not None
+        assert cache.lookup("bbbbbbbb-1") is None
+        stats = cache.prefix_stats()
+        assert stats["aaaaaaaa"] == {"hits": 1, "misses": 0, "evictions": 0}
+        assert stats["bbbbbbbb"] == {"hits": 0, "misses": 1, "evictions": 0}
+
+    def test_tracked_prefixes_are_bounded(self):
+        from repro.engine.cache import MAX_TRACKED_PREFIXES
+
+        cache = SolveCache(4)
+        for index in range(MAX_TRACKED_PREFIXES + 10):
+            cache.lookup(f"{index:08x}-key")
+        assert len(cache.prefix_stats()) == MAX_TRACKED_PREFIXES
+        # Overflowing prefixes still count in the aggregate totals.
+        assert cache.misses == MAX_TRACKED_PREFIXES + 10
+
+    def test_clear_resets_prefix_and_eviction_state(self):
+        cache = SolveCache(1)
+        entry = CacheEntry(p=np.ones(2), stats=make_stats())
+        cache.put("aaaaaaaa-1", entry)
+        cache.put("bbbbbbbb-1", entry)
+        cache.lookup("bbbbbbbb-1")
+        cache.clear()
+        assert cache.evictions == 0
+        assert cache.prefix_stats() == {}
+
+    def test_engine_stats_surface_prefix_breakdown(self):
+        space, system = paper_system()
+        config = MaxEntConfig(raise_on_infeasible=False, cache_size=8)
+        with PrivacyEngine(cache_size=8) as engine:
+            engine.solve(space, system, config)
+            engine.solve(space, system, config)
+            cache_stats = engine.stats()["cache"]
+        assert cache_stats["evictions"] == 0
+        assert cache_stats["by_prefix"]
+        assert any(
+            counters["hits"] > 0
+            for counters in cache_stats["by_prefix"].values()
+        )
+
+
 class TestEngineCaching:
     def test_identical_system_hits_and_is_bit_identical(self):
         space, system = paper_system()

@@ -68,6 +68,24 @@ class TestBasicEndpoints:
         payload = client.healthz()
         assert payload["status"] == "ok"
         assert payload["uptime_seconds"] >= 0
+        assert payload["queue"]["depth"] < payload["queue"]["capacity"]
+
+    def test_healthz_degraded_when_queue_saturated(self, client, service):
+        # Health is backpressure-aware: while the admission queue is full
+        # (the state in which solves answer 429) the health endpoint must
+        # answer 503/"degraded" so load balancers and cluster coordinators
+        # stop routing new work here — liveness alone is not health.
+        admission = service.admission
+        before = admission._pending
+        admission._pending = admission.capacity
+        try:
+            with pytest.raises(ServiceError) as excinfo:
+                client.healthz()
+            assert excinfo.value.status == 503
+            assert "degraded" in str(excinfo.value)
+        finally:
+            admission._pending = before
+        assert client.healthz()["status"] == "ok"
 
     def test_root_lists_endpoints(self, client):
         payload = client._request("GET", "/")
