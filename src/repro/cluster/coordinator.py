@@ -83,10 +83,61 @@ class WorkerHandle:
     failures: int = 0
     reassigned_jobs: int = 0
     spawned_at: float = field(default_factory=time.time)
+    #: Cached idle solve-path client (one keep-alive connection per
+    #: worker).  Chunk dispatch checks it out, runs the request with no
+    #: lock held, and returns it — the measured single-worker overhead
+    #: was per-chunk TCP setup/teardown stalls — while probes and
+    #: one-shot calls keep using fresh :meth:`client` instances.
+    _solve_client: ShardClient | None = field(
+        default=None, repr=False, compare=False
+    )
+    #: Guards only the cached-client *slot*, never a request in flight:
+    #: concurrent solves to one worker run on extra connections (closed
+    #: after use) instead of queueing, and ``drop_solve_client`` /
+    #: ``mark_dead`` / ``shutdown`` never wait on a blocked round trip.
+    _solve_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def client(self, *, timeout: float = DEFAULT_SOLVE_TIMEOUT) -> ShardClient:
         """A fresh blocking client (one per call site: thread safety)."""
         return ShardClient(self.host, self.port, timeout=timeout)
+
+    def checkout_solve_client(self, *, timeout: float) -> ShardClient:
+        """Take the cached keep-alive client (or a fresh one) for one call.
+
+        The underlying :class:`ShardClient` reconnects transparently
+        after a server-side keep-alive close.  Pair with
+        :meth:`return_solve_client` on success; on a transport failure
+        just ``close()`` the client and let the next dispatch start from
+        a fresh connection.
+        """
+        with self._solve_lock:
+            client = self._solve_client
+            self._solve_client = None
+        if client is None:
+            client = ShardClient(self.host, self.port, timeout=timeout)
+        return client
+
+    def return_solve_client(self, client: ShardClient) -> None:
+        """Cache a healthy client for reuse (closing any surplus one)."""
+        with self._solve_lock:
+            if self._solve_client is None:
+                self._solve_client = client
+                return
+        client.close()
+
+    def drop_solve_client(self) -> None:
+        """Close the cached idle connection (error recovery; non-blocking).
+
+        A client currently checked out by an in-flight request is not
+        touched — its request fails or completes on its own, exactly as
+        per-call clients used to."""
+        with self._solve_lock:
+            client = self._solve_client
+            self._solve_client = None
+        if client is not None:
+            client.close()
 
     def is_local(self) -> bool:
         """True for workers this coordinator spawned (and may kill)."""
@@ -256,6 +307,10 @@ class ClusterCoordinator:
             if handle is not None and handle.alive:
                 handle.alive = False
                 handle.failures += 1
+        if handle is not None:
+            # A presumed-dead worker's keep-alive connection is stale by
+            # definition; a revived worker gets a fresh one.
+            handle.drop_solve_client()
 
     def check_health(self, *, timeout: float = 2.0) -> list[dict]:
         """Probe every worker's ``/v1/healthz``; revive those that answer.
@@ -472,18 +527,35 @@ class ClusterCoordinator:
         A saturated worker is busy, not dead: retries back off (50ms
         doubling to 1s) for up to the solve timeout — the time budget
         one chunk already has — before the 429 escapes to the caller.
+
+        Chunks ride the worker's cached keep-alive connection
+        (:meth:`WorkerHandle.checkout_solve_client`) instead of a fresh
+        TCP connection per chunk.  The request itself runs with no lock
+        held — concurrent solves to one worker use extra short-lived
+        connections rather than queueing — and a transport failure
+        closes the checked-out connection before the error propagates,
+        so the existing presume-dead/reassign semantics in
+        :meth:`_dispatch_worker` operate on a clean slate and a revived
+        worker gets a fresh connection.
         """
         deadline = time.monotonic() + self.solve_timeout
         delay = 0.05
         while True:
+            client = handle.checkout_solve_client(timeout=self.solve_timeout)
             try:
-                with handle.client(timeout=self.solve_timeout) as client:
-                    return client.solve_components(payload)
+                response = client.solve_components(payload)
             except ServiceError as exc:
+                handle.return_solve_client(client)
                 if exc.status != 429 or time.monotonic() >= deadline:
                     raise
                 time.sleep(delay)
                 delay = min(delay * 2, 1.0)
+            except (OSError, http.client.HTTPException):
+                client.close()
+                raise
+            else:
+                handle.return_solve_client(client)
+                return response
 
     # -- fleet telemetry -----------------------------------------------------
 
@@ -557,6 +629,8 @@ class ClusterCoordinator:
         if self._closed:
             return
         self._closed = True
+        for handle in self.handles:
+            handle.drop_solve_client()
         if not self.owns_workers:
             return
         for handle in self.handles:

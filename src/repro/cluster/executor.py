@@ -4,14 +4,25 @@ A :class:`ClusterExecutor` plugs the shard fleet in as a fourth engine
 backend alongside serial/thread/process: the engine plans and
 cache-checks exactly as before, and the numeric fan-out step ships the
 pending flat-array component bundles to the coordinator instead of a
-local pool.  Fingerprints are computed here (they are the routing keys
-*and* the at-most-once dedup keys), so every component consistently
-lands on the shard whose solve cache already holds it.
+local pool.  Fingerprints are the routing keys *and* the at-most-once
+dedup keys; the engine already computed them for its cache check, so
+its work items carry them through this seam and cold cluster solves no
+longer fingerprint every component twice — only components the engine
+skipped (cache disabled) are fingerprinted here.
+
+The engine dispatches *group* work items (batch groups plus
+singletons).  Groups flatten to per-component wire jobs before the
+scatter — routing and dedup stay per-fingerprint — and each worker's
+own engine re-bins the bundles it receives, so the batched dual path
+speeds the fleet up from inside the shards.
 
 Because results come back bit-exact (raw-bytes float encoding on the
 wire) and the engine's own cache/warm-start bookkeeping still runs on
 the gathered results, a cluster solve is indistinguishable from a local
-one to everything above the executor seam.
+one to everything above the executor seam.  (With the opt-in batched
+solver the local/cluster agreement is within solver tolerance rather
+than bit-for-bit — grouping differs across the seam; see
+``MaxEntConfig.batch_components``.)
 """
 
 from __future__ import annotations
@@ -20,7 +31,10 @@ import os
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.router import ClusterError
-from repro.engine.component import solve_component_task
+from repro.engine.component import (
+    solve_component_group_task,
+    solve_component_task,
+)
 from repro.engine.fingerprint import component_fingerprint
 
 
@@ -42,26 +56,61 @@ class ClusterExecutor:
         self.workers = coordinator.n_workers
 
     def imap(self, fn, items):
-        """Scatter ``(component, config, warm_start)`` jobs to the fleet."""
-        if fn is not solve_component_task:
-            raise ClusterError(
-                "the cluster executor only runs component solve tasks, "
-                f"got {getattr(fn, '__name__', fn)!r}"
+        """Scatter component work items (grouped or single) to the fleet."""
+        if fn is solve_component_group_task:
+            return self._scatter_groups(list(items))
+        if fn is solve_component_task:
+            # The single-component job shape, kept for callers driving
+            # the executor directly.
+            jobs = list(items)
+            if not jobs:
+                return []
+            config = jobs[0][1]
+            group_results = self._scatter_groups(
+                [
+                    ([component], config, [warm], [None])
+                    for component, _, warm in jobs
+                ]
             )
-        jobs = list(items)
+            return [results[0] for results in group_results]
+        raise ClusterError(
+            "the cluster executor only runs component solve tasks, "
+            f"got {getattr(fn, '__name__', fn)!r}"
+        )
+
+    def _scatter_groups(self, jobs):
+        """Flatten group jobs, scatter per fingerprint, regroup results."""
         if not jobs:
             return []
         config = jobs[0][1]
         solve_key = config.solve_key()
-        components = [component for component, _, _ in jobs]
-        warm_starts = [warm for _, _, warm in jobs]
-        fingerprints = [
-            component_fingerprint(component.system, component.mass, solve_key)
-            for component in components
-        ]
-        return self.coordinator.solve_components(
+        components = []
+        warm_starts = []
+        fingerprints = []
+        counts = []
+        for group_components, _, group_warms, group_fingerprints in jobs:
+            counts.append(len(group_components))
+            components.extend(group_components)
+            warm_starts.extend(group_warms)
+            for component, fingerprint in zip(
+                group_components, group_fingerprints
+            ):
+                fingerprints.append(
+                    fingerprint
+                    if fingerprint is not None
+                    else component_fingerprint(
+                        component.system, component.mass, solve_key
+                    )
+                )
+        flat = self.coordinator.solve_components(
             fingerprints, components, config, warm_starts
         )
+        grouped = []
+        cursor = 0
+        for count in counts:
+            grouped.append(flat[cursor : cursor + count])
+            cursor += count
+        return grouped
 
     def map(self, fn, items) -> list:
         """Eager :meth:`imap` (already eager — one scatter per call)."""

@@ -45,7 +45,11 @@ from repro.maxent.wire import (
 from repro.service.client import ServiceClient
 
 #: Protocol tag of every shard message; bump on incompatible changes.
-SHARD_PROTOCOL = "privacy-maxent-shard/1"
+#: (v2: the solver config grew the ``batch_components``/``batch_max_vars``
+#: knobs, which a v1 worker's strict config decoder rejects — the bump
+#: turns a confusing unknown-key failure in a mixed-version fleet into
+#: the designed loud version-mismatch error.)
+SHARD_PROTOCOL = "privacy-maxent-shard/2"
 
 
 def check_protocol(payload, what: str) -> None:

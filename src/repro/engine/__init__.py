@@ -38,11 +38,12 @@ from repro.engine.fingerprint import (
     fingerprint_system,
     structure_fingerprint,
 )
-from repro.engine.plan import ExecutionPlan, build_plan
+from repro.engine.plan import ExecutionPlan, bin_batch_groups, build_plan
 
 __all__ = [
     "CacheEntry",
     "ExecutionPlan",
+    "bin_batch_groups",
     "PrivacyEngine",
     "ProcessExecutor",
     "SerialExecutor",

@@ -37,10 +37,17 @@ class CacheEntry:
         """Stats for a cache hit: no time spent, the hit counted.
 
         Iterations and residuals describe the stored solution (they are
-        properties of the returned vector); ``seconds`` and
-        ``cpu_seconds`` are zeroed because this run did no numeric work.
+        properties of the returned vector); ``seconds``, ``cpu_seconds``
+        and ``batched_components`` are zeroed because this run did no
+        numeric work (batched or otherwise).
         """
-        return replace(self.stats, seconds=0.0, cpu_seconds=0.0, cache_hits=1)
+        return replace(
+            self.stats,
+            seconds=0.0,
+            cpu_seconds=0.0,
+            cache_hits=1,
+            batched_components=0,
+        )
 
 
 class _LRU:

@@ -1,9 +1,19 @@
-"""The per-component numeric solve task.
+"""The per-component numeric solve tasks.
 
-This is the unit of work the executors fan out: presolve one component,
-dispatch to the configured solver, lift the solution back to component
-coordinates.  It lives at module level (not as a closure) so the process
-backend can pickle it, and it returns plain picklable data.
+These are the units of work the executors fan out.  Two granularities
+share one module so they stay in lockstep:
+
+- :func:`solve_component` — presolve one component, dispatch to the
+  configured solver, lift the solution back to component coordinates.
+- :func:`solve_component_batch` — presolve *many* small components, stack
+  the survivors into one block-diagonal dual and run the vectorized loop
+  of :mod:`repro.maxent.batch_dual`, then unbundle per-component results
+  (residuals, iterations, multipliers) so everything downstream — cache,
+  warm starts, telemetry — sees the same contract as per-component
+  dispatch.
+
+Both task wrappers live at module level (not as closures) so the process
+backend can pickle them, and they return plain picklable data.
 """
 
 from __future__ import annotations
@@ -12,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.maxent.batch_dual import DualBlock, solve_batch_dual
 from repro.maxent.config import MaxEntConfig
 from repro.maxent.decompose import Component
 from repro.maxent.dual import build_dual
@@ -19,7 +30,7 @@ from repro.maxent.gis import solve_gis
 from repro.maxent.iis import solve_iis
 from repro.maxent.lbfgs import DualSolveResult, solve_dual_lbfgs
 from repro.maxent.newton import solve_dual_newton
-from repro.maxent.presolve import presolve
+from repro.maxent.presolve import PresolveResult, presolve
 from repro.maxent.primal import solve_primal
 from repro.maxent.solution import SolverStats
 from repro.utils.timer import Timer
@@ -87,6 +98,78 @@ def _usable_warm_start(
     return warm_start
 
 
+def _reduce(
+    component: Component, config: MaxEntConfig
+) -> tuple[object, float, PresolveResult | None, int]:
+    """Apply presolve per the config: (system, mass, reduction, fixed)."""
+    if not config.use_presolve:
+        return component.system, component.mass, None, 0
+    reduction = presolve(component.system)
+    return (
+        reduction.system,
+        component.mass - reduction.mass_removed,
+        reduction,
+        len(reduction.fixed_values),
+    )
+
+
+def _forced_solve(
+    component: Component,
+    config: MaxEntConfig,
+    reduction: PresolveResult | None,
+    fixed_count: int,
+) -> ComponentSolve:
+    """The everything-was-forced-by-presolve result."""
+    p_local = (
+        reduction.restore(np.zeros(reduction.n_free))
+        if reduction is not None
+        else np.zeros(component.n_vars)
+    )
+    residual = component.system.residual(p_local)
+    stats = SolverStats(
+        solver="presolve",
+        iterations=0,
+        seconds=0.0,
+        n_vars=component.n_vars,
+        n_equalities=component.system.n_equalities,
+        n_inequalities=component.system.n_inequalities,
+        eq_residual=residual,
+        ineq_residual=0.0,
+        converged=residual <= config.tol,
+        presolve_fixed=fixed_count,
+    )
+    return ComponentSolve(p=p_local, stats=stats, multipliers=None)
+
+
+def _package_solve(
+    component: Component,
+    config: MaxEntConfig,
+    reduction: PresolveResult | None,
+    fixed_count: int,
+    result: DualSolveResult,
+    *,
+    batched: bool = False,
+) -> ComponentSolve:
+    """Lift a dual result back to component coordinates with stats."""
+    p_local = reduction.restore(result.p) if reduction is not None else result.p
+    multipliers = result.multipliers if result.converged else None
+    stats = SolverStats(
+        solver=config.solver,
+        iterations=result.iterations,
+        seconds=0.0,
+        n_vars=component.n_vars,
+        n_equalities=component.system.n_equalities,
+        n_inequalities=component.system.n_inequalities,
+        eq_residual=result.eq_residual,
+        ineq_residual=result.ineq_residual,
+        converged=result.converged,
+        presolve_fixed=fixed_count,
+        message=result.message,
+        batched_components=1 if batched else 0,
+    )
+    return ComponentSolve(p=p_local, stats=stats, multipliers=multipliers)
+
+
 def solve_component(
     component: Component,
     config: MaxEntConfig,
@@ -99,59 +182,93 @@ def solve_component(
     reports overall wall time separately.
     """
     with Timer() as timer:
-        system = component.system
-        mass = component.mass
-        fixed_count = 0
-        if config.use_presolve:
-            reduction = presolve(system)
-            fixed_count = len(reduction.fixed_values)
-            system = reduction.system
-            mass = component.mass - reduction.mass_removed
-
-        multipliers: np.ndarray | None = None
+        system, mass, reduction, fixed_count = _reduce(component, config)
         if system.n_vars == 0 or mass <= 1e-15:
-            # Everything was forced by presolve.
-            p_local = (
-                reduction.restore(np.zeros(system.n_vars))
-                if config.use_presolve
-                else np.zeros(component.n_vars)
-            )
-            residual = component.system.residual(p_local)
-            stats = SolverStats(
-                solver="presolve",
-                iterations=0,
-                seconds=0.0,
-                n_vars=component.n_vars,
-                n_equalities=component.system.n_equalities,
-                n_inequalities=component.system.n_inequalities,
-                eq_residual=residual,
-                ineq_residual=0.0,
-                converged=residual <= config.tol,
-                presolve_fixed=fixed_count,
-            )
+            solve = _forced_solve(component, config, reduction, fixed_count)
         else:
             result = _dispatch(system, mass, config, warm_start)
-            p_local = (
-                reduction.restore(result.p) if config.use_presolve else result.p
+            solve = _package_solve(
+                component, config, reduction, fixed_count, result
             )
-            if result.converged:
-                multipliers = result.multipliers
-            stats = SolverStats(
-                solver=config.solver,
-                iterations=result.iterations,
-                seconds=0.0,
-                n_vars=component.n_vars,
-                n_equalities=component.system.n_equalities,
-                n_inequalities=component.system.n_inequalities,
-                eq_residual=result.eq_residual,
-                ineq_residual=result.ineq_residual,
-                converged=result.converged,
-                presolve_fixed=fixed_count,
-                message=result.message,
+    solve.stats.seconds = timer.seconds
+    solve.stats.cpu_seconds = timer.seconds
+    return solve
+
+
+def solve_component_batch(
+    components: list[Component],
+    config: MaxEntConfig,
+    warm_starts: list[np.ndarray | None] | None = None,
+) -> list[ComponentSolve]:
+    """Solve many components through one stacked block-diagonal dual.
+
+    Presolve still runs per component (its eliminations are the
+    numerical precondition of the dual); the surviving reduced systems
+    stack into one vectorized L-BFGS loop, and the batch solution is
+    unbundled into per-component :class:`ComponentSolve` records whose
+    contract — residuals, iterations, warm-startable multipliers,
+    convergence flags — matches per-component dispatch.  The total task
+    time is attributed across components proportionally to their size,
+    so summed ``cpu_seconds`` telemetry stays meaningful.
+
+    Only the ``"lbfgs"`` solver batches; any other configuration falls
+    back to a per-component loop (the planner never groups for them, so
+    this is defense in depth).
+    """
+    n = len(components)
+    warm_list = list(warm_starts) if warm_starts is not None else [None] * n
+    if config.solver != "lbfgs":
+        return [
+            solve_component(component, config, warm)
+            for component, warm in zip(components, warm_list)
+        ]
+
+    with Timer() as timer:
+        out: list[ComponentSolve | None] = [None] * n
+        numeric: list[int] = []
+        blocks = []
+        x0s: list[np.ndarray | None] = []
+        reductions: list[tuple[PresolveResult | None, int]] = []
+        for index, component in enumerate(components):
+            system, mass, reduction, fixed_count = _reduce(component, config)
+            if system.n_vars == 0 or mass <= 1e-15:
+                out[index] = _forced_solve(
+                    component, config, reduction, fixed_count
+                )
+                continue
+            block = DualBlock.from_system(system, mass)
+            numeric.append(index)
+            blocks.append(block)
+            x0s.append(_usable_warm_start(warm_list[index], block.n_params))
+            reductions.append((reduction, fixed_count))
+
+        batch = solve_batch_dual(
+            blocks,
+            tol=config.tol,
+            max_iterations=config.max_iterations,
+            x0s=x0s,
+        )
+        for position, index in enumerate(numeric):
+            reduction, fixed_count = reductions[position]
+            out[index] = _package_solve(
+                components[index],
+                config,
+                reduction,
+                fixed_count,
+                batch.results[position],
+                batched=batch.batched[position],
             )
-    stats.seconds = timer.seconds
-    stats.cpu_seconds = timer.seconds
-    return ComponentSolve(p=p_local, stats=stats, multipliers=multipliers)
+
+    solves = [solve for solve in out if solve is not None]
+    assert len(solves) == n
+    # Attribute the batch's wall time across components by problem size
+    # (the residual per-component signal telemetry consumers sum over).
+    weights = np.array([max(c.n_vars, 1) for c in components], dtype=float)
+    shares = timer.seconds * weights / weights.sum()
+    for solve, share in zip(solves, shares):
+        solve.stats.seconds = float(share)
+        solve.stats.cpu_seconds = float(share)
+    return solves
 
 
 def solve_component_task(
@@ -160,3 +277,30 @@ def solve_component_task(
     """Single-argument wrapper for ``Executor.map`` (and pickling)."""
     component, config, warm_start = job
     return solve_component(component, config, warm_start)
+
+
+def solve_component_group_task(
+    job: tuple[
+        list[Component],
+        MaxEntConfig,
+        list[np.ndarray | None],
+        list[str | None],
+    ],
+) -> list[ComponentSolve]:
+    """Executor task solving one *group* of components as a unit.
+
+    The engine fans groups out instead of single components so that a
+    batch group crosses the executor seam (thread/process/cluster) as
+    one work item.  Singleton groups take the plain per-component path;
+    larger groups take the stacked dual.  The fourth element carries the
+    engine-computed solve fingerprints — unused for local solving, but
+    the cluster executor reads them so cold cluster solves stop
+    fingerprinting every component twice.
+    """
+    components, config, warm_starts, _fingerprints = job
+    if len(components) > 1:
+        return solve_component_batch(components, config, warm_starts)
+    return [
+        solve_component(component, config, warm)
+        for component, warm in zip(components, warm_starts)
+    ]

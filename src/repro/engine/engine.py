@@ -29,10 +29,10 @@ import threading
 import numpy as np
 
 from repro.engine.cache import CacheEntry, SolveCache, WarmStartStore
-from repro.engine.component import ComponentSolve, solve_component_task
+from repro.engine.component import ComponentSolve, solve_component_group_task
 from repro.engine.executors import create_executor
 from repro.engine.fingerprint import component_fingerprint, structure_fingerprint
-from repro.engine.plan import ExecutionPlan, build_plan
+from repro.engine.plan import ExecutionPlan, bin_batch_groups, build_plan
 from repro.errors import InfeasibleKnowledgeError, ReproError, SolverError
 from repro.maxent.closed_form import closed_form_batch
 from repro.maxent.config import MaxEntConfig
@@ -75,6 +75,39 @@ def _check_component(
             solver=config.solver,
             iterations=stats.iterations,
         )
+
+
+def _group_work(
+    entries: list[tuple],
+    groups: list[list[int]],
+    key_of,
+) -> list[list[tuple]]:
+    """Bin work entries into executor units (batch groups + singletons).
+
+    ``groups`` lists the keys belonging together (a plan's
+    ``batch_groups`` of positions, or :func:`bin_batch_groups` output
+    over indices); ``key_of(entry, index)`` maps an entry to its key.
+    Order-preserving: a batch group appears at its first present
+    member's position, ungrouped entries stay individual — so groups
+    thinned by cache hits simply shrink.
+    """
+    member_of: dict[int, int] = {}
+    for group_index, group in enumerate(groups):
+        for key in group:
+            member_of[key] = group_index
+    units: list[list[tuple]] = []
+    unit_by_group: dict[int, list[tuple]] = {}
+    for index, entry in enumerate(entries):
+        group_index = member_of.get(key_of(entry, index))
+        if group_index is None:
+            units.append([entry])
+            continue
+        unit = unit_by_group.get(group_index)
+        if unit is None:
+            unit = unit_by_group[group_index] = []
+            units.append(unit)
+        unit.append(entry)
+    return units
 
 
 class PrivacyEngine:
@@ -120,6 +153,9 @@ class PrivacyEngine:
         # Components solved through the shard-runtime entry point
         # (solve_components) — full solves count in n_solves instead.
         self.component_solves = 0
+        # Components solved through the stacked block-diagonal dual
+        # rather than their own optimizer call (the opt-in batched path).
+        self.batched_components = 0
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
         # Construction-side phase accumulators (the observability
@@ -200,6 +236,7 @@ class PrivacyEngine:
         with self._telemetry_lock:
             n_solves = self.n_solves
             component_solves = self.component_solves
+            batched_components = self.batched_components
             wall = self.wall_seconds
             cpu = self.cpu_seconds
             build = self.build_seconds
@@ -210,6 +247,7 @@ class PrivacyEngine:
             "workers": getattr(self._executor, "workers", 1),
             "n_solves": n_solves,
             "component_solves": component_solves,
+            "batched_components": batched_components,
             "wall_seconds": wall,
             "cpu_seconds": cpu,
             "build_seconds": build,
@@ -314,22 +352,44 @@ class PrivacyEngine:
             )
 
         if pending:
+            # The shard path bins its pending bundles into batch groups
+            # exactly like a full solve's plan would (the coordinator
+            # scattered per-fingerprint, so grouping happens here, where
+            # the components actually run).
+            units = _group_work(
+                pending,
+                bin_batch_groups(
+                    [component.n_vars for _, component, _, _ in pending],
+                    config,
+                    workers=getattr(self._executor, "workers", 1),
+                ),
+                lambda entry, index: index,
+            )
             jobs = [
-                (component, config, warm)
-                for _, component, _, warm in pending
+                (
+                    [component for _, component, _, _ in unit],
+                    config,
+                    [warm for _, _, _, warm in unit],
+                    [fingerprint for _, _, fingerprint, _ in unit],
+                )
+                for unit in units
             ]
-            results = self._executor.imap(solve_component_task, jobs)
-            for (position, component, fingerprint, _), result in zip(
-                pending, results
-            ):
-                out[position] = (result, False)
-                if caching and result.stats.converged:
-                    self.cache.put(
-                        fingerprint,
-                        CacheEntry(p=result.p, stats=result.stats),
-                    )
+            results = self._executor.imap(solve_component_group_task, jobs)
+            batched = 0
+            for unit, unit_results in zip(units, results):
+                for (position, component, fingerprint, _), result in zip(
+                    unit, unit_results
+                ):
+                    out[position] = (result, False)
+                    batched += result.stats.batched_components
+                    if caching and result.stats.converged:
+                        self.cache.put(
+                            fingerprint,
+                            CacheEntry(p=result.p, stats=result.stats),
+                        )
             with self._telemetry_lock:
                 self.component_solves += len(pending)
+                self.batched_components += batched
 
         for position, earlier in duplicate_of.items():
             solved = out[earlier]
@@ -540,33 +600,49 @@ class PrivacyEngine:
         if not pending:
             return 0.0, fingerprint_seconds
 
+        # Work units: the plan's batch groups (minus cache hits) dispatch
+        # as single stacked-dual items, everything else individually.
+        units = _group_work(
+            pending, plan.batch_groups, lambda entry, index: entry[0]
+        )
+
         jobs = [
             (
-                component,
+                [component for _, component, _, _ in unit],
                 config,
-                self.warm_starts.get(structure) if structure else None,
+                [
+                    self.warm_starts.get(structure) if structure else None
+                    for _, _, _, structure in unit
+                ],
+                [fingerprint for _, _, fingerprint, _ in unit],
             )
-            for _, component, _, structure in pending
+            for unit in units
         ]
-        results = self._executor.imap(solve_component_task, jobs)
+        results = self._executor.imap(solve_component_group_task, jobs)
 
         cpu_seconds = 0.0
-        for (pos, component, fingerprint, structure), result in zip(
-            pending, results
-        ):
-            p[component.var_indices] = result.p
-            stats_by_position[pos] = result.stats
-            cpu_seconds += result.stats.seconds
-            if fingerprint is not None and result.stats.converged:
-                self.cache.put(
-                    fingerprint, CacheEntry(p=result.p, stats=result.stats)
-                )
-            if structure is not None and result.multipliers is not None:
-                self.warm_starts.put(structure, result.multipliers)
-            # Fail fast: a contradictory knowledge set aborts here, at the
-            # first bad component — under the serial executor the remaining
-            # components are never solved at all.
-            _check_component(component, result.stats, config)
+        batched = 0
+        for unit, unit_results in zip(units, results):
+            for (pos, component, fingerprint, structure), result in zip(
+                unit, unit_results
+            ):
+                p[component.var_indices] = result.p
+                stats_by_position[pos] = result.stats
+                cpu_seconds += result.stats.seconds
+                batched += result.stats.batched_components
+                if fingerprint is not None and result.stats.converged:
+                    self.cache.put(
+                        fingerprint, CacheEntry(p=result.p, stats=result.stats)
+                    )
+                if structure is not None and result.multipliers is not None:
+                    self.warm_starts.put(structure, result.multipliers)
+                # Fail fast: a contradictory knowledge set aborts here, at
+                # the first bad component — under the serial executor the
+                # remaining components are never solved at all.
+                _check_component(component, result.stats, config)
+        if batched:
+            with self._telemetry_lock:
+                self.batched_components += batched
         return cpu_seconds, fingerprint_seconds
 
     # -- reassembly ----------------------------------------------------------
@@ -593,6 +669,7 @@ class PrivacyEngine:
         all_converged = True
         presolve_fixed = 0
         cache_hits = 0
+        batched_components = 0
 
         for pos, component in enumerate(plan.components):
             stats = stats_by_position[pos]
@@ -605,6 +682,7 @@ class PrivacyEngine:
             all_converged = all_converged and stats.converged
             presolve_fixed += stats.presolve_fixed
             cache_hits += stats.cache_hits
+            batched_components += stats.batched_components
 
         aggregate = SolverStats(
             solver=config.solver,
@@ -620,6 +698,7 @@ class PrivacyEngine:
             presolve_fixed=presolve_fixed,
             cpu_seconds=cpu_seconds,
             cache_hits=cache_hits,
+            batched_components=batched_components,
             build_seconds=build_seconds,
             decompose_seconds=plan.decompose_seconds,
             fingerprint_seconds=fingerprint_seconds,

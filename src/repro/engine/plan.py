@@ -4,13 +4,18 @@ A plan is the engine's unit of scheduling: the decomposition's components,
 split into the *batched closed-form* path (irrelevant components of a
 group space, Definition 5.6 — all solved in one vectorized Eq. (9) call)
 and the *numeric* path (everything touched by knowledge, fanned out across
-the configured executor).  Keeping the classification separate from
-execution is what lets later scaling work (sharding, async serving)
+the configured executor).  When the config opts into the batched dual
+solver, the numeric path is additionally binned into *batch groups* —
+sets of small components an executor dispatches as one work item and
+solves through one stacked block-diagonal dual
+(:mod:`repro.maxent.batch_dual`).  Keeping the classification separate
+from execution is what lets later scaling work (sharding, async serving)
 schedule the same plan differently.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.maxent.config import MaxEntConfig
@@ -31,6 +36,10 @@ class ExecutionPlan:
     closed_form: list[int] = field(default_factory=list)
     #: Positions solved numerically (presolve + configured solver).
     numeric: list[int] = field(default_factory=list)
+    #: Disjoint subsets of ``numeric`` (small components only) scheduled
+    #: as single stacked-dual work items; positions in no group dispatch
+    #: individually.
+    batch_groups: list[list[int]] = field(default_factory=list)
     executor: str = "serial"
     workers: int | None = None
     #: Wall time of the Section 5.5 decomposition that produced the plan.
@@ -43,11 +52,56 @@ class ExecutionPlan:
 
     def describe(self) -> str:
         """One-line summary for logs and diagnostics."""
+        grouped = sum(len(group) for group in self.batch_groups)
+        batching = (
+            f", {grouped} batched into {len(self.batch_groups)} "
+            "stacked dual(s)"
+            if self.batch_groups
+            else ""
+        )
         return (
             f"{self.n_components} component(s): {len(self.closed_form)} "
             f"closed-form (batched), {len(self.numeric)} numeric via "
-            f"{self.executor!r} executor"
+            f"{self.executor!r} executor{batching}"
         )
+
+
+def bin_batch_groups(
+    sizes: list[int],
+    config: MaxEntConfig,
+    *,
+    workers: int | None = None,
+) -> list[list[int]]:
+    """Bin work items (given their variable counts) into batch groups.
+
+    Returns lists of *positions into ``sizes``*: items whose size is at
+    most ``config.batch_max_vars`` are grouped in order, at most
+    ``config.batch_components`` per group — and when a pooled executor
+    offers ``workers`` slots, groups are split further so the fan-out
+    keeps every slot busy.  Groups always hold >= 2 items (a singleton
+    gains nothing from stacking); ineligible or leftover items are
+    simply absent.  Used by both :func:`build_plan` (full solves) and
+    the engine's shard entry point (pre-fingerprinted bundles).
+    """
+    if not config.batching_enabled:
+        return []
+    eligible = [
+        position
+        for position, size in enumerate(sizes)
+        if size <= config.batch_max_vars
+    ]
+    if len(eligible) < 2:
+        return []
+    per_group = config.batch_components
+    if workers and workers > 1:
+        per_group = min(
+            per_group, max(math.ceil(len(eligible) / workers), 2)
+        )
+    groups = [
+        eligible[start : start + per_group]
+        for start in range(0, len(eligible), per_group)
+    ]
+    return [group for group in groups if len(group) >= 2]
 
 
 def build_plan(
@@ -76,4 +130,21 @@ def build_plan(
             plan.closed_form.append(position)
         else:
             plan.numeric.append(position)
+    groups = bin_batch_groups(
+        [components[pos].n_vars for pos in plan.numeric],
+        config,
+        workers=_fanout_width(config),
+    )
+    plan.batch_groups = [
+        [plan.numeric[index] for index in group] for group in groups
+    ]
     return plan
+
+
+def _fanout_width(config: MaxEntConfig) -> int | None:
+    """Parallel slots the executor offers (grouping granularity hint)."""
+    if config.executor in ("thread", "process"):
+        import os
+
+        return config.workers or os.cpu_count() or 1
+    return None

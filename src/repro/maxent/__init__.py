@@ -1,5 +1,6 @@
 """The MaxEnt engine: variable spaces, constraints, presolve, solvers."""
 
+from repro.maxent.batch_dual import BatchDualResult, solve_batch_dual
 from repro.maxent.constraints import (
     ConstraintSystem,
     Row,
@@ -12,6 +13,7 @@ from repro.maxent.solution import MaxEntSolution, SolverStats
 from repro.maxent.solver import MaxEntConfig, solve_maxent
 
 __all__ = [
+    "BatchDualResult",
     "ConstraintSystem",
     "GroupVariableSpace",
     "MaxEntConfig",
@@ -23,5 +25,6 @@ __all__ = [
     "component_table",
     "convergence_summary",
     "data_constraints",
+    "solve_batch_dual",
     "solve_maxent",
 ]

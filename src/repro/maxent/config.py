@@ -9,12 +9,26 @@ working.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
 _SOLVER_NAMES = ("lbfgs", "newton", "gis", "iis", "primal")
 _EXECUTOR_NAMES = ("serial", "thread", "process", "cluster")
+
+
+def _env_int(name: str, fallback: int) -> int:
+    """Integer default read from the environment (deploy-time override)."""
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError:
+        raise ReproError(
+            f"environment variable {name}={raw!r} is not an integer"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -71,6 +85,24 @@ class MaxEntConfig:
         component (same rows, different right-hand sides) as the starting
         point of the next solve.  Changes only the iteration count, never
         the converged solution.
+    batch_components:
+        Upper bound on how many small components the engine stacks into
+        one block-diagonal dual and solves with a single vectorized
+        L-BFGS loop (:mod:`repro.maxent.batch_dual`) — the cure for
+        many-tiny-component workloads where per-``scipy.optimize``
+        dispatch overhead dominates.  ``0`` (the default) disables
+        batching: batched results agree with per-component solves only
+        within ``tol`` (the stacked trajectory differs in the last bits),
+        so workflows that rely on *bit*-replay across different
+        grouping/caching states must leave it off.  Only the ``"lbfgs"``
+        solver batches.  Default overridable via the
+        ``REPRO_BATCH_COMPONENTS`` environment variable.
+    batch_max_vars:
+        Size threshold of the batched path: only components with at most
+        this many variables are binned into batch groups (large
+        components amortize their own dispatch overhead and keep better
+        per-problem curvature handling solo).  Default overridable via
+        ``REPRO_BATCH_MAX_VARS``.
     """
 
     solver: str = "lbfgs"
@@ -92,6 +124,13 @@ class MaxEntConfig:
     cache_path: str | None = None
     warm_start: bool = True
     cluster_workers: str | None = None
+    # Batched block-diagonal dual solve (repro.maxent.batch_dual).
+    batch_components: int = field(
+        default_factory=lambda: _env_int("REPRO_BATCH_COMPONENTS", 0)
+    )
+    batch_max_vars: int = field(
+        default_factory=lambda: _env_int("REPRO_BATCH_MAX_VARS", 96)
+    )
 
     def __post_init__(self) -> None:
         if self.solver not in _SOLVER_NAMES:
@@ -113,6 +152,26 @@ class MaxEntConfig:
             raise ReproError(
                 f"cache_size must be non-negative, got {self.cache_size}"
             )
+        if self.batch_components < 0:
+            raise ReproError(
+                f"batch_components must be non-negative, got "
+                f"{self.batch_components}"
+            )
+        if self.batch_max_vars <= 0:
+            raise ReproError(
+                f"batch_max_vars must be positive, got {self.batch_max_vars}"
+            )
+
+    @property
+    def batching_enabled(self) -> bool:
+        """True when small components may take the batched dual path.
+
+        Batching stacks many components into one block-diagonal dual, so
+        it only applies to the L-BFGS dual solver; results then agree
+        with per-component solves within ``tol`` rather than bit for bit
+        (see ``batch_components``).
+        """
+        return self.batch_components > 1 and self.solver == "lbfgs"
 
     def solve_key(self) -> tuple:
         """The configuration facets a cached solution depends on.
@@ -120,7 +179,11 @@ class MaxEntConfig:
         Two configs with equal ``solve_key()`` produce the same solution for
         the same constraint system, so cache entries are shared across
         executor/cache-bookkeeping differences but never across solver or
-        tolerance changes.
+        tolerance changes.  The batching knobs are deliberately excluded:
+        batched and per-component solves converge to the same optimum
+        within ``tol``, so their cache entries are interchangeable — and
+        keys (hence persisted caches and cluster routing) stay identical
+        whichever path produced them.
         """
         return (
             self.solver,

@@ -26,7 +26,6 @@ from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
-from scipy.special import logsumexp
 
 from repro.errors import ReproError
 from repro.maxent.constraints import ConstraintSystem
@@ -72,10 +71,18 @@ class DualProblem:
         return self.mass * weights / weights.sum()
 
     def value_and_grad(self, x: np.ndarray) -> tuple[float, np.ndarray]:
-        """Dual objective and gradient (the negated residual)."""
+        """Dual objective and gradient (the negated residual).
+
+        One ``theta`` matvec and one softmax serve both the objective and
+        the gradient — the dominant per-iteration cost is the two sparse
+        matvecs (``R^T x`` and ``R p``), not four.
+        """
         theta = self.theta(x)
-        value = self.mass * float(logsumexp(theta)) + float(x @ self.rhs)
-        p = self.primal(x)
+        shift = theta.max()
+        weights = np.exp(theta - shift)
+        total = weights.sum()
+        value = self.mass * float(shift + np.log(total)) + float(x @ self.rhs)
+        p = self.mass * weights / total
         grad = self.rhs - self.matrix @ p
         return value, grad
 

@@ -111,9 +111,215 @@ def _work_rows(arrays) -> list[_WorkRow]:
     ]
 
 
+def _reduction4_fires(eq, row_mask: np.ndarray | None = None) -> bool:
+    """Would reduction 4 fire on any (masked) equality row?
+
+    A zero-rhs row whose non-negligible coefficients all share one sign
+    forces its variables to zero.  Shared by :func:`_quiescent` and the
+    :func:`_single_fix_round` pre-check — the fast path's quiescence
+    proof is only sound while the two use the *same* detection.
+    """
+    zero_rhs = np.abs(eq.rhs) <= _TOL
+    if row_mask is not None:
+        zero_rhs &= row_mask
+    if not bool(zero_rhs.any()):
+        return False
+    starts = eq.indptr[:-1]
+    row_max = np.maximum.reduceat(eq.coefficients, starts)
+    row_min = np.minimum.reduceat(eq.coefficients, starts)
+    mixed = (row_max > _TOL) & (row_min < -_TOL)
+    tiny = (np.abs(row_max) <= _TOL) & (np.abs(row_min) <= _TOL)
+    return bool((zero_rhs & ~mixed & ~tiny).any())
+
+
+def _quiescent(system: ConstraintSystem) -> bool:
+    """True when no reduction can fire on ``system`` as given.
+
+    The vectorized pre-check of the common case: a small decomposed
+    component whose rows eliminate nothing.  Conservative — any doubt
+    (a single-variable row, a zero-rhs same-sign row, a duplicate left
+    side, an all-positive inequality with non-positive rhs) falls back
+    to the full fixed-point loop, so this only skips work that loop
+    would prove to be a no-op.  It turns presolve from the dominant
+    per-component Python cost into a handful of ``reduceat`` calls,
+    which matters when a solve is thousands of tiny components.
+    """
+    eq = system.equality_arrays()
+    ineq = system.inequality_arrays()
+
+    if eq.n_rows:
+        lengths = eq.row_lengths()
+        if bool((lengths <= 1).any()):
+            return False
+        if _reduction4_fires(eq):
+            return False
+        # Reduction 5 fires on duplicate left sides: compare rows by
+        # their canonically sorted (index, coefficient) bytes.
+        row_ids = np.repeat(
+            np.arange(eq.n_rows, dtype=np.int64), lengths
+        )
+        order = np.lexsort((eq.indices, row_ids))
+        index_bytes = np.ascontiguousarray(
+            eq.indices[order], dtype=np.int64
+        ).tobytes()
+        coeff_bytes = np.round(eq.coefficients[order], 12).tobytes()
+        seen = set()
+        for row in range(eq.n_rows):
+            lo, hi = int(eq.indptr[row]) * 8, int(eq.indptr[row + 1]) * 8
+            key = (index_bytes[lo:hi], coeff_bytes[lo:hi])
+            if key in seen:
+                return False
+            seen.add(key)
+
+    if ineq.n_rows:
+        lengths = ineq.row_lengths()
+        if bool((lengths == 0).any()):
+            return False
+        starts = ineq.indptr[:-1]
+        row_min = np.minimum.reduceat(ineq.coefficients, starts)
+        # An all-positive row fixes zeros (rhs ~ 0) or is infeasible
+        # (rhs < 0); either way the full loop must run.
+        if bool(((row_min > _TOL) & (ineq.rhs <= _TOL)).any()):
+            return False
+
+    return True
+
+
+def _single_fix_round(system: ConstraintSystem) -> PresolveResult | None:
+    """One vectorized round of single-variable eliminations.
+
+    The dominant decomposed-component shape — a handful of invariant
+    rows plus knowledge rows that each pin exactly one variable — runs
+    the full fixed-point loop for precisely one round of reduction 3
+    followed by one substitution pass.  This applies that round with
+    array operations and then *proves* (via :func:`_quiescent` on the
+    reduced system) that the loop would have stopped there; any other
+    shape returns ``None`` and takes the full loop.  Infeasibilities the
+    loop would raise in that round (a pin outside [0, 1]) raise
+    identically here.
+    """
+    eq = system.equality_arrays()
+    ineq = system.inequality_arrays()
+    if eq.n_rows == 0:
+        return None
+    lengths = eq.row_lengths()
+    if bool((lengths == 0).any()):
+        return None
+    single = np.nonzero(lengths == 1)[0]
+    if single.size == 0:
+        return None
+
+    # Reduction 4 (zero-rhs same-sign rows) fires in the same round as
+    # the single-variable fixes but substitution can move such a row's
+    # rhs off zero, hiding it from the post-round quiescence proof — so
+    # its absence on the *original* multi rows must be checked up front.
+    # (Duplicate rows, emptied rows and inequality reductions survive
+    # substitution in detectable form; the post-check handles them.)
+    if _reduction4_fires(eq, row_mask=lengths >= 2):
+        return None
+
+    entries = eq.indptr[single]
+    fixed_vars = eq.indices[entries]
+    if np.unique(fixed_vars).size != fixed_vars.size:
+        # Two rows pinning one variable: the full loop's conflict
+        # handling (identical values merge, conflicting ones raise)
+        # must decide.
+        return None
+    values = eq.rhs[single] / eq.coefficients[entries]
+    bad = (values < -_TOL) | (values > 1.0 + 1e-9)
+    if bool(bad.any()):
+        row = int(single[np.nonzero(bad)[0][0]])
+        value = float(values[np.nonzero(bad)[0][0]])
+        raise InfeasibleKnowledgeError(
+            f"constraint {eq.labels[row]!r} forces P = {value:.3e}, "
+            "outside [0, 1]"
+        )
+    values = np.clip(values, 0.0, 1.0)
+
+    n_vars = system.n_vars
+    fixed_mask = np.zeros(n_vars, dtype=bool)
+    fixed_mask[fixed_vars] = True
+    value_of = np.zeros(n_vars)
+    value_of[fixed_vars] = values
+    free_vars = np.nonzero(~fixed_mask)[0]
+    remap = np.full(n_vars, -1, dtype=np.int64)
+    remap[free_vars] = np.arange(free_vars.size, dtype=np.int64)
+
+    reduced = ConstraintSystem(int(free_vars.size))
+
+    def substitute_family(arrays, keep_rows: np.ndarray, append_batch) -> None:
+        kept = np.nonzero(keep_rows)[0]
+        if kept.size == 0:
+            return
+        row_ids = np.repeat(
+            np.arange(arrays.n_rows, dtype=np.int64), arrays.row_lengths()
+        )
+        entry_fixed = fixed_mask[arrays.indices]
+        rhs = arrays.rhs - np.bincount(
+            row_ids,
+            weights=np.where(
+                entry_fixed,
+                arrays.coefficients * value_of[arrays.indices],
+                0.0,
+            ),
+            minlength=arrays.n_rows,
+        )
+        keep_entry = keep_rows[row_ids] & ~entry_fixed
+        new_lengths = np.bincount(
+            row_ids, weights=keep_entry, minlength=arrays.n_rows
+        ).astype(np.int64)[kept]
+        indptr = np.zeros(kept.size + 1, dtype=np.int64)
+        np.cumsum(new_lengths, out=indptr[1:])
+        append_batch(
+            indptr,
+            remap[arrays.indices[keep_entry]],
+            arrays.coefficients[keep_entry],
+            rhs[kept],
+            kinds=arrays.kind_codes[kept],
+            labels=[arrays.labels[int(r)] for r in kept],
+            validate=False,
+        )
+
+    keep_eq = lengths >= 2
+    substitute_family(eq, keep_eq, reduced.add_equalities)
+    if ineq.n_rows:
+        substitute_family(
+            ineq,
+            np.ones(ineq.n_rows, dtype=bool),
+            reduced.add_inequalities,
+        )
+
+    if not _quiescent(reduced):
+        # The round uncovered follow-on work (a row emptied, a new
+        # single-variable row, a zero-rhs pattern): the fixed-point loop
+        # owns anything iterative.
+        return None
+    return PresolveResult(
+        original_n_vars=n_vars,
+        fixed_values={
+            int(var): float(value)
+            for var, value in zip(fixed_vars, values)
+        },
+        free_vars=free_vars,
+        system=reduced,
+        eliminated_rows=int(single.size),
+    )
+
+
 def presolve(system: ConstraintSystem) -> PresolveResult:
     """Run the reductions to a fixed point and return the reduced problem."""
     n_vars = system.n_vars
+    if _quiescent(system):
+        return PresolveResult(
+            original_n_vars=n_vars,
+            fixed_values={},
+            free_vars=np.arange(n_vars, dtype=np.int64),
+            system=system,
+            eliminated_rows=0,
+        )
+    fast = _single_fix_round(system)
+    if fast is not None:
+        return fast
     eq_rows = _work_rows(system.equality_arrays())
     ineq_rows = _work_rows(system.inequality_arrays())
 

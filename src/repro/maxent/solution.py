@@ -24,7 +24,11 @@ class SolverStats:
     than ``cpu_seconds``, the summed compute time of the individual
     component solves (equal to ``seconds`` up to overhead when serial).
     ``cache_hits`` counts components served from the engine's solve cache
-    without any numeric work this run.
+    without any numeric work this run.  ``batched_components`` counts
+    components solved through the stacked block-diagonal dual
+    (:mod:`repro.maxent.batch_dual`) rather than their own optimizer
+    call — ``1`` on such a component's own record, the sum on the
+    aggregate.
 
     The three construction-phase timers break out where a solve's
     non-numeric time went: ``build_seconds`` (variable-space indexing,
@@ -49,6 +53,7 @@ class SolverStats:
     message: str = ""
     cpu_seconds: float = 0.0
     cache_hits: int = 0
+    batched_components: int = 0
     build_seconds: float = 0.0
     decompose_seconds: float = 0.0
     fingerprint_seconds: float = 0.0
