@@ -13,15 +13,26 @@ the many-small-component synthetic workloads (shared
 
 - *cold batched vs cold per-component* — the headline; the largest
   workload must hold the ``SPEEDUP_FLOOR``,
+- *default config* — batching is on by default since the v3 contract,
+  so a knob-free ``MaxEntConfig()`` must hold the same floor: the
+  speedup ships, it is not opt-in,
 - *equivalence* — batched posteriors must agree with per-component
   posteriors within solver tolerance on every workload, with both
   engines recording identical per-component cache fingerprints,
 - *warm repeat* — a second batched solve must replay entirely from the
   solve cache (batching must not disturb cache semantics).
 
+A second bench races the segment-kernel backends
+(`repro.maxent.kernels`) through the stacked dual of the largest
+workload: the numpy reference always runs (the fallback path is
+exercised every run), and when numba is installed its JIT backend must
+hold ``KERNEL_SPEEDUP_FLOOR`` over numpy while agreeing within
+tolerance.
+
 Besides the usual ``benchmarks/results/`` artifacts it appends each
-run's trajectory to ``BENCH_solver.json`` at the repo root, so the
-speedup can be diffed across commits.
+run's trajectory (workload rows plus per-kernel entries) to
+``BENCH_solver.json`` at the repo root, so the speedup can be diffed
+across commits.
 """
 
 from __future__ import annotations
@@ -56,6 +67,11 @@ SPEEDUP_FLOOR = 3.0
 #: a different last-ulps point of the same optimum, so posteriors agree
 #: to a small multiple of the solver tolerance (1e-6), not bit-for-bit.
 EQUIVALENCE_ATOL = 1e-4
+
+#: Minimum stacked-kernel speedup the numba backend must hold over the
+#: numpy reference on the largest workload (asserted only where numba
+#: is installed — the optional-extras CI job).
+KERNEL_SPEEDUP_FLOOR = 1.5
 
 #: Wide QI domains keep bucket components decoupled (a shared QI tuple
 #: merges buckets into one large component); small l and few SA values
@@ -112,6 +128,18 @@ def test_batched_solver_scaling(benchmark, results_dir):
                 stacked = batch_engine.solve(space, system, batched)
             batched_seconds = t.seconds
 
+            # The knob-free default: batching is on out of the box
+            # (v3 contract), so MaxEntConfig() itself must batch and
+            # hold the floor — the speedup ships, it is not opt-in.
+            default = MaxEntConfig(raise_on_infeasible=False)
+            with PrivacyEngine(cache_size=0) as default_engine:
+                with Timer() as t:
+                    shipped = default_engine.solve(space, system, default)
+            default_seconds = t.seconds
+            assert shipped.stats.converged
+            assert shipped.stats.batched_components > 0
+            assert np.abs(shipped.p - baseline.p).max() <= EQUIVALENCE_ATOL
+
             # Correctness-equivalence is the precondition for any
             # speedup number.
             assert baseline.stats.converged
@@ -143,6 +171,11 @@ def test_batched_solver_scaling(benchmark, results_dir):
                 if batched_seconds > 0
                 else float("inf")
             )
+            default_speedup = (
+                per_component_seconds / default_seconds
+                if default_seconds > 0
+                else float("inf")
+            )
             rows.append(
                 [
                     name,
@@ -151,8 +184,10 @@ def test_batched_solver_scaling(benchmark, results_dir):
                     stacked.stats.batched_components,
                     per_component_seconds,
                     batched_seconds,
+                    default_seconds,
                     warm_seconds,
                     speedup,
+                    default_speedup,
                 ]
             )
             trajectory.append(
@@ -164,8 +199,10 @@ def test_batched_solver_scaling(benchmark, results_dir):
                     "batched_components": stacked.stats.batched_components,
                     "per_component_seconds": per_component_seconds,
                     "batched_seconds": batched_seconds,
+                    "default_config_seconds": default_seconds,
                     "warm_repeat_seconds": warm_seconds,
                     "speedup": speedup,
+                    "default_config_speedup": default_speedup,
                 }
             )
         return rows, trajectory
@@ -179,8 +216,10 @@ def test_batched_solver_scaling(benchmark, results_dir):
         "batched",
         "per-component (s)",
         "batched (s)",
+        "default config (s)",
         "warm repeat (s)",
         "speedup",
+        "default speedup",
     ]
     table = render_table(
         columns,
@@ -205,7 +244,103 @@ def test_batched_solver_scaling(benchmark, results_dir):
 
     largest = rows[-1]
     assert largest[0] == "large"
-    assert largest[7] >= SPEEDUP_FLOOR, (
-        f"batched cold-solve speedup {largest[7]:.2f}x on the largest "
+    assert largest[8] >= SPEEDUP_FLOOR, (
+        f"batched cold-solve speedup {largest[8]:.2f}x on the largest "
         f"workload fell below the {SPEEDUP_FLOOR:.1f}x floor"
     )
+    assert largest[9] >= SPEEDUP_FLOOR, (
+        f"knob-free default-config speedup {largest[9]:.2f}x on the "
+        f"largest workload fell below the {SPEEDUP_FLOOR:.1f}x floor — "
+        "the default-on batching contract is not delivering"
+    )
+
+
+@pytest.mark.benchmark(group="solver")
+def test_segment_kernel_backends(benchmark, results_dir):
+    """Race the kernel backends through the largest workload's stack.
+
+    The numpy reference always runs — so the fallback path every
+    numba-less host takes is exercised in the same run — and when numba
+    is importable its backend must agree within tolerance and hold
+    ``KERNEL_SPEEDUP_FLOOR`` over numpy.  Every backend timed here gets
+    a ``kernel=<name>`` entry in ``BENCH_solver.json``.
+    """
+    from repro.engine.component import _reduce
+    from repro.engine.plan import build_plan
+    from repro.maxent.batch_dual import DualBlock, solve_batch_dual
+    from repro.maxent.kernels import available_backends
+
+    config = MaxEntConfig(raise_on_infeasible=False)
+    space, system = _build(_workloads()["large"])
+    plan = build_plan(space, system, config)
+    blocks = []
+    for position in plan.numeric:
+        component = plan.components[position]
+        reduced, mass, _, _ = _reduce(component, config)
+        if reduced.n_vars == 0 or mass <= 1e-15:
+            continue
+        blocks.append(DualBlock.from_system(reduced, mass))
+    assert len(blocks) > 100, "workload must stack many small blocks"
+
+    def race():
+        timings = {}
+        posteriors = {}
+        for name in available_backends():
+            # One untimed pass absorbs one-time costs (JIT compilation
+            # for numba) so the race measures steady-state kernels.
+            solve_batch_dual(blocks[:32], tol=config.tol, kernel=name)
+            with Timer() as t:
+                result = solve_batch_dual(
+                    blocks, tol=config.tol, kernel=name
+                )
+            timings[name] = t.seconds
+            posteriors[name] = result
+        return timings, posteriors
+
+    timings, posteriors = benchmark.pedantic(race, rounds=1, iterations=1)
+
+    reference = posteriors["numpy"]
+    assert all(r.converged for r in reference.results)
+    for name, batch in posteriors.items():
+        for ref, got in zip(reference.results, batch.results):
+            assert np.abs(got.p - ref.p).max() <= EQUIVALENCE_ATOL
+
+    rows = [
+        [name, len(blocks), timings[name], timings["numpy"] / timings[name]]
+        for name in sorted(timings)
+    ]
+    columns = ["kernel", "blocks", "stacked solve (s)", "vs numpy"]
+    table = render_table(
+        columns, rows, title="Segment-kernel backends (stacked dual)"
+    )
+    save_result(results_dir, "solver_kernels", table)
+    save_json(results_dir, "solver_kernels", columns, rows)
+
+    bench_path = REPO_ROOT / "BENCH_solver.json"
+    payload = {"name": "solver_batching", "runs": []}
+    if bench_path.exists():
+        try:
+            existing = json.loads(bench_path.read_text())
+            if isinstance(existing.get("runs"), list):
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload.setdefault("kernel_speedup_floor", KERNEL_SPEEDUP_FLOOR)
+    kernel_entries = payload.setdefault("kernels", [])
+    for name in sorted(timings):
+        kernel_entries.append(
+            {
+                "kernel": name,
+                "blocks": len(blocks),
+                "stacked_seconds": timings[name],
+                "speedup_vs_numpy": timings["numpy"] / timings[name],
+            }
+        )
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    if "numba" in timings:
+        speedup = timings["numpy"] / timings["numba"]
+        assert speedup >= KERNEL_SPEEDUP_FLOOR, (
+            f"numba stacked-kernel speedup {speedup:.2f}x fell below "
+            f"the {KERNEL_SPEEDUP_FLOOR:.1f}x floor"
+        )

@@ -72,6 +72,25 @@ def _add_engine_args(parser: argparse.ArgumentParser) -> None:
             "(default: the REPRO_CLUSTER_WORKERS environment variable)"
         ),
     )
+    group.add_argument(
+        "--replay",
+        choices=("tolerance", "bitwise"),
+        default=None,
+        help=(
+            "solve-result contract: 'tolerance' (default) lets the batched "
+            "path trade bit-identity for speed; 'bitwise' forces the "
+            "per-component path so replays are bit-identical"
+        ),
+    )
+    group.add_argument(
+        "--kernel",
+        choices=("auto", "numpy", "numba"),
+        default=None,
+        help=(
+            "segment-kernel backend of the batched solver: 'auto' "
+            "(default) uses numba when installed, else the numpy reference"
+        ),
+    )
 
 
 def _engine_overrides(args: argparse.Namespace) -> dict:
@@ -85,6 +104,10 @@ def _engine_overrides(args: argparse.Namespace) -> dict:
         overrides["cache_size"] = args.cache_size
     if getattr(args, "cluster_workers", None) is not None:
         overrides["cluster_workers"] = args.cluster_workers
+    if getattr(args, "replay", None) is not None:
+        overrides["replay"] = args.replay
+    if getattr(args, "kernel", None) is not None:
+        overrides["kernel"] = args.kernel
     return overrides
 
 

@@ -16,13 +16,14 @@ scatter — routing and dedup stay per-fingerprint — and each worker's
 own engine re-bins the bundles it receives, so the batched dual path
 speeds the fleet up from inside the shards.
 
-Because results come back bit-exact (raw-bytes float encoding on the
-wire) and the engine's own cache/warm-start bookkeeping still runs on
-the gathered results, a cluster solve is indistinguishable from a local
-one to everything above the executor seam.  (With the opt-in batched
-solver the local/cluster agreement is within solver tolerance rather
-than bit-for-bit — grouping differs across the seam; see
-``MaxEntConfig.batch_components``.)
+Because the wire encoding is lossless (raw-bytes float payloads) and
+the engine's own cache/warm-start bookkeeping still runs on the
+gathered results, a cluster solve is indistinguishable from a local one
+to everything above the executor seam — within the solve-result
+contract: under the default ``replay="tolerance"`` local/cluster
+agreement is within solver tolerance (batch grouping differs across
+the seam), while ``replay="bitwise"`` forces the per-component path on
+both sides and round-trips bit-identical posteriors.
 """
 
 from __future__ import annotations

@@ -48,8 +48,14 @@ from repro.service.client import ServiceClient
 #: (v2: the solver config grew the ``batch_components``/``batch_max_vars``
 #: knobs, which a v1 worker's strict config decoder rejects — the bump
 #: turns a confusing unknown-key failure in a mixed-version fleet into
-#: the designed loud version-mismatch error.)
-SHARD_PROTOCOL = "privacy-maxent-shard/2"
+#: the designed loud version-mismatch error.
+#: v3: the solve-result contract is versioned — the config grew the
+#: ``replay``/``kernel`` knobs, batching is default-on, and cluster
+#: results are *tolerance*-equivalent to single-engine solves unless
+#: ``replay="bitwise"`` forces the per-component path.  A v2 peer would
+#: both reject the new config keys and assume the old bit-identical
+#: contract, so mixed fleets must fail loudly.)
+SHARD_PROTOCOL = "privacy-maxent-shard/3"
 
 
 def check_protocol(payload, what: str) -> None:

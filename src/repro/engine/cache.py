@@ -37,9 +37,9 @@ class CacheEntry:
         """Stats for a cache hit: no time spent, the hit counted.
 
         Iterations and residuals describe the stored solution (they are
-        properties of the returned vector); ``seconds``, ``cpu_seconds``
-        and ``batched_components`` are zeroed because this run did no
-        numeric work (batched or otherwise).
+        properties of the returned vector); ``seconds``, ``cpu_seconds``,
+        ``batched_components`` and ``kernel_backend`` are zeroed because
+        this run did no numeric work (batched or otherwise).
         """
         return replace(
             self.stats,
@@ -47,6 +47,7 @@ class CacheEntry:
             cpu_seconds=0.0,
             cache_hits=1,
             batched_components=0,
+            kernel_backend="",
         )
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.maxent.batch_dual import DualBlock, solve_batch_dual
 from repro.maxent.config import MaxEntConfig
+from repro.maxent.kernels import get_kernel
 from repro.maxent.decompose import Component
 from repro.maxent.dual import build_dual
 from repro.maxent.gis import solve_gis
@@ -149,6 +150,7 @@ def _package_solve(
     result: DualSolveResult,
     *,
     batched: bool = False,
+    kernel_backend: str = "",
 ) -> ComponentSolve:
     """Lift a dual result back to component coordinates with stats."""
     p_local = reduction.restore(result.p) if reduction is not None else result.p
@@ -166,6 +168,7 @@ def _package_solve(
         presolve_fixed=fixed_count,
         message=result.message,
         batched_components=1 if batched else 0,
+        kernel_backend=kernel_backend if batched else "",
     )
     return ComponentSolve(p=p_local, stats=stats, multipliers=multipliers)
 
@@ -223,6 +226,7 @@ def solve_component_batch(
             for component, warm in zip(components, warm_list)
         ]
 
+    kernel = get_kernel(config.kernel)
     with Timer() as timer:
         out: list[ComponentSolve | None] = [None] * n
         numeric: list[int] = []
@@ -247,6 +251,7 @@ def solve_component_batch(
             tol=config.tol,
             max_iterations=config.max_iterations,
             x0s=x0s,
+            kernel=kernel,
         )
         for position, index in enumerate(numeric):
             reduction, fixed_count = reductions[position]
@@ -257,6 +262,7 @@ def solve_component_batch(
                 fixed_count,
                 batch.results[position],
                 batched=batch.batched[position],
+                kernel_backend=kernel.name,
             )
 
     solves = [solve for solve in out if solve is not None]

@@ -36,6 +36,7 @@ from repro.engine.plan import ExecutionPlan, bin_batch_groups, build_plan
 from repro.errors import InfeasibleKnowledgeError, ReproError, SolverError
 from repro.maxent.closed_form import closed_form_batch
 from repro.maxent.config import MaxEntConfig
+from repro.maxent.kernels import get_kernel
 from repro.maxent.constraints import ConstraintSystem
 from repro.maxent.decompose import Component, drop_redundant_data_rows
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
@@ -44,9 +45,38 @@ from repro.utils.timer import Timer
 
 VariableSpace = GroupVariableSpace | PersonVariableSpace
 
-#: Version tag of the persisted-cache pickle; bump on incompatible changes
-#: so stale snapshots are ignored instead of mis-loaded.
-_CACHE_FORMAT = "privacy-maxent-solve-cache/1"
+#: Version tag of the persisted-cache pickle; bump on incompatible changes.
+#: (v3: the solve-result contract is versioned — ``SolverStats`` grew
+#: ``kernel_backend`` and entries are produced under the tolerance replay
+#: contract by default.  v1 snapshots migrate on load; any other version
+#: is rejected loudly, never silently served.)
+_CACHE_FORMAT = "privacy-maxent-solve-cache/3"
+
+#: The one older snapshot format :meth:`PrivacyEngine.load_cache` can
+#: migrate in place (entry layout unchanged; stats gain defaulted fields).
+_MIGRATABLE_CACHE_FORMATS = ("privacy-maxent-solve-cache/1",)
+
+#: Prefix every recognized snapshot format shares; an unknown version
+#: carrying it is a *stale or future cache*, not an arbitrary file.
+_CACHE_FORMAT_PREFIX = "privacy-maxent-solve-cache/"
+
+
+def _migrate_stats(stats) -> SolverStats:
+    """Rebuild a :class:`SolverStats` pickled by an older schema.
+
+    Unpickling a dataclass restores ``__dict__`` without running
+    ``__init__``, so a pre-v3 record lacks fields added since (e.g.
+    ``kernel_backend``) and would break ``dataclasses.replace`` on
+    replay.  Reconstruct through the constructor with defaults filled
+    in; unknown extra attributes are dropped.
+    """
+    import dataclasses
+
+    kwargs = {}
+    for field_ in dataclasses.fields(SolverStats):
+        if hasattr(stats, field_.name):
+            kwargs[field_.name] = getattr(stats, field_.name)
+    return SolverStats(**kwargs)
 
 
 def _check_component(
@@ -154,8 +184,11 @@ class PrivacyEngine:
         # (solve_components) — full solves count in n_solves instead.
         self.component_solves = 0
         # Components solved through the stacked block-diagonal dual
-        # rather than their own optimizer call (the opt-in batched path).
+        # rather than their own optimizer call (the default-on batched
+        # path under the tolerance replay contract).
         self.batched_components = 0
+        # Segment-kernel backends batched work actually ran on.
+        self.kernel_backends: set[str] = set()
         self.wall_seconds = 0.0
         self.cpu_seconds = 0.0
         # Construction-side phase accumulators (the observability
@@ -237,17 +270,37 @@ class PrivacyEngine:
             n_solves = self.n_solves
             component_solves = self.component_solves
             batched_components = self.batched_components
+            kernel_backends = sorted(self.kernel_backends)
             wall = self.wall_seconds
             cpu = self.cpu_seconds
             build = self.build_seconds
             decompose_s = self.decompose_seconds
             fingerprint_s = self.fingerprint_seconds
+        executor_shipping = getattr(self._executor, "shipping", None)
         return {
             "executor": self.executor_name,
             "workers": getattr(self._executor, "workers", 1),
             "n_solves": n_solves,
             "component_solves": component_solves,
             "batched_components": batched_components,
+            # The backend batched work ran on (joined when an engine's
+            # lifetime spans configs); before any batched work, the
+            # backend "auto" would resolve to on this host.
+            "kernel_backend": (
+                ",".join(kernel_backends) or get_kernel("auto").name
+            ),
+            # Shared-memory component shipping (process executor only;
+            # other backends report zeros).
+            "shipping": (
+                executor_shipping.as_dict()
+                if executor_shipping is not None
+                else {
+                    "segments_created": 0,
+                    "segments_reused": 0,
+                    "segments_freed": 0,
+                    "active_segments": 0,
+                }
+            ),
             "wall_seconds": wall,
             "cpu_seconds": cpu,
             "build_seconds": build,
@@ -376,12 +429,15 @@ class PrivacyEngine:
             ]
             results = self._executor.imap(solve_component_group_task, jobs)
             batched = 0
+            kernels_used: set[str] = set()
             for unit, unit_results in zip(units, results):
                 for (position, component, fingerprint, _), result in zip(
                     unit, unit_results
                 ):
                     out[position] = (result, False)
                     batched += result.stats.batched_components
+                    if result.stats.kernel_backend:
+                        kernels_used.add(result.stats.kernel_backend)
                     if caching and result.stats.converged:
                         self.cache.put(
                             fingerprint,
@@ -390,6 +446,7 @@ class PrivacyEngine:
             with self._telemetry_lock:
                 self.component_solves += len(pending)
                 self.batched_components += batched
+                self.kernel_backends |= kernels_used
 
         for position, earlier in duplicate_of.items():
             solved = out[earlier]
@@ -440,9 +497,17 @@ class PrivacyEngine:
     def load_cache(self, path: str | os.PathLike | None = None) -> int:
         """Warm the solve cache from a snapshot written by :meth:`save_cache`.
 
-        A missing, truncated or incompatible file is treated as a cold
-        start (returns 0) — restart resilience must not depend on the
-        snapshot's health.  Returns the number of entries restored.
+        A missing or truncated file is treated as a cold start (returns
+        0) — restart resilience must not depend on the snapshot's
+        health.  A *recognized but older* snapshot (v1, written before
+        the versioned solve-result contract) is migrated in place: the
+        entry layout is unchanged and per-component fingerprints are
+        stable across the versions, so only the pickled stats records
+        need their defaulted new fields filled in.  A snapshot carrying
+        an *unrecognized* cache version is rejected with a clear
+        :class:`ReproError` — serving entries whose semantics this build
+        cannot vouch for is how stale results masquerade as fresh ones.
+        Returns the number of entries restored.
         """
         path = os.fspath(path or self.cache_path or "")
         if not path or not self.cache.enabled:
@@ -452,13 +517,26 @@ class PrivacyEngine:
                 payload = pickle.load(handle)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
             return 0
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != _CACHE_FORMAT
+        if not isinstance(payload, dict):
+            return 0
+        fmt = payload.get("format")
+        if not isinstance(fmt, str) or not fmt.startswith(
+            _CACHE_FORMAT_PREFIX
         ):
             return 0
+        migrate = fmt in _MIGRATABLE_CACHE_FORMATS
+        if fmt != _CACHE_FORMAT and not migrate:
+            raise ReproError(
+                f"cache snapshot {path!r} has format {fmt!r}, but this "
+                f"build reads {_CACHE_FORMAT!r} (migratable: "
+                f"{', '.join(_MIGRATABLE_CACHE_FORMATS)}); refusing to "
+                "serve entries under an unrecognized solve-result "
+                "contract — delete the snapshot to start cold"
+            )
         restored = 0
         for key, p, stats in payload.get("entries", []):
+            if migrate:
+                stats = _migrate_stats(stats)
             self.cache.put(key, CacheEntry(p=p, stats=stats))
             restored += 1
         for key, multipliers in payload.get("warm_starts", []):
@@ -622,6 +700,7 @@ class PrivacyEngine:
 
         cpu_seconds = 0.0
         batched = 0
+        kernels_used: set[str] = set()
         for unit, unit_results in zip(units, results):
             for (pos, component, fingerprint, structure), result in zip(
                 unit, unit_results
@@ -630,6 +709,8 @@ class PrivacyEngine:
                 stats_by_position[pos] = result.stats
                 cpu_seconds += result.stats.seconds
                 batched += result.stats.batched_components
+                if result.stats.kernel_backend:
+                    kernels_used.add(result.stats.kernel_backend)
                 if fingerprint is not None and result.stats.converged:
                     self.cache.put(
                         fingerprint, CacheEntry(p=result.p, stats=result.stats)
@@ -643,6 +724,7 @@ class PrivacyEngine:
         if batched:
             with self._telemetry_lock:
                 self.batched_components += batched
+                self.kernel_backends |= kernels_used
         return cpu_seconds, fingerprint_seconds
 
     # -- reassembly ----------------------------------------------------------
@@ -670,6 +752,7 @@ class PrivacyEngine:
         presolve_fixed = 0
         cache_hits = 0
         batched_components = 0
+        kernel_backends: set[str] = set()
 
         for pos, component in enumerate(plan.components):
             stats = stats_by_position[pos]
@@ -683,6 +766,8 @@ class PrivacyEngine:
             presolve_fixed += stats.presolve_fixed
             cache_hits += stats.cache_hits
             batched_components += stats.batched_components
+            if stats.kernel_backend:
+                kernel_backends.add(stats.kernel_backend)
 
         aggregate = SolverStats(
             solver=config.solver,
@@ -702,6 +787,7 @@ class PrivacyEngine:
             build_seconds=build_seconds,
             decompose_seconds=plan.decompose_seconds,
             fingerprint_seconds=fingerprint_seconds,
+            kernel_backend=",".join(sorted(kernel_backends)),
         )
         return MaxEntSolution(space, p, aggregate, records)
 

@@ -31,9 +31,13 @@ from __future__ import annotations
 
 import atexit
 import concurrent.futures
+import multiprocessing
 import os
+import pickle
 from collections.abc import Callable, Iterable, Sequence
 
+from repro.engine import shipping
+from repro.engine.component import solve_component_group_task
 from repro.errors import ReproError
 
 EXECUTOR_NAMES = ("serial", "thread", "process", "cluster")
@@ -131,10 +135,87 @@ class ThreadExecutor(_PoolExecutor):
 
 
 class ProcessExecutor(_PoolExecutor):
-    """Process-pool backend (true CPU parallelism; tasks must pickle)."""
+    """Process-pool backend (true CPU parallelism; tasks must pickle).
+
+    Group-solve dispatches ship their numpy payload through shared
+    memory when available (:mod:`repro.engine.shipping`): one segment
+    per ``imap`` call holds every job's arrays, workers map it read-through
+    as zero-copy views, and the parent unlinks it once all results are
+    in — falling back to plain pickle shipping when shared memory is
+    unavailable, disabled (``REPRO_SHM=0``) or allocation fails.
+
+    ``start_method`` optionally pins the multiprocessing start method
+    (``"fork"``/``"spawn"``/``"forkserver"``); ``None`` uses the
+    platform default.
+    """
 
     name = "process"
-    _pool_factory = staticmethod(concurrent.futures.ProcessPoolExecutor)
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(workers)
+        self.start_method = start_method
+        self.shipping = shipping.ShippingStats()
+        #: Tasks whose group jobs may ship out-of-band.  An instance
+        #: attribute so tests can route their own module-level tasks
+        #: through the shared-memory path.
+        self.ship_tasks = {solve_component_group_task}
+
+    def _pool_factory(self, max_workers: int):
+        context = (
+            multiprocessing.get_context(self.start_method)
+            if self.start_method
+            else None
+        )
+        return concurrent.futures.ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        )
+
+    def imap(self, fn: Callable, items: Iterable):
+        items = list(items)
+        if (
+            len(items) > 1
+            and fn in self.ship_tasks
+            and shipping.shipping_enabled()
+        ):
+            try:
+                headers, segment = shipping.ship_jobs(fn, items)
+            except (ReproError, OSError, ValueError, pickle.PicklingError):
+                # Anything unshippable falls back to pickle transport.
+                return super().imap(fn, items)
+            self.shipping.segments_created += 1
+            self.shipping.segments_reused += len(items) - 1
+            self.shipping.active.append(segment.name)
+
+            def free():
+                shipping.release_segment(segment)
+                self.shipping.segments_freed += 1
+                if segment.name in self.shipping.active:
+                    self.shipping.active.remove(segment.name)
+
+            try:
+                # Submit eagerly (that is the parallelism), stream back.
+                results = self._ensure_pool().map(
+                    shipping.run_shipped_task, headers
+                )
+            except BaseException:
+                free()
+                raise
+
+            def stream():
+                try:
+                    yield from results
+                finally:
+                    # Runs on normal completion, on a broken pool (worker
+                    # crash) and on abandonment — segments never orphan.
+                    free()
+
+            return stream()
+        return super().imap(fn, items)
 
 
 def create_executor(

@@ -1,0 +1,204 @@
+"""Zero-copy component shipping over ``multiprocessing.shared_memory``.
+
+The process executor's unit of work is a *group job* — a bundle of
+components, a config, warm starts and fingerprints — and pickling whole
+bundles per task means every dispatch serializes (and every worker
+deserializes) all the numpy payload through a pipe.  This module ships
+the payload out-of-band instead: each ``imap`` dispatch places every
+job's array buffers into **one** shared-memory segment and sends the
+workers only a small header (segment name, per-buffer offsets, and the
+pickle-protocol-5 skeleton that stitches the arrays back together).
+Workers reconstruct the arrays as zero-copy views into the mapped
+segment.
+
+Mechanically this is pickle protocol 5 with out-of-band buffers: the
+parent pickles each job with a ``buffer_callback`` that diverts array
+buffers into the segment, and the worker unpickles with ``buffers=``
+memoryviews of the mapped segment — so *any* picklable task payload
+ships without this module knowing its structure, and solver results
+travel back over the normal pool pipe (they are small: probabilities,
+stats, multipliers).
+
+Lifecycle is refcounted by ownership: the parent creates the segment,
+every worker task attaches/closes around its own solve, and the parent
+unlinks in a ``finally`` once all results are in (or the pool breaks —
+a crashed worker must not orphan segments).  When shared memory is
+unavailable (platform, permissions, ``REPRO_SHM=0``) the executor falls
+back to plain pickle shipping, which is always correct.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+try:  # pragma: no cover - import succeeds on every supported platform
+    from multiprocessing import resource_tracker, shared_memory
+
+    HAS_SHARED_MEMORY = True
+except ImportError:  # pragma: no cover - exotic builds only
+    shared_memory = None  # type: ignore[assignment]
+    resource_tracker = None  # type: ignore[assignment]
+    HAS_SHARED_MEMORY = False
+
+#: Buffer offsets are aligned to this many bytes so reconstructed float64
+#: array views stay aligned whatever precedes them in the segment.
+_ALIGNMENT = 64
+
+
+def shipping_enabled() -> bool:
+    """Shared-memory shipping available and not disabled by ``REPRO_SHM=0``."""
+    return HAS_SHARED_MEMORY and os.environ.get("REPRO_SHM", "1") != "0"
+
+
+@dataclass
+class ShippingStats:
+    """Shared-memory transport counters (telemetry surface).
+
+    ``segments_created`` counts segments allocated; ``segments_reused``
+    counts jobs beyond the first that rode an already-created segment
+    (the amortization the one-segment-per-dispatch design buys);
+    ``segments_freed`` counts segments unlinked.  ``active`` holds the
+    names of live segments — it must drain to empty, and the leak tests
+    pin that.
+    """
+
+    segments_created: int = 0
+    segments_reused: int = 0
+    segments_freed: int = 0
+    active: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready counters (the engine's ``stats()`` block)."""
+        return {
+            "segments_created": self.segments_created,
+            "segments_reused": self.segments_reused,
+            "segments_freed": self.segments_freed,
+            "active_segments": len(self.active),
+        }
+
+
+@dataclass(frozen=True)
+class ShippedJob:
+    """One task's header: everything a worker needs except the bytes."""
+
+    #: Shared-memory segment name the buffers live in.
+    segment: str
+    #: The module-level task to run on the reconstructed payload.
+    task: Callable
+    #: Pickle-protocol-5 skeleton of the payload (arrays diverted).
+    payload: bytes
+    #: Per-buffer ``(offset, length)`` into the segment, pickle order.
+    buffers: tuple[tuple[int, int], ...]
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGNMENT - 1) // _ALIGNMENT * _ALIGNMENT
+
+
+def ship_jobs(
+    task: Callable, jobs: Sequence
+) -> tuple[list[ShippedJob], "shared_memory.SharedMemory"]:
+    """Pack ``jobs`` into one fresh segment; returns (headers, segment).
+
+    The caller owns the returned segment and must release it with
+    :func:`release_segment` once every worker is done with it.  Raises
+    :class:`ReproError` when shared memory is unavailable; any
+    ``OSError`` from segment allocation propagates so the executor can
+    fall back to pickle shipping.
+    """
+    if not HAS_SHARED_MEMORY:
+        raise ReproError("multiprocessing.shared_memory is unavailable")
+    skeletons: list[bytes] = []
+    raw_buffers: list[list[memoryview]] = []
+    total = 0
+    for job in jobs:
+        views: list[pickle.PickleBuffer] = []
+        skeletons.append(
+            pickle.dumps(job, protocol=5, buffer_callback=views.append)
+        )
+        raws = [view.raw() for view in views]
+        raw_buffers.append(raws)
+        total += sum(_aligned(raw.nbytes) for raw in raws)
+
+    segment = shared_memory.SharedMemory(create=True, size=max(total, 1))
+    offset = 0
+    headers: list[ShippedJob] = []
+    for skeleton, raws in zip(skeletons, raw_buffers):
+        spans: list[tuple[int, int]] = []
+        for raw in raws:
+            length = raw.nbytes
+            segment.buf[offset : offset + length] = raw.cast("B")
+            spans.append((offset, length))
+            offset += _aligned(length)
+        headers.append(
+            ShippedJob(
+                segment=segment.name,
+                task=task,
+                payload=skeleton,
+                buffers=tuple(spans),
+            )
+        )
+    return headers, segment
+
+
+def release_segment(segment: "shared_memory.SharedMemory") -> None:
+    """Unmap and unlink a segment the parent owns (idempotent-ish).
+
+    Called from the dispatch generator's ``finally``, so it also runs
+    when a worker crash breaks the pool mid-iteration; errors from an
+    already-gone segment are swallowed — cleanup must never mask the
+    original failure.
+    """
+    try:
+        segment.close()
+    except (OSError, BufferError):  # pragma: no cover - platform quirks
+        pass
+    try:
+        segment.unlink()
+    except (OSError, FileNotFoundError):  # pragma: no cover
+        pass
+
+
+def _detach(segment: "shared_memory.SharedMemory") -> None:
+    """Worker-side close that leaves unlinking to the owning parent.
+
+    Attaching registers the segment with this process's resource
+    tracker (stdlib behaviour through 3.12); unregistering after close
+    stops the tracker from unlinking — or warning about — a segment the
+    parent still owns.
+    """
+    segment.close()
+    if resource_tracker is not None:
+        try:
+            resource_tracker.unregister(segment._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker variations
+            pass
+
+
+def run_shipped_task(shipped: ShippedJob):
+    """Worker entry point: map the segment, rebuild the payload, run.
+
+    The reconstructed job's arrays are views into the mapped segment —
+    the zero-copy half of the transport.  Task results must not alias
+    the payload (solver results are freshly computed vectors), because
+    the mapping is torn down before returning.
+    """
+    segment = shared_memory.SharedMemory(name=shipped.segment)
+    try:
+        views = [
+            segment.buf[offset : offset + length]
+            for offset, length in shipped.buffers
+        ]
+        job = pickle.loads(shipped.payload, buffers=views)
+        result = shipped.task(job)
+        # Release every exported view before closing the mapping (a held
+        # view would make close() raise BufferError).
+        del job, views
+        return result
+    finally:
+        _detach(segment)

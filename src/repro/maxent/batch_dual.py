@@ -35,9 +35,14 @@ is never less robust than per-component dispatch.
 
 Results agree with per-component solves within the solver tolerance,
 not bit for bit: the stacked trajectory lands on a different
-last-few-ulps point of the same optimum.  That is why batching is an
-opt-in config knob (``MaxEntConfig.batch_components``) — see the config
-docstring for the replay semantics it trades away.
+last-few-ulps point of the same optimum.  That is the *tolerance*
+replay contract (``MaxEntConfig.replay``) batching runs under by
+default; ``replay="bitwise"`` opts back into per-component dispatch.
+
+The segment reductions themselves — per-block logsumexp/softmax,
+residual maxima, Hessian inner products — run on a pluggable kernel
+backend (:mod:`repro.maxent.kernels`): the numpy reference, or a
+JIT-compiled parallel backend when numba is installed.
 """
 
 from __future__ import annotations
@@ -50,27 +55,21 @@ from scipy.optimize import Bounds, minimize
 
 from repro.maxent.constraints import ConstraintSystem
 from repro.maxent.dual import DualProblem, build_dual
+from repro.maxent.kernels import KernelBackend, get_kernel, segment_max
 from repro.maxent.lbfgs import DualSolveResult, solve_dual_lbfgs
+
+__all__ = [
+    "MAX_ROUNDS",
+    "BatchDualResult",
+    "DualBlock",
+    "block_from_dual",
+    "segment_max",  # re-exported from repro.maxent.kernels (the guard's home)
+    "solve_batch_dual",
+]
 
 #: L-BFGS legs (each with the full per-component iteration budget) the
 #: round loop runs before stragglers fall back to per-component solves.
 MAX_ROUNDS = 3
-
-
-def segment_max(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
-    """Per-segment maxima with empty segments contributing 0.0.
-
-    ``indptr`` is CSR-style (len = n_segments + 1).  Dropping the starts
-    of empty segments keeps ``np.maximum.reduceat`` exact: an empty
-    segment's start equals the next segment's start, so removing it
-    leaves precisely the non-empty segment boundaries.
-    """
-    n_segments = indptr.size - 1
-    out = np.zeros(n_segments)
-    nonempty = indptr[:-1] < indptr[1:]
-    if values.size and bool(nonempty.any()):
-        out[nonempty] = np.maximum.reduceat(values, indptr[:-1][nonempty])
-    return out
 
 
 @dataclass
@@ -176,13 +175,19 @@ class _StackedDual:
 
     Mirrors the evaluation surface of :class:`DualProblem`
     (``value_and_grad``/``hess_vec``/``primal``) but over the stacked
-    multipliers, with every per-block reduction done by ``reduceat``
-    over the block offsets.  Assembly is pure concatenation: the blocks'
-    CSR pieces line up into one CSR matrix after offsetting.
+    multipliers, with every per-block reduction done by the configured
+    segment kernel over the block offsets.  Assembly is pure
+    concatenation: the blocks' CSR pieces line up into one CSR matrix
+    after offsetting.
     """
 
-    def __init__(self, blocks: list[DualBlock]) -> None:
+    def __init__(
+        self,
+        blocks: list[DualBlock],
+        kernel: KernelBackend | None = None,
+    ) -> None:
         self.blocks = blocks
+        self.kernel = kernel if kernel is not None else get_kernel("numpy")
         n = len(blocks)
         var_counts = np.array([b.n_vars for b in blocks], dtype=np.int64)
         row_counts = np.array([b.n_params for b in blocks], dtype=np.int64)
@@ -253,11 +258,9 @@ class _StackedDual:
     ) -> tuple[np.ndarray, np.ndarray]:
         """(stacked primal point, per-block logsumexp)."""
         theta = -(self.matrix.T @ x)
-        shift = np.maximum.reduceat(theta, self.var_indptr[:-1])
-        weights = np.exp(theta - np.repeat(shift, self.var_counts))
-        totals = np.add.reduceat(weights, self.var_indptr[:-1])
-        p = np.repeat(self.masses / totals, self.var_counts) * weights
-        return p, shift + np.log(totals)
+        return self.kernel.softmax_parts(
+            theta, self.var_indptr, self.var_counts, self.masses
+        )
 
     def primal(self, x: np.ndarray) -> np.ndarray:
         """The stacked primal point (every block's ``M_k softmax``)."""
@@ -275,7 +278,7 @@ class _StackedDual:
         p = self.primal(x)
         w = self.matrix.T @ v
         rp = self.matrix @ p
-        pw = np.add.reduceat(p * w, self.var_indptr[:-1])
+        pw = self.kernel.segment_sum(p * w, self.var_indptr)
         return self.matrix @ (p * w) - rp * np.repeat(
             pw / self.masses, self.row_counts
         )
@@ -305,11 +308,11 @@ class _StackedDual:
         indptr = np.empty(starts.size + 1, dtype=np.int64)
         indptr[:-1] = starts
         indptr[-1] = stops[-1] if stops.size else 0
-        # Family segments are [start, stop) but reduceat segments run to
+        # Family segments are [start, stop) but kernel segments run to
         # the next start; rows between stop and the next start belong to
         # the other family and were zeroed by the caller, so including
         # them never changes the max (violations are non-negative).
-        return segment_max(values, indptr)
+        return self.kernel.segment_max(values, indptr)
 
     def converged_mask(self, p: np.ndarray, tol: float) -> np.ndarray:
         """Which blocks meet their own relative residual target at ``p``."""
@@ -340,6 +343,7 @@ def solve_batch_dual(
     max_iterations: int = 1000,
     x0s: list[np.ndarray | None] | None = None,
     max_rounds: int = MAX_ROUNDS,
+    kernel: str | KernelBackend = "numpy",
 ) -> BatchDualResult:
     """Solve many independent duals as one block-diagonal program.
 
@@ -357,7 +361,11 @@ def solve_batch_dual(
     individually — the fallback keeps worst-case robustness identical to
     per-component dispatch, and such blocks are reported with
     ``batched = False``.
+
+    ``kernel`` names (or is) the segment-reduction backend every stacked
+    evaluation runs on (:mod:`repro.maxent.kernels`).
     """
+    kernel = get_kernel(kernel)
     blocks = [
         block if isinstance(block, DualBlock) else block_from_dual(block)
         for block in blocks
@@ -389,7 +397,7 @@ def solve_batch_dual(
     rounds = 0
     while active and rounds < max_rounds:
         rounds += 1
-        stacked = _StackedDual([blocks[k] for k in active])
+        stacked = _StackedDual([blocks[k] for k in active], kernel)
         x = np.concatenate([current[k] for k in active])
         if rounds == 1:
             # Blocks already at their optimum (converged warm starts)
@@ -404,7 +412,7 @@ def solve_batch_dual(
                 if not active:
                     break
                 if len(active) < len(mask):
-                    stacked = _StackedDual([blocks[k] for k in active])
+                    stacked = _StackedDual([blocks[k] for k in active], kernel)
                     x = np.concatenate([current[k] for k in active])
         # The projected-gradient stop of the stacked problem must serve
         # its strictest block, hence the min scale (matching the
@@ -496,7 +504,7 @@ def solve_batch_dual(
     results: list[DualSolveResult | None] = [None] * n
     settled = [k for k in range(n) if k not in fallback]
     if settled:
-        stacked = _StackedDual([blocks[k] for k in settled])
+        stacked = _StackedDual([blocks[k] for k in settled], kernel)
         x = np.concatenate([current[k] for k in settled])
         p = stacked.primal(x)
         eq, ineq = stacked.block_residuals(p)

@@ -16,6 +16,8 @@ from repro.errors import ReproError
 
 _SOLVER_NAMES = ("lbfgs", "newton", "gis", "iis", "primal")
 _EXECUTOR_NAMES = ("serial", "thread", "process", "cluster")
+_REPLAY_NAMES = ("tolerance", "bitwise")
+_KERNEL_NAMES = ("auto", "numpy", "numba")
 
 
 def _env_int(name: str, fallback: int) -> int:
@@ -29,6 +31,12 @@ def _env_int(name: str, fallback: int) -> int:
         raise ReproError(
             f"environment variable {name}={raw!r} is not an integer"
         ) from None
+
+
+def _env_str(name: str, fallback: str) -> str:
+    """String default read from the environment (deploy-time override)."""
+    raw = os.environ.get(name, "").strip()
+    return raw if raw else fallback
 
 
 @dataclass(frozen=True)
@@ -85,18 +93,38 @@ class MaxEntConfig:
         component (same rows, different right-hand sides) as the starting
         point of the next solve.  Changes only the iteration count, never
         the converged solution.
+    replay:
+        The solve-result reproducibility contract.  ``"tolerance"`` (the
+        default) guarantees results equal within ``tol`` across
+        grouping, caching and kernel-backend differences — which lets
+        the batched block-diagonal dual run by default.  ``"bitwise"``
+        forces the per-component solve path (batching off), restoring
+        bit-identical replays across executors and re-runs for
+        workflows that diff posteriors byte for byte; its cache entries
+        are keyed separately (see :meth:`solve_key`) so a bitwise
+        replay never consumes a tolerance-path entry.  Default
+        overridable via ``REPRO_REPLAY``.
+    kernel:
+        Segment-reduction backend of the stacked dual
+        (:mod:`repro.maxent.kernels`): ``"auto"`` (the default — numba
+        when importable, else numpy), ``"numpy"`` (the reference
+        ``reduceat`` backend), or ``"numba"`` (JIT-compiled, parallel
+        over blocks; requires ``pip install repro[numba]``).  Backends
+        agree within ``tol``, the tolerance contract.  Default
+        overridable via ``REPRO_KERNEL``.
     batch_components:
         Upper bound on how many small components the engine stacks into
         one block-diagonal dual and solves with a single vectorized
         L-BFGS loop (:mod:`repro.maxent.batch_dual`) — the cure for
         many-tiny-component workloads where per-``scipy.optimize``
-        dispatch overhead dominates.  ``0`` (the default) disables
-        batching: batched results agree with per-component solves only
-        within ``tol`` (the stacked trajectory differs in the last bits),
-        so workflows that rely on *bit*-replay across different
-        grouping/caching states must leave it off.  Only the ``"lbfgs"``
-        solver batches.  Default overridable via the
-        ``REPRO_BATCH_COMPONENTS`` environment variable.
+        dispatch overhead dominates.  On by default (1024) under the
+        tolerance replay contract: batched results agree with
+        per-component solves within ``tol`` (the stacked trajectory
+        differs in the last bits), not bit for bit.  ``0`` disables
+        batching explicitly; ``replay="bitwise"`` disables it
+        regardless of this knob.  Only the ``"lbfgs"`` solver batches.
+        Default overridable via the ``REPRO_BATCH_COMPONENTS``
+        environment variable.
     batch_max_vars:
         Size threshold of the batched path: only components with at most
         this many variables are binned into batch groups (large
@@ -124,9 +152,18 @@ class MaxEntConfig:
     cache_path: str | None = None
     warm_start: bool = True
     cluster_workers: str | None = None
-    # Batched block-diagonal dual solve (repro.maxent.batch_dual).
+    # The solve-result reproducibility contract and the segment-kernel
+    # backend (repro.maxent.kernels).
+    replay: str = field(
+        default_factory=lambda: _env_str("REPRO_REPLAY", "tolerance")
+    )
+    kernel: str = field(
+        default_factory=lambda: _env_str("REPRO_KERNEL", "auto")
+    )
+    # Batched block-diagonal dual solve (repro.maxent.batch_dual) —
+    # default-on under the tolerance replay contract.
     batch_components: int = field(
-        default_factory=lambda: _env_int("REPRO_BATCH_COMPONENTS", 0)
+        default_factory=lambda: _env_int("REPRO_BATCH_COMPONENTS", 1024)
     )
     batch_max_vars: int = field(
         default_factory=lambda: _env_int("REPRO_BATCH_MAX_VARS", 96)
@@ -152,6 +189,16 @@ class MaxEntConfig:
             raise ReproError(
                 f"cache_size must be non-negative, got {self.cache_size}"
             )
+        if self.replay not in _REPLAY_NAMES:
+            raise ReproError(
+                f"unknown replay contract {self.replay!r}; choose one of "
+                f"{_REPLAY_NAMES}"
+            )
+        if self.kernel not in _KERNEL_NAMES:
+            raise ReproError(
+                f"unknown kernel {self.kernel!r}; choose one of "
+                f"{_KERNEL_NAMES}"
+            )
         if self.batch_components < 0:
             raise ReproError(
                 f"batch_components must be non-negative, got "
@@ -167,11 +214,16 @@ class MaxEntConfig:
         """True when small components may take the batched dual path.
 
         Batching stacks many components into one block-diagonal dual, so
-        it only applies to the L-BFGS dual solver; results then agree
+        it only applies to the L-BFGS dual solver, and its results agree
         with per-component solves within ``tol`` rather than bit for bit
-        (see ``batch_components``).
+        — so the ``"bitwise"`` replay contract turns it off regardless
+        of ``batch_components``.
         """
-        return self.batch_components > 1 and self.solver == "lbfgs"
+        return (
+            self.replay != "bitwise"
+            and self.batch_components > 1
+            and self.solver == "lbfgs"
+        )
 
     def solve_key(self) -> tuple:
         """The configuration facets a cached solution depends on.
@@ -179,15 +231,22 @@ class MaxEntConfig:
         Two configs with equal ``solve_key()`` produce the same solution for
         the same constraint system, so cache entries are shared across
         executor/cache-bookkeeping differences but never across solver or
-        tolerance changes.  The batching knobs are deliberately excluded:
-        batched and per-component solves converge to the same optimum
-        within ``tol``, so their cache entries are interchangeable — and
-        keys (hence persisted caches and cluster routing) stay identical
-        whichever path produced them.
+        tolerance changes.  The batching and kernel knobs are
+        deliberately excluded: under the tolerance contract batched,
+        per-component and cross-kernel solves converge to the same
+        optimum within ``tol``, so their cache entries are
+        interchangeable — and keys (hence persisted caches and cluster
+        routing) stay identical whichever path produced them.  The
+        ``"bitwise"`` contract appends a marker instead: a bitwise
+        replay must never be served a tolerance-path entry, because a
+        within-``tol`` vector is exactly what it promises not to return.
         """
-        return (
+        key = (
             self.solver,
             self.use_presolve,
             self.tol,
             self.max_iterations,
         )
+        if self.replay == "bitwise":
+            key += ("bitwise",)
+        return key

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import InfeasibleKnowledgeError
 from repro.maxent.constraints import ConstraintSystem
+from repro.maxent.kernels import segment_max, segment_min
 
 #: Absolute tolerance for treating right-hand sides as zero.  Right-hand
 #: sides are rationals with denominator N (record count), so genuine zeros
@@ -124,9 +125,11 @@ def _reduction4_fires(eq, row_mask: np.ndarray | None = None) -> bool:
         zero_rhs &= row_mask
     if not bool(zero_rhs.any()):
         return False
-    starts = eq.indptr[:-1]
-    row_max = np.maximum.reduceat(eq.coefficients, starts)
-    row_min = np.minimum.reduceat(eq.coefficients, starts)
+    # The shared guarded reductions (repro.maxent.kernels) give empty
+    # rows max = min = 0, which lands them in the ``tiny`` bin below —
+    # exactly "reduction 4 cannot fire on this row".
+    row_max = segment_max(eq.coefficients, eq.indptr)
+    row_min = segment_min(eq.coefficients, eq.indptr)
     mixed = (row_max > _TOL) & (row_min < -_TOL)
     tiny = (np.abs(row_max) <= _TOL) & (np.abs(row_min) <= _TOL)
     return bool((zero_rhs & ~mixed & ~tiny).any())
@@ -175,8 +178,7 @@ def _quiescent(system: ConstraintSystem) -> bool:
         lengths = ineq.row_lengths()
         if bool((lengths == 0).any()):
             return False
-        starts = ineq.indptr[:-1]
-        row_min = np.minimum.reduceat(ineq.coefficients, starts)
+        row_min = segment_min(ineq.coefficients, ineq.indptr)
         # An all-positive row fixes zeros (rhs ~ 0) or is infeasible
         # (rhs < 0); either way the full loop must run.
         if bool(((row_min > _TOL) & (ineq.rhs <= _TOL)).any()):

@@ -57,6 +57,9 @@ class SolverStats:
     build_seconds: float = 0.0
     decompose_seconds: float = 0.0
     fingerprint_seconds: float = 0.0
+    #: Segment-kernel backend the batched path ran on (``"numpy"`` /
+    #: ``"numba"``); empty when no work took the batched path.
+    kernel_backend: str = ""
 
     @property
     def residual(self) -> float:

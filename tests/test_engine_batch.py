@@ -83,9 +83,29 @@ BATCHED = MaxEntConfig(
 
 
 class TestConfigKnobs:
-    def test_defaults_are_off(self):
+    def test_defaults_are_on(self):
         config = MaxEntConfig()
-        assert config.batch_components == 0
+        assert config.batch_components == 1024
+        assert config.replay == "tolerance"
+        assert config.kernel == "auto"
+        assert config.batching_enabled
+
+    def test_bitwise_replay_disables_batching(self):
+        config = MaxEntConfig(replay="bitwise", batch_components=512)
+        assert not config.batching_enabled
+
+    def test_replay_and_kernel_validated(self):
+        with pytest.raises(ReproError, match="replay"):
+            MaxEntConfig(replay="exact")
+        with pytest.raises(ReproError, match="kernel"):
+            MaxEntConfig(kernel="fortran")
+
+    def test_replay_and_kernel_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPLAY", "bitwise")
+        monkeypatch.setenv("REPRO_KERNEL", "numpy")
+        config = MaxEntConfig()
+        assert config.replay == "bitwise"
+        assert config.kernel == "numpy"
         assert not config.batching_enabled
 
     def test_validation(self):
@@ -116,10 +136,18 @@ class TestConfigKnobs:
             PLAIN.solve_key()
         )
 
+    def test_bitwise_gets_its_own_solve_key(self):
+        # Bitwise results come off a different (per-component) code path,
+        # so they must not share cache entries with tolerance solves.
+        bitwise = MaxEntConfig(replay="bitwise")
+        assert bitwise.solve_key() != MaxEntConfig().solve_key()
+        assert bitwise.solve_key()[-1] == "bitwise"
+
 
 class TestBinning:
     def test_disabled_config_bins_nothing(self):
-        assert bin_batch_groups([4, 5, 6], MaxEntConfig()) == []
+        assert bin_batch_groups([4, 5, 6], PLAIN) == []
+        assert bin_batch_groups([4, 5, 6], MaxEntConfig(replay="bitwise")) == []
 
     def test_threshold_filters_large_items(self):
         config = MaxEntConfig(batch_components=8, batch_max_vars=10)
@@ -193,6 +221,43 @@ class TestEngineEquivalence:
             assert (
                 np.abs(entry.p - plain_entries[key].p).max() <= 100 * TOL
             )
+
+    def test_batched_entries_serve_per_component_solves(self):
+        # The v3 contract: a cache entry is tolerance-equivalent to the
+        # per-component result, so entries written by either path are
+        # interchangeable under replay="tolerance".
+        space, system = _synthetic_workload()
+        engine = PrivacyEngine(cache_size=4096)
+        first = engine.solve(space, system, BATCHED)
+        assert first.stats.batched_components > 0
+        replay = engine.solve(space, system, PLAIN)
+        assert replay.stats.cache_hits > 0
+        assert replay.stats.batched_components == 0
+        assert np.array_equal(first.p, replay.p)
+
+    def test_per_component_entries_serve_batched_solves(self):
+        space, system = _synthetic_workload()
+        engine = PrivacyEngine(cache_size=4096)
+        first = engine.solve(space, system, PLAIN)
+        replay = engine.solve(space, system, BATCHED)
+        assert replay.stats.cache_hits > 0
+        assert replay.stats.batched_components == 0  # all served warm
+        assert np.array_equal(first.p, replay.p)
+
+    def test_bitwise_does_not_share_tolerance_entries(self):
+        # replay="bitwise" promises bit-identical per-component results,
+        # so it must never be served an entry a batched solve wrote.
+        space, system = _synthetic_workload()
+        engine = PrivacyEngine(cache_size=4096)
+        warm = engine.solve(space, system, BATCHED)
+        assert warm.stats.batched_components > 0
+        bitwise = engine.solve(
+            space, system, MaxEntConfig(
+                raise_on_infeasible=False, replay="bitwise"
+            )
+        )
+        assert bitwise.stats.cache_hits == 0
+        assert bitwise.stats.batched_components == 0
 
     def test_warm_cache_replays_without_batching(self):
         space, system = _synthetic_workload()

@@ -105,6 +105,47 @@ class TestResilience:
         assert len(engine.cache) == 0
         engine.close()
 
+    def test_v1_snapshot_migrates(self, tmp_path):
+        """A pre-contract (v1) snapshot loads: the entry layout is the
+        same, and the stats records get their new fields defaulted."""
+        path = tmp_path / "v1.pkl"
+        with PrivacyEngine(cache_path=path) as old:
+            first = solve_once(old)
+            old.save_cache()
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["format"] = "privacy-maxent-solve-cache/1"
+        for _, _, stats in payload["entries"]:
+            # A real v1 writer never pickled the post-v1 stats fields.
+            stats.__dict__.pop("kernel_backend")
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        with PrivacyEngine(cache_path=path) as warm:
+            assert len(warm.cache) > 0
+            second = solve_once(warm)
+            assert second.stats.cache_hits > 0
+            np.testing.assert_array_equal(second.p, first.p)
+            for _, entry in warm.cache.items():
+                assert entry.stats.kernel_backend == ""
+
+    def test_unknown_cache_version_is_rejected(self, tmp_path):
+        """A recognized-prefix, unknown-version snapshot must fail loudly
+        instead of silently serving entries under a contract this build
+        cannot vouch for."""
+        path = tmp_path / "future.pkl"
+        with PrivacyEngine(cache_path=path) as old:
+            solve_once(old)
+            old.save_cache()
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+        payload["format"] = "privacy-maxent-solve-cache/99"
+        with open(path, "wb") as handle:
+            pickle.dump(payload, handle)
+
+        with pytest.raises(ReproError, match="solve-result contract"):
+            PrivacyEngine(cache_path=path)
+
     def test_disabled_cache_skips_persistence(self, tmp_path):
         path = tmp_path / "disabled.pkl"
         engine = PrivacyEngine(cache_size=0, cache_path=path)

@@ -1,0 +1,219 @@
+"""The segment-kernel backend seam (repro.maxent.kernels).
+
+Two properties carry the whole design: the guarded reductions are exact
+on every segment shape (including the empty segments a naive ``reduceat``
+silently corrupts), and every registered backend is tolerance-equivalent
+to the numpy reference on real solver workloads.  The numba half of the
+equivalence suite skips cleanly where numba is not installed — the
+optional-extras CI job runs it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.maxent.batch_dual import solve_batch_dual
+from repro.maxent.constraints import ConstraintSystem
+from repro.maxent.dual import build_dual
+from repro.maxent.kernels import (
+    KERNEL_NAMES,
+    NUMPY_KERNEL,
+    available_backends,
+    get_kernel,
+    segment_max,
+    segment_min,
+    segment_sum,
+)
+
+HAS_NUMBA = "numba" in available_backends()
+
+needs_numba = pytest.mark.skipif(
+    not HAS_NUMBA, reason="numba not installed (pip install repro[numba])"
+)
+
+
+def random_csr(rng, n_segments, empty_fraction=0.3):
+    """Random segment lengths with a controllable share of empties."""
+    lengths = rng.integers(1, 7, size=n_segments)
+    empty = rng.random(n_segments) < empty_fraction
+    lengths[empty] = 0
+    indptr = np.concatenate([[0], np.cumsum(lengths)])
+    values = rng.standard_normal(int(indptr[-1]))
+    return values, indptr.astype(np.int64), lengths
+
+
+class TestGuardedReductions:
+    """The shared empty-segment guard (consolidated from batch_dual and
+    presolve, which used to carry duplicate copies)."""
+
+    def test_matches_python_loop(self):
+        rng = np.random.default_rng(0)
+        values, indptr, lengths = random_csr(rng, 40)
+        got_max = segment_max(values, indptr)
+        got_min = segment_min(values, indptr)
+        got_sum = segment_sum(values, indptr)
+        for k in range(40):
+            seg = values[indptr[k] : indptr[k + 1]]
+            if lengths[k] == 0:
+                assert got_max[k] == got_min[k] == got_sum[k] == 0.0
+            else:
+                assert got_max[k] == seg.max()
+                assert got_min[k] == seg.min()
+                assert got_sum[k] == pytest.approx(seg.sum())
+
+    def test_empty_segments_take_fill(self):
+        values = np.array([2.0, -3.0])
+        indptr = np.array([0, 0, 2, 2])
+        assert segment_max(values, indptr, fill=-np.inf).tolist() == [
+            -np.inf, 2.0, -np.inf,
+        ]
+        assert segment_min(values, indptr, fill=7.5).tolist() == [
+            7.5, -3.0, 7.5,
+        ]
+        assert segment_sum(values, indptr).tolist() == [0.0, -1.0, 0.0]
+
+    def test_all_segments_empty(self):
+        values = np.empty(0)
+        indptr = np.zeros(4, dtype=np.int64)
+        assert segment_max(values, indptr, fill=1.0).tolist() == [1.0] * 3
+        assert segment_sum(values, indptr).tolist() == [0.0] * 3
+
+    def test_no_segments(self):
+        out = segment_sum(np.empty(0), np.zeros(1, dtype=np.int64))
+        assert out.shape == (0,)
+
+    def test_trailing_empty_segment(self):
+        # The classic reduceat trap: a start index == len(values).
+        values = np.array([1.0, 4.0])
+        indptr = np.array([0, 2, 2])
+        assert segment_max(values, indptr).tolist() == [4.0, 0.0]
+
+
+class TestSoftmaxParts:
+    def test_matches_naive_softmax(self):
+        rng = np.random.default_rng(1)
+        counts = np.array([3, 1, 5])
+        indptr = np.concatenate([[0], np.cumsum(counts)])
+        theta = rng.standard_normal(int(indptr[-1])) * 10
+        masses = np.array([0.5, 1.0, 0.25])
+        p, lse = NUMPY_KERNEL.softmax_parts(theta, indptr, counts, masses)
+        for k in range(3):
+            seg = theta[indptr[k] : indptr[k + 1]]
+            expected = masses[k] * np.exp(seg) / np.exp(seg).sum()
+            np.testing.assert_allclose(
+                p[indptr[k] : indptr[k + 1]], expected, rtol=1e-12
+            )
+            assert lse[k] == pytest.approx(
+                np.log(np.exp(seg).sum()), rel=1e-12
+            )
+
+    def test_shift_stability_at_extreme_theta(self):
+        theta = np.array([1000.0, 999.0, -1000.0, -1001.0])
+        indptr = np.array([0, 2, 4])
+        counts = np.array([2, 2])
+        masses = np.ones(2)
+        p, lse = NUMPY_KERNEL.softmax_parts(theta, indptr, counts, masses)
+        assert np.isfinite(p).all() and np.isfinite(lse).all()
+        assert p[:2].sum() == pytest.approx(1.0)
+        assert p[2:].sum() == pytest.approx(1.0)
+
+
+class TestRegistry:
+    def test_numpy_always_available(self):
+        assert available_backends()[0] == "numpy"
+        assert get_kernel("numpy").name == "numpy"
+
+    def test_auto_resolves_to_an_available_backend(self):
+        kernel = get_kernel("auto")
+        assert kernel.name in available_backends()
+        if HAS_NUMBA:
+            assert kernel.name == "numba"
+        else:
+            assert kernel.name == "numpy"
+
+    def test_backend_object_passes_through(self):
+        assert get_kernel(NUMPY_KERNEL) is NUMPY_KERNEL
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ReproError, match="unknown kernel"):
+            get_kernel("fortran")
+        assert set(KERNEL_NAMES) == {"auto", "numpy", "numba"}
+
+    @pytest.mark.skipif(HAS_NUMBA, reason="only meaningful without numba")
+    def test_missing_numba_fails_loudly(self):
+        with pytest.raises(ReproError, match="numba"):
+            get_kernel("numba")
+
+
+def stacked_blocks(rng, n_blocks=24):
+    """Small feasible dual blocks shaped like decomposed components."""
+    blocks = []
+    for _ in range(n_blocks):
+        n_vars = int(rng.integers(3, 9))
+        mass = 0.5 + float(rng.random())
+        system = ConstraintSystem(n_vars)
+        system.add_equality(
+            list(range(n_vars)), [1.0] * n_vars, mass, kind="qi",
+            label="mass",
+        )
+        pair = 0.1 + 0.5 * float(rng.random())
+        system.add_equality(
+            [0, 1], [1.0, 1.0], pair * mass, kind="stmt", label="pair"
+        )
+        blocks.append(build_dual(system, mass))
+    return blocks
+
+
+@needs_numba
+class TestNumbaEquivalence:
+    """numba backend vs the numpy reference, primitive by primitive and
+    through whole batched solves."""
+
+    def test_primitives_match(self):
+        numba_kernel = get_kernel("numba")
+        rng = np.random.default_rng(2)
+        for trial in range(5):
+            values, indptr, _ = random_csr(rng, 60)
+            for op in ("segment_max", "segment_min", "segment_sum"):
+                ref = getattr(NUMPY_KERNEL, op)(values, indptr, fill=-1.5)
+                got = getattr(numba_kernel, op)(values, indptr, fill=-1.5)
+                np.testing.assert_allclose(got, ref, rtol=1e-13, atol=1e-13)
+
+    def test_softmax_parts_match(self):
+        numba_kernel = get_kernel("numba")
+        rng = np.random.default_rng(3)
+        counts = rng.integers(1, 8, size=50)
+        indptr = np.concatenate([[0], np.cumsum(counts)]).astype(np.int64)
+        theta = rng.standard_normal(int(indptr[-1])) * 30
+        masses = rng.random(50) + 0.1
+        p_ref, lse_ref = NUMPY_KERNEL.softmax_parts(
+            theta, indptr, counts, masses
+        )
+        p_got, lse_got = numba_kernel.softmax_parts(
+            theta, indptr, counts, masses
+        )
+        np.testing.assert_allclose(p_got, p_ref, rtol=1e-12, atol=1e-15)
+        np.testing.assert_allclose(lse_got, lse_ref, rtol=1e-12)
+
+    def test_batched_solves_agree_within_tolerance(self):
+        rng = np.random.default_rng(4)
+        blocks = stacked_blocks(rng)
+        tol = 1e-8
+        ref = solve_batch_dual(blocks, tol=tol, kernel="numpy")
+        got = solve_batch_dual(blocks, tol=tol, kernel="numba")
+        assert len(ref.results) == len(got.results)
+        for r, g in zip(ref.results, got.results):
+            assert r.converged == g.converged
+            np.testing.assert_allclose(g.p, r.p, atol=100 * tol)
+
+
+class TestSolverOnKernelSeam:
+    """The batched solver accepts names and backend objects alike."""
+
+    def test_solve_accepts_kernel_name_and_object(self):
+        rng = np.random.default_rng(5)
+        blocks = stacked_blocks(rng, n_blocks=8)
+        by_name = solve_batch_dual(blocks, tol=1e-8, kernel="numpy")
+        by_object = solve_batch_dual(blocks, tol=1e-8, kernel=NUMPY_KERNEL)
+        for r, g in zip(by_name.results, by_object.results):
+            np.testing.assert_array_equal(g.p, r.p)

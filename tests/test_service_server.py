@@ -336,6 +336,9 @@ class TestTelemetry:
         assert endpoint["count"] >= 1
         assert endpoint["p95_seconds"] >= endpoint["p50_seconds"]
         assert telemetry["batching"]["batched_requests"] >= 1
+        # PR6 surfaces: segment-kernel backend and shipping counters.
+        assert telemetry["engine"]["kernel_backend"] in ("numpy", "numba")
+        assert telemetry["engine"]["shipping"]["active_segments"] == 0
 
     def test_construction_phase_timers_exposed(self, client, release_id):
         statements = [

@@ -1,0 +1,202 @@
+"""Zero-copy shared-memory shipping (repro.engine.shipping).
+
+The two non-negotiables: workers reconstruct exactly the payload the
+parent shipped (round-trip fidelity through the out-of-band buffers),
+and segments never outlive a dispatch — normal completion, pickle
+fallback and worker crashes all drain ``ShippingStats.active`` to empty
+and leave nothing attachable in the OS namespace.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.engine import PrivacyEngine
+from repro.engine import shipping
+from repro.engine.executors import ProcessExecutor
+from repro.experiments.workloads import (
+    build_synthetic_release,
+    per_bucket_statements,
+)
+from repro.knowledge.compiler import compile_statements
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import data_constraints
+from repro.maxent.indexing import GroupVariableSpace
+
+pytestmark = pytest.mark.skipif(
+    not shipping.HAS_SHARED_MEMORY,
+    reason="multiprocessing.shared_memory unavailable",
+)
+
+
+def summarize_arrays(job):
+    """Module-level task: prove the arrays crossed intact."""
+    a, b, tag = job
+    return (float(a.sum()), float(b.max()), tag, a.flags.writeable)
+
+
+def crash_hard(job):
+    """Module-level task that kills its worker process outright."""
+    os._exit(13)
+
+
+def sample_jobs(n=3):
+    rng = np.random.default_rng(11)
+    return [
+        (
+            rng.standard_normal(64 + 16 * i),
+            rng.standard_normal((4, 4)) * i,
+            f"job-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+def segment_is_gone(name: str) -> bool:
+    from multiprocessing import shared_memory
+
+    try:
+        handle = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return True
+    handle.close()
+    return False
+
+
+class TestShipRoundTrip:
+    def test_in_process_round_trip(self):
+        jobs = sample_jobs()
+        headers, segment = shipping.ship_jobs(summarize_arrays, jobs)
+        try:
+            assert len(headers) == len(jobs)
+            assert all(h.segment == segment.name for h in headers)
+            for header, (a, b, tag) in zip(headers, jobs):
+                total, peak, got_tag, _ = shipping.run_shipped_task(header)
+                assert total == pytest.approx(float(a.sum()))
+                assert peak == pytest.approx(float(b.max()))
+                assert got_tag == tag
+        finally:
+            shipping.release_segment(segment)
+        assert segment_is_gone(segment.name)
+
+    def test_buffers_are_aligned(self):
+        headers, segment = shipping.ship_jobs(summarize_arrays, sample_jobs())
+        try:
+            for header in headers:
+                for offset, _ in header.buffers:
+                    assert offset % 64 == 0
+        finally:
+            shipping.release_segment(segment)
+
+    def test_release_is_reentrant(self):
+        headers, segment = shipping.ship_jobs(summarize_arrays, sample_jobs())
+        shipping.release_segment(segment)
+        shipping.release_segment(segment)  # second release must not raise
+        assert segment_is_gone(segment.name)
+
+
+class TestExecutorShipping:
+    def test_process_pool_ships_and_frees(self):
+        jobs = sample_jobs(4)
+        executor = ProcessExecutor(2)
+        executor.ship_tasks.add(summarize_arrays)
+        with executor:
+            results = executor.map(summarize_arrays, jobs)
+        assert [r[2] for r in results] == [f"job-{i}" for i in range(4)]
+        assert executor.shipping.segments_created == 1
+        assert executor.shipping.segments_reused == len(jobs) - 1
+        assert executor.shipping.segments_freed == 1
+        assert executor.shipping.active == []
+
+    def test_env_kill_switch_falls_back_to_pickle(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        assert not shipping.shipping_enabled()
+        executor = ProcessExecutor(2)
+        executor.ship_tasks.add(summarize_arrays)
+        with executor:
+            results = executor.map(summarize_arrays, sample_jobs(3))
+        assert len(results) == 3
+        assert executor.shipping.segments_created == 0
+
+    def test_unlisted_tasks_use_pickle_transport(self):
+        with ProcessExecutor(2) as executor:
+            assert executor.map(abs, [-3, 1, -2]) == [3, 1, 2]
+            assert executor.shipping.segments_created == 0
+
+    def test_worker_crash_frees_the_segment(self):
+        executor = ProcessExecutor(2)
+        executor.ship_tasks.add(crash_hard)
+        jobs = sample_jobs(3)
+        with executor:
+            stream = executor.imap(crash_hard, jobs)
+            assert executor.shipping.active, "dispatch should be live"
+            name = executor.shipping.active[0]
+            with pytest.raises(Exception):  # BrokenProcessPool
+                list(stream)
+        assert executor.shipping.segments_freed == 1
+        assert executor.shipping.active == []
+        assert segment_is_gone(name)
+
+
+def shipping_workload():
+    published = build_synthetic_release(
+        480, qi_domain_sizes=(40, 30, 20, 10), n_sa_values=6, l=5
+    )
+    space = GroupVariableSpace(published)
+    system = data_constraints(space)
+    system.extend(
+        compile_statements(per_bucket_statements(published), space)
+    )
+    return space, system
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("start_method", [None, "spawn"])
+    def test_engine_solve_over_shared_memory(self, start_method):
+        space, system = shipping_workload()
+        config = MaxEntConfig(
+            raise_on_infeasible=False, batch_components=512,
+            batch_max_vars=512, executor="process", workers=2,
+        )
+        baseline = PrivacyEngine(cache_size=0).solve(space, system, config)
+        executor = ProcessExecutor(2, start_method=start_method)
+        with PrivacyEngine(executor=executor, cache_size=0) as engine:
+            solution = engine.solve(space, system, config)
+            stats = engine.stats()
+        assert np.abs(solution.p - baseline.p).max() <= 100 * config.tol
+        assert stats["shipping"]["segments_created"] >= 1
+        assert stats["shipping"]["segments_created"] == (
+            stats["shipping"]["segments_freed"]
+        )
+        assert stats["shipping"]["segments_reused"] >= 1
+        assert stats["shipping"]["active_segments"] == 0
+        assert executor.shipping.active == []
+
+    def test_serial_engine_reports_zero_counters(self):
+        stats = PrivacyEngine().stats()
+        assert stats["shipping"] == {
+            "segments_created": 0,
+            "segments_reused": 0,
+            "segments_freed": 0,
+            "active_segments": 0,
+        }
+
+
+class TestHeaderShape:
+    def test_header_pickles_small(self):
+        jobs = sample_jobs(2)
+        headers, segment = shipping.ship_jobs(summarize_arrays, jobs)
+        try:
+            payload_bytes = sum(
+                len(pickle.dumps(h)) for h in headers
+            )
+            array_bytes = sum(
+                a.nbytes + b.nbytes for a, b, _ in jobs
+            )
+            # The point of the transport: headers are tiny next to the
+            # array payload that now rides shared memory.
+            assert payload_bytes < array_bytes
+        finally:
+            shipping.release_segment(segment)
