@@ -1,0 +1,152 @@
+"""Tracing overhead: default-on span recording vs ``REPRO_TRACE=0``.
+
+Observability that costs real solve time gets turned off in anger, so
+tracing ships default-on with a measured bar: a span is two monotonic
+clock reads, one small dict and one lock-guarded append into bounded
+rings.  This bench solves the many-small-component synthetic workload
+(the same construction `bench_solver.py` uses — worst-case per-bucket
+background knowledge) cold, alternating tracer-on and tracer-off runs
+to keep machine drift out of the comparison, and asserts the median
+traced solve stays within ``OVERHEAD_CEILING`` of the untraced one.
+
+Each run's timings append to ``BENCH_obs.json`` at the repo root so the
+overhead can be diffed across commits.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+from pathlib import Path
+
+from benchmarks.conftest import PAPER_SCALE, save_json, save_result
+from repro.engine import PrivacyEngine
+from repro.experiments.workloads import (
+    build_synthetic_release,
+    per_bucket_statements,
+)
+from repro.knowledge.compiler import compile_statements
+from repro.maxent.config import MaxEntConfig
+from repro.maxent.constraints import ConstraintSystem, data_constraints
+from repro.maxent.indexing import GroupVariableSpace
+from repro.obs.trace import get_tracer, set_enabled
+from repro.utils.tabulate import render_table
+from repro.utils.timer import Timer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Multiplicative ceiling on the median traced cold solve relative to
+#: the untraced one, plus a small absolute allowance so sub-second
+#: solves are not judged on scheduler noise.
+OVERHEAD_RATIO = 1.05
+OVERHEAD_SLACK_SECONDS = 0.02
+
+#: Interleaved (traced, untraced) cold-solve pairs; medians are taken
+#: per mode.  Two unmeasured warm-up solves precede the pairs — first
+#: solves pay allocator/import costs that would otherwise bias whichever
+#: mode runs first.
+PAIRS = 7 if PAPER_SCALE else 5
+WARMUP_SOLVES = 2
+
+#: bench_solver's decoupled many-small-component regime: wide QI
+#: domains keep buckets from merging into one giant component.
+QI_DOMAINS = (60, 50, 40, 30)
+N_SA_VALUES = 6
+L = 5
+N_RECORDS = 8000 if PAPER_SCALE else 3000
+
+
+def _build():
+    published = build_synthetic_release(
+        N_RECORDS, qi_domain_sizes=QI_DOMAINS, n_sa_values=N_SA_VALUES, l=L
+    )
+    space = GroupVariableSpace(published)
+    system = ConstraintSystem(space.n_vars)
+    system.extend(data_constraints(space))
+    system.extend(compile_statements(per_bucket_statements(published), space))
+    return space, system
+
+
+def test_tracing_overhead(benchmark, results_dir):
+    space, system = _build()
+    config = MaxEntConfig(raise_on_infeasible=False)
+    tracer = get_tracer()
+
+    def cold_solve() -> float:
+        # cache_size=0: every run pays the full dispatch, the regime
+        # where per-span cost would show if it were going to.
+        with PrivacyEngine(cache_size=0) as engine:
+            with Timer() as t:
+                result = engine.solve(space, system, config)
+        assert result.stats.converged
+        return t.seconds
+
+    def run() -> tuple[list[float], list[float]]:
+        traced: list[float] = []
+        untraced: list[float] = []
+        try:
+            for _ in range(WARMUP_SOLVES):
+                cold_solve()
+            for _ in range(PAIRS):
+                set_enabled(True)
+                traced.append(cold_solve())
+                set_enabled(False)
+                untraced.append(cold_solve())
+        finally:
+            set_enabled(True)
+            tracer.reset()
+        return traced, untraced
+
+    traced, untraced = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    t_on = statistics.median(traced)
+    t_off = statistics.median(untraced)
+    overhead = (t_on / t_off - 1.0) * 100 if t_off > 0 else 0.0
+
+    columns = ["mode", "runs", "median (s)", "min (s)", "max (s)"]
+    rows = [
+        ["traced", len(traced), t_on, min(traced), max(traced)],
+        ["untraced", len(untraced), t_off, min(untraced), max(untraced)],
+    ]
+    table = render_table(
+        columns,
+        rows,
+        title=(
+            f"Default-on tracing overhead: {overhead:+.2f}% "
+            f"(ceiling {OVERHEAD_RATIO:.2f}x + "
+            f"{OVERHEAD_SLACK_SECONDS * 1000:.0f}ms)"
+        ),
+    )
+    save_result(results_dir, "obs_overhead", table)
+    save_json(results_dir, "obs_overhead", columns, rows)
+
+    bench_path = REPO_ROOT / "BENCH_obs.json"
+    payload = {"name": "obs_overhead", "runs": []}
+    if bench_path.exists():
+        try:
+            existing = json.loads(bench_path.read_text())
+            if isinstance(existing.get("runs"), list):
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload["overhead_ratio_ceiling"] = OVERHEAD_RATIO
+    payload["overhead_slack_seconds"] = OVERHEAD_SLACK_SECONDS
+    payload["runs"].append(
+        {
+            "n_records": N_RECORDS,
+            "pairs": PAIRS,
+            "traced_median_seconds": t_on,
+            "untraced_median_seconds": t_off,
+            "overhead_percent": overhead,
+            "traced_seconds": traced,
+            "untraced_seconds": untraced,
+        }
+    )
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    assert t_on <= t_off * OVERHEAD_RATIO + OVERHEAD_SLACK_SECONDS, (
+        f"median traced solve {t_on:.3f}s exceeded the untraced "
+        f"{t_off:.3f}s by more than the {OVERHEAD_RATIO:.2f}x + "
+        f"{OVERHEAD_SLACK_SECONDS:.2f}s overhead ceiling — default-on "
+        "tracing is no longer near-free"
+    )

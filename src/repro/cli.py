@@ -13,7 +13,9 @@ Subcommands cover the full workflow a data publisher runs:
   (:mod:`repro.service`) over a shared execution engine, or with
   ``--shards N`` the sharded multi-engine front-end (:mod:`repro.cluster`),
 - ``shard-worker`` — run one cluster shard worker (an engine plus the
-  shard wire-protocol endpoints a coordinator drives).
+  shard wire-protocol endpoints a coordinator drives),
+- ``traces`` — fetch a running service's recent traces (``/v1/traces``)
+  and render them as indented span trees.
 """
 
 from __future__ import annotations
@@ -252,6 +254,25 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_logging_args(parser: argparse.ArgumentParser) -> None:
+    """Structured-logging knobs shared by the long-running commands."""
+    group = parser.add_argument_group("logging")
+    group.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help=(
+            "stderr log format: human-readable text (default) or one "
+            "JSON object per line (trace ids ride every record)"
+        ),
+    )
+    group.add_argument(
+        "--log-level",
+        default=None,
+        help="log level (default: REPRO_LOG_LEVEL, else INFO)",
+    )
+
+
 def _shard_worker_args(args: argparse.Namespace) -> list[str]:
     """CLI flags to replicate this serve command's engine on each shard."""
     forwarded: list[str] = []
@@ -264,12 +285,17 @@ def _shard_worker_args(args: argparse.Namespace) -> list[str]:
     forwarded += ["--queue-size", str(args.queue_size)]
     if args.max_concurrency is not None:
         forwarded += ["--max-concurrency", str(args.max_concurrency)]
+    forwarded += ["--log-format", args.log_format]
+    if args.log_level is not None:
+        forwarded += ["--log-level", args.log_level]
     return forwarded
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.obs.logging import configure_logging, get_logger
     from repro.service.server import PrivacyService, ServiceConfig
 
+    configure_logging(args.log_format, level=args.log_level)
     sharded = args.shards > 0 or args.shard_address
     engine_config = MaxEntConfig(
         **_engine_overrides(args),
@@ -297,9 +323,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 worker_args=_shard_worker_args(args),
                 cache_path=args.cache_path,
             )
-        print(
+        get_logger("cli").info(
             f"shard fleet: {', '.join(coordinator.router.worker_ids)}",
-            flush=True,
+            extra={"fields": {"shards": list(coordinator.router.worker_ids)}},
         )
         try:
             service = ShardedFrontend(service_config, coordinator=coordinator)
@@ -318,8 +344,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_shard_worker(args: argparse.Namespace) -> int:
     from repro.cluster.worker import ShardWorker
+    from repro.obs.logging import configure_logging
     from repro.service.server import ServiceConfig
 
+    configure_logging(args.log_format, level=args.log_level)
     engine_config = MaxEntConfig(
         **_engine_overrides(args),
         cache_path=args.cache_path,
@@ -334,6 +362,24 @@ def _cmd_shard_worker(args: argparse.Namespace) -> int:
         )
     )
     worker.run()
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.obs.trace import format_trace
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        payload = client.traces(limit=args.limit, slow_only=args.slow)
+    traces = payload.get("traces", [])
+    if not payload.get("enabled", True):
+        print("tracing is disabled on the service (REPRO_TRACE=0)")
+    if not traces:
+        print("no finished traces retained")
+        return 0
+    for trace in traces:
+        print(format_trace(trace))
+        print()
     return 0
 
 
@@ -471,6 +517,7 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     _add_engine_args(serve)
+    _add_logging_args(serve)
     serve.set_defaults(func=_cmd_serve)
 
     shard_worker = sub.add_parser(
@@ -497,7 +544,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist this shard's solve cache here (warm restarts)",
     )
     _add_engine_args(shard_worker)
+    _add_logging_args(shard_worker)
     shard_worker.set_defaults(func=_cmd_shard_worker)
+
+    traces = sub.add_parser(
+        "traces",
+        help="fetch and render a running service's recent traces",
+    )
+    traces.add_argument("--host", default="127.0.0.1")
+    traces.add_argument("--port", type=int, default=8711)
+    traces.add_argument(
+        "--limit", type=int, default=10, help="traces to fetch (most recent)"
+    )
+    traces.add_argument(
+        "--slow",
+        action="store_true",
+        help="only traces at or above the service's slow threshold",
+    )
+    traces.add_argument("--timeout", type=float, default=10.0)
+    traces.set_defaults(func=_cmd_traces)
 
     return parser
 

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.cluster.protocol import (
     ShardClient,
+    response_spans,
     solve_request_to_wire,
     solve_response_from_wire,
 )
@@ -49,7 +50,12 @@ from repro.engine.component import ComponentSolve
 from repro.errors import InfeasibleKnowledgeError
 from repro.maxent.config import MaxEntConfig
 from repro.maxent.decompose import Component
+from repro.obs.logging import get_logger
+from repro.obs.trace import get_tracer
 from repro.service.client import ServiceError
+from repro.service.telemetry import LatencyHistogram
+
+_log = get_logger("cluster")
 
 #: Jobs per wire request; bounds message sizes and gives the reassignment
 #: logic mid-solve granularity (a dead worker loses at most one chunk of
@@ -358,6 +364,8 @@ class ClusterCoordinator:
         components: list[Component],
         config: MaxEntConfig,
         warm_starts: list[np.ndarray | None] | None = None,
+        *,
+        trace_ctx: dict | None = None,
     ) -> list[ComponentSolve]:
         """Scatter component jobs across the fleet; gather in job order.
 
@@ -372,6 +380,23 @@ class ClusterCoordinator:
             raise ClusterError(
                 f"{len(fingerprints)} fingerprint(s) for {n} component(s)"
             )
+        with get_tracer().span(
+            "cluster.scatter", ctx=trace_ctx, n_components=n
+        ) as span:
+            solves = self._solve_components(
+                fingerprints, components, config, warm_starts, span
+            )
+        return solves
+
+    def _solve_components(
+        self,
+        fingerprints: list[str],
+        components: list[Component],
+        config: MaxEntConfig,
+        warm_starts: list[np.ndarray | None] | None,
+        span,
+    ) -> list[ComponentSolve]:
+        n = len(components)
         warm_list = (
             list(warm_starts) if warm_starts is not None else [None] * n
         )
@@ -383,6 +408,10 @@ class ClusterCoordinator:
         todo = list(representative)
         rounds = 0
         max_rounds = self.n_workers + 2
+        # The scatter span's own context: dispatch threads (and the
+        # workers beyond them) parent on it explicitly, because the
+        # contextvar chain stops at the thread-pool boundary.
+        scatter_ctx = get_tracer().context()
         while todo:
             rounds += 1
             if rounds > max_rounds:
@@ -420,6 +449,7 @@ class ClusterCoordinator:
                         components,
                         config,
                         warm_list,
+                        scatter_ctx,
                     ): worker_id
                     for worker_id, batch in assignment.items()
                 }
@@ -442,6 +472,7 @@ class ClusterCoordinator:
                 # reassignment round.
                 time.sleep(0.05)
 
+        span.set(rounds=rounds, n_workers=self.n_workers)
         return [resolved[fingerprint] for fingerprint in fingerprints]
 
     def _dispatch_worker(
@@ -452,6 +483,7 @@ class ClusterCoordinator:
         components: list[Component],
         config: MaxEntConfig,
         warm_list: list[np.ndarray | None],
+        trace_ctx: dict | None = None,
     ) -> tuple[list[tuple[str, ComponentSolve]], list[str]]:
         """Send one worker its share, chunk by chunk.
 
@@ -462,7 +494,34 @@ class ClusterCoordinator:
         worker is busy, not dead.
         """
         handle = self.worker(worker_id)
+        tracer = get_tracer()
+        with tracer.span(
+            "cluster.dispatch", ctx=trace_ctx, worker=worker_id,
+            n_jobs=len(batch),
+        ) as dispatch_span:
+            gathered, remaining = self._dispatch_chunks(
+                handle, worker_id, batch, representative, components,
+                config, warm_list, tracer,
+            )
+            if remaining:
+                dispatch_span.set(reassigned=len(remaining))
+        return gathered, remaining
+
+    def _dispatch_chunks(
+        self,
+        handle: WorkerHandle,
+        worker_id: str,
+        batch: list[str],
+        representative: dict[str, int],
+        components: list[Component],
+        config: MaxEntConfig,
+        warm_list: list[np.ndarray | None],
+        tracer,
+    ) -> tuple[list[tuple[str, ComponentSolve]], list[str]]:
         gathered: list[tuple[str, ComponentSolve]] = []
+        # The dispatch span's context rides each wire request so the
+        # worker's solve spans parent on this exact dispatch.
+        dispatch_ctx = tracer.context()
         chunks = [
             batch[start : start + self.chunk_size]
             for start in range(0, len(batch), self.chunk_size)
@@ -473,13 +532,18 @@ class ClusterCoordinator:
                 [components[representative[f]] for f in chunk],
                 config,
                 [warm_list[representative[f]] for f in chunk],
+                trace_ctx=dispatch_ctx,
             )
             try:
                 response = self._post_chunk(handle, payload)
-            except (OSError, http.client.HTTPException):
+            except (OSError, http.client.HTTPException) as exc:
                 # The connection died (refused, reset, or truncated
                 # mid-response): presume the worker dead and hand its
                 # remaining share back for reassignment.
+                _log.warning(
+                    f"worker {worker_id} dropped a solve chunk: {exc}",
+                    extra={"fields": {"worker": worker_id}},
+                )
                 self.mark_dead(worker_id)
                 remaining = [
                     f for c in chunks[chunk_index:] for f in c
@@ -492,6 +556,10 @@ class ClusterCoordinator:
                     # (callers and the serving layer switch on the type).
                     raise InfeasibleKnowledgeError(str(exc)) from exc
                 if exc.status >= 500:
+                    _log.warning(
+                        f"worker {worker_id} failed a solve chunk: {exc}",
+                        extra={"fields": {"worker": worker_id}},
+                    )
                     self.mark_dead(worker_id)
                     remaining = [
                         f for c in chunks[chunk_index:] for f in c
@@ -516,6 +584,9 @@ class ClusterCoordinator:
                 response
             ):
                 gathered.append((fingerprint, solve))
+            # Stitch the worker's solve spans into the live trace (they
+            # parent on this dispatch span via the wire context).
+            tracer.record_imported(response_spans(response))
             hook = self.after_chunk_hook
             if hook is not None:
                 hook(worker_id, chunk_index)
@@ -588,6 +659,7 @@ class ClusterCoordinator:
             "cache_entries": 0,
         }
         prefix_totals: dict[str, dict[str, int]] = {}
+        endpoint_histograms: dict[str, LatencyHistogram] = {}
         for handle, telemetry, error in fetched:
             entry: dict = {"worker": handle.worker_id, **handle.summary()}
             if telemetry is None:
@@ -597,6 +669,19 @@ class ClusterCoordinator:
                 continue
             entry["telemetry"] = telemetry
             shards.append(entry)
+            service = telemetry.get("service") or {}
+            for endpoint, summary in (service.get("endpoints") or {}).items():
+                try:
+                    histogram = LatencyHistogram.from_summary(summary)
+                except (ValueError, TypeError):
+                    # A mixed-version shard without raw buckets cannot
+                    # merge exactly; skip it rather than skew the fleet.
+                    continue
+                merged = endpoint_histograms.get(endpoint)
+                if merged is None:
+                    endpoint_histograms[endpoint] = histogram
+                else:
+                    merged.merge(histogram)
             engine = telemetry.get("engine", {})
             cache = engine.get("cache", {})
             totals["n_solves"] += engine.get("n_solves", 0)
@@ -619,7 +704,18 @@ class ClusterCoordinator:
         )
         return {
             "workers": shards,
-            "aggregate": {**totals, "cache_by_prefix": prefix_totals},
+            "aggregate": {
+                **totals,
+                "cache_by_prefix": prefix_totals,
+                # Fleet-level latency percentiles: exact bucket-wise
+                # merges of every shard's per-endpoint histogram.
+                "endpoints": {
+                    endpoint: histogram.summary()
+                    for endpoint, histogram in sorted(
+                        endpoint_histograms.items()
+                    )
+                },
+            },
         }
 
     # -- lifecycle -----------------------------------------------------------

@@ -89,7 +89,14 @@ class ClusterExecutor:
         warm_starts = []
         fingerprints = []
         counts = []
-        for group_components, _, group_warms, group_fingerprints in jobs:
+        trace_ctx = None
+        for group_components, _, group_warms, group_fingerprints, *rest in (
+            jobs
+        ):
+            if trace_ctx is None and rest:
+                # One solve's groups share a trace context; the first
+                # carries it to the coordinator (and over the wire).
+                trace_ctx = rest[0]
             counts.append(len(group_components))
             components.extend(group_components)
             warm_starts.extend(group_warms)
@@ -104,7 +111,8 @@ class ClusterExecutor:
                     )
                 )
         flat = self.coordinator.solve_components(
-            fingerprints, components, config, warm_starts
+            fingerprints, components, config, warm_starts,
+            trace_ctx=trace_ctx,
         )
         grouped = []
         cursor = 0

@@ -37,10 +37,19 @@ from functools import partial
 
 from repro.cluster.coordinator import ClusterCoordinator
 from repro.cluster.router import ClusterError
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.metrics import MetricsBuilder
+from repro.obs.trace import get_tracer
 from repro.service.admission import AdmissionController
 from repro.service.client import ServiceError
-from repro.service.protocol import HttpError, HttpRequest
-from repro.service.server import PrivacyService, ServiceConfig
+from repro.service.protocol import HttpError, HttpRequest, TextResponse
+from repro.service.telemetry import LATENCY_BOUNDS
+from repro.service.server import (
+    TRACE_HEADER,
+    PrivacyService,
+    ServiceConfig,
+    engine_metrics,
+)
 from repro.service.store import release_digest
 
 #: Per-forward HTTP timeout; solves can be long, registration is not.
@@ -92,13 +101,34 @@ class ShardedFrontend(PrivacyService):
     # -- forwarding plumbing -------------------------------------------------
 
     def _forward(
-        self, worker_id: str, method: str, path: str, payload=None
+        self,
+        worker_id: str,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        trace_ctx: dict | None = None,
     ) -> dict:
-        """One blocking request to one worker; HTTP errors map through."""
+        """One blocking request to one worker; HTTP errors map through.
+
+        ``trace_ctx`` rides the :data:`TRACE_HEADER` so the worker's
+        request root span parents on this front-end's — release-sharded
+        forwards stitch into one cross-process trace the same way
+        component scatters do.
+        """
         handle = self.coordinator.worker(worker_id)
+        headers = None
+        if trace_ctx is not None:
+            headers = {
+                TRACE_HEADER: (
+                    f"{trace_ctx['trace_id']}:{trace_ctx.get('span_id') or ''}"
+                )
+            }
         try:
             with handle.client(timeout=FORWARD_TIMEOUT) as client:
-                return client.request(method, path, payload)
+                return client.request(
+                    method, path, payload, extra_headers=headers
+                )
         except ServiceError as exc:
             # The worker answered: relay its verdict status-for-status.
             raise HttpError(exc.status, str(exc), code=exc.code) from exc
@@ -178,7 +208,12 @@ class ShardedFrontend(PrivacyService):
             return entry.worker_id, entry.worker_release_id
 
     def _forward_release(
-        self, entry: ReleaseEntry, method: str, path_suffix: str, payload=None
+        self,
+        entry: ReleaseEntry,
+        method: str,
+        path_suffix: str,
+        payload=None,
+        trace_ctx: dict | None = None,
     ) -> dict:
         """Forward to a release's owner, walking failures.
 
@@ -199,7 +234,9 @@ class ShardedFrontend(PrivacyService):
                     self._failover(entry)
                     worker_id, worker_release_id = self._entry_target(entry)
                 path = f"/v1/releases/{worker_release_id}{path_suffix}"
-                return self._forward(worker_id, method, path, payload)
+                return self._forward(
+                    worker_id, method, path, payload, trace_ctx=trace_ctx
+                )
             except HttpError as exc:
                 if (
                     exc.status == 404
@@ -318,11 +355,21 @@ class ShardedFrontend(PrivacyService):
         entry = self._entry(request.segments[2])
         body = request.json()
         loop = asyncio.get_running_loop()
+        # Captured here, on the request task, where the root span is the
+        # active contextvar; the forward runs on an executor thread.
+        trace_ctx = get_tracer().context()
 
         async def run():
             return await loop.run_in_executor(
                 None,
-                partial(self._forward_release, entry, "POST", suffix, body),
+                partial(
+                    self._forward_release,
+                    entry,
+                    "POST",
+                    suffix,
+                    body,
+                    trace_ctx,
+                ),
             )
 
         # Forwards occupy a worker thread for the length of the shard's
@@ -370,3 +417,50 @@ class ShardedFrontend(PrivacyService):
             None, self.coordinator.aggregate_telemetry
         )
         return status, payload
+
+    async def _handle_metrics(self, request: HttpRequest):
+        # The fleet scrape is N blocking HTTP round trips; keep them off
+        # the event loop (the base class renders purely from memory).
+        loop = asyncio.get_running_loop()
+        builder = await loop.run_in_executor(None, self._metrics_builder)
+        return 200, TextResponse(builder.render(), METRICS_CONTENT_TYPE)
+
+    def _engine_metrics_into(self, builder: MetricsBuilder) -> None:
+        """Per-shard engine series plus exact fleet latency histograms.
+
+        The front-end's own engine never solves (every solve forwards to
+        a shard), so instead of its idle counters the exposition carries
+        one ``shard``-labelled series set per worker and the bucket-wise
+        merged per-endpoint histograms the coordinator aggregates.
+        """
+        fleet = self.coordinator.aggregate_telemetry()
+        alive = 0
+        for shard in fleet["workers"]:
+            if shard.get("alive"):
+                alive += 1
+            telemetry = shard.get("telemetry")
+            if not telemetry:
+                continue
+            engine_metrics(
+                builder,
+                telemetry.get("engine") or {},
+                {"shard": shard["worker"]},
+            )
+        builder.gauge(
+            "shards_total",
+            len(fleet["workers"]),
+            help_text="Shard workers registered with this front-end.",
+        )
+        builder.gauge(
+            "shards_alive", alive, help_text="Shard workers currently alive."
+        )
+        for endpoint, summary in fleet["aggregate"]["endpoints"].items():
+            builder.histogram(
+                "shard_request_duration_seconds",
+                LATENCY_BOUNDS,
+                summary["bucket_counts"],
+                summary["total_seconds"],
+                {"endpoint": endpoint},
+                "Fleet-wide request latency by endpoint "
+                "(merged across shards).",
+            )

@@ -54,8 +54,13 @@ from repro.service.client import ServiceClient
 #: results are *tolerance*-equivalent to single-engine solves unless
 #: ``replay="bitwise"`` forces the per-component path.  A v2 peer would
 #: both reject the new config keys and assume the old bit-identical
-#: contract, so mixed fleets must fail loudly.)
-SHARD_PROTOCOL = "privacy-maxent-shard/3"
+#: contract, so mixed fleets must fail loudly.
+#: v4: solve requests carry an optional ``trace`` context and responses
+#: an optional ``spans`` list (cross-machine trace stitching).  A v3
+#: worker's strict request decoder rejects the ``trace`` field, so the
+#: bump again turns an unknown-key failure into the designed
+#: version-mismatch error.)
+SHARD_PROTOCOL = "privacy-maxent-shard/4"
 
 
 def check_protocol(payload, what: str) -> None:
@@ -76,8 +81,14 @@ def solve_request_to_wire(
     components: list[Component],
     config: MaxEntConfig,
     warm_starts: list[np.ndarray | None],
+    trace_ctx: dict | None = None,
 ) -> dict:
-    """Encode one batch of component jobs for a worker."""
+    """Encode one batch of component jobs for a worker.
+
+    ``trace_ctx`` is the coordinator's active span as a
+    ``{"trace_id", "span_id"}`` dict; the worker parents its solve spans
+    on it and ships them back, stitching one cross-machine trace.
+    """
     jobs = []
     for fingerprint, component, warm in zip(
         fingerprints, components, warm_starts
@@ -91,19 +102,46 @@ def solve_request_to_wire(
                 ),
             }
         )
-    return {
+    payload = {
         "protocol": SHARD_PROTOCOL,
         "config": config_to_dict(config),
         "jobs": jobs,
     }
+    if trace_ctx is not None:
+        payload["trace"] = dict(trace_ctx)
+    return payload
+
+
+def _trace_from_wire(payload) -> dict | None:
+    """Validate the optional ``trace`` field into a usable context."""
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        return None
+    trace_id = trace.get("trace_id")
+    span_id = trace.get("span_id")
+    if not isinstance(trace_id, str) or not trace_id:
+        return None
+    return {
+        "trace_id": trace_id,
+        "span_id": span_id if isinstance(span_id, str) else None,
+    }
 
 
 def solve_request_from_wire(payload) -> tuple[
-    list[str], list[Component], MaxEntConfig, list[np.ndarray | None]
+    list[str],
+    list[Component],
+    MaxEntConfig,
+    list[np.ndarray | None],
+    dict | None,
 ]:
-    """Decode a worker-side solve request (strict)."""
+    """Decode a worker-side solve request (strict).
+
+    Returns ``(fingerprints, components, config, warm_starts,
+    trace_ctx)``; the trace context is ``None`` when the coordinator
+    sent none (or an unusable one — tracing must never fail a solve).
+    """
     check_protocol(payload, "solve request")
-    unknown = set(payload) - {"protocol", "config", "jobs"}
+    unknown = set(payload) - {"protocol", "config", "jobs", "trace"}
     if unknown:
         raise ReproError(f"solve request has unknown field(s): {sorted(unknown)}")
     config = config_from_dict(payload.get("config"))
@@ -130,7 +168,9 @@ def solve_request_from_wire(payload) -> tuple[
         warm_starts.append(
             decode_array(warm, "<f8") if warm is not None else None
         )
-    return fingerprints, components, config, warm_starts
+    return fingerprints, components, config, warm_starts, _trace_from_wire(
+        payload
+    )
 
 
 def solve_result_to_wire(
@@ -182,12 +222,26 @@ def solve_response_from_wire(payload) -> list[tuple[str, ComponentSolve, bool]]:
     return decoded
 
 
+def response_spans(payload) -> list[dict]:
+    """The worker-captured spans riding a solve response (may be empty).
+
+    Tolerant by design: spans are observability freight, so anything
+    malformed decodes to nothing rather than failing the solve.
+    """
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        return []
+    return [span for span in spans if isinstance(span, dict)]
+
+
 class ShardClient(ServiceClient):
     """Blocking client a coordinator drives one shard worker with."""
 
-    def request(self, method: str, path: str, payload=None) -> dict:
+    def request(
+        self, method: str, path: str, payload=None, *, extra_headers=None
+    ) -> dict:
         """A raw JSON request (the forwarding primitive)."""
-        return self._request(method, path, payload)
+        return self._request(method, path, payload, extra_headers=extra_headers)
 
     def solve_components(self, payload: dict) -> dict:
         """POST one encoded solve batch; returns the raw response."""

@@ -36,6 +36,7 @@ from repro.cluster.protocol import (
     solve_request_from_wire,
     solve_result_to_wire,
 )
+from repro.obs.trace import get_tracer
 from repro.service.protocol import HttpError, HttpRequest
 from repro.service.server import PrivacyService
 
@@ -85,25 +86,34 @@ class ShardWorker(PrivacyService):
     ) -> tuple[int, dict]:
         body = request.json()
         loop = asyncio.get_running_loop()
-        fingerprints, components, config, warm_starts = (
+        fingerprints, components, config, warm_starts, trace_ctx = (
             await loop.run_in_executor(None, solve_request_from_wire, body)
         )
 
+        def work():
+            # The capture bracket must run on the executor thread itself
+            # (contextvars do not cross run_in_executor): every span the
+            # engine opens below lands in ``capture.spans``, which ships
+            # back with the response for coordinator-side stitching.
+            tracer = get_tracer()
+            with tracer.capture() as capture:
+                with tracer.span(
+                    "shard.solve_components",
+                    ctx=trace_ctx,
+                    worker=self.worker_id,
+                    n_components=len(components),
+                ):
+                    results = self.engine.solve_components(
+                        fingerprints, components, config, warm_starts
+                    )
+            return results, capture.spans
+
         async def run():
-            return await loop.run_in_executor(
-                None,
-                partial(
-                    self.engine.solve_components,
-                    fingerprints,
-                    components,
-                    config,
-                    warm_starts,
-                ),
-            )
+            return await loop.run_in_executor(None, work)
 
         # One admission slot per batch: a batch is one solve-shaped unit
         # of CPU work, and coordinator retries absorb the 429s.
-        results = await self.admission.run(run)
+        results, spans = await self.admission.run(run)
 
         def encode() -> tuple[dict, int, int]:
             entries = []
@@ -126,6 +136,8 @@ class ShardWorker(PrivacyService):
             }, solved, cached
 
         payload, solved, cached = await loop.run_in_executor(None, encode)
+        if spans:
+            payload["spans"] = spans
         self.component_batches += 1
         self.components_solved += solved
         self.components_cached += cached

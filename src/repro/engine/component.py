@@ -34,6 +34,7 @@ from repro.maxent.newton import solve_dual_newton
 from repro.maxent.presolve import PresolveResult, presolve
 from repro.maxent.primal import solve_primal
 from repro.maxent.solution import SolverStats
+from repro.obs.trace import get_tracer
 from repro.utils.timer import Timer
 
 
@@ -47,6 +48,11 @@ class ComponentSolve:
     #: solvers only) — reusable as a warm start for structurally identical
     #: components.
     multipliers: np.ndarray | None = None
+    #: Spans captured while solving on a worker (plain span dicts so
+    #: they pickle across the process/cluster seam); the group task
+    #: attaches them to its first result and the engine stitches them
+    #: into the caller's trace.  ``None`` where nothing was captured.
+    spans: list | None = None
 
 
 def _dispatch(
@@ -185,14 +191,18 @@ def solve_component(
     reports overall wall time separately.
     """
     with Timer() as timer:
-        system, mass, reduction, fixed_count = _reduce(component, config)
+        with Timer() as presolve_timer:
+            system, mass, reduction, fixed_count = _reduce(component, config)
         if system.n_vars == 0 or mass <= 1e-15:
             solve = _forced_solve(component, config, reduction, fixed_count)
         else:
-            result = _dispatch(system, mass, config, warm_start)
+            with Timer() as dual_timer:
+                result = _dispatch(system, mass, config, warm_start)
             solve = _package_solve(
                 component, config, reduction, fixed_count, result
             )
+            solve.stats.add_phase("dual", dual_timer.seconds)
+    solve.stats.add_phase("presolve", presolve_timer.seconds)
     solve.stats.seconds = timer.seconds
     solve.stats.cpu_seconds = timer.seconds
     return solve
@@ -233,26 +243,32 @@ def solve_component_batch(
         blocks = []
         x0s: list[np.ndarray | None] = []
         reductions: list[tuple[PresolveResult | None, int]] = []
-        for index, component in enumerate(components):
-            system, mass, reduction, fixed_count = _reduce(component, config)
-            if system.n_vars == 0 or mass <= 1e-15:
-                out[index] = _forced_solve(
-                    component, config, reduction, fixed_count
+        with Timer() as presolve_timer:
+            for index, component in enumerate(components):
+                system, mass, reduction, fixed_count = _reduce(
+                    component, config
                 )
-                continue
-            block = DualBlock.from_system(system, mass)
-            numeric.append(index)
-            blocks.append(block)
-            x0s.append(_usable_warm_start(warm_list[index], block.n_params))
-            reductions.append((reduction, fixed_count))
+                if system.n_vars == 0 or mass <= 1e-15:
+                    out[index] = _forced_solve(
+                        component, config, reduction, fixed_count
+                    )
+                    continue
+                block = DualBlock.from_system(system, mass)
+                numeric.append(index)
+                blocks.append(block)
+                x0s.append(
+                    _usable_warm_start(warm_list[index], block.n_params)
+                )
+                reductions.append((reduction, fixed_count))
 
-        batch = solve_batch_dual(
-            blocks,
-            tol=config.tol,
-            max_iterations=config.max_iterations,
-            x0s=x0s,
-            kernel=kernel,
-        )
+        with Timer() as dual_timer:
+            batch = solve_batch_dual(
+                blocks,
+                tol=config.tol,
+                max_iterations=config.max_iterations,
+                x0s=x0s,
+                kernel=kernel,
+            )
         for position, index in enumerate(numeric):
             reduction, fixed_count = reductions[position]
             out[index] = _package_solve(
@@ -268,12 +284,21 @@ def solve_component_batch(
     solves = [solve for solve in out if solve is not None]
     assert len(solves) == n
     # Attribute the batch's wall time across components by problem size
-    # (the residual per-component signal telemetry consumers sum over).
+    # (the residual per-component signal telemetry consumers sum over);
+    # the presolve/dual phase breakdown is shared out the same way.
     weights = np.array([max(c.n_vars, 1) for c in components], dtype=float)
-    shares = timer.seconds * weights / weights.sum()
-    for solve, share in zip(solves, shares):
+    total_weight = weights.sum()
+    shares = timer.seconds * weights / total_weight
+    presolve_shares = presolve_timer.seconds * weights / total_weight
+    for index, (solve, share) in enumerate(zip(solves, shares)):
         solve.stats.seconds = float(share)
         solve.stats.cpu_seconds = float(share)
+        solve.stats.add_phase("presolve", float(presolve_shares[index]))
+    if numeric:
+        dual_weights = weights[numeric]
+        dual_shares = dual_timer.seconds * dual_weights / dual_weights.sum()
+        for position, index in enumerate(numeric):
+            solves[index].stats.add_phase("dual", float(dual_shares[position]))
     return solves
 
 
@@ -301,12 +326,41 @@ def solve_component_group_task(
     larger groups take the stacked dual.  The fourth element carries the
     engine-computed solve fingerprints — unused for local solving, but
     the cluster executor reads them so cold cluster solves stop
-    fingerprinting every component twice.
+    fingerprinting every component twice.  An optional fifth element is
+    the caller's trace context (``{"trace_id", "span_id"}``): the task
+    runs under span capture — contextvars do not cross executors, so
+    the bracket must live *inside* the task — and ships the captured
+    spans home on its first result's ``spans`` field.
     """
-    components, config, warm_starts, _fingerprints = job
-    if len(components) > 1:
-        return solve_component_batch(components, config, warm_starts)
-    return [
-        solve_component(component, config, warm)
-        for component, warm in zip(components, warm_starts)
-    ]
+    components, config, warm_starts, _fingerprints, *rest = job
+    ctx = rest[0] if rest else None
+    tracer = get_tracer()
+    with tracer.capture() as capture:
+        with tracer.span(
+            "engine.solve_group",
+            ctx=ctx,
+            n_components=len(components),
+            batched=len(components) > 1,
+        ) as span:
+            if len(components) > 1:
+                solves = solve_component_batch(
+                    components, config, warm_starts
+                )
+            else:
+                solves = [
+                    solve_component(component, config, warm)
+                    for component, warm in zip(components, warm_starts)
+                ]
+            phases: dict[str, float] = {}
+            for solve in solves:
+                for name, seconds in solve.stats.phase_seconds.items():
+                    phases[name] = phases.get(name, 0.0) + seconds
+            span.set(
+                **{
+                    f"phase.{name}_seconds": round(seconds, 6)
+                    for name, seconds in phases.items()
+                }
+            )
+    if capture.spans and solves:
+        solves[0].spans = capture.spans
+    return solves

@@ -23,7 +23,6 @@ from __future__ import annotations
 import atexit
 import os
 import pickle
-import sys
 import threading
 
 import numpy as np
@@ -41,20 +40,29 @@ from repro.maxent.constraints import ConstraintSystem
 from repro.maxent.decompose import Component, drop_redundant_data_rows
 from repro.maxent.indexing import GroupVariableSpace, PersonVariableSpace
 from repro.maxent.solution import ComponentRecord, MaxEntSolution, SolverStats
+from repro.obs.logging import get_logger
+from repro.obs.trace import get_tracer
 from repro.utils.timer import Timer
 
 VariableSpace = GroupVariableSpace | PersonVariableSpace
 
+_log = get_logger("engine")
+
 #: Version tag of the persisted-cache pickle; bump on incompatible changes.
 #: (v3: the solve-result contract is versioned — ``SolverStats`` grew
 #: ``kernel_backend`` and entries are produced under the tolerance replay
-#: contract by default.  v1 snapshots migrate on load; any other version
-#: is rejected loudly, never silently served.)
-_CACHE_FORMAT = "privacy-maxent-solve-cache/3"
+#: contract by default.  v4: ``SolverStats`` grew the ``phase_seconds``
+#: breakdown ``dataclasses.replace`` needs on cache replay.  v1 and v3
+#: snapshots migrate on load; any other version is rejected loudly,
+#: never silently served.)
+_CACHE_FORMAT = "privacy-maxent-solve-cache/4"
 
-#: The one older snapshot format :meth:`PrivacyEngine.load_cache` can
-#: migrate in place (entry layout unchanged; stats gain defaulted fields).
-_MIGRATABLE_CACHE_FORMATS = ("privacy-maxent-solve-cache/1",)
+#: Older snapshot formats :meth:`PrivacyEngine.load_cache` can migrate
+#: in place (entry layout unchanged; stats gain defaulted fields).
+_MIGRATABLE_CACHE_FORMATS = (
+    "privacy-maxent-solve-cache/1",
+    "privacy-maxent-solve-cache/3",
+)
 
 #: Prefix every recognized snapshot format shares; an unknown version
 #: carrying it is a *stale or future cache*, not an arbitrary file.
@@ -418,12 +426,14 @@ class PrivacyEngine:
                 ),
                 lambda entry, index: index,
             )
+            tracer = get_tracer()
             jobs = [
                 (
                     [component for _, component, _, _ in unit],
                     config,
                     [warm for _, _, _, warm in unit],
                     [fingerprint for _, _, fingerprint, _ in unit],
+                    tracer.context(),
                 )
                 for unit in units
             ]
@@ -434,6 +444,12 @@ class PrivacyEngine:
                 for (position, component, fingerprint, _), result in zip(
                     unit, unit_results
                 ):
+                    if result.spans:
+                        # Re-route worker spans toward the caller (the
+                        # shard worker's active capture forwards them
+                        # over the wire); cached entries stay span-free.
+                        tracer.record_imported(result.spans)
+                        result.spans = None
                     out[position] = (result, False)
                     batched += result.stats.batched_components
                     if result.stats.kernel_backend:
@@ -552,6 +568,7 @@ class PrivacyEngine:
         config: MaxEntConfig | None = None,
         *,
         build_seconds: float = 0.0,
+        trace_ctx: dict | None = None,
     ) -> MaxEntSolution:
         """Solve the full MaxEnt program over ``space`` with rows ``system``.
 
@@ -561,6 +578,11 @@ class PrivacyEngine:
         caller attribute the wall time it spent *constructing* that system
         (indexing, invariants, knowledge compilation) to this solve's
         telemetry — the engine cannot observe that phase itself.
+
+        ``trace_ctx`` parents this solve's span tree under a caller's
+        trace (the serving layer hands its request span across the
+        ``run_in_executor`` boundary here); without one the solve roots
+        its own trace in the process tracer's rings.
         """
         config = config or MaxEntConfig()
         if system.n_vars != space.n_vars:
@@ -569,40 +591,76 @@ class PrivacyEngine:
                 f"{space.n_vars}"
             )
 
-        with Timer() as wall:
-            solve_system = system
-            if config.drop_redundant:
-                solve_system = drop_redundant_data_rows(space, system)
+        tracer = get_tracer()
+        with tracer.span(
+            "engine.solve",
+            ctx=trace_ctx,
+            executor=self.executor_name,
+            n_vars=space.n_vars,
+        ) as solve_span:
+            with Timer() as wall:
+                solve_system = system
+                with tracer.span(
+                    "engine.plan", drop_redundant=config.drop_redundant
+                ) as plan_span:
+                    if config.drop_redundant:
+                        solve_system = drop_redundant_data_rows(space, system)
+                    plan = build_plan(space, solve_system, config)
+                    plan_span.set(
+                        n_components=plan.n_components,
+                        decompose_seconds=round(plan.decompose_seconds, 6),
+                    )
+                p = np.zeros(space.n_vars)
+                stats_by_position: dict[int, SolverStats] = {}
 
-            plan = build_plan(space, solve_system, config)
-            p = np.zeros(space.n_vars)
-            stats_by_position: dict[int, SolverStats] = {}
+                with tracer.span(
+                    "engine.closed_form", n_components=len(plan.closed_form)
+                ):
+                    self._run_closed_form(space, plan, p, stats_by_position)
+                with tracer.span(
+                    "engine.dispatch", n_components=len(plan.numeric)
+                ) as dispatch_span:
+                    cpu_seconds, fingerprint_seconds = self._run_numeric(
+                        plan, config, p, stats_by_position
+                    )
+                    dispatch_span.set(
+                        cpu_seconds=round(cpu_seconds, 6),
+                        fingerprint_seconds=round(fingerprint_seconds, 6),
+                    )
 
-            self._run_closed_form(space, plan, p, stats_by_position)
-            cpu_seconds, fingerprint_seconds = self._run_numeric(
-                plan, config, p, stats_by_position
+            with self._telemetry_lock:
+                self.n_solves += 1
+                self.wall_seconds += wall.seconds
+                self.cpu_seconds += cpu_seconds
+                self.build_seconds += build_seconds
+                self.decompose_seconds += plan.decompose_seconds
+                self.fingerprint_seconds += fingerprint_seconds
+
+            solution = self._reassemble(
+                space,
+                system,
+                config,
+                plan,
+                p,
+                stats_by_position,
+                wall_seconds=wall.seconds,
+                cpu_seconds=cpu_seconds,
+                build_seconds=build_seconds,
+                fingerprint_seconds=fingerprint_seconds,
             )
-
-        with self._telemetry_lock:
-            self.n_solves += 1
-            self.wall_seconds += wall.seconds
-            self.cpu_seconds += cpu_seconds
-            self.build_seconds += build_seconds
-            self.decompose_seconds += plan.decompose_seconds
-            self.fingerprint_seconds += fingerprint_seconds
-
-        return self._reassemble(
-            space,
-            system,
-            config,
-            plan,
-            p,
-            stats_by_position,
-            wall_seconds=wall.seconds,
-            cpu_seconds=cpu_seconds,
-            build_seconds=build_seconds,
-            fingerprint_seconds=fingerprint_seconds,
-        )
+            stats = solution.stats
+            solve_span.set(
+                converged=stats.converged,
+                n_components=stats.n_components,
+                cache_hits=stats.cache_hits,
+                batched_components=stats.batched_components,
+                kernel_backend=stats.kernel_backend,
+                **{
+                    f"phase.{name}_seconds": round(seconds, 6)
+                    for name, seconds in stats.phase_seconds.items()
+                },
+            )
+        return solution
 
     # -- the batched closed-form path ---------------------------------------
 
@@ -684,6 +742,8 @@ class PrivacyEngine:
             pending, plan.batch_groups, lambda entry, index: entry[0]
         )
 
+        tracer = get_tracer()
+        trace_ctx = tracer.context()
         jobs = [
             (
                 [component for _, component, _, _ in unit],
@@ -693,6 +753,7 @@ class PrivacyEngine:
                     for _, _, _, structure in unit
                 ],
                 [fingerprint for _, _, fingerprint, _ in unit],
+                trace_ctx,
             )
             for unit in units
         ]
@@ -705,6 +766,11 @@ class PrivacyEngine:
             for (pos, component, fingerprint, structure), result in zip(
                 unit, unit_results
             ):
+                if result.spans:
+                    # Stitch worker-side spans into this solve's trace,
+                    # and strip them so cached entries stay span-free.
+                    tracer.record_imported(result.spans)
+                    result.spans = None
                 p[component.var_indices] = result.p
                 stats_by_position[pos] = result.stats
                 cpu_seconds += result.stats.seconds
@@ -753,6 +819,7 @@ class PrivacyEngine:
         cache_hits = 0
         batched_components = 0
         kernel_backends: set[str] = set()
+        phase_seconds: dict[str, float] = {}
 
         for pos, component in enumerate(plan.components):
             stats = stats_by_position[pos]
@@ -768,6 +835,18 @@ class PrivacyEngine:
             batched_components += stats.batched_components
             if stats.kernel_backend:
                 kernel_backends.add(stats.kernel_backend)
+            for name, seconds in stats.phase_seconds.items():
+                phase_seconds[name] = phase_seconds.get(name, 0.0) + seconds
+
+        # Engine-level phases join the per-component breakdown so one
+        # map answers "where did this solve's time go".
+        for name, seconds in (
+            ("build", build_seconds),
+            ("decompose", plan.decompose_seconds),
+            ("fingerprint", fingerprint_seconds),
+        ):
+            if seconds:
+                phase_seconds[name] = phase_seconds.get(name, 0.0) + seconds
 
         aggregate = SolverStats(
             solver=config.solver,
@@ -788,6 +867,7 @@ class PrivacyEngine:
             decompose_seconds=plan.decompose_seconds,
             fingerprint_seconds=fingerprint_seconds,
             kernel_backend=",".join(sorted(kernel_backends)),
+            phase_seconds=phase_seconds,
         )
         return MaxEntSolution(space, p, aggregate, records)
 
@@ -845,10 +925,8 @@ def shutdown_shared_engines() -> int:
     for engine in engines:
         try:
             engine.close()
-        except Exception as exc:  # noqa: BLE001 - keep closing the rest
-            print(
-                f"warning: shared engine close failed: {exc}", file=sys.stderr
-            )
+        except Exception:  # noqa: BLE001 - keep closing the rest
+            _log.warning("shared engine close failed", exc_info=True)
     return len(engines)
 
 

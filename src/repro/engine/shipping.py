@@ -172,7 +172,14 @@ def _detach(segment: "shared_memory.SharedMemory") -> None:
     stops the tracker from unlinking — or warning about — a segment the
     parent still owns.
     """
-    segment.close()
+    try:
+        segment.close()
+    except BufferError:
+        # A task exception in flight holds the job (and so views into
+        # the mapping) alive through its traceback frames; closing would
+        # raise and *mask that real error*.  Leave the mapping to the
+        # garbage collector — the parent still unlinks the segment.
+        pass
     if resource_tracker is not None:
         try:
             resource_tracker.unregister(segment._name, "shared_memory")

@@ -37,6 +37,14 @@ class SolverStats:
     (Section 5.5 component splitting) and ``fingerprint_seconds``
     (canonical cache-key encoding).  Aggregate-level only; per-component
     records leave them zero.
+
+    ``phase_seconds`` is the structured per-phase breakdown the
+    observability layer emits as span attributes: keys like
+    ``"presolve"``, ``"dual"``, ``"closed_form"``, ``"plan"``,
+    ``"cache_lookup"`` map to summed wall seconds.  On a per-component
+    record it covers that component's own phases; :meth:`add_phase`
+    accumulates, and aggregate records merge every component's map
+    key-wise (see ``repro.engine.engine._reassemble``).
     """
 
     solver: str
@@ -60,11 +68,22 @@ class SolverStats:
     #: Segment-kernel backend the batched path ran on (``"numpy"`` /
     #: ``"numba"``); empty when no work took the batched path.
     kernel_backend: str = ""
+    #: Per-phase wall-second breakdown (``{"presolve": ..., "dual": ...}``).
+    phase_seconds: dict = field(default_factory=dict)
 
     @property
     def residual(self) -> float:
         """Worst constraint violation (either family)."""
         return max(self.eq_residual, self.ineq_residual)
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall seconds against a named solve phase."""
+        self.phase_seconds[name] = self.phase_seconds.get(name, 0.0) + seconds
+
+    def merge_phases(self, phases: dict) -> None:
+        """Key-wise fold of another record's ``phase_seconds``."""
+        for name, seconds in phases.items():
+            self.add_phase(name, seconds)
 
 
 @dataclass

@@ -56,6 +56,14 @@ def solve_maxent(
     of overlapping programs reuse per-component solutions.  Hold a
     dedicated :class:`repro.engine.PrivacyEngine` instead when you need an
     isolated cache or explicit pool lifecycle.
+
+    Every solve is traced: the engine opens an ``engine.solve`` span
+    (nested under whatever span is active on the calling thread, e.g. a
+    service request), and the returned solution's
+    ``stats.phase_seconds`` carries the structured phase breakdown
+    (decompose / build / presolve / dual / fingerprint) that also rides
+    the span attributes — see :mod:`repro.obs.trace` and
+    ``repro traces``.
     """
     config = config or MaxEntConfig()
     return shared_engine(config).solve(space, system, config)

@@ -1,0 +1,28 @@
+"""Stdlib-only observability: span tracing, metrics, structured logs.
+
+The three modules are deliberately dependency-free and import nothing
+from the rest of the package, so every subsystem (engine, service,
+cluster, CLI) can thread them through without layering cycles:
+
+- :mod:`repro.obs.trace` — process-wide :class:`Tracer` with nested
+  spans, explicit context hand-off across threads/processes/machines,
+  bounded recent/slow trace rings, and default-on near-zero overhead.
+- :mod:`repro.obs.metrics` — a tiny Prometheus text-exposition builder
+  (counters, gauges, cumulative-bucket histograms).
+- :mod:`repro.obs.logging` — JSON-lines / text structured logging with
+  trace ids stamped from the active span at emit time.
+"""
+
+from repro.obs.trace import Tracer, format_trace, get_tracer, set_enabled
+from repro.obs.metrics import MetricsBuilder
+from repro.obs.logging import configure_logging, get_logger
+
+__all__ = [
+    "MetricsBuilder",
+    "Tracer",
+    "configure_logging",
+    "format_trace",
+    "get_logger",
+    "get_tracer",
+    "set_enabled",
+]

@@ -1,0 +1,119 @@
+"""Structured logging: JSON-lines or text, trace ids on every record.
+
+The service and cluster CLIs call :func:`configure_logging` once
+(``--log-format json|text``, level from ``REPRO_LOG_LEVEL``); library
+code calls :func:`get_logger` and logs with the ``fields`` convention::
+
+    log = get_logger("service")
+    log.info("release registered", extra={"fields": {"release_id": rid}})
+
+Both formatters stamp ``trace_id`` / ``span_id`` from the span active
+on the *emitting* thread (``logging`` formats synchronously on the
+caller, so the tracer's contextvar is still intact), tying every log
+line to the trace it happened under.
+
+Unconfigured processes fall back to Python's last-resort stderr handler
+(warnings and above), so importing library modules never hijacks an
+application's logging setup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import sys
+import time
+
+from repro.obs.trace import get_tracer
+
+ROOT_LOGGER = "repro"
+
+
+def _trace_fields() -> dict:
+    ctx = get_tracer().context()
+    return ctx or {}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; ``extra={"fields": ...}`` merged in."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": time.strftime(
+                "%Y-%m-%dT%H:%M:%S", time.gmtime(record.created)
+            )
+            + f".{int(record.msecs):03d}Z",
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        payload.update(_trace_fields())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            payload.update(fields)
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+class TextFormatter(logging.Formatter):
+    """Human-oriented single line with ``key=value`` fields appended."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        stamp = time.strftime("%H:%M:%S", time.localtime(record.created))
+        parts = [
+            f"{stamp} {record.levelname:<7} {record.name}: "
+            f"{record.getMessage()}"
+        ]
+        extras = dict(_trace_fields())
+        fields = getattr(record, "fields", None)
+        if isinstance(fields, dict):
+            extras.update(fields)
+        if extras:
+            parts.append(
+                " ".join(f"{key}={value}" for key, value in extras.items())
+            )
+        line = "  ".join(parts)
+        if record.exc_info and record.exc_info[0] is not None:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+def configure_logging(
+    log_format: str = "text",
+    level: str | None = None,
+    stream=None,
+) -> logging.Logger:
+    """Install one handler on the ``repro`` root logger and return it.
+
+    ``level`` falls back to ``REPRO_LOG_LEVEL`` then ``INFO``; unknown
+    names fall back to ``INFO`` rather than erroring at startup.
+    Idempotent: repeated calls replace the handler (tests, re-exec).
+    """
+    if log_format not in ("json", "text"):
+        raise ValueError(f"unknown log format {log_format!r}")
+    name = (level or os.environ.get("REPRO_LOG_LEVEL") or "INFO").upper()
+    resolved = getattr(logging, name, None)
+    if not isinstance(resolved, int):
+        resolved = logging.INFO
+    root = logging.getLogger(ROOT_LOGGER)
+    root.setLevel(resolved)
+    root.propagate = False
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(
+        JsonFormatter() if log_format == "json" else TextFormatter()
+    )
+    for existing in list(root.handlers):
+        root.removeHandler(existing)
+    root.addHandler(handler)
+    return root
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the shared ``repro`` hierarchy."""
+    if not name or name == ROOT_LOGGER:
+        return logging.getLogger(ROOT_LOGGER)
+    if name.startswith(f"{ROOT_LOGGER}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER}.{name}")

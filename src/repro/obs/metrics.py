@@ -1,0 +1,197 @@
+"""Minimal Prometheus text-format exposition (version 0.0.4).
+
+A :class:`MetricsBuilder` accumulates counter / gauge / histogram
+samples and renders the exposition body.  It knows nothing about where
+the numbers come from — the service and the sharded frontend feed it
+from their telemetry snapshots — and emits each metric's ``# HELP`` /
+``# TYPE`` header exactly once no matter how many label combinations
+are added, which is what scrapers require.
+
+Histograms are emitted in the Prometheus convention: cumulative
+``_bucket`` samples with ``le`` upper bounds plus the ``+Inf`` bucket,
+and ``_sum`` / ``_count`` companions.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Content type a ``/metrics`` response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _format_value(value) -> str:
+    value = float(value)
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if math.isnan(value):
+        return "NaN"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label(value) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: dict | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _merge_labels(labels: dict | None, extra: dict) -> dict:
+    merged = dict(labels or {})
+    merged.update(extra)
+    return merged
+
+
+class MetricsBuilder:
+    """Accumulate samples, render one Prometheus exposition body."""
+
+    def __init__(self, prefix: str = "repro") -> None:
+        self.prefix = prefix
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def _name(self, name: str) -> str:
+        return f"{self.prefix}_{name}" if self.prefix else name
+
+    def _declare(self, name: str, kind: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        if help_text:
+            self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {kind}")
+
+    def counter(
+        self,
+        name: str,
+        value,
+        labels: dict | None = None,
+        help_text: str = "",
+    ) -> None:
+        """One cumulative counter sample."""
+        full = self._name(name)
+        self._declare(full, "counter", help_text)
+        self._lines.append(f"{full}{_render_labels(labels)} {_format_value(value)}")
+
+    def gauge(
+        self,
+        name: str,
+        value,
+        labels: dict | None = None,
+        help_text: str = "",
+    ) -> None:
+        """One point-in-time gauge sample."""
+        full = self._name(name)
+        self._declare(full, "gauge", help_text)
+        self._lines.append(f"{full}{_render_labels(labels)} {_format_value(value)}")
+
+    def histogram(
+        self,
+        name: str,
+        bounds,
+        bucket_counts,
+        total_sum: float,
+        labels: dict | None = None,
+        help_text: str = "",
+    ) -> None:
+        """One histogram: per-bucket counts over ``bounds`` + overflow.
+
+        ``bucket_counts`` must have ``len(bounds) + 1`` entries, the
+        last being the overflow (> last bound) count, matching
+        :class:`repro.service.telemetry.LatencyHistogram` storage.
+        """
+        if len(bucket_counts) != len(bounds) + 1:
+            raise ValueError(
+                f"histogram {name!r}: expected {len(bounds) + 1} bucket "
+                f"counts, got {len(bucket_counts)}"
+            )
+        full = self._name(name)
+        self._declare(full, "histogram", help_text)
+        rendered = _render_labels
+        cumulative = 0
+        for bound, count in zip(bounds, bucket_counts):
+            cumulative += count
+            le = _merge_labels(labels, {"le": _format_value(bound)})
+            self._lines.append(f"{full}_bucket{rendered(le)} {cumulative}")
+        cumulative += bucket_counts[-1]
+        inf = _merge_labels(labels, {"le": "+Inf"})
+        self._lines.append(f"{full}_bucket{rendered(inf)} {cumulative}")
+        plain = rendered(labels)
+        self._lines.append(f"{full}_sum{plain} {_format_value(total_sum)}")
+        self._lines.append(f"{full}_count{plain} {cumulative}")
+
+    def render(self) -> str:
+        """The exposition body (trailing newline included)."""
+        return "\n".join(self._lines) + "\n" if self._lines else ""
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict, float]]]:
+    """Parse an exposition body back into ``{name: [(labels, value)]}``.
+
+    A deliberately strict little parser used by tests and the CI smoke
+    job to prove the rendered text is well-formed; raises ``ValueError``
+    on any line it does not understand.
+    """
+    samples: dict[str, list[tuple[dict, float]]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            if line.startswith("#") and not (
+                line.startswith("# HELP ") or line.startswith("# TYPE ")
+            ):
+                raise ValueError(f"malformed comment line: {line!r}")
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        if not name_part:
+            raise ValueError(f"malformed sample line: {line!r}")
+        if value_part == "+Inf":
+            value = math.inf
+        elif value_part == "-Inf":
+            value = -math.inf
+        else:
+            value = float(value_part)
+        labels: dict[str, str] = {}
+        name = name_part
+        if "{" in name_part:
+            if not name_part.endswith("}"):
+                raise ValueError(f"malformed labels: {line!r}")
+            name, _, label_body = name_part.partition("{")
+            body = label_body[:-1]
+            while body:
+                key, _, rest = body.partition("=")
+                if not rest.startswith('"'):
+                    raise ValueError(f"malformed labels: {line!r}")
+                end = 1
+                chars = []
+                while end < len(rest):
+                    ch = rest[end]
+                    if ch == "\\" and end + 1 < len(rest):
+                        escaped = rest[end + 1]
+                        chars.append("\n" if escaped == "n" else escaped)
+                        end += 2
+                        continue
+                    if ch == '"':
+                        break
+                    chars.append(ch)
+                    end += 1
+                else:
+                    raise ValueError(f"unterminated label value: {line!r}")
+                labels[key.strip()] = "".join(chars)
+                body = rest[end + 1 :].lstrip(",")
+        if not name.replace("_", "").replace(":", "").isalnum():
+            raise ValueError(f"malformed metric name: {line!r}")
+        samples.setdefault(name, []).append((labels, value))
+    return samples

@@ -75,9 +75,33 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload=None) -> dict:
+    def _request(
+        self, method: str, path: str, payload=None, *, extra_headers=None
+    ) -> dict:
+        raw, response = self._raw_request(
+            method, path, payload, extra_headers=extra_headers
+        )
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError as exc:
+            raise ServiceError(
+                response.status, "bad_response", f"undecodable body: {exc}"
+            ) from exc
+        if response.status >= 400:
+            error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
+            raise ServiceError(
+                response.status,
+                error.get("code", "error"),
+                error.get("message", raw.decode("utf-8", "replace")),
+            )
+        return decoded
+
+    def _raw_request(
+        self, method: str, path: str, payload=None, *, extra_headers=None
+    ) -> tuple[bytes, http.client.HTTPResponse]:
+        """One request; returns the raw body bytes and the response."""
         body = None
-        headers = {}
+        headers = dict(extra_headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -97,20 +121,7 @@ class ServiceClient:
                 self.close()
                 if attempt:
                     raise
-        try:
-            decoded = json.loads(raw) if raw else {}
-        except json.JSONDecodeError as exc:
-            raise ServiceError(
-                response.status, "bad_response", f"undecodable body: {exc}"
-            ) from exc
-        if response.status >= 400:
-            error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
-            raise ServiceError(
-                response.status,
-                error.get("code", "error"),
-                error.get("message", raw.decode("utf-8", "replace")),
-            )
-        return decoded
+        return raw, response
 
     def wait_until_healthy(self, *, timeout: float = 30.0) -> dict:
         """Poll ``/v1/healthz`` until the service answers (or time out)."""
@@ -133,6 +144,20 @@ class ServiceClient:
     def telemetry(self) -> dict:
         """The full telemetry snapshot."""
         return self._request("GET", "/v1/telemetry")
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition from ``/metrics``."""
+        raw, response = self._raw_request("GET", "/metrics")
+        if response.status >= 400:
+            raise ServiceError(
+                response.status, "error", raw.decode("utf-8", "replace")
+            )
+        return raw.decode("utf-8")
+
+    def traces(self, *, limit: int = 20, slow_only: bool = False) -> dict:
+        """Finished traces from ``/v1/traces`` (most recent first)."""
+        query = f"?limit={int(limit)}" + ("&slow=1" if slow_only else "")
+        return self._request("GET", f"/v1/traces{query}")
 
     def releases(self) -> list[dict]:
         """Summaries of all registered releases."""

@@ -60,6 +60,22 @@ class HttpError(Exception):
         self.headers = headers or {}
 
 
+@dataclass(frozen=True)
+class TextResponse:
+    """A non-JSON response payload a handler can return.
+
+    The connection loop serializes these verbatim with the given
+    content type instead of JSON-encoding them — the Prometheus
+    ``/metrics`` exposition is text/plain, not JSON.
+    """
+
+    body: str
+    content_type: str = "text/plain; charset=utf-8"
+
+    def encode(self) -> bytes:
+        return self.body.encode("utf-8")
+
+
 @dataclass
 class HttpRequest:
     """One parsed request: method, split path, query, headers, raw body."""

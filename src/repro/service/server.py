@@ -32,7 +32,6 @@ import asyncio
 import contextlib
 import signal
 import time
-import traceback
 from dataclasses import dataclass, field
 from functools import partial
 
@@ -59,6 +58,10 @@ from repro.engine.engine import PrivacyEngine
 from repro.errors import InfeasibleKnowledgeError, ReproError
 from repro.maxent.config import MaxEntConfig
 from repro.maxent.solution import MaxEntSolution, SolverStats
+from repro.obs.logging import get_logger
+from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.obs.metrics import MetricsBuilder
+from repro.obs.trace import get_tracer
 from repro.service.admission import (
     AdmissionController,
     ClosedFormBatcher,
@@ -69,15 +72,101 @@ from repro.service.protocol import (
     MAX_BODY_BYTES,
     HttpError,
     HttpRequest,
+    TextResponse,
     error_body,
     json_body,
     read_request,
     response_bytes,
 )
 from repro.service.store import SessionStore
-from repro.service.telemetry import ServiceTelemetry
+from repro.service.telemetry import LATENCY_BOUNDS, ServiceTelemetry
 
 DEFAULT_PORT = 8711
+
+#: Request header a client (or the sharded frontend) sets to link the
+#: server-side trace into its own: ``"<trace_id>:<span_id>"``.
+TRACE_HEADER = "x-repro-trace"
+
+_log = get_logger("service")
+
+
+def _trace_context(request: HttpRequest) -> dict | None:
+    """Parse the optional :data:`TRACE_HEADER` into a trace context."""
+    raw = request.headers.get(TRACE_HEADER, "")
+    trace_id, sep, span_id = raw.partition(":")
+    if not sep or not trace_id.strip() or not span_id.strip():
+        return None
+    return {"trace_id": trace_id.strip(), "span_id": span_id.strip()}
+
+
+def engine_metrics(
+    builder: MetricsBuilder, stats: dict, labels: dict | None = None
+) -> None:
+    """Emit one engine's :meth:`PrivacyEngine.stats` as Prometheus series.
+
+    Shared between the single-engine ``/metrics`` endpoint and the
+    sharded frontend's fleet aggregation (which calls it once per shard
+    with a ``{"shard": ...}`` label set).
+    """
+    builder.counter(
+        "engine_solves_total",
+        stats.get("n_solves", 0),
+        labels,
+        "Full engine solves completed.",
+    )
+    builder.counter(
+        "engine_component_solves_total",
+        stats.get("component_solves", 0),
+        labels,
+        "Per-component solves completed (cache hits included).",
+    )
+    builder.counter(
+        "engine_batched_components_total",
+        stats.get("batched_components", 0),
+        labels,
+        "Components solved through the stacked block-diagonal dual.",
+    )
+    for phase in ("wall", "cpu", "build", "decompose", "fingerprint"):
+        builder.counter(
+            f"engine_{phase}_seconds_total",
+            stats.get(f"{phase}_seconds", 0.0),
+            labels,
+            f"Cumulative engine {phase} time in seconds.",
+        )
+    cache = stats.get("cache", {})
+    builder.gauge(
+        "engine_cache_entries",
+        cache.get("size", 0),
+        labels,
+        "Component solve-cache entries resident.",
+    )
+    for counter in ("hits", "misses", "evictions"):
+        builder.counter(
+            f"engine_cache_{counter}_total",
+            cache.get(counter, 0),
+            labels,
+            f"Component solve-cache {counter}.",
+        )
+    builder.gauge(
+        "engine_warm_starts",
+        stats.get("warm_starts", 0),
+        labels,
+        "Warm-start dual vectors resident.",
+    )
+    shipping = stats.get("shipping", {})
+    for counter in ("created", "reused", "freed"):
+        builder.counter(
+            f"engine_shipping_segments_{counter}_total",
+            shipping.get(f"segments_{counter}", 0),
+            labels,
+            f"Shared-memory shipping segments {counter}.",
+        )
+    builder.gauge(
+        "engine_shipping_segments_active",
+        shipping.get("active_segments", 0),
+        labels,
+        "Shared-memory segments currently mapped.",
+    )
 
 
 @dataclass(frozen=True)
@@ -195,11 +284,16 @@ class PrivacyService:
                 with contextlib.suppress(NotImplementedError, ValueError):
                     loop.add_signal_handler(signum, stopping.set)
             await self.start()
-            print(
+            _log.info(
                 "privacy-maxent service listening on "
-                f"http://{self.config.host}:{self.port} "
-                f"({self.engine.describe()})",
-                flush=True,
+                f"http://{self.config.host}:{self.port}",
+                extra={
+                    "fields": {
+                        "host": self.config.host,
+                        "port": self.port,
+                        "engine": self.engine.describe(),
+                    }
+                },
             )
             await stopping.wait()
             await self.stop()
@@ -210,7 +304,10 @@ class PrivacyService:
             pass
         finally:
             self.close()
-            print(f"service stopped: {self.engine.describe()}", flush=True)
+            _log.info(
+                "service stopped",
+                extra={"fields": {"engine": self.engine.describe()}},
+            )
 
     # -- connection handling -------------------------------------------------
 
@@ -237,14 +334,32 @@ class PrivacyService:
                 if request is None:
                     return
                 started = time.perf_counter()
-                endpoint, status, payload, headers = await self._dispatch(
-                    request
-                )
+                # One root span per request; a client-supplied trace
+                # header links it into the caller's trace (the sharded
+                # frontend forwards one so cross-process fan-out reads
+                # as a single trace).
+                with get_tracer().span(
+                    "service.request",
+                    ctx=_trace_context(request),
+                    method=request.method,
+                    path=request.path,
+                ) as span:
+                    endpoint, status, payload, headers = await self._dispatch(
+                        request
+                    )
+                    span.set(endpoint=endpoint, status=status)
                 keep_alive = request.keep_alive
+                if isinstance(payload, TextResponse):
+                    body = payload.encode()
+                    content_type = payload.content_type
+                else:
+                    body = json_body(payload)
+                    content_type = "application/json"
                 writer.write(
                     response_bytes(
                         status,
-                        json_body(payload),
+                        body,
+                        content_type=content_type,
                         keep_alive=keep_alive,
                         extra_headers=headers,
                     )
@@ -264,7 +379,7 @@ class PrivacyService:
 
     async def _dispatch(
         self, request: HttpRequest
-    ) -> tuple[str, int, dict, dict]:
+    ) -> tuple[str, int, "dict | TextResponse", dict]:
         endpoint = request.method + " " + request.path
         try:
             endpoint, handler = self._route(request)
@@ -316,7 +431,10 @@ class PrivacyService:
             )
         except Exception as exc:  # noqa: BLE001 - the service must not die
             self.telemetry.incr("errors")
-            traceback.print_exc()
+            _log.exception(
+                "unhandled error serving request",
+                extra={"fields": {"endpoint": endpoint}},
+            )
             return (
                 endpoint,
                 500,
@@ -354,6 +472,12 @@ class PrivacyService:
             if segments == ("v1", "telemetry"):
                 allow("GET")
                 return "GET /v1/telemetry", self._handle_telemetry
+            if segments == ("metrics",):
+                allow("GET")
+                return "GET /metrics", self._handle_metrics
+            if segments == ("v1", "traces"):
+                allow("GET")
+                return "GET /v1/traces", self._handle_traces
             if segments == ("v1", "releases"):
                 allow("GET", "POST")
                 if method == "GET":
@@ -388,6 +512,8 @@ class PrivacyService:
             "endpoints": [
                 "GET /v1/healthz",
                 "GET /v1/telemetry",
+                "GET /metrics",
+                "GET /v1/traces",
                 "GET /v1/releases",
                 "POST /v1/releases",
                 "GET /v1/releases/{id}",
@@ -423,6 +549,90 @@ class PrivacyService:
             "batching": self.batcher.snapshot(),
             "engine": self.engine.stats(),
             "store": self.store.snapshot(),
+        }
+
+    # -- observability endpoints ---------------------------------------------
+
+    def _metrics_builder(self) -> MetricsBuilder:
+        """The Prometheus series for this instance (frontends extend this)."""
+        builder = MetricsBuilder()
+        builder.counter(
+            "requests_total",
+            self.telemetry.counters.get("requests_total", 0),
+            help_text="HTTP requests served.",
+        )
+        for status, count in sorted(self.telemetry.status_counts.items()):
+            builder.counter(
+                "responses_total",
+                count,
+                {"status": str(status)},
+                "HTTP responses by status code.",
+            )
+        for name, count in sorted(self.telemetry.counters.items()):
+            if name == "requests_total":
+                continue
+            builder.counter(
+                "service_events_total",
+                count,
+                {"event": name},
+                "Service-level event counters.",
+            )
+        builder.gauge(
+            "uptime_seconds",
+            self.telemetry.uptime_seconds,
+            help_text="Seconds since this service started.",
+        )
+        builder.gauge(
+            "releases",
+            len(self.store),
+            help_text="Releases registered with this instance.",
+        )
+        queue = self.admission.snapshot()
+        builder.gauge(
+            "queue_depth", queue["depth"], help_text="Admitted solves waiting."
+        )
+        builder.gauge(
+            "queue_capacity",
+            queue["capacity"],
+            help_text="Admission queue capacity.",
+        )
+        for endpoint, histogram in sorted(self.telemetry.endpoints.items()):
+            builder.histogram(
+                "request_duration_seconds",
+                LATENCY_BOUNDS,
+                histogram.counts,
+                histogram.total_seconds,
+                {"endpoint": endpoint},
+                "Request latency by endpoint.",
+            )
+        self._engine_metrics_into(builder)
+        return builder
+
+    def _engine_metrics_into(self, builder: MetricsBuilder) -> None:
+        """Engine series for ``/metrics`` (the sharded frontend swaps
+        its idle local engine for per-shard fleet series here)."""
+        engine_metrics(builder, self.engine.stats())
+
+    async def _handle_metrics(
+        self, request: HttpRequest
+    ) -> tuple[int, TextResponse]:
+        return 200, TextResponse(
+            self._metrics_builder().render(), METRICS_CONTENT_TYPE
+        )
+
+    async def _handle_traces(self, request: HttpRequest) -> tuple[int, dict]:
+        try:
+            limit = int(request.query.get("limit", "20"))
+        except ValueError as exc:
+            raise HttpError(
+                400, "limit must be an integer", code="bad_request"
+            ) from exc
+        slow_only = request.query.get("slow", "") in ("1", "true", "yes")
+        tracer = get_tracer()
+        return 200, {
+            "enabled": tracer.enabled,
+            "slow_threshold_seconds": tracer.slow_seconds,
+            "traces": tracer.traces(limit=limit, slow_only=slow_only),
         }
 
     # -- the release registry ------------------------------------------------
@@ -535,8 +745,19 @@ class PrivacyService:
         cached = self.store.results.lookup(key)
         if cached is not None:
             return cached, "result-cache"
+        # The request root span's context, captured here because the
+        # engine solve runs on an executor thread where the contextvar
+        # chain is gone — the engine parents its spans on this instead.
+        trace_ctx = get_tracer().context()
         solve = lambda: self._solve_payload(  # noqa: E731
-            record, system, n_rows, config, fingerprint, key, build_seconds
+            record,
+            system,
+            n_rows,
+            config,
+            fingerprint,
+            key,
+            build_seconds,
+            trace_ctx=trace_ctx,
         )
 
         async def compute():
@@ -559,6 +780,8 @@ class PrivacyService:
         fingerprint: str,
         key: str,
         build_seconds: float = 0.0,
+        *,
+        trace_ctx: dict | None = None,
     ) -> dict:
         """Run one admitted solve (batched closed form or full engine)."""
         loop = asyncio.get_running_loop()
@@ -590,6 +813,7 @@ class PrivacyService:
                     system,
                     config,
                     build_seconds=build_seconds,
+                    trace_ctx=trace_ctx,
                 ),
             )
 

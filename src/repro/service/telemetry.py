@@ -4,8 +4,15 @@ Everything the ``/v1/telemetry`` endpoint returns is aggregated here.
 The histograms use fixed log-spaced bucket bounds (sub-millisecond to a
 minute) so percentile estimates cost O(#buckets) memory regardless of
 traffic volume; quantiles are read as the upper bound of the bucket the
-rank falls in, clamped to the largest observation — the standard
-monitoring-system compromise (small, mergeable, slightly pessimistic).
+rank falls in, clamped to the largest observation — except in the
+overflow bucket (> the last bound), where the read interpolates between
+the last bound and the maximum observation instead of pessimistically
+reporting the maximum for every rank landing there.
+
+Histograms are **mergeable**: identical fixed bounds across every
+process mean bucket-wise addition is exact, which is how the sharded
+frontend aggregates per-worker histograms into fleet percentiles and
+how the ``/metrics`` exposition gets raw cumulative buckets.
 
 All mutation happens on the event loop (handlers observe after
 responding), so no locking is needed; the engine keeps its own
@@ -15,6 +22,7 @@ thread-safe counters and is merged into the snapshot by the server.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from collections import defaultdict
 
 #: Upper bounds (seconds) of the latency buckets; the final implicit
@@ -49,36 +57,46 @@ class LatencyHistogram:
         self.max_seconds = 0.0
 
     def observe(self, seconds: float) -> None:
-        """Record one measurement."""
-        slot = len(LATENCY_BOUNDS)
-        for i, bound in enumerate(LATENCY_BOUNDS):
-            if seconds <= bound:
-                slot = i
-                break
-        self.counts[slot] += 1
+        """Record one measurement (O(log #buckets))."""
+        # bisect_left over the upper bounds lands exactly on the first
+        # bound with ``seconds <= bound`` (values equal to a bound stay
+        # in that bound's bucket), and on the overflow slot past the end.
+        self.counts[bisect_left(LATENCY_BOUNDS, seconds)] += 1
         self.count += 1
         self.total_seconds += seconds
         self.max_seconds = max(self.max_seconds, seconds)
 
     def quantile(self, q: float) -> float:
-        """The ``q``-quantile (0..1) as a bucket upper bound, clamped."""
+        """The ``q``-quantile (0..1), read from the bucket boundaries."""
         if self.count == 0:
             return 0.0
         rank = q * self.count
         seen = 0
         for i, observed in enumerate(self.counts):
+            previous = seen
             seen += observed
             if seen >= rank and observed:
-                bound = (
-                    LATENCY_BOUNDS[i]
-                    if i < len(LATENCY_BOUNDS)
-                    else self.max_seconds
-                )
-                return min(bound, self.max_seconds)
+                if i < len(LATENCY_BOUNDS):
+                    return min(LATENCY_BOUNDS[i], self.max_seconds)
+                # Overflow bucket: every observation exceeds the last
+                # bound, so interpolate between that lower bound and the
+                # maximum by the rank's position inside the bucket.
+                lower = LATENCY_BOUNDS[-1]
+                position = (rank - previous) / observed
+                return lower + position * (self.max_seconds - lower)
         return self.max_seconds
 
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram (exact: shared bounds)."""
+        for i, observed in enumerate(other.counts):
+            self.counts[i] += observed
+        self.count += other.count
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+        return self
+
     def summary(self) -> dict:
-        """JSON-ready digest: count, mean and the headline percentiles."""
+        """JSON-ready digest: count, mean, percentiles, raw buckets."""
         mean = self.total_seconds / self.count if self.count else 0.0
         return {
             "count": self.count,
@@ -88,7 +106,31 @@ class LatencyHistogram:
             "p95_seconds": self.quantile(0.95),
             "p99_seconds": self.quantile(0.99),
             "max_seconds": self.max_seconds,
+            "bucket_counts": list(self.counts),
         }
+
+    @classmethod
+    def from_summary(cls, summary: dict) -> "LatencyHistogram":
+        """Rebuild a mergeable histogram from :meth:`summary` output.
+
+        Raises ``ValueError`` when the summary predates raw bucket
+        counts or was produced with different bounds — callers
+        aggregating mixed-version fleets should skip those.
+        """
+        buckets = summary.get("bucket_counts")
+        if not isinstance(buckets, list) or len(buckets) != len(
+            LATENCY_BOUNDS
+        ) + 1:
+            raise ValueError(
+                "summary has no compatible bucket_counts "
+                f"(got {type(buckets).__name__})"
+            )
+        histogram = cls()
+        histogram.counts = [int(c) for c in buckets]
+        histogram.count = int(summary.get("count", sum(histogram.counts)))
+        histogram.total_seconds = float(summary.get("total_seconds", 0.0))
+        histogram.max_seconds = float(summary.get("max_seconds", 0.0))
+        return histogram
 
 
 class ServiceTelemetry:

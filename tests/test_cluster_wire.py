@@ -10,6 +10,7 @@ import pytest
 from repro.cluster.protocol import (
     SHARD_PROTOCOL,
     check_protocol,
+    response_spans,
     solve_request_from_wire,
     solve_request_to_wire,
     solve_response_from_wire,
@@ -162,7 +163,7 @@ class TestShardProtocol:
         payload = _json_round_trip(
             solve_request_to_wire(fingerprints, components, config, warm)
         )
-        got_fps, got_components, got_config, got_warm = (
+        got_fps, got_components, got_config, got_warm, got_trace = (
             solve_request_from_wire(payload)
         )
         assert got_fps == fingerprints
@@ -170,6 +171,7 @@ class TestShardProtocol:
         assert len(got_components) == len(components)
         assert got_warm[0] is None
         assert np.array_equal(got_warm[1], warm[1])
+        assert got_trace is None
 
     def test_version_mismatch_rejected(self, paper_components):
         _, components = paper_components
@@ -209,6 +211,54 @@ class TestShardProtocol:
                 assert got.multipliers is None
             else:
                 assert np.array_equal(got.multipliers, sent.multipliers)
+
+    def test_trace_context_round_trips(self, paper_components):
+        _, components = paper_components
+        config = MaxEntConfig()
+        ctx = {"trace_id": "aa" * 8, "span_id": "bb" * 4}
+        payload = _json_round_trip(
+            solve_request_to_wire(
+                ["fp"], components[:1], config, [None], trace_ctx=ctx
+            )
+        )
+        *_, got_trace = solve_request_from_wire(payload)
+        assert got_trace == ctx
+
+    def test_trace_context_span_id_is_optional(self, paper_components):
+        _, components = paper_components
+        config = MaxEntConfig()
+        payload = solve_request_to_wire(
+            ["fp"], components[:1], config, [None],
+            trace_ctx={"trace_id": "cc" * 8},
+        )
+        *_, got_trace = solve_request_from_wire(_json_round_trip(payload))
+        assert got_trace == {"trace_id": "cc" * 8, "span_id": None}
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "not-a-dict",
+            {"span_id": "orphan"},
+            {"trace_id": ""},
+            {"trace_id": 123},
+            None,
+        ],
+    )
+    def test_unusable_trace_context_decodes_to_none(
+        self, paper_components, bad
+    ):
+        """Tracing must never fail a solve: junk decodes to None."""
+        _, components = paper_components
+        payload = solve_request_to_wire(["fp"], components[:1], MaxEntConfig(), [None])
+        payload["trace"] = bad
+        *_, got_trace = solve_request_from_wire(_json_round_trip(payload))
+        assert got_trace is None
+
+    def test_response_spans_are_tolerant_freight(self):
+        span = {"trace_id": "t", "span_id": "s", "name": "shard.solve"}
+        assert response_spans({"spans": [span, "junk", 7]}) == [span]
+        assert response_spans({"spans": "junk"}) == []
+        assert response_spans({}) == []
 
     def test_duplicate_warm_start_lengths_validated(self, paper_components):
         _, components = paper_components

@@ -362,7 +362,7 @@ class TestFingerprintPassthrough:
         engine.solve(space, system, BATCHED)
         solve_key = BATCHED.solve_key()
         seen = 0
-        for components, _, _, fingerprints in executor.jobs:
+        for components, _, _, fingerprints, *_rest in executor.jobs:
             for component, fingerprint in zip(components, fingerprints):
                 assert fingerprint == component_fingerprint(
                     component.system, component.mass, solve_key
@@ -376,5 +376,5 @@ class TestFingerprintPassthrough:
         engine = PrivacyEngine(executor=executor, cache_size=0)
         engine.solve(space, system, PLAIN)
         assert executor.jobs
-        for _, _, _, fingerprints in executor.jobs:
+        for _, _, _, fingerprints, *_rest in executor.jobs:
             assert all(f is None for f in fingerprints)

@@ -1,5 +1,6 @@
 """Tests for engine shutdown hygiene: idempotent close, no worker leaks."""
 
+import logging
 import multiprocessing
 
 from repro.core.privacy_maxent import PrivacyMaxEnt
@@ -88,18 +89,29 @@ class TestCloseResilience:
         assert engine.closed
         assert alive_worker_pids() - baseline == set()
 
-    def test_shutdown_survives_a_failing_engine(self, capsys):
-        shutdown_shared_engines()
-        bad = shared_engine(MaxEntConfig(cache_size=7))
-        good = shared_engine(MaxEntConfig(cache_size=9))
+    def test_shutdown_survives_a_failing_engine(self):
+        # The failure is reported through the structured `repro.engine`
+        # logger (not bare stderr), so capture at the logger itself —
+        # immune to whether `configure_logging` disabled propagation.
+        messages: list[str] = []
+        handler = logging.Handler()
+        handler.emit = lambda record: messages.append(record.getMessage())
+        log = logging.getLogger("repro.engine")
+        log.addHandler(handler)
+        try:
+            shutdown_shared_engines()
+            bad = shared_engine(MaxEntConfig(cache_size=7))
+            good = shared_engine(MaxEntConfig(cache_size=9))
 
-        def explode():
-            raise RuntimeError("boom")
+            def explode():
+                raise RuntimeError("boom")
 
-        bad.close = explode
-        assert shutdown_shared_engines() == 2
-        assert good.closed
-        assert "close failed" in capsys.readouterr().err
+            bad.close = explode
+            assert shutdown_shared_engines() == 2
+            assert good.closed
+            assert any("close failed" in message for message in messages)
+        finally:
+            log.removeHandler(handler)
 
 
 class TestSharedEngineShutdown:

@@ -1,0 +1,171 @@
+"""Prometheus exposition rendering and the structured log formatters."""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import math
+
+import pytest
+
+from repro.obs.logging import configure_logging, get_logger
+from repro.obs.metrics import MetricsBuilder, parse_exposition
+from repro.obs.trace import get_tracer
+
+
+class TestMetricsBuilder:
+    def test_counter_and_gauge_render(self):
+        builder = MetricsBuilder()
+        builder.counter("requests_total", 7, help_text="All requests.")
+        builder.gauge("queue_depth", 2.5)
+        text = builder.render()
+        assert "# HELP repro_requests_total All requests." in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "repro_requests_total 7" in text
+        assert "repro_queue_depth 2.5" in text
+
+    def test_help_and_type_emitted_once_across_label_sets(self):
+        builder = MetricsBuilder()
+        builder.counter("solves_total", 1, {"shard": "a"}, help_text="x")
+        builder.counter("solves_total", 2, {"shard": "b"}, help_text="x")
+        text = builder.render()
+        assert text.count("# TYPE repro_solves_total counter") == 1
+        assert text.count("# HELP repro_solves_total") == 1
+
+    def test_label_escaping(self):
+        builder = MetricsBuilder()
+        builder.gauge("g", 1, {"path": 'a"b\\c\nd'})
+        parsed = parse_exposition(builder.render())
+        assert parsed["repro_g"] == [({"path": 'a"b\\c\nd'}, 1.0)]
+
+    def test_histogram_renders_cumulative_buckets(self):
+        builder = MetricsBuilder()
+        builder.histogram(
+            "latency_seconds",
+            bounds=(0.1, 1.0),
+            bucket_counts=[3, 2, 1],  # last entry: overflow (> 1.0)
+            total_sum=2.25,
+            labels={"endpoint": "solve"},
+        )
+        parsed = parse_exposition(builder.render())
+        buckets = {
+            labels["le"]: value
+            for labels, value in parsed["repro_latency_seconds_bucket"]
+        }
+        assert buckets == {"0.1": 3.0, "1": 5.0, "+Inf": 6.0}
+        assert parsed["repro_latency_seconds_count"] == [
+            ({"endpoint": "solve"}, 6.0)
+        ]
+        assert parsed["repro_latency_seconds_sum"] == [
+            ({"endpoint": "solve"}, 2.25)
+        ]
+
+    def test_histogram_bucket_count_mismatch_raises(self):
+        builder = MetricsBuilder()
+        with pytest.raises(ValueError, match="bucket"):
+            builder.histogram("h", bounds=(1.0,), bucket_counts=[1], total_sum=0)
+
+    def test_empty_builder_renders_empty(self):
+        assert MetricsBuilder().render() == ""
+
+    def test_special_values(self):
+        builder = MetricsBuilder()
+        builder.gauge("inf", math.inf)
+        builder.gauge("neg", -math.inf)
+        parsed = parse_exposition(builder.render())
+        assert parsed["repro_inf"] == [({}, math.inf)]
+        assert parsed["repro_neg"] == [({}, -math.inf)]
+
+
+class TestParseExposition:
+    def test_rejects_arbitrary_comments(self):
+        with pytest.raises(ValueError, match="comment"):
+            parse_exposition("# just chatting 1\n")
+
+    def test_rejects_unterminated_labels(self):
+        with pytest.raises(ValueError):
+            parse_exposition('m{key="open 1\n')
+
+    def test_rejects_malformed_names(self):
+        with pytest.raises(ValueError, match="name"):
+            parse_exposition("bad name here 1\n")
+
+
+class TestStructuredLogging:
+    def _logged(self, log_format: str, emit) -> str:
+        stream = io.StringIO()
+        configure_logging(log_format, level="DEBUG", stream=stream)
+        try:
+            emit(get_logger("test"))
+        finally:
+            configure_logging("text")  # restore the default handler
+        return stream.getvalue()
+
+    def test_json_lines_with_fields(self):
+        out = self._logged(
+            "json",
+            lambda log: log.info(
+                "solved", extra={"fields": {"release_id": "rel-1"}}
+            ),
+        )
+        record = json.loads(out)
+        assert record["message"] == "solved"
+        assert record["release_id"] == "rel-1"
+        assert record["level"] == "info"
+        assert record["logger"] == "repro.test"
+        assert record["ts"].endswith("Z")
+
+    def test_json_records_carry_the_active_trace(self):
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        tracer.set_enabled(True)
+        try:
+            def emit(log):
+                with tracer.span("logging-span") as span:
+                    log.info("inside")
+                    emit.expected = span.trace_id
+
+            out = self._logged("json", emit)
+        finally:
+            tracer.set_enabled(was_enabled)
+            tracer.reset()
+        record = json.loads(out)
+        assert record["trace_id"] == emit.expected
+
+    def test_text_format_appends_fields(self):
+        out = self._logged(
+            "text",
+            lambda log: log.warning("slow", extra={"fields": {"ms": 12}}),
+        )
+        assert "WARNING" in out and "slow" in out and "ms=12" in out
+
+    def test_exceptions_are_formatted(self):
+        def emit(log):
+            try:
+                raise RuntimeError("kaboom")
+            except RuntimeError:
+                log.exception("failed")
+
+        out = self._logged("json", emit)
+        assert "kaboom" in json.loads(out)["exception"]
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ValueError, match="format"):
+            configure_logging("xml")
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        configure_logging("text", stream=stream)
+        root = configure_logging("text", stream=stream)
+        try:
+            assert len(root.handlers) == 1
+            assert root.propagate is False
+        finally:
+            configure_logging("text")
+
+    def test_get_logger_prefixes_names(self):
+        assert get_logger("engine").name == "repro.engine"
+        assert get_logger("repro.engine").name == "repro.engine"
+        assert get_logger().name == "repro"
+        assert isinstance(get_logger("x"), logging.Logger)
