@@ -24,6 +24,13 @@ measures:
 Besides the usual ``benchmarks/results/`` artifacts it appends each
 run's trajectory to ``BENCH_cluster.json`` at the repo root, so scaling
 numbers can be diffed across commits.
+
+Run directly with ``--churn`` (``python benchmarks/bench_cluster.py
+--churn``) for the elastic-cluster drill: an N-worker cold-solve
+scaling curve, then the same solve again while one worker is SIGKILLed
+and a replacement joins mid-flight — the posterior must stay
+bit-identical throughout, and the curve plus the churn run append to
+``BENCH_cluster.json`` under ``churn_runs``.
 """
 
 from __future__ import annotations
@@ -231,3 +238,163 @@ def test_cluster_scaling(benchmark, results_dir):
             f"cannot scale {N_WORKERS} workers; recorded speedup "
             f"{largest[6]:.2f}x"
         )
+
+
+# -- the --churn drill (script mode, CI's cluster-chaos job) -----------------
+
+
+def _append_bench_entry(key: str, entry: dict) -> None:
+    """Append ``entry`` to a list under ``key`` in ``BENCH_cluster.json``."""
+    bench_path = REPO_ROOT / "BENCH_cluster.json"
+    payload = {"name": "cluster_scaling", "runs": []}
+    if bench_path.exists():
+        try:
+            existing = json.loads(bench_path.read_text())
+            if isinstance(existing, dict):
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload.setdefault(key, []).append(entry)
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def run_churn(workload: str = "small", worker_counts=(1, 2, 3)) -> dict:
+    """The elastic-cluster drill: N-worker curve + kill/join mid-solve.
+
+    Every fleet's posterior (including the churned one) must be
+    bit-identical to the single-engine baseline — the scaling numbers
+    are only reported for results that survived that bar.
+    """
+    from repro.cluster.chaos import WorkerProcess
+
+    config = MaxEntConfig(raise_on_infeasible=False, batch_components=0)
+    n_records = _workloads()[workload]
+    space, system = _build(n_records)
+
+    with PrivacyEngine(executor="serial", cache_size=0) as single:
+        with Timer() as t:
+            baseline = single.solve(space, system, config)
+    single_seconds = t.seconds
+    print(
+        f"[churn] workload={workload} records={n_records} "
+        f"components={baseline.stats.n_components} "
+        f"single-engine {single_seconds:.2f}s"
+    )
+
+    curve = []
+    for n_workers in worker_counts:
+        with ClusterCoordinator.spawn_local(
+            n_workers, chunk_size=32
+        ) as coordinator:
+            engine = PrivacyEngine(
+                executor=ClusterExecutor(coordinator), cache_size=0
+            )
+            with Timer() as t:
+                solution = engine.solve(space, system, config)
+        assert np.array_equal(solution.p, baseline.p)
+        speedup = single_seconds / t.seconds if t.seconds > 0 else float("inf")
+        curve.append(
+            {
+                "n_workers": n_workers,
+                "cold_seconds": t.seconds,
+                "speedup": speedup,
+            }
+        )
+        print(
+            f"[churn] {n_workers}-worker fleet: {t.seconds:.2f}s "
+            f"({speedup:.2f}x)"
+        )
+
+    # The churn pass: start at 2 workers, SIGKILL one after its first
+    # gathered chunk, and join a (pre-spawned, unregistered) replacement
+    # — all while the solve is in flight.
+    with ClusterCoordinator.spawn_local(2, chunk_size=16) as coordinator:
+        with WorkerProcess(worker_id="joiner") as replacement:
+            replacement.spawn()
+            churned = {"fired": False}
+
+            def kill_and_join(worker_id: str, chunk_index: int) -> None:
+                if churned["fired"]:
+                    return
+                churned["fired"] = True
+                victim = coordinator.handles[-1]
+                victim.process.kill()
+                victim.process.wait(timeout=10)
+                coordinator.add_worker(
+                    replacement.worker_id,
+                    replacement.host,
+                    replacement.port,
+                )
+
+            coordinator.after_chunk_hook = kill_and_join
+            engine = PrivacyEngine(
+                executor=ClusterExecutor(coordinator), cache_size=0
+            )
+            with Timer() as t:
+                solution = engine.solve(space, system, config)
+            assert churned["fired"], "solve finished before the drill fired"
+            assert np.array_equal(solution.p, baseline.p)
+            events = dict(coordinator.events.counts())
+    churn = {
+        "seconds": t.seconds,
+        "bit_identical": True,
+        "membership_events": events,
+    }
+    print(
+        f"[churn] kill+join mid-solve: {t.seconds:.2f}s, bit-identical, "
+        f"events={events}"
+    )
+
+    entry = {
+        "workload": workload,
+        "n_records": n_records,
+        "n_cpus": _usable_cpus(),
+        "single_engine_seconds": single_seconds,
+        "scaling_curve": curve,
+        "churn": churn,
+    }
+    _append_bench_entry("churn_runs", entry)
+    print(f"[churn] appended to {REPO_ROOT / 'BENCH_cluster.json'}")
+    return entry
+
+
+def _main() -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=(
+            "Cluster benchmarks. The pytest path runs the 2-worker "
+            "scaling bench; this script entry runs the elastic churn "
+            "drill."
+        )
+    )
+    parser.add_argument(
+        "--churn",
+        action="store_true",
+        help="run the N-worker scaling curve + kill/join-mid-solve drill",
+    )
+    parser.add_argument(
+        "--workload",
+        choices=sorted(_workloads()),
+        default="small",
+        help="synthetic workload size (default: small)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        nargs="+",
+        default=[1, 2, 3],
+        metavar="N",
+        help="fleet sizes for the scaling curve (default: 1 2 3)",
+    )
+    args = parser.parse_args()
+    if not args.churn:
+        parser.error(
+            "pass --churn (the scaling bench runs under pytest: "
+            "python -m pytest benchmarks/bench_cluster.py)"
+        )
+    run_churn(workload=args.workload, worker_counts=tuple(args.workers))
+
+
+if __name__ == "__main__":
+    _main()

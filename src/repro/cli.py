@@ -296,7 +296,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import PrivacyService, ServiceConfig
 
     configure_logging(args.log_format, level=args.log_level)
-    sharded = args.shards > 0 or args.shard_address
+    # --accept-joins alone (no spawned shards, no addresses) serves an
+    # initially-empty elastic fleet; on an already-sharded serve, joins
+    # default on and --no-accept-joins pins the fleet static.
+    accept_joins = args.accept_joins is not False
+    sharded = bool(
+        args.shards > 0 or args.shard_address or args.accept_joins
+    )
     engine_config = MaxEntConfig(
         **_engine_overrides(args),
         # In sharded mode the workers own the solve caches; the
@@ -313,22 +319,42 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         engine=engine_config,
     )
     if sharded:
-        from repro.cluster import ClusterCoordinator, ShardedFrontend
+        from repro.cluster import (
+            ClusterCoordinator,
+            MembershipConfig,
+            ShardedFrontend,
+        )
 
         if args.shard_address:
             coordinator = ClusterCoordinator.attach(args.shard_address)
-        else:
+        elif args.shards > 0:
             coordinator = ClusterCoordinator.spawn_local(
                 args.shards,
                 worker_args=_shard_worker_args(args),
                 cache_path=args.cache_path,
             )
+        else:
+            # An empty elastic fleet: workers dial in with
+            # `repro shard-worker --join`.
+            coordinator = ClusterCoordinator([], allow_empty=True)
         get_logger("cli").info(
-            f"shard fleet: {', '.join(coordinator.router.worker_ids)}",
+            f"shard fleet: {', '.join(coordinator.router.worker_ids) or '(awaiting joins)'}",
             extra={"fields": {"shards": list(coordinator.router.worker_ids)}},
         )
+        membership = MembershipConfig.from_env(
+            heartbeat_interval=args.heartbeat_interval,
+            liveness_timeout=args.liveness_timeout,
+            replication=args.replication,
+        )
         try:
-            service = ShardedFrontend(service_config, coordinator=coordinator)
+            service = ShardedFrontend(
+                service_config,
+                coordinator=coordinator,
+                forward_timeout=args.forward_timeout,
+                health_timeout=args.health_timeout,
+                membership=membership,
+                accept_joins=accept_joins,
+            )
             service.run()
         finally:
             # Idempotent after a clean run (service.close() already shut
@@ -343,6 +369,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    from repro.cluster.membership import (
+        DEFAULT_HEARTBEAT_INTERVAL,
+        load_or_create_identity,
+        parse_worker_address,
+    )
+    from repro.cluster.retry import cluster_env_float
     from repro.cluster.worker import ShardWorker
     from repro.obs.logging import configure_logging
     from repro.service.server import ServiceConfig
@@ -352,6 +384,21 @@ def _cmd_shard_worker(args: argparse.Namespace) -> int:
         **_engine_overrides(args),
         cache_path=args.cache_path,
     )
+    worker_id = args.worker_id
+    if args.identity_file:
+        worker_id = load_or_create_identity(
+            args.identity_file, explicit=args.worker_id
+        )
+    join_targets = [
+        parse_worker_address(target)[1:] for target in args.join
+    ]
+    heartbeat_interval = (
+        args.heartbeat_interval
+        if args.heartbeat_interval is not None
+        else cluster_env_float(
+            "HEARTBEAT_INTERVAL", DEFAULT_HEARTBEAT_INTERVAL
+        )
+    )
     worker = ShardWorker(
         ServiceConfig(
             host=args.host,
@@ -359,7 +406,10 @@ def _cmd_shard_worker(args: argparse.Namespace) -> int:
             max_concurrency=args.max_concurrency,
             max_queue=args.queue_size,
             engine=engine_config,
-        )
+        ),
+        worker_id=worker_id,
+        join=join_targets,
+        heartbeat_interval=heartbeat_interval,
     )
     worker.run()
     return 0
@@ -492,9 +542,9 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "persist the engine solve cache here (warm restarts); with "
             "--shards each worker gets a per-shard '<path>.shardN' file "
-            "(spawned ports are ephemeral, so restarts re-route some "
-            "keys; use fixed-port --shard-address workers for fully "
-            "warm restarts)"
+            "(spawned workers carry stable 'shardN' identities, so a "
+            "restarted fleet keeps its routing and cache warmth even "
+            "though every port changed)"
         ),
     )
     serve.add_argument(
@@ -510,10 +560,68 @@ def build_parser() -> argparse.ArgumentParser:
         "--shard-address",
         action="append",
         default=[],
-        metavar="HOST:PORT",
+        metavar="[ID@]HOST:PORT",
         help=(
             "attach to an already-running `repro shard-worker` instead of "
-            "spawning locally (repeatable)"
+            "spawning locally (repeatable; an id@ prefix gives the worker "
+            "a stable routing identity that survives respawns)"
+        ),
+    )
+    serve.add_argument(
+        "--accept-joins",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help=(
+            "accept workers dialing in via `repro shard-worker --join` "
+            "(default: on for sharded serves; alone, serves an "
+            "initially-empty elastic fleet; --no-accept-joins pins a "
+            "sharded fleet static)"
+        ),
+    )
+    serve.add_argument(
+        "--forward-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-forward HTTP timeout in seconds (default: "
+            "REPRO_CLUSTER_FORWARD_TIMEOUT, else 600)"
+        ),
+    )
+    serve.add_argument(
+        "--health-timeout",
+        type=float,
+        default=None,
+        help=(
+            "per-worker health probe timeout in seconds (default: "
+            "REPRO_CLUSTER_HEALTH_TIMEOUT, else 2)"
+        ),
+    )
+    serve.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        help=(
+            "register each release on its top-K rendezvous owners "
+            "(default: REPRO_CLUSTER_REPLICATION, else 2)"
+        ),
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help=(
+            "expected worker heartbeat cadence in seconds (default: "
+            "REPRO_CLUSTER_HEARTBEAT_INTERVAL, else 2)"
+        ),
+    )
+    serve.add_argument(
+        "--liveness-timeout",
+        type=float,
+        default=None,
+        help=(
+            "heartbeat silence before a joined worker is marked dead "
+            "(default: REPRO_CLUSTER_LIVENESS_TIMEOUT, else 3x the "
+            "heartbeat interval)"
         ),
     )
     _add_engine_args(serve)
@@ -542,6 +650,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-path",
         default=None,
         help="persist this shard's solve cache here (warm restarts)",
+    )
+    shard_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help=(
+            "stable routing identity (default: the identity file's "
+            "content, else host:port); a respawn announcing the same id "
+            "reclaims its rendezvous slot instead of re-routing keys"
+        ),
+    )
+    shard_worker.add_argument(
+        "--identity-file",
+        default=None,
+        help=(
+            "persist the worker identity here: generated on first start, "
+            "reused on respawn (an explicit --worker-id is written through)"
+        ),
+    )
+    shard_worker.add_argument(
+        "--join",
+        action="append",
+        default=[],
+        metavar="HOST:PORT",
+        help=(
+            "dial this front-end at startup (POST /shard/v1/join) and "
+            "heartbeat it (repeatable)"
+        ),
+    )
+    shard_worker.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help=(
+            "seconds between heartbeats to --join targets (default: "
+            "REPRO_CLUSTER_HEARTBEAT_INTERVAL, else 2)"
+        ),
     )
     _add_engine_args(shard_worker)
     _add_logging_args(shard_worker)

@@ -30,7 +30,15 @@ architecture notes and failure semantics.
 from repro.cluster.coordinator import ClusterCoordinator, WorkerHandle
 from repro.cluster.executor import ClusterExecutor, create_cluster_executor
 from repro.cluster.frontend import ShardedFrontend
+from repro.cluster.membership import (
+    HeartbeatSender,
+    MembershipConfig,
+    load_or_create_identity,
+    new_worker_id,
+    parse_worker_address,
+)
 from repro.cluster.protocol import SHARD_PROTOCOL, ShardClient
+from repro.cluster.retry import RetryPolicy
 from repro.cluster.router import ClusterError, ShardRouter
 from repro.cluster.worker import ShardWorker
 
@@ -39,10 +47,16 @@ __all__ = [
     "ClusterCoordinator",
     "ClusterError",
     "ClusterExecutor",
+    "HeartbeatSender",
+    "MembershipConfig",
+    "RetryPolicy",
     "ShardClient",
     "ShardRouter",
     "ShardWorker",
     "ShardedFrontend",
     "WorkerHandle",
     "create_cluster_executor",
+    "load_or_create_identity",
+    "new_worker_id",
+    "parse_worker_address",
 ]

@@ -39,17 +39,20 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.cluster.membership import parse_worker_address
 from repro.cluster.protocol import (
     ShardClient,
     response_spans,
     solve_request_to_wire,
     solve_response_from_wire,
 )
+from repro.cluster.retry import RetryPolicy
 from repro.cluster.router import ClusterError, ShardRouter
 from repro.engine.component import ComponentSolve
 from repro.errors import InfeasibleKnowledgeError
 from repro.maxent.config import MaxEntConfig
 from repro.maxent.decompose import Component
+from repro.obs.events import EventLog
 from repro.obs.logging import get_logger
 from repro.obs.trace import get_tracer
 from repro.service.client import ServiceError
@@ -89,6 +92,13 @@ class WorkerHandle:
     failures: int = 0
     reassigned_jobs: int = 0
     spawned_at: float = field(default_factory=time.time)
+    #: Set once the worker announces itself over ``/shard/v1/join`` or
+    #: ``/shard/v1/heartbeat``; only heartbeating workers are subject
+    #: to the liveness sweep (statically attached fleets keep the old
+    #: probe/request-based detection).
+    heartbeating: bool = False
+    last_heartbeat: float | None = None
+    revivals: int = 0
     #: Cached idle solve-path client (one keep-alive connection per
     #: worker).  Chunk dispatch checks it out, runs the request with no
     #: lock held, and returns it — the measured single-worker overhead
@@ -149,14 +159,26 @@ class WorkerHandle:
         """True for workers this coordinator spawned (and may kill)."""
         return self.process is not None
 
+    def address(self) -> str:
+        """The worker's current ``host:port`` contact string."""
+        return f"{self.host}:{self.port}"
+
     def summary(self) -> dict:
         """JSON-ready fleet-listing entry."""
         return {
             "worker": self.worker_id,
+            "address": self.address(),
             "alive": self.alive,
             "local": self.is_local(),
             "failures": self.failures,
             "reassigned_jobs": self.reassigned_jobs,
+            "heartbeating": self.heartbeating,
+            "heartbeat_age_seconds": (
+                round(time.time() - self.last_heartbeat, 3)
+                if self.last_heartbeat is not None
+                else None
+            ),
+            "revivals": self.revivals,
         }
 
 
@@ -181,17 +203,26 @@ class ClusterCoordinator:
         owns_workers: bool = False,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         solve_timeout: float = DEFAULT_SOLVE_TIMEOUT,
+        retry_policy: RetryPolicy | None = None,
+        allow_empty: bool = False,
     ) -> None:
-        if not handles:
+        if not handles and not allow_empty:
             raise ClusterError("a cluster needs at least one shard worker")
         self.handles = list(handles)
         self.owns_workers = owns_workers
         self.chunk_size = max(int(chunk_size), 1)
         self.solve_timeout = solve_timeout
+        #: Backoff shape of the 429 absorb-in-place loop (jittered, so
+        #: chunks that collided on a saturated worker de-correlate).
+        self.retry_policy = retry_policy or RetryPolicy.from_env()
         self.router = ShardRouter([h.worker_id for h in self.handles])
         self._by_id = {h.worker_id: h for h in self.handles}
         self._lock = threading.Lock()
         self._closed = False
+        #: Membership history: joins, revivals, expiries, presumed
+        #: deaths — the "what happened to the fleet" record telemetry
+        #: surfaces.
+        self.events = EventLog()
         #: Test/diagnostic hook: called as ``hook(worker_id, chunk_index)``
         #: after each successfully gathered chunk — the deterministic
         #: "kill a worker mid-solve" injection point.
@@ -212,14 +243,14 @@ class ClusterCoordinator:
     ) -> "ClusterCoordinator":
         """Spawn ``n_workers`` ``repro shard-worker`` subprocesses.
 
-        Each worker gets its own OS-assigned port and (when
-        ``cache_path`` is set) a per-shard ``<path>.shardN`` cache file.
-        Because worker ids are ``host:port`` and ports are ephemeral, a
-        *restarted* spawned fleet routes keys afresh — each shard
-        reloads its index-named snapshot, but roughly half the keys land
-        on the other shard cold.  Fleets that need routing-stable warm
-        restarts should run fixed-port ``repro shard-worker`` processes
-        and :meth:`attach` to them (what the CI smoke job does).
+        Each worker gets its own OS-assigned port, a *stable* identity
+        (``shard0``, ``shard1``, ... — forwarded via ``--worker-id`` so
+        the worker self-reports the same id the coordinator routes by)
+        and, when ``cache_path`` is set, a per-shard ``<path>.shardN``
+        cache file.  Identities being index-based rather than
+        ``host:port`` means a restarted spawned fleet keeps its routing
+        (and therefore its per-shard cache warmth) even though every
+        port changed.
         """
         if n_workers <= 0:
             raise ClusterError(f"n_workers must be positive, got {n_workers}")
@@ -228,6 +259,7 @@ class ClusterCoordinator:
         try:
             for index in range(n_workers):
                 port = free_port(host)
+                worker_id = f"shard{index}"
                 command = [
                     sys.executable,
                     "-m",
@@ -237,6 +269,8 @@ class ClusterCoordinator:
                     host,
                     "--port",
                     str(port),
+                    "--worker-id",
+                    worker_id,
                     *(worker_args or []),
                 ]
                 if cache_path:
@@ -244,7 +278,7 @@ class ClusterCoordinator:
                 process = subprocess.Popen(command, env=env)
                 handles.append(
                     WorkerHandle(
-                        worker_id=f"{host}:{port}",
+                        worker_id=worker_id,
                         host=host,
                         port=port,
                         process=process,
@@ -262,23 +296,20 @@ class ClusterCoordinator:
 
     @classmethod
     def attach(cls, addresses, **kwargs) -> "ClusterCoordinator":
-        """Attach to already-running workers (``host:port`` strings)."""
+        """Attach to already-running workers (``[id@]host:port`` strings).
+
+        Without the ``id@`` prefix a worker's identity is its address
+        (the pre-elastic behaviour, routing-compatible with existing
+        fixed-port fleets); with it, the identity survives the worker
+        respawning on a different port.
+        """
         if isinstance(addresses, str):
             addresses = [a for a in addresses.split(",") if a.strip()]
         handles = []
         for address in addresses:
-            address = address.strip()
-            host, _, port_text = address.rpartition(":")
-            try:
-                port = int(port_text)
-            except ValueError:
-                raise ClusterError(
-                    f"worker address {address!r} is not host:port"
-                ) from None
+            worker_id, host, port = parse_worker_address(address)
             handles.append(
-                WorkerHandle(
-                    worker_id=address, host=host or "127.0.0.1", port=port
-                )
+                WorkerHandle(worker_id=worker_id, host=host, port=port)
             )
         return cls(handles, owns_workers=False, **kwargs)
 
@@ -307,16 +338,144 @@ class ClusterCoordinator:
             return [h.worker_id for h in self.handles if not h.alive]
 
     def mark_dead(self, worker_id: str) -> None:
-        """Exclude a worker from routing until a health probe revives it."""
+        """Exclude a worker from routing until a probe/heartbeat revives it."""
+        died = False
         with self._lock:
             handle = self._by_id.get(worker_id)
             if handle is not None and handle.alive:
                 handle.alive = False
                 handle.failures += 1
+                died = True
         if handle is not None:
             # A presumed-dead worker's keep-alive connection is stale by
             # definition; a revived worker gets a fresh one.
             handle.drop_solve_client()
+        if died:
+            self.events.record("presumed_dead", worker=worker_id)
+
+    # -- dynamic membership --------------------------------------------------
+
+    def add_worker(
+        self,
+        worker_id: str,
+        host: str,
+        port: int,
+        *,
+        process: subprocess.Popen | None = None,
+    ) -> str:
+        """Register (or re-register) a worker; returns what happened.
+
+        The membership primitive behind ``POST /shard/v1/join``:
+
+        - ``"joined"`` — a brand-new identity entered the ring;
+        - ``"rejoined"`` — a known identity came back (it was dead, or
+          respawned on a new address): same rendezvous slot, so its
+          keys return without any re-routing of anyone else's;
+        - ``"refreshed"`` — a live worker re-announced itself (join
+          retries are idempotent).
+        """
+        now = time.time()
+        stale_connection = False
+        with self._lock:
+            handle = self._by_id.get(worker_id)
+            if handle is None:
+                handle = WorkerHandle(
+                    worker_id=worker_id,
+                    host=host,
+                    port=port,
+                    process=process,
+                    heartbeating=True,
+                    last_heartbeat=now,
+                )
+                self.handles.append(handle)
+                self._by_id[worker_id] = handle
+                self.router.add(worker_id)
+                event = "joined"
+            else:
+                address_changed = (host, port) != (handle.host, handle.port)
+                was_dead = not handle.alive
+                handle.host = host
+                handle.port = port
+                handle.alive = True
+                handle.heartbeating = True
+                handle.last_heartbeat = now
+                if process is not None:
+                    handle.process = process
+                if was_dead:
+                    handle.revivals += 1
+                stale_connection = address_changed or was_dead
+                event = (
+                    "rejoined" if (was_dead or address_changed) else
+                    "refreshed"
+                )
+        if stale_connection:
+            handle.drop_solve_client()
+        self.events.record(event, worker=worker_id, address=f"{host}:{port}")
+        if event != "refreshed":
+            _log.info(
+                f"worker {worker_id} {event} at {host}:{port}",
+                extra={"fields": {"worker": worker_id, "event": event}},
+            )
+        return event
+
+    def heartbeat(self, worker_id: str, host: str, port: int) -> str:
+        """Refresh a worker's liveness; revive it if presumed dead.
+
+        An unknown identity is auto-registered — to a restarted
+        front-end with an empty fleet, a heartbeat is as good as a
+        join.  Returns the membership event (``"ok"`` when nothing
+        changed).
+        """
+        now = time.time()
+        with self._lock:
+            handle = self._by_id.get(worker_id)
+            known = handle is not None
+            if known:
+                address_changed = (host, port) != (handle.host, handle.port)
+                was_dead = not handle.alive
+                if not address_changed and not was_dead:
+                    handle.last_heartbeat = now
+                    handle.heartbeating = True
+                    return "ok"
+        if not known:
+            return self.add_worker(worker_id, host, port)
+        event = self.add_worker(worker_id, host, port)
+        return "revived" if event == "rejoined" else event
+
+    def sweep_expired(self, liveness_timeout: float) -> list[str]:
+        """Mark heartbeating workers silent past ``liveness_timeout`` dead.
+
+        Only workers that ever heartbeated are swept: statically
+        attached or spawned fleets without ``--join`` keep the original
+        probe/request-based failure detection, so the sweep can run
+        unconditionally.
+        """
+        now = time.time()
+        expired: list[WorkerHandle] = []
+        with self._lock:
+            for handle in self.handles:
+                if (
+                    handle.alive
+                    and handle.heartbeating
+                    and handle.last_heartbeat is not None
+                    and now - handle.last_heartbeat > liveness_timeout
+                ):
+                    handle.alive = False
+                    handle.failures += 1
+                    expired.append(handle)
+        for handle in expired:
+            handle.drop_solve_client()
+            self.events.record(
+                "expired",
+                worker=handle.worker_id,
+                silent_seconds=round(now - handle.last_heartbeat, 3),
+            )
+            _log.warning(
+                f"worker {handle.worker_id} missed heartbeats for "
+                f"{now - handle.last_heartbeat:.1f}s; marked dead",
+                extra={"fields": {"worker": handle.worker_id}},
+            )
+        return [handle.worker_id for handle in expired]
 
     def check_health(self, *, timeout: float = 2.0) -> list[dict]:
         """Probe every worker's ``/v1/healthz``; revive those that answer.
@@ -345,7 +504,15 @@ class ClusterCoordinator:
                 alive = False
                 error = str(exc)
             with self._lock:
+                changed = handle.alive != alive
+                if changed and alive:
+                    handle.revivals += 1
                 handle.alive = alive
+            if changed:
+                self.events.record(
+                    "revived" if alive else "probe_dead",
+                    worker=handle.worker_id,
+                )
             return {
                 "worker": handle.worker_id,
                 "alive": alive,
@@ -353,8 +520,11 @@ class ClusterCoordinator:
                 "error": error,
             }
 
-        with ThreadPoolExecutor(max_workers=len(self.handles)) as pool:
-            return list(pool.map(probe, self.handles))
+        handles = list(self.handles)
+        if not handles:
+            return []
+        with ThreadPoolExecutor(max_workers=len(handles)) as pool:
+            return list(pool.map(probe, handles))
 
     # -- the scatter/gather solve primitive ----------------------------------
 
@@ -595,9 +765,11 @@ class ClusterCoordinator:
     def _post_chunk(self, handle: WorkerHandle, payload: dict) -> dict:
         """POST one chunk, absorbing 429 backpressure in place.
 
-        A saturated worker is busy, not dead: retries back off (50ms
-        doubling to 1s) for up to the solve timeout — the time budget
-        one chunk already has — before the 429 escapes to the caller.
+        A saturated worker is busy, not dead: retries back off on the
+        coordinator's :class:`RetryPolicy` (jittered exponential, so
+        chunks that collided once de-correlate instead of re-colliding
+        in lockstep) for up to the solve timeout — the time budget one
+        chunk already has — before the 429 escapes to the caller.
 
         Chunks ride the worker's cached keep-alive connection
         (:meth:`WorkerHandle.checkout_solve_client`) instead of a fresh
@@ -610,7 +782,7 @@ class ClusterCoordinator:
         worker gets a fresh connection.
         """
         deadline = time.monotonic() + self.solve_timeout
-        delay = 0.05
+        attempt = 0
         while True:
             client = handle.checkout_solve_client(timeout=self.solve_timeout)
             try:
@@ -619,8 +791,8 @@ class ClusterCoordinator:
                 handle.return_solve_client(client)
                 if exc.status != 429 or time.monotonic() >= deadline:
                     raise
-                time.sleep(delay)
-                delay = min(delay * 2, 1.0)
+                time.sleep(self.retry_policy.delay(attempt))
+                attempt += 1
             except (OSError, http.client.HTTPException):
                 client.close()
                 raise
@@ -644,8 +816,12 @@ class ClusterCoordinator:
             except (OSError, ServiceError) as exc:
                 return handle, None, str(exc)
 
-        with ThreadPoolExecutor(max_workers=len(self.handles)) as pool:
-            fetched = list(pool.map(fetch, self.handles))
+        handles = list(self.handles)
+        if handles:
+            with ThreadPoolExecutor(max_workers=len(handles)) as pool:
+                fetched = list(pool.map(fetch, handles))
+        else:
+            fetched = []
 
         shards = []
         totals = {
@@ -704,6 +880,12 @@ class ClusterCoordinator:
         )
         return {
             "workers": shards,
+            "membership": {
+                "alive": sum(1 for h in handles if h.alive),
+                "dead": sum(1 for h in handles if not h.alive),
+                "heartbeating": sum(1 for h in handles if h.heartbeating),
+                "events": self.events.snapshot(limit=20),
+            },
             "aggregate": {
                 **totals,
                 "cache_by_prefix": prefix_totals,

@@ -52,9 +52,14 @@ class ClusterExecutor:
     ) -> None:
         self.coordinator = coordinator
         self.owns_coordinator = owns_coordinator
-        # Advertised parallelism: concurrency heuristics (the service's
-        # max_concurrency default) read this like a pool's worker count.
-        self.workers = coordinator.n_workers
+
+    @property
+    def workers(self) -> int:
+        """Advertised parallelism: concurrency heuristics (the service's
+        max_concurrency default) read this like a pool's worker count.
+        A property, because an elastic fleet grows and shrinks under a
+        live executor."""
+        return max(self.coordinator.n_workers, 1)
 
     def imap(self, fn, items):
         """Scatter component work items (grouped or single) to the fleet."""

@@ -10,21 +10,27 @@ core count — not one process's — bounds the serving capacity.
 Routing and failure semantics:
 
 - *registration* — the front-end computes the same content digest the
-  session store uses for idempotency, routes to the owning worker, and
-  remembers ``(digest, body, worker)`` so the release can be re-homed;
-  the client-visible release id is pinned at first registration and
-  survives failover.
-- *solves* — posterior/assess bodies forward verbatim to the owner;
-  worker errors map back status-for-status (a 429 from a saturated
-  shard is real backpressure the client should see).
-- *failover* — a connection failure marks the worker dead; the release
-  re-registers on its rendezvous successor from the stored payload and
-  the request retries there once.  Health probes revive recovered
-  workers, and rendezvous hashing sends their keys straight back.
+  session store uses for idempotency, registers on the digest's top-K
+  rendezvous owners (K = the replication factor, default 2) and
+  remembers ``(digest, body, primary, replicas)``; the client-visible
+  release id is pinned at first registration and survives failover.
+- *solves* — posterior/assess bodies forward verbatim to the primary
+  owner; worker errors map back status-for-status (a 429 from a
+  saturated shard is real backpressure the client should see).
+- *failover* — a connection failure marks the worker dead; the request
+  *promotes a live replica* (zero re-registration round trips) and only
+  re-registers from the stored payload when no replica survives.
+  Health probes and heartbeats revive recovered workers, and rendezvous
+  hashing sends their keys straight back.
+- *membership* — workers dial in over ``POST /shard/v1/join`` and
+  ``POST /shard/v1/heartbeat`` (stable identities, liveness timeouts,
+  revival of returning workers); joins trigger incremental background
+  re-balancing that only touches releases whose top-K owner set
+  actually changed.
 - *health/telemetry* — ``/v1/healthz`` aggregates worker liveness (any
   dead or degraded shard degrades the fleet, HTTP 503), and
-  ``/v1/telemetry`` embeds every shard's counters plus cross-shard
-  engine aggregates.
+  ``/v1/telemetry`` embeds every shard's counters, the membership event
+  history, plus cross-shard engine aggregates.
 """
 
 from __future__ import annotations
@@ -32,10 +38,18 @@ from __future__ import annotations
 import asyncio
 import http.client
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
 
 from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.membership import MembershipConfig
+from repro.cluster.protocol import (
+    SHARD_PROTOCOL,
+    heartbeat_request_from_wire,
+    join_request_from_wire,
+)
+from repro.cluster.retry import RetryPolicy, cluster_env_float
 from repro.cluster.router import ClusterError
 from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.obs.metrics import MetricsBuilder
@@ -52,13 +66,25 @@ from repro.service.server import (
 )
 from repro.service.store import release_digest
 
-#: Per-forward HTTP timeout; solves can be long, registration is not.
+#: Default per-forward HTTP timeout; solves can be long, registration
+#: is not.  Overridable per instance (``REPRO_CLUSTER_FORWARD_TIMEOUT``
+#: env var / ``repro serve --forward-timeout``).
 FORWARD_TIMEOUT = 600.0
+
+#: Default per-worker health-probe timeout (``/v1/healthz`` fan-out);
+#: ``REPRO_CLUSTER_HEALTH_TIMEOUT`` / ``--health-timeout`` override.
+HEALTH_TIMEOUT = 2.0
 
 
 @dataclass
 class ReleaseEntry:
-    """One registered release's routing record."""
+    """One registered release's routing record.
+
+    ``worker_id`` is the *primary* (requests forward there);
+    ``replicas`` maps every other worker holding a registered copy to
+    the release id it knows the release by.  Promotion swaps a replica
+    into the primary slot without any wire traffic.
+    """
 
     release_id: str
     digest: str
@@ -66,6 +92,7 @@ class ReleaseEntry:
     worker_id: str
     worker_release_id: str
     summary: dict = field(default_factory=dict)
+    replicas: dict[str, str] = field(default_factory=dict)
 
 
 class ShardedFrontend(PrivacyService):
@@ -77,10 +104,29 @@ class ShardedFrontend(PrivacyService):
         *,
         coordinator: ClusterCoordinator,
         owns_coordinator: bool = True,
+        forward_timeout: float | None = None,
+        health_timeout: float | None = None,
+        retry_policy: RetryPolicy | None = None,
+        membership: MembershipConfig | None = None,
+        accept_joins: bool = True,
     ) -> None:
         super().__init__(config)
         self.coordinator = coordinator
         self.owns_coordinator = owns_coordinator
+        self.forward_timeout = (
+            forward_timeout
+            if forward_timeout is not None
+            else cluster_env_float("FORWARD_TIMEOUT", FORWARD_TIMEOUT)
+        )
+        self.health_timeout = (
+            health_timeout
+            if health_timeout is not None
+            else cluster_env_float("HEALTH_TIMEOUT", HEALTH_TIMEOUT)
+        )
+        self.retry = retry_policy or RetryPolicy.from_env()
+        self.membership = membership or MembershipConfig.from_env()
+        self.replication = self.membership.replication
+        self.accept_joins = accept_joins
         if self.config.max_concurrency is None:
             # The base class sized admission for its own (idle) engine;
             # a front-end's capacity is the fleet's, so let several
@@ -92,8 +138,24 @@ class ShardedFrontend(PrivacyService):
         self._directory: dict[str, ReleaseEntry] = {}
         self._by_digest: dict[str, str] = {}
         self._directory_lock = threading.Lock()
+        # Joins re-balance in the background — one worker, so concurrent
+        # joins serialize instead of racing over the directory — while
+        # the request path keeps serving.
+        self._rebalance_pool = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="shard-rebalance"
+        )
+        self._membership_stop = threading.Event()
+        self._membership_thread = threading.Thread(
+            target=self._membership_loop,
+            name="fleet-liveness",
+            daemon=True,
+        )
+        self._membership_thread.start()
 
     def close(self) -> None:
+        self._membership_stop.set()
+        self._membership_thread.join(timeout=5.0)
+        self._rebalance_pool.shutdown(wait=True, cancel_futures=True)
         super().close()
         if self.owns_coordinator:
             self.coordinator.shutdown()
@@ -115,6 +177,15 @@ class ShardedFrontend(PrivacyService):
         request root span parents on this front-end's — release-sharded
         forwards stitch into one cross-process trace the same way
         component scatters do.
+
+        Transport failures retry under the front-end's
+        :class:`RetryPolicy` before they escape: one transient refusal
+        (a worker mid-restart, a dropped connection) no longer condemns
+        a healthy worker to failover.  Worker *verdicts* never retry —
+        an HTTP answer means the worker is alive and its answer stands.
+        Re-sending is safe on every forwarded path: registration is
+        idempotent by content digest and solves are cached/coalesced
+        worker-side.
         """
         handle = self.coordinator.worker(worker_id)
         headers = None
@@ -124,11 +195,18 @@ class ShardedFrontend(PrivacyService):
                     f"{trace_ctx['trace_id']}:{trace_ctx.get('span_id') or ''}"
                 )
             }
-        try:
-            with handle.client(timeout=FORWARD_TIMEOUT) as client:
+
+        def attempt() -> dict:
+            with handle.client(timeout=self.forward_timeout) as client:
                 return client.request(
                     method, path, payload, extra_headers=headers
                 )
+
+        def on_retry(n, exc, sleep) -> None:
+            self.telemetry.incr("forward_retries")
+
+        try:
+            return self.retry.run(attempt, on_retry=on_retry)
         except ServiceError as exc:
             # The worker answered: relay its verdict status-for-status.
             raise HttpError(exc.status, str(exc), code=exc.code) from exc
@@ -179,20 +257,106 @@ class ShardedFrontend(PrivacyService):
             code="shard_unavailable",
         ) from last_exc
 
+    def _promote_replica(self, entry: ReleaseEntry) -> bool:
+        """Swap a live replica into the primary slot (no wire traffic).
+
+        The replication payoff: the release is already registered on
+        its rendezvous co-owners, so surviving an owner death is a
+        directory update, not a re-registration round trip.  The dead
+        ex-primary stays recorded as a replica — its copy still exists
+        on disk/memory there, and a same-identity respawn makes it
+        immediately usable again.
+        """
+        dead = set(self.coordinator.dead_ids())
+        order = {
+            w: rank
+            for rank, w in enumerate(
+                self.coordinator.router.ranked(entry.digest)
+            )
+        }
+        with self._directory_lock:
+            candidates = [
+                (worker_id, release_id)
+                for worker_id, release_id in entry.replicas.items()
+                if worker_id not in dead and worker_id != entry.worker_id
+            ]
+            if not candidates:
+                return False
+            candidates.sort(
+                key=lambda item: order.get(item[0], len(order))
+            )
+            successor, successor_release_id = candidates[0]
+            entry.replicas.pop(successor, None)
+            entry.replicas[entry.worker_id] = entry.worker_release_id
+            entry.worker_id = successor
+            entry.worker_release_id = successor_release_id
+        self.telemetry.incr("release_promotions")
+        self.coordinator.events.record(
+            "release_promoted", release=entry.release_id, worker=successor
+        )
+        return True
+
+    def _replicate(self, entry: ReleaseEntry) -> int:
+        """Register ``entry`` on missing top-K co-owners (best-effort).
+
+        Returns how many new replicas were established.  A transport
+        failure marks that worker dead and moves on — replication must
+        never fail the registration that triggered it.
+        """
+        established = 0
+        try:
+            dead = set(self.coordinator.dead_ids())
+            desired = self.coordinator.router.owners(
+                entry.digest, k=self.replication, exclude=dead
+            )
+        except ClusterError:
+            return 0
+        with self._directory_lock:
+            holders = {entry.worker_id, *entry.replicas}
+        for owner in desired:
+            if owner in holders:
+                continue
+            try:
+                response = self._register_on(owner, entry.body)
+            except HttpError:
+                # The worker answered but refused; nothing to record.
+                continue
+            except (OSError, http.client.HTTPException):
+                self.coordinator.mark_dead(owner)
+                continue
+            with self._directory_lock:
+                if owner != entry.worker_id:
+                    entry.replicas[owner] = response["release_id"]
+            established += 1
+        if established:
+            self.telemetry.incr("release_replications", established)
+        return established
+
     def _failover(self, entry: ReleaseEntry) -> None:
-        """Re-home a release whose owner died (rendezvous successor)."""
+        """Re-home a release whose owner died, from the stored payload.
+
+        The slow path, reached only when no registered replica
+        survives.  Each registration attempt already retries transient
+        transport faults under the :class:`RetryPolicy` (inside
+        :meth:`_forward`), so a successor is condemned only after the
+        policy's attempts all failed — not on a single refused
+        connection.
+        """
         self.coordinator.mark_dead(entry.worker_id)
         dead = set(self.coordinator.dead_ids())
         successor = self.coordinator.router.owner(entry.digest, exclude=dead)
         try:
             response = self._register_on(successor, entry.body)
         except (OSError, http.client.HTTPException):
-            # The successor is gone too: exclude *it*, so the caller's
-            # next attempt walks further down the rendezvous order
-            # instead of re-trying a worker we just watched fail.
+            # The successor is gone too (policy exhausted): exclude
+            # *it*, so the caller's next attempt walks further down the
+            # rendezvous order instead of re-trying a worker we just
+            # watched fail.
             self.coordinator.mark_dead(successor)
             raise
         with self._directory_lock:
+            entry.replicas.pop(successor, None)
+            entry.replicas[entry.worker_id] = entry.worker_release_id
             entry.worker_id = successor
             entry.worker_release_id = response["release_id"]
         self.telemetry.incr("release_failovers")
@@ -231,7 +395,14 @@ class ShardedFrontend(PrivacyService):
             worker_id, worker_release_id = self._entry_target(entry)
             try:
                 if worker_id in set(self.coordinator.dead_ids()):
-                    self._failover(entry)
+                    # Replica promotion first: zero round trips.  Only
+                    # when no registered copy survives does the release
+                    # re-register from the stored payload.
+                    if self._promote_replica(entry):
+                        self._schedule_repair(entry)
+                    else:
+                        self._failover(entry)
+                        self._schedule_repair(entry)
                     worker_id, worker_release_id = self._entry_target(entry)
                 path = f"/v1/releases/{worker_release_id}{path_suffix}"
                 return self._forward(
@@ -265,6 +436,205 @@ class ShardedFrontend(PrivacyService):
             f"{last_exc}",
             code="shard_unavailable",
         ) from last_exc
+
+    # -- membership: joins, heartbeats, liveness, re-balancing ---------------
+
+    def _membership_loop(self) -> None:
+        """Background liveness sweep: silence past the timeout is death."""
+        interval = max(
+            0.2, min(1.0, self.membership.liveness_timeout / 4.0)
+        )
+        while not self._membership_stop.wait(interval):
+            try:
+                expired = self.coordinator.sweep_expired(
+                    self.membership.liveness_timeout
+                )
+            except Exception:
+                continue
+            for _worker_id in expired:
+                self.telemetry.incr("membership_expired")
+
+    def _schedule_repair(self, entry: ReleaseEntry) -> None:
+        """Restore ``entry``'s replica count off the request path."""
+        try:
+            self._rebalance_pool.submit(self._replicate, entry)
+        except RuntimeError:
+            # Shutting down; repairs die with the pool.
+            pass
+
+    def _schedule_rebalance(self, reason: str, worker_id: str) -> None:
+        try:
+            self._rebalance_pool.submit(self._rebalance, reason, worker_id)
+        except RuntimeError:
+            pass
+
+    def _rebalance(self, reason: str, worker_id: str) -> None:
+        """Incrementally re-balance the directory after membership churn.
+
+        Two distinct flows, counted separately because they mean
+        opposite things operationally:
+
+        - ``moved`` — a release whose top-K owner set *changed* (a new
+          identity joined the ring) gains a replica on its new
+          co-owner.  Only those releases see wire traffic; everyone
+          else's top-K is untouched — rendezvous hashing's minimal-
+          reassignment property, now load-bearing for joins too.
+        - ``reseeded`` — a *returning* identity (respawn with a
+          persisted id, revival after missed heartbeats) was already in
+          every relevant top-K set; its releases re-push their bodies
+          so an empty-store respawn re-learns them.  ``moved`` stays 0:
+          the re-routing storm an ephemeral-port respawn used to cause
+          is exactly what the stable identity avoided.
+        """
+        moved = 0
+        reseeded = 0
+        rejoin = reason in ("rejoined", "revived")
+        with self._directory_lock:
+            entries = list(self._directory.values())
+        with get_tracer().span(
+            "cluster.rebalance", reason=reason, worker=worker_id,
+            releases=len(entries),
+        ) as span:
+            for entry in entries:
+                try:
+                    dead = set(self.coordinator.dead_ids())
+                    desired = self.coordinator.router.owners(
+                        entry.digest, k=self.replication, exclude=dead
+                    )
+                except ClusterError:
+                    break
+                with self._directory_lock:
+                    current = {entry.worker_id, *entry.replicas}
+                for owner in desired:
+                    if owner in current:
+                        if owner != worker_id or not rejoin:
+                            continue
+                        # A returning worker already co-owns this key;
+                        # push the body again so a respawn that lost
+                        # its store re-learns the release.
+                        try:
+                            response = self._register_on(owner, entry.body)
+                        except HttpError:
+                            continue
+                        except (OSError, http.client.HTTPException):
+                            self.coordinator.mark_dead(owner)
+                            break
+                        with self._directory_lock:
+                            if entry.worker_id == owner:
+                                entry.worker_release_id = response[
+                                    "release_id"
+                                ]
+                            else:
+                                entry.replicas[owner] = response["release_id"]
+                        reseeded += 1
+                        continue
+                    try:
+                        response = self._register_on(owner, entry.body)
+                    except HttpError:
+                        continue
+                    except (OSError, http.client.HTTPException):
+                        self.coordinator.mark_dead(owner)
+                        break
+                    with self._directory_lock:
+                        entry.replicas[owner] = response["release_id"]
+                    moved += 1
+            span.set(moved=moved, reseeded=reseeded)
+        self.telemetry.incr("rebalance_runs")
+        if moved:
+            self.telemetry.incr("rebalance_keys_moved", moved)
+        if reseeded:
+            self.telemetry.incr("rebalance_keys_reseeded", reseeded)
+        self.coordinator.events.record(
+            "rebalance",
+            reason=reason,
+            worker=worker_id,
+            moved=moved,
+            reseeded=reseeded,
+            releases=len(entries),
+        )
+
+    def _route(self, request: HttpRequest):
+        segments = request.segments
+        if segments in (
+            ("shard", "v1", "join"),
+            ("shard", "v1", "heartbeat"),
+        ):
+            if request.method != "POST":
+                raise HttpError(
+                    405,
+                    f"{request.method} not allowed here (allowed: POST)",
+                    code="method_not_allowed",
+                    headers={"Allow": "POST"},
+                )
+            if segments[2] == "join":
+                return "POST /shard/v1/join", self._handle_join
+            return "POST /shard/v1/heartbeat", self._handle_heartbeat
+        return super()._route(request)
+
+    async def _handle_join(self, request: HttpRequest) -> tuple[int, dict]:
+        if not self.accept_joins:
+            raise HttpError(
+                403,
+                "this front-end does not accept dynamic joins "
+                "(started with --no-accept-joins)",
+                code="joins_disabled",
+            )
+        worker_id, host, port = join_request_from_wire(request.json())
+        loop = asyncio.get_running_loop()
+        event = await loop.run_in_executor(
+            None, partial(self._admit_worker, worker_id, host, port)
+        )
+        return 200, {
+            "protocol": SHARD_PROTOCOL,
+            "worker_id": worker_id,
+            "event": event,
+            "workers": self.coordinator.n_workers,
+            "heartbeat_interval": self.membership.heartbeat_interval,
+            "liveness_timeout": self.membership.liveness_timeout,
+        }
+
+    def _admit_worker(self, worker_id: str, host: str, port: int) -> str:
+        with get_tracer().span(
+            "cluster.join", worker=worker_id, address=f"{host}:{port}"
+        ) as span:
+            event = self.coordinator.add_worker(worker_id, host, port)
+            span.set(event=event)
+        self.telemetry.incr(f"membership_{event}")
+        if event in ("joined", "rejoined"):
+            self._schedule_rebalance(event, worker_id)
+        return event
+
+    async def _handle_heartbeat(
+        self, request: HttpRequest
+    ) -> tuple[int, dict]:
+        worker_id, host, port = heartbeat_request_from_wire(request.json())
+        known = worker_id in self.coordinator.router.worker_ids
+        if not known and not self.accept_joins:
+            # A static fleet does not grow via heartbeats; the sender
+            # sees ``known: false`` and keeps its own counsel.
+            return 200, {
+                "protocol": SHARD_PROTOCOL,
+                "worker_id": worker_id,
+                "known": False,
+            }
+        loop = asyncio.get_running_loop()
+        event = await loop.run_in_executor(
+            None,
+            partial(self.coordinator.heartbeat, worker_id, host, port),
+        )
+        if event != "ok":
+            self.telemetry.incr(f"membership_{event}")
+            if event in ("joined", "rejoined", "revived"):
+                self._schedule_rebalance(
+                    "rejoined" if event == "revived" else event, worker_id
+                )
+        return 200, {
+            "protocol": SHARD_PROTOCOL,
+            "worker_id": worker_id,
+            "known": True,
+            "event": event,
+            "heartbeat_interval": self.membership.heartbeat_interval,
+        }
 
     # -- endpoint overrides --------------------------------------------------
 
@@ -317,9 +687,16 @@ class ShardedFrontend(PrivacyService):
                     "original"
                 ) is None:
                     entry.body = body
+        # Replicate onto the remaining top-K co-owners before answering:
+        # the release must already survive an owner death when the 201
+        # reaches the client.  Best-effort per co-owner — a fleet of one
+        # simply has no one to replicate to.
+        self._replicate(entry)
         summary = dict(response)
         summary["release_id"] = entry.release_id
         summary["shard"] = entry.worker_id
+        with self._directory_lock:
+            summary["replicas"] = sorted(entry.replicas)
         summary["created"] = created
         entry.summary = summary
         if created:
@@ -341,6 +718,8 @@ class ShardedFrontend(PrivacyService):
         )
         summary["release_id"] = entry.release_id
         summary["shard"] = entry.worker_id
+        with self._directory_lock:
+            summary["replicas"] = sorted(entry.replicas)
         return 200, summary
 
     async def _handle_posterior(self, request: HttpRequest) -> tuple[int, dict]:
@@ -388,7 +767,10 @@ class ShardedFrontend(PrivacyService):
     async def _handle_healthz(self, request: HttpRequest) -> tuple[int, dict]:
         loop = asyncio.get_running_loop()
         reports = await loop.run_in_executor(
-            None, partial(self.coordinator.check_health, timeout=2.0)
+            None,
+            partial(
+                self.coordinator.check_health, timeout=self.health_timeout
+            ),
         )
         dead = [r["worker"] for r in reports if not r["alive"]]
         degraded_shards = [
@@ -416,6 +798,14 @@ class ShardedFrontend(PrivacyService):
         payload["cluster"] = await loop.run_in_executor(
             None, self.coordinator.aggregate_telemetry
         )
+        payload["membership"] = {
+            "accept_joins": self.accept_joins,
+            "replication": self.replication,
+            "heartbeat_interval": self.membership.heartbeat_interval,
+            "liveness_timeout": self.membership.liveness_timeout,
+            "forward_timeout": self.forward_timeout,
+            "health_timeout": self.health_timeout,
+        }
         return status, payload
 
     async def _handle_metrics(self, request: HttpRequest):
@@ -453,6 +843,27 @@ class ShardedFrontend(PrivacyService):
         )
         builder.gauge(
             "shards_alive", alive, help_text="Shard workers currently alive."
+        )
+        for event, count in sorted(
+            self.coordinator.events.counts().items()
+        ):
+            builder.counter(
+                "membership_events_total",
+                count,
+                {"event": event},
+                "Fleet membership events (joins, revivals, expiries, "
+                "deaths, rebalances) by kind.",
+            )
+        with self._directory_lock:
+            replicas = sum(
+                len(entry.replicas) for entry in self._directory.values()
+            )
+        builder.gauge(
+            "release_replicas",
+            replicas,
+            help_text=(
+                "Registered standby release copies beyond each primary."
+            ),
         )
         for endpoint, summary in fleet["aggregate"]["endpoints"].items():
             builder.histogram(

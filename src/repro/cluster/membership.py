@@ -1,0 +1,285 @@
+"""Dynamic fleet membership: identities, joins, heartbeats, liveness.
+
+The original cluster assumed a static, hand-listed fleet whose worker
+*identity* was its ``host:port`` — so an ephemeral-port respawn was a
+brand-new worker and every key it owned re-routed.  This module
+separates the two halves of "who is this worker":
+
+- *identity* — a stable string that survives restarts.  Workers either
+  receive it explicitly (``--worker-id``) or persist a generated one in
+  an identity file (``--identity-file``), so a supervisor respawning a
+  crashed worker on a new port reclaims the same rendezvous slot and
+  its keys (and therefore its warm caches) come straight back.
+- *contact* — the ``host:port`` the worker currently answers on, which
+  may change on every respawn and is merely refreshed at join time.
+
+Workers dial *in*: a ``repro shard-worker --join HOST:PORT`` process
+announces itself to the front-end (``POST /shard/v1/join``) and then
+heartbeats (``POST /shard/v1/heartbeat``) every
+``REPRO_CLUSTER_HEARTBEAT_INTERVAL`` seconds.  The front-end's liveness
+sweep declares a heartbeating worker dead only after
+``REPRO_CLUSTER_LIVENESS_TIMEOUT`` seconds of silence, and a dead
+worker that heartbeats again is *revived*, not permanently excluded —
+one-shot ``mark_dead`` becomes a state a worker can leave.
+
+The :class:`HeartbeatSender` runs worker-side on a daemon thread; a
+front-end that answers "never heard of you" (a restarted front-end with
+an empty fleet) triggers an automatic re-join, so membership heals in
+both directions.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.protocol import (
+    ShardClient,
+    heartbeat_request_to_wire,
+    join_request_to_wire,
+)
+from repro.cluster.retry import cluster_env_float, cluster_env_int
+from repro.cluster.router import ClusterError
+from repro.obs.logging import get_logger
+
+_log = get_logger("cluster.membership")
+
+#: Seconds between worker heartbeats.
+DEFAULT_HEARTBEAT_INTERVAL = 2.0
+
+#: Heartbeat silences tolerated before the liveness sweep marks a
+#: heartbeating worker dead (as a multiple of the heartbeat interval).
+DEFAULT_LIVENESS_MULTIPLE = 3.0
+
+#: Release replication factor: each release registers on the top-K
+#: rendezvous owners so a solve survives an owner death in place.
+DEFAULT_REPLICATION = 2
+
+
+def new_worker_id() -> str:
+    """A fresh stable worker identity."""
+    return f"worker-{uuid.uuid4().hex[:12]}"
+
+
+def load_or_create_identity(
+    path: str | Path, *, explicit: str | None = None
+) -> str:
+    """The worker identity persisted at ``path``.
+
+    An ``explicit`` id always wins and is written through, so a config
+    change sticks.  Otherwise the file's content is reused (the respawn
+    case — same identity, same rendezvous slot) or a fresh identity is
+    generated and persisted.
+    """
+    path = Path(path)
+    if explicit:
+        stored = path.read_text().strip() if path.exists() else None
+        if stored != explicit:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(explicit + "\n")
+        return explicit
+    if path.exists():
+        stored = path.read_text().strip()
+        if stored:
+            return stored
+    identity = new_worker_id()
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(identity + "\n")
+    return identity
+
+
+def parse_worker_address(text: str) -> tuple[str, str, int]:
+    """``[id@]host:port`` -> ``(worker_id, host, port)``.
+
+    Without an explicit ``id@`` prefix the identity defaults to the
+    address itself — the pre-elastic behaviour, so fixed-port fleets
+    keep their routing unchanged.
+    """
+    text = text.strip()
+    identity, sep, address = text.partition("@")
+    if not sep:
+        identity, address = "", text
+    host, _, port_text = address.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ClusterError(
+            f"worker address {text!r} is not [id@]host:port"
+        ) from None
+    host = host or "127.0.0.1"
+    worker_id = identity or f"{host}:{port}"
+    return worker_id, host, port
+
+
+@dataclass(frozen=True)
+class MembershipConfig:
+    """Fleet liveness/replication knobs, env-overridable."""
+
+    heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL
+    liveness_timeout: float = (
+        DEFAULT_HEARTBEAT_INTERVAL * DEFAULT_LIVENESS_MULTIPLE
+    )
+    replication: int = DEFAULT_REPLICATION
+
+    def __post_init__(self) -> None:
+        if self.heartbeat_interval <= 0:
+            raise ClusterError(
+                "heartbeat interval must be positive, got "
+                f"{self.heartbeat_interval}"
+            )
+        if self.liveness_timeout <= 0:
+            raise ClusterError(
+                f"liveness timeout must be positive, got "
+                f"{self.liveness_timeout}"
+            )
+        if self.replication < 1:
+            raise ClusterError(
+                f"replication factor must be >= 1, got {self.replication}"
+            )
+
+    @classmethod
+    def from_env(cls, **overrides) -> "MembershipConfig":
+        """Config from ``REPRO_CLUSTER_*``; explicit kwargs win."""
+        interval = overrides.pop(
+            "heartbeat_interval", None
+        ) or cluster_env_float(
+            "HEARTBEAT_INTERVAL", DEFAULT_HEARTBEAT_INTERVAL
+        )
+        timeout = overrides.pop("liveness_timeout", None) or cluster_env_float(
+            "LIVENESS_TIMEOUT", interval * DEFAULT_LIVENESS_MULTIPLE
+        )
+        replication = overrides.pop("replication", None) or cluster_env_int(
+            "REPLICATION", DEFAULT_REPLICATION
+        )
+        if overrides:
+            raise ClusterError(
+                f"unknown membership knob(s): {sorted(overrides)}"
+            )
+        return cls(
+            heartbeat_interval=interval,
+            liveness_timeout=timeout,
+            replication=replication,
+        )
+
+
+class HeartbeatSender:
+    """Worker-side membership thread: join once, then heartbeat forever.
+
+    One sender serves every ``--join`` target independently: a target
+    that was down at startup keeps being retried at the heartbeat
+    cadence, and a target that forgot us (restarted front-end) gets a
+    fresh join the moment its heartbeat answer says ``known: false``.
+    All sends are best-effort — a worker's solving is never coupled to
+    its announcer.
+    """
+
+    def __init__(
+        self,
+        *,
+        worker_id: str,
+        host: str,
+        port: int,
+        targets: list[tuple[str, int]],
+        interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        timeout: float = 5.0,
+    ) -> None:
+        self.worker_id = worker_id
+        self.host = host
+        self.port = port
+        self.targets = list(targets)
+        self.interval = interval
+        self.timeout = timeout
+        self._joined: set[tuple[str, int]] = set()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        #: Best-effort delivery counters, surfaced on /shard/v1/state.
+        self.sent = 0
+        self.failed = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="shard-heartbeat", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, *, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    def beat_once(self) -> None:
+        """One join/heartbeat pass over every target (also used in-loop)."""
+        for target in self.targets:
+            try:
+                self._announce(target)
+                self.sent += 1
+            except Exception as exc:
+                # The front-end being down must not hurt the worker;
+                # the next tick retries (and re-joins when needed).
+                self.failed += 1
+                self._joined.discard(target)
+                _log.debug(
+                    f"heartbeat to {target[0]}:{target[1]} failed: {exc}",
+                    extra={"fields": {"worker": self.worker_id}},
+                )
+
+    def adapt_interval(self, answer: dict) -> None:
+        """Adopt a faster cadence the membership authority asks for.
+
+        Join/heartbeat answers advertise the front-end's
+        ``heartbeat_interval``; a worker left on the default would
+        otherwise flap dead/revived forever against a front-end swept
+        with a tighter ``--liveness-timeout``.  Only speeding up is
+        safe with multiple targets, so a slower advertisement is
+        ignored.
+        """
+        advertised = answer.get("heartbeat_interval")
+        if isinstance(advertised, bool) or not isinstance(
+            advertised, (int, float)
+        ):
+            return
+        if 0 < advertised < self.interval:
+            self.interval = float(advertised)
+            _log.info(
+                f"worker {self.worker_id} heartbeat cadence tightened to "
+                f"{self.interval}s (advertised by front-end)",
+                extra={"fields": {"worker": self.worker_id}},
+            )
+
+    def _announce(self, target: tuple[str, int]) -> None:
+        host, port = target
+        with ShardClient(host, port, timeout=self.timeout) as client:
+            if target not in self._joined:
+                answer = client.join(
+                    join_request_to_wire(self.worker_id, self.host, self.port)
+                )
+                self._joined.add(target)
+                self.adapt_interval(answer)
+                _log.info(
+                    f"worker {self.worker_id} joined {host}:{port}",
+                    extra={"fields": {"worker": self.worker_id}},
+                )
+                return
+            answer = client.heartbeat(
+                heartbeat_request_to_wire(
+                    self.worker_id, self.host, self.port
+                )
+            )
+            self.adapt_interval(answer)
+            if answer.get("known") is False:
+                # The membership authority restarted and lost us: join
+                # again on the next tick rather than heartbeating into
+                # the void.
+                self._joined.discard(target)
+
+    def _run(self) -> None:
+        # Join eagerly, then settle into the heartbeat cadence.
+        self.beat_once()
+        while not self._stop.wait(self.interval):
+            self.beat_once()

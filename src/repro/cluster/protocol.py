@@ -59,8 +59,14 @@ from repro.service.client import ServiceClient
 #: an optional ``spans`` list (cross-machine trace stitching).  A v3
 #: worker's strict request decoder rejects the ``trace`` field, so the
 #: bump again turns an unknown-key failure into the designed
-#: version-mismatch error.)
-SHARD_PROTOCOL = "privacy-maxent-shard/4"
+#: version-mismatch error.
+#: v5: dynamic membership — workers carry a stable identity decoupled
+#: from their bind address, dial in over the new ``/shard/v1/join`` and
+#: ``/shard/v1/heartbeat`` messages, and solve responses name the
+#: worker by that identity.  A v4 coordinator would route by
+#: ``host:port`` while a v5 worker self-reports its persisted id, so a
+#: mixed fleet must fail loudly rather than split-brain the ring.)
+SHARD_PROTOCOL = "privacy-maxent-shard/5"
 
 
 def check_protocol(payload, what: str) -> None:
@@ -222,6 +228,55 @@ def solve_response_from_wire(payload) -> list[tuple[str, ComponentSolve, bool]]:
     return decoded
 
 
+def _membership_to_wire(worker_id: str, host: str, port: int) -> dict:
+    return {
+        "protocol": SHARD_PROTOCOL,
+        "worker_id": worker_id,
+        "host": host,
+        "port": int(port),
+    }
+
+
+def _membership_from_wire(payload, what: str) -> tuple[str, str, int]:
+    """Decode a join/heartbeat announcement (strict, like solve requests)."""
+    check_protocol(payload, what)
+    unknown = set(payload) - {"protocol", "worker_id", "host", "port"}
+    if unknown:
+        raise ReproError(f"{what} has unknown field(s): {sorted(unknown)}")
+    worker_id = payload.get("worker_id")
+    if not isinstance(worker_id, str) or not worker_id.strip():
+        raise ReproError(f"{what} needs a non-empty worker_id")
+    host = payload.get("host")
+    if not isinstance(host, str) or not host.strip():
+        raise ReproError(f"{what} needs a non-empty host")
+    port = payload.get("port")
+    if not isinstance(port, int) or isinstance(port, bool) or not (
+        0 < port < 65536
+    ):
+        raise ReproError(f"{what} needs a port in 1..65535, got {port!r}")
+    return worker_id.strip(), host.strip(), port
+
+
+def join_request_to_wire(worker_id: str, host: str, port: int) -> dict:
+    """Encode a worker's self-registration announcement."""
+    return _membership_to_wire(worker_id, host, port)
+
+
+def join_request_from_wire(payload) -> tuple[str, str, int]:
+    """Decode a ``POST /shard/v1/join`` body -> (worker_id, host, port)."""
+    return _membership_from_wire(payload, "join request")
+
+
+def heartbeat_request_to_wire(worker_id: str, host: str, port: int) -> dict:
+    """Encode a worker's liveness heartbeat."""
+    return _membership_to_wire(worker_id, host, port)
+
+
+def heartbeat_request_from_wire(payload) -> tuple[str, str, int]:
+    """Decode a ``POST /shard/v1/heartbeat`` body -> (worker_id, host, port)."""
+    return _membership_from_wire(payload, "heartbeat")
+
+
 def response_spans(payload) -> list[dict]:
     """The worker-captured spans riding a solve response (may be empty).
 
@@ -250,3 +305,11 @@ class ShardClient(ServiceClient):
     def shard_state(self) -> dict:
         """The worker's shard-level identity and counters."""
         return self._request("GET", "/shard/v1/state")
+
+    def join(self, payload: dict) -> dict:
+        """Announce a worker to a membership authority (front-end)."""
+        return self._request("POST", "/shard/v1/join", payload)
+
+    def heartbeat(self, payload: dict) -> dict:
+        """Refresh a worker's liveness with a membership authority."""
+        return self._request("POST", "/shard/v1/heartbeat", payload)

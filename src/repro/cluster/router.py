@@ -54,14 +54,19 @@ class ShardRouter:
         return tuple(self._workers)
 
     def add(self, worker_id: str) -> None:
-        """Register a worker (idempotent)."""
+        """Register a worker (idempotent).
+
+        Mutations rebind the worker list rather than editing it in
+        place, so a concurrent reader (routing during a join) iterates
+        a consistent snapshot instead of a list shifting under it.
+        """
         if worker_id not in self._workers:
-            self._workers.append(worker_id)
+            self._workers = [*self._workers, worker_id]
 
     def remove(self, worker_id: str) -> None:
         """Forget a worker (idempotent)."""
         if worker_id in self._workers:
-            self._workers.remove(worker_id)
+            self._workers = [w for w in self._workers if w != worker_id]
 
     def owner(self, key: str, *, exclude=()) -> str:
         """The worker owning ``key`` among registered minus ``exclude``."""
@@ -74,6 +79,33 @@ class ShardRouter:
                 f"{len(excluded)} excluded)"
             )
         return max(candidates, key=lambda w: rendezvous_score(w, key))
+
+    def owners(self, key: str, *, k: int = 2, exclude=()) -> list[str]:
+        """The top-``k`` workers for ``key``, best first (replica set).
+
+        The replication counterpart of :meth:`owner`: a release
+        registered on its ``owners(digest, k=K)`` survives any single
+        owner death without re-registration, because the surviving
+        replicas are exactly the next rendezvous choices the failed
+        key would re-route to.  Returns fewer than ``k`` entries when
+        the eligible worker set is smaller; raises only when *no*
+        worker is eligible (same contract as :meth:`owner`).
+        """
+        if k < 1:
+            raise ClusterError(f"replica count must be >= 1, got {k}")
+        excluded = set(exclude)
+        candidates = [w for w in self._workers if w not in excluded]
+        if not candidates:
+            raise ClusterError(
+                f"no eligible worker for key {key[:16]!r}... "
+                f"({len(self._workers)} registered, "
+                f"{len(excluded)} excluded)"
+            )
+        return sorted(
+            candidates,
+            key=lambda w: rendezvous_score(w, key),
+            reverse=True,
+        )[:k]
 
     def ranked(self, key: str) -> list[str]:
         """All registered workers, best owner first (the failover order)."""

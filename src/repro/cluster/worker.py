@@ -23,7 +23,12 @@ into a multi-core solver), and stream the bit-exact results back.
 
 Start one with ``repro shard-worker``; it is just a process, so any
 process supervisor (systemd, k8s, a coordinator's ``spawn_local``) can
-run fleets of them.
+run fleets of them.  With ``--join HOST:PORT`` the worker also dials a
+front-end at startup and heartbeats it
+(:class:`~repro.cluster.membership.HeartbeatSender`), so fleets grow by
+starting processes instead of editing address lists; pair it with
+``--worker-id`` / ``--identity-file`` so a respawn reclaims its
+rendezvous slot.
 """
 
 from __future__ import annotations
@@ -31,6 +36,10 @@ from __future__ import annotations
 import asyncio
 from functools import partial
 
+from repro.cluster.membership import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    HeartbeatSender,
+)
 from repro.cluster.protocol import (
     SHARD_PROTOCOL,
     solve_request_from_wire,
@@ -44,16 +53,53 @@ from repro.service.server import PrivacyService
 class ShardWorker(PrivacyService):
     """One shard: a privacy service plus the component-solve endpoint."""
 
-    def __init__(self, *args, **kwargs) -> None:
-        super().__init__(*args, **kwargs)
+    def __init__(
+        self,
+        config=None,
+        *,
+        engine=None,
+        worker_id: str | None = None,
+        join: list[tuple[str, int]] | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+    ) -> None:
+        super().__init__(config, engine=engine)
         self.component_batches = 0
         self.components_solved = 0
         self.components_cached = 0
+        self._worker_id = worker_id
+        self._join_targets = list(join or [])
+        self._heartbeat_interval = heartbeat_interval
+        self._heartbeat: HeartbeatSender | None = None
 
     @property
     def worker_id(self) -> str:
-        """This shard's routing identity (bind address)."""
+        """This shard's routing identity (stable id, else bind address)."""
+        if self._worker_id:
+            return self._worker_id
         return f"{self.config.host}:{self.port}"
+
+    # -- membership lifecycle ------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        # The announcer starts only once the port is bound (spawned
+        # workers bind port 0) — a join must advertise a reachable
+        # address.
+        if self._join_targets and self._heartbeat is None:
+            self._heartbeat = HeartbeatSender(
+                worker_id=self.worker_id,
+                host=self.config.host,
+                port=self.port,
+                targets=self._join_targets,
+                interval=self._heartbeat_interval,
+            )
+            self._heartbeat.start()
+
+    def close(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.stop()
+            self._heartbeat = None
+        super().close()
 
     # -- routing -------------------------------------------------------------
 
@@ -147,13 +193,25 @@ class ShardWorker(PrivacyService):
         return 200, payload
 
     async def _handle_state(self, request: HttpRequest) -> tuple[int, dict]:
+        heartbeat = self._heartbeat
         return 200, {
             "protocol": SHARD_PROTOCOL,
             "worker": self.worker_id,
+            "address": f"{self.config.host}:{self.port}",
             "releases": len(self.store),
             "component_batches": self.component_batches,
             "components_solved": self.components_solved,
             "components_cached": self.components_cached,
+            "heartbeat": (
+                None
+                if heartbeat is None
+                else {
+                    "targets": [f"{h}:{p}" for h, p in heartbeat.targets],
+                    "interval_seconds": heartbeat.interval,
+                    "sent": heartbeat.sent,
+                    "failed": heartbeat.failed,
+                }
+            ),
             "engine": self.engine.stats(),
         }
 

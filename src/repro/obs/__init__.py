@@ -11,13 +11,17 @@ cluster, CLI) can thread them through without layering cycles:
   (counters, gauges, cumulative-bucket histograms).
 - :mod:`repro.obs.logging` — JSON-lines / text structured logging with
   trace ids stamped from the active span at emit time.
+- :mod:`repro.obs.events` — a bounded structured event ring with
+  lifetime per-kind counters (membership churn, failovers, rebalances).
 """
 
 from repro.obs.trace import Tracer, format_trace, get_tracer, set_enabled
 from repro.obs.metrics import MetricsBuilder
 from repro.obs.logging import configure_logging, get_logger
+from repro.obs.events import EventLog
 
 __all__ = [
+    "EventLog",
     "MetricsBuilder",
     "Tracer",
     "configure_logging",

@@ -1,0 +1,63 @@
+"""A bounded, structured event log for rare-but-telling occurrences.
+
+Metrics answer "how many"; traces answer "how long"; neither answers
+"what *happened* to the fleet last night".  :class:`EventLog` keeps the
+last N structured events (membership joins, worker deaths, revivals,
+rebalances) in a ring, with cumulative per-kind counters that survive
+the ring's eviction, so ``/v1/telemetry`` can show both the recent
+history and the lifetime totals without unbounded memory.
+
+Same dependency stance as the rest of :mod:`repro.obs`: stdlib only,
+imports nothing from the rest of the package, safe to thread through
+any subsystem.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+
+class EventLog:
+    """Thread-safe bounded ring of ``{"kind", "at", ...}`` events."""
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity <= 0:
+            raise ValueError(f"event log capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self._events: deque[dict] = deque(maxlen=capacity)
+        self._counts: Counter[str] = Counter()
+        self._lock = threading.Lock()
+
+    def record(self, kind: str, **fields) -> dict:
+        """Append one event; returns the stored (timestamped) record."""
+        event = {"kind": kind, "at": time.time(), **fields}
+        with self._lock:
+            self._events.append(event)
+            self._counts[kind] += 1
+        return event
+
+    def counts(self) -> dict[str, int]:
+        """Cumulative per-kind totals (not truncated by the ring)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def recent(self, limit: int | None = None) -> list[dict]:
+        """The newest events, oldest first (all retained when no limit)."""
+        with self._lock:
+            events = list(self._events)
+        if limit is not None:
+            events = events[-limit:]
+        return [dict(event) for event in events]
+
+    def snapshot(self, *, limit: int = 50) -> dict:
+        """JSON-ready view for telemetry endpoints."""
+        return {
+            "counts": self.counts(),
+            "recent": self.recent(limit),
+        }
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)

@@ -191,7 +191,11 @@ class TestClusterExecutorPlumbing:
             create_cluster_executor(None)
 
     def test_engine_attaches_via_config(self, coordinator):
-        addresses = ",".join(coordinator.router.worker_ids)
+        # Spawned workers carry stable identities decoupled from their
+        # ports; attach with the id@host:port form so routing matches.
+        addresses = ",".join(
+            f"{h.worker_id}@{h.host}:{h.port}" for h in coordinator.handles
+        )
         config = MaxEntConfig(
             executor="cluster",
             cluster_workers=addresses,

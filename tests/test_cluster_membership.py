@@ -1,0 +1,214 @@
+"""Dynamic membership: identities, joins, heartbeats, liveness sweeps.
+
+In-process coverage of the membership state machine (the live
+subprocess paths — ``--join``, SIGKILL, identity respawn — are driven
+end-to-end by ``test_cluster_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cluster import (
+    ClusterCoordinator,
+    ClusterError,
+    MembershipConfig,
+    WorkerHandle,
+    load_or_create_identity,
+    new_worker_id,
+    parse_worker_address,
+)
+from repro.cluster.membership import HeartbeatSender
+
+
+class TestIdentity:
+    def test_new_worker_ids_are_unique_and_tagged(self):
+        ids = {new_worker_id() for _ in range(32)}
+        assert len(ids) == 32
+        assert all(i.startswith("worker-") for i in ids)
+
+    def test_identity_file_round_trips(self, tmp_path):
+        path = tmp_path / "ids" / "worker.id"
+        first = load_or_create_identity(path)
+        assert path.read_text().strip() == first
+        # The respawn case: the persisted identity is reused verbatim.
+        assert load_or_create_identity(path) == first
+
+    def test_explicit_identity_wins_and_writes_through(self, tmp_path):
+        path = tmp_path / "worker.id"
+        load_or_create_identity(path)
+        assert load_or_create_identity(path, explicit="shard7") == "shard7"
+        assert path.read_text().strip() == "shard7"
+        # And it sticks for the next identity-file-only start.
+        assert load_or_create_identity(path) == "shard7"
+
+    def test_empty_identity_file_regenerates(self, tmp_path):
+        path = tmp_path / "worker.id"
+        path.write_text("\n")
+        assert load_or_create_identity(path).startswith("worker-")
+
+
+class TestParseWorkerAddress:
+    def test_plain_address_identity_is_the_address(self):
+        assert parse_worker_address("10.0.0.5:8731") == (
+            "10.0.0.5:8731",
+            "10.0.0.5",
+            8731,
+        )
+
+    def test_id_prefix_decouples_identity_from_contact(self):
+        assert parse_worker_address("shard0@10.0.0.5:8731") == (
+            "shard0",
+            "10.0.0.5",
+            8731,
+        )
+
+    def test_bare_port_defaults_to_loopback(self):
+        assert parse_worker_address("8731") == ("127.0.0.1:8731", "127.0.0.1", 8731)
+
+    def test_junk_raises(self):
+        with pytest.raises(ClusterError, match=r"\[id@\]host:port"):
+            parse_worker_address("not-an-address")
+
+
+class TestMembershipConfig:
+    def test_defaults_are_consistent(self):
+        config = MembershipConfig()
+        assert config.liveness_timeout > config.heartbeat_interval
+        assert config.replication >= 1
+
+    def test_env_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_HEARTBEAT_INTERVAL", "0.5")
+        monkeypatch.setenv("REPRO_CLUSTER_REPLICATION", "3")
+        config = MembershipConfig.from_env()
+        assert config.heartbeat_interval == 0.5
+        # Liveness defaults to a multiple of the (env) interval.
+        assert config.liveness_timeout == pytest.approx(1.5)
+        assert config.replication == 3
+
+    def test_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_HEARTBEAT_INTERVAL", "9.0")
+        config = MembershipConfig.from_env(heartbeat_interval=0.25)
+        assert config.heartbeat_interval == 0.25
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(ClusterError, match="unknown membership knob"):
+            MembershipConfig.from_env(heartbeats="yes")
+
+    def test_validation(self):
+        with pytest.raises(ClusterError, match="heartbeat interval"):
+            MembershipConfig(heartbeat_interval=0)
+        with pytest.raises(ClusterError, match="liveness timeout"):
+            MembershipConfig(liveness_timeout=-1)
+        with pytest.raises(ClusterError, match="replication factor"):
+            MembershipConfig(replication=0)
+
+
+class TestHeartbeatCadence:
+    """Workers adopt the front-end's advertised heartbeat interval."""
+
+    def _sender(self, interval=2.0):
+        return HeartbeatSender(
+            worker_id="w1",
+            host="127.0.0.1",
+            port=9001,
+            targets=[("127.0.0.1", 8711)],
+            interval=interval,
+        )
+
+    def test_tighter_advertisement_speeds_up(self):
+        sender = self._sender(interval=2.0)
+        sender.adapt_interval({"heartbeat_interval": 0.3})
+        assert sender.interval == 0.3
+
+    def test_slower_advertisement_is_ignored(self):
+        # Only speeding up is safe when heartbeating multiple targets.
+        sender = self._sender(interval=0.5)
+        sender.adapt_interval({"heartbeat_interval": 5.0})
+        assert sender.interval == 0.5
+
+    @pytest.mark.parametrize(
+        "junk",
+        [{}, {"heartbeat_interval": "fast"}, {"heartbeat_interval": True},
+         {"heartbeat_interval": 0}, {"heartbeat_interval": -1.0}],
+    )
+    def test_unusable_advertisements_keep_the_cadence(self, junk):
+        sender = self._sender(interval=2.0)
+        sender.adapt_interval(junk)
+        assert sender.interval == 2.0
+
+
+@pytest.fixture()
+def coordinator():
+    fleet = ClusterCoordinator([], allow_empty=True)
+    yield fleet
+    fleet.shutdown()
+
+
+class TestCoordinatorMembership:
+    def test_join_rejoin_refresh_lifecycle(self, coordinator):
+        assert coordinator.add_worker("w1", "127.0.0.1", 9001) == "joined"
+        assert "w1" in coordinator.router.worker_ids
+        # An idempotent re-announce at the same address changes nothing.
+        assert coordinator.add_worker("w1", "127.0.0.1", 9001) == "refreshed"
+        # A respawn on a new port is a rejoin: same slot, fresh contact.
+        assert coordinator.add_worker("w1", "127.0.0.1", 9002) == "rejoined"
+        assert coordinator.worker("w1").port == 9002
+        # Death and return: a rejoin again, with the revival counted.
+        coordinator.mark_dead("w1")
+        assert coordinator.add_worker("w1", "127.0.0.1", 9002) == "rejoined"
+        assert coordinator.worker("w1").revivals == 1
+        assert coordinator.alive_ids() == ["w1"]
+
+    def test_heartbeat_is_the_whole_protocol(self, coordinator):
+        # Unknown identity: a heartbeat is as good as a join.
+        assert coordinator.heartbeat("w1", "127.0.0.1", 9001) == "joined"
+        # Steady state: the cheap path.
+        assert coordinator.heartbeat("w1", "127.0.0.1", 9001) == "ok"
+        # Presumed dead, then heard from: revived, not ignored.
+        coordinator.mark_dead("w1")
+        assert coordinator.heartbeat("w1", "127.0.0.1", 9001) == "revived"
+        assert coordinator.alive_ids() == ["w1"]
+
+    def test_sweep_expires_only_silent_heartbeaters(self, coordinator):
+        coordinator.add_worker("chatty", "127.0.0.1", 9001)
+        coordinator.add_worker("silent", "127.0.0.1", 9002)
+        # A statically attached worker never heartbeats and is never
+        # swept — probe/request failure detection still owns it.
+        static = WorkerHandle(worker_id="static", host="127.0.0.1", port=9003)
+        coordinator.handles.append(static)
+        coordinator._by_id["static"] = static
+        coordinator.router.add("static")
+
+        coordinator.worker("silent").last_heartbeat = time.time() - 60.0
+        expired = coordinator.sweep_expired(5.0)
+        assert expired == ["silent"]
+        assert coordinator.dead_ids() == ["silent"]
+        assert coordinator.alive_ids() == ["chatty", "static"]
+        # The sweep is idempotent: already-dead workers stay dead quietly.
+        assert coordinator.sweep_expired(5.0) == []
+
+    def test_membership_events_are_recorded(self, coordinator):
+        coordinator.add_worker("w1", "127.0.0.1", 9001)
+        coordinator.mark_dead("w1")
+        coordinator.heartbeat("w1", "127.0.0.1", 9001)
+        coordinator.worker("w1").last_heartbeat = time.time() - 60.0
+        coordinator.sweep_expired(1.0)
+        counts = coordinator.events.counts()
+        assert counts["joined"] == 1
+        assert counts["presumed_dead"] == 1
+        assert counts["rejoined"] == 1
+        assert counts["expired"] == 1
+        kinds = [event["kind"] for event in coordinator.events.recent()]
+        assert kinds == ["joined", "presumed_dead", "rejoined", "expired"]
+
+    def test_empty_fleet_needs_allow_empty(self):
+        with pytest.raises(ClusterError, match="at least one"):
+            ClusterCoordinator([])
+        fleet = ClusterCoordinator([], allow_empty=True)
+        assert fleet.n_workers == 0
+        assert fleet.check_health() == []
+        assert fleet.aggregate_telemetry()["workers"] == []
+        fleet.shutdown()

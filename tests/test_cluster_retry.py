@@ -1,0 +1,171 @@
+"""The unified retry policy: backoff shape, jitter, deadlines, env knobs."""
+
+from __future__ import annotations
+
+import http.client
+import random
+
+import pytest
+
+from repro.cluster import ClusterError, RetryPolicy
+from repro.cluster.retry import (
+    TRANSPORT_ERRORS,
+    cluster_env_float,
+    cluster_env_int,
+)
+
+
+class TestBackoffShape:
+    def test_geometric_growth_capped_at_max(self):
+        policy = RetryPolicy(
+            base_delay=0.1, multiplier=2.0, max_delay=0.5, jitter=0.0
+        )
+        assert [policy.backoff(a) for a in range(5)] == [
+            pytest.approx(d) for d in (0.1, 0.2, 0.4, 0.5, 0.5)
+        ]
+
+    def test_zero_jitter_sleeps_exactly_the_backoff(self):
+        policy = RetryPolicy(base_delay=0.2, jitter=0.0)
+        assert policy.delay(0) == policy.backoff(0)
+
+    def test_jitter_stays_inside_the_band(self):
+        policy = RetryPolicy(base_delay=0.1, max_delay=10.0, jitter=0.5)
+        rng = random.Random(7)
+        for attempt in range(6):
+            backoff = policy.backoff(attempt)
+            for _ in range(50):
+                sleep = policy.delay(attempt, rng)
+                assert 0.5 * backoff <= sleep <= 1.5 * backoff
+
+    def test_seeded_rng_replays_the_delay_sequence(self):
+        policy = RetryPolicy(base_delay=0.1, jitter=0.5)
+        first = [policy.delay(a, random.Random(42)) for a in range(4)]
+        again = [policy.delay(a, random.Random(42)) for a in range(4)]
+        assert first == again
+
+    def test_validation_rejects_bad_knobs(self):
+        with pytest.raises(ClusterError, match="attempts"):
+            RetryPolicy(attempts=-1)
+        with pytest.raises(ClusterError, match="base_delay"):
+            RetryPolicy(base_delay=0.5, max_delay=0.1)
+        with pytest.raises(ClusterError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ClusterError, match="jitter"):
+            RetryPolicy(jitter=1.5)
+
+    def test_policies_compare_by_knobs_not_rng(self):
+        assert RetryPolicy(attempts=4) == RetryPolicy(attempts=4)
+        assert RetryPolicy(attempts=4) != RetryPolicy(attempts=5)
+
+    def test_with_deadline_preserves_everything_else(self):
+        policy = RetryPolicy(attempts=7, base_delay=0.2)
+        bounded = policy.with_deadline(1.5)
+        assert bounded.deadline == 1.5
+        assert bounded.attempts == 7
+        assert policy.deadline is None
+
+
+class TestEnvConfiguration:
+    def test_from_env_reads_the_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_ATTEMPTS", "5")
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_BASE_DELAY", "0.25")
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_MAX_DELAY", "4.0")
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_MULTIPLIER", "3.0")
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_JITTER", "0.1")
+        policy = RetryPolicy.from_env()
+        assert policy == RetryPolicy(
+            attempts=5,
+            base_delay=0.25,
+            max_delay=4.0,
+            multiplier=3.0,
+            jitter=0.1,
+        )
+
+    def test_explicit_overrides_beat_the_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_ATTEMPTS", "5")
+        assert RetryPolicy.from_env(attempts=2).attempts == 2
+
+    def test_junk_env_values_fail_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CLUSTER_RETRY_ATTEMPTS", "many")
+        with pytest.raises(ClusterError, match="RETRY_ATTEMPTS"):
+            RetryPolicy.from_env()
+
+    def test_env_helpers_default_on_blank(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CLUSTER_SOME_KNOB", raising=False)
+        assert cluster_env_float("SOME_KNOB", 1.5) == 1.5
+        monkeypatch.setenv("REPRO_CLUSTER_SOME_KNOB", "  ")
+        assert cluster_env_int("SOME_KNOB", 3) == 3
+        monkeypatch.setenv("REPRO_CLUSTER_SOME_KNOB", "2.5")
+        assert cluster_env_float("SOME_KNOB", 0.0) == 2.5
+        with pytest.raises(ClusterError, match="not an integer"):
+            cluster_env_int("SOME_KNOB", 0)
+
+
+class _Flaky:
+    """Fails ``failures`` times with ``exc_type``, then returns."""
+
+    def __init__(self, failures: int, exc_type=ConnectionError) -> None:
+        self.remaining = failures
+        self.exc_type = exc_type
+        self.calls = 0
+
+    def __call__(self) -> str:
+        self.calls += 1
+        if self.remaining > 0:
+            self.remaining -= 1
+            raise self.exc_type("transient")
+        return "done"
+
+
+class TestRun:
+    FAST = RetryPolicy(attempts=3, base_delay=0.001, max_delay=0.002)
+
+    def test_recovers_within_the_attempt_budget(self):
+        operation = _Flaky(2)
+        assert self.FAST.run(operation) == "done"
+        assert operation.calls == 3
+
+    def test_exhausted_attempts_reraise_the_last_error(self):
+        operation = _Flaky(5)
+        with pytest.raises(ConnectionError):
+            self.FAST.run(operation)
+        assert operation.calls == 3
+
+    def test_http_exceptions_are_transport_errors(self):
+        operation = _Flaky(1, exc_type=http.client.BadStatusLine)
+        assert issubclass(http.client.BadStatusLine, TRANSPORT_ERRORS)
+        assert self.FAST.run(operation) == "done"
+
+    def test_non_transport_errors_propagate_immediately(self):
+        operation = _Flaky(1, exc_type=ValueError)
+        with pytest.raises(ValueError):
+            self.FAST.run(operation)
+        assert operation.calls == 1
+
+    def test_on_retry_hook_sees_each_backoff(self):
+        operation = _Flaky(2)
+        seen = []
+        self.FAST.run(
+            operation,
+            on_retry=lambda attempt, exc, sleep: seen.append(
+                (attempt, type(exc).__name__, sleep)
+            ),
+        )
+        assert [entry[0] for entry in seen] == [1, 2]
+        assert all(entry[1] == "ConnectionError" for entry in seen)
+        assert all(entry[2] >= 0 for entry in seen)
+
+    def test_deadline_stops_an_uncapped_policy(self):
+        policy = RetryPolicy(
+            attempts=0, base_delay=0.05, max_delay=0.05, jitter=0.0,
+            deadline=0.12,
+        )
+        operation = _Flaky(100)
+        with pytest.raises(ConnectionError):
+            policy.run(operation)
+        # ~two 0.05s sleeps fit in a 0.12s budget; the third would not.
+        assert operation.calls <= 4
+
+    def test_custom_retry_on_filter(self):
+        operation = _Flaky(1, exc_type=KeyError)
+        assert self.FAST.run(operation, retry_on=(KeyError,)) == "done"

@@ -5,6 +5,8 @@ from __future__ import annotations
 import hashlib
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster.router import ClusterError, ShardRouter
 
@@ -79,3 +81,126 @@ class TestShardRouter:
         router.remove("b")
         router.remove("b")
         assert router.worker_ids == ("a",)
+
+    def test_owners_are_the_ranked_prefix(self):
+        router = ShardRouter(["a", "b", "c", "d"])
+        for key in _keys(25):
+            ranked = router.ranked(key)
+            assert router.owners(key, k=2) == ranked[:2]
+            assert router.owners(key, k=10) == ranked  # fewer than k is fine
+            assert router.owners(key, k=1) == [router.owner(key)]
+
+    def test_owners_exclude_and_bad_k(self):
+        router = ShardRouter(["a", "b", "c"])
+        for key in _keys(10):
+            survivors = router.owners(key, k=2, exclude={"a"})
+            assert "a" not in survivors
+        with pytest.raises(ClusterError, match="replica count"):
+            router.owners("key", k=0)
+        with pytest.raises(ClusterError, match="no eligible"):
+            router.owners("key", exclude={"a", "b", "c"})
+
+
+# -- membership-churn properties (hypothesis) --------------------------------
+#
+# The elastic cluster leans on rendezvous hashing's minimal-reassignment
+# property in *both* directions now: removals (failover) and additions
+# (joins trigger incremental rebalancing that must touch only the keys
+# whose top-K owner set actually changed).  Property-test both, plus the
+# replica-set laws promotion relies on.
+
+worker_sets = st.lists(
+    st.text(
+        alphabet=st.characters(min_codepoint=33, max_codepoint=126),
+        min_size=1,
+        max_size=12,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+key_sets = st.lists(st.text(min_size=1, max_size=24), min_size=1, max_size=40)
+
+
+class TestChurnProperties:
+    @settings(max_examples=75, deadline=None)
+    @given(workers=worker_sets, keys=key_sets, data=st.data())
+    def test_removing_one_worker_moves_only_its_keys(
+        self, workers, keys, data
+    ):
+        router = ShardRouter(workers)
+        before = {key: router.owner(key) for key in keys}
+        victim = data.draw(st.sampled_from(workers), label="victim")
+        router.remove(victim)
+        for key in keys:
+            if not router.worker_ids:
+                break
+            after = router.owner(key)
+            if before[key] == victim:
+                assert after != victim
+            else:
+                assert after == before[key]
+
+    @settings(max_examples=75, deadline=None)
+    @given(workers=worker_sets, keys=key_sets, joiner=st.text(min_size=1, max_size=12))
+    def test_adding_one_worker_steals_only_for_itself(
+        self, workers, keys, joiner
+    ):
+        """The join-rebalance property: after a join, every key either
+        kept its owner or moved *to the joiner* — no third-party shuffle."""
+        router = ShardRouter(workers)
+        before = {key: router.owner(key) for key in keys}
+        router.add(joiner)
+        for key in keys:
+            after = router.owner(key)
+            assert after == before[key] or after == joiner
+
+    @settings(max_examples=75, deadline=None)
+    @given(workers=worker_sets, keys=key_sets, joiner=st.text(min_size=1, max_size=12))
+    def test_join_changes_topk_only_by_inserting_the_joiner(
+        self, workers, keys, joiner
+    ):
+        """Replicated ownership under churn: a join may insert the
+        joiner into a key's top-K set (displacing the last element) but
+        never reorders the survivors — so the incremental rebalance
+        registers at most the joiner per key."""
+        router = ShardRouter(workers)
+        before = {key: router.owners(key, k=2) for key in keys}
+        router.add(joiner)
+        fresh = joiner not in workers
+        for key in keys:
+            after = router.owners(key, k=2)
+            if after == before[key]:
+                continue
+            assert fresh and joiner in after
+            survivors = [w for w in after if w != joiner]
+            assert survivors == before[key][: len(survivors)]
+
+    @settings(max_examples=75, deadline=None)
+    @given(workers=worker_sets, keys=key_sets)
+    def test_promotion_law_owner_death_falls_to_its_replica(
+        self, workers, keys
+    ):
+        """The zero-round-trip promotion contract: when a key's primary
+        dies, the new primary is exactly the next surviving replica."""
+        router = ShardRouter(workers)
+        for key in keys:
+            replicas = router.owners(key, k=2)
+            primary = replicas[0]
+            if len(router.worker_ids) == 1:
+                with pytest.raises(ClusterError):
+                    router.owner(key, exclude={primary})
+                continue
+            successor = router.owner(key, exclude={primary})
+            if len(replicas) > 1:
+                assert successor == replicas[1]
+
+    @settings(max_examples=50, deadline=None)
+    @given(workers=worker_sets, keys=key_sets)
+    def test_owners_deterministic_across_registration_order(
+        self, workers, keys
+    ):
+        router = ShardRouter(workers)
+        shuffled = ShardRouter(list(reversed(workers)))
+        for key in keys:
+            assert router.owners(key, k=3) == shuffled.owners(key, k=3)

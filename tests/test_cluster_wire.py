@@ -10,6 +10,10 @@ import pytest
 from repro.cluster.protocol import (
     SHARD_PROTOCOL,
     check_protocol,
+    heartbeat_request_from_wire,
+    heartbeat_request_to_wire,
+    join_request_from_wire,
+    join_request_to_wire,
     response_spans,
     solve_request_from_wire,
     solve_request_to_wire,
@@ -267,6 +271,55 @@ class TestShardProtocol:
         payload["jobs"][0]["fingerprint"] = ""
         with pytest.raises(ReproError, match="fingerprint"):
             solve_request_from_wire(payload)
+
+
+class TestMembershipWire:
+    """The v5 additions: join/heartbeat announcements, same strictness."""
+
+    @pytest.mark.parametrize(
+        "to_wire,from_wire",
+        [
+            (join_request_to_wire, join_request_from_wire),
+            (heartbeat_request_to_wire, heartbeat_request_from_wire),
+        ],
+    )
+    def test_round_trip(self, to_wire, from_wire):
+        payload = _json_round_trip(to_wire("shard0", "10.0.0.5", 8731))
+        assert payload["protocol"] == SHARD_PROTOCOL
+        assert from_wire(payload) == ("shard0", "10.0.0.5", 8731)
+
+    @pytest.mark.parametrize(
+        "from_wire", [join_request_from_wire, heartbeat_request_from_wire]
+    )
+    def test_version_mismatch_rejected(self, from_wire):
+        payload = join_request_to_wire("shard0", "127.0.0.1", 9000)
+        payload["protocol"] = "privacy-maxent-shard/4"
+        with pytest.raises(ReproError, match="same version"):
+            from_wire(payload)
+
+    def test_unknown_field_rejected(self):
+        payload = join_request_to_wire("shard0", "127.0.0.1", 9000)
+        payload["surprise"] = 1
+        with pytest.raises(ReproError, match="unknown field"):
+            join_request_from_wire(payload)
+
+    @pytest.mark.parametrize(
+        "field,value,match",
+        [
+            ("worker_id", "", "worker_id"),
+            ("worker_id", 7, "worker_id"),
+            ("host", "", "host"),
+            ("port", 0, "port"),
+            ("port", 70000, "port"),
+            ("port", True, "port"),
+            ("port", "8731", "port"),
+        ],
+    )
+    def test_malformed_membership_fields_rejected(self, field, value, match):
+        payload = join_request_to_wire("shard0", "127.0.0.1", 9000)
+        payload[field] = value
+        with pytest.raises(ReproError, match=match):
+            join_request_from_wire(payload)
 
 
 class TestComponentSolveDefaults:
