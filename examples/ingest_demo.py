@@ -1,0 +1,202 @@
+"""Database-to-release ingestion, end to end.
+
+The paper's pipeline starts from a *table someone already has* — so this
+demo starts from a SQLite database, not an in-memory array:
+
+1. Seed a synthetic Adult table into a throwaway SQLite file (the
+   "customer database").
+2. Stream it back through :class:`SQLiteConnector` in chunks and show
+   the content digest is chunk-size invariant — the connector's
+   determinism contract.
+3. Anonymize chunk by chunk with Anatomy and fold the wire buckets into
+   an :class:`IngestSession`, proving the incrementally-accumulated
+   release digest is **bit-identical** to hashing the assembled one-shot
+   payload (the document that never actually existed).
+4. Register the release and replay a seeded OLAP-style query mix
+   against it: the knowledge-free posterior must sit exactly at the
+   release's own in-bucket SA frequency bound (the l-diversity floor,
+   relaxed only by Anatomy's auto-exempted too-frequent values), and
+   the attacker's accumulated view must cover more rows every batch.
+
+Runs fully in-process by default.  With ``--service`` the same chunks
+are streamed over HTTP to a running ``repro serve`` instance instead
+(begin -> chunks -> finalize), which must land on the same digest.
+
+    python examples/ingest_demo.py [--service [--host H] [--port P]]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from repro.anonymize.anatomy import anatomize
+from repro.core.serialize import published_to_dict, schema_to_dict
+from repro.data.adult import load_adult_synthetic
+from repro.data.connectors import SQLiteConnector, table_to_sqlite
+from repro.service.ingest import IngestSession, chunk_digest
+from repro.service.store import SessionStore, release_digest
+from repro.workload import EmbeddedBackend, WorkloadConfig, WorkloadDriver
+
+N_RECORDS = 2000
+CHUNK_ROWS = 500
+L = 4
+SEED = 11
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        print(f"FAIL: {message}", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"  ok: {message}")
+
+
+def seed_database(path: Path) -> tuple[tuple, str]:
+    table = load_adult_synthetic(n_records=N_RECORDS, seed=SEED)
+    table_to_sqlite(table, path)
+    qi = tuple(a.name for a in table.schema.qi)
+    print(f"seeded {path.name}: {table.n_rows} rows, qi={list(qi)}")
+    return qi, table.schema.sa_attribute
+
+
+def anonymized_chunks(connector: SQLiteConnector, schema) -> list[list]:
+    chunks = []
+    for chunk in connector.chunks(CHUNK_ROWS):
+        published = anatomize(chunk.to_table(schema), l=L, seed=SEED)
+        chunks.append(published_to_dict(published)["buckets"])
+    return chunks
+
+
+def ingest_embedded(schema, chunks) -> tuple[str, object]:
+    session = IngestSession("demo", schema_to_dict(schema), name="demo")
+    for seq, buckets in enumerate(chunks):
+        session.add_chunk(seq, buckets, chunk_digest(buckets))
+    digest, published = session.build(None)
+    SessionStore().register_digest(digest, published, name="demo")
+    return digest, published
+
+
+def ingest_service(host: str, port: int, schema, chunks) -> str:
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(host, port) as client:
+        client.wait_until_healthy(timeout=30)
+        upload_id = client.begin_upload(
+            schema_to_dict(schema), name="ingest-demo"
+        )
+        for seq, buckets in enumerate(chunks):
+            client.upload_chunk(upload_id, seq, buckets)
+        summary = client.finalize_upload(upload_id)
+    print(
+        f"service registered {summary['release_id']!r}: "
+        f"{summary['n_records']} records in {summary['n_buckets']} buckets"
+    )
+    return summary["digest"]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--service", action="store_true")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8711)
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "adult.db"
+        qi, sa = seed_database(path)
+
+        # -- connector determinism ------------------------------------------
+        digests = set()
+        for chunk_rows in (100, 500, 1337):
+            with SQLiteConnector(path, "records", qi=qi, sa=sa) as connector:
+                digests.add(connector.content_digest(chunk_rows))
+        check(
+            len(digests) == 1,
+            f"content digest is chunk-size invariant ({digests.pop()[:16]}…)",
+        )
+
+        # -- chunked anonymization + incremental digest ---------------------
+        with SQLiteConnector(path, "records", qi=qi, sa=sa) as connector:
+            schema = connector.schema()
+            chunks = anonymized_chunks(connector, schema)
+        print(f"anonymized {len(chunks)} chunks (Anatomy, l={L})")
+
+        digest, published = ingest_embedded(schema, chunks)
+        one_shot = release_digest(published_to_dict(published))
+        check(
+            digest == one_shot,
+            "incremental digest is bit-identical to the one-shot payload's",
+        )
+        check(
+            published.n_records == N_RECORDS,
+            f"all {N_RECORDS} records reached the release",
+        )
+
+        if args.service:
+            check(
+                ingest_service(args.host, args.port, schema, chunks) == digest,
+                "the HTTP chunked upload landed on the same digest",
+            )
+
+    # -- replay a query workload against the ingested release ---------------
+    backend = EmbeddedBackend(published)
+    try:
+        report = WorkloadDriver(
+            backend,
+            config=WorkloadConfig(
+                n_batches=3, queries_per_batch=16, knowledge_step=0, seed=SEED
+            ),
+        ).run()
+    finally:
+        backend.close()
+
+    # The release's own worst-case in-bucket SA frequency: 1/l for strict
+    # l-diversity, higher only where Anatomy exempted a too-frequent value
+    # (the paper's footnote 3: Adult's dominant education values cannot
+    # satisfy the eligibility condition, so they are exempted).
+    sa_counts: Counter = Counter()
+    for bucket in published.buckets:
+        sa_counts.update(bucket.sa_values)
+    exempted = {
+        value: count / published.n_records
+        for value, count in sa_counts.items()
+        if count / published.n_records > 1.0 / L
+    }
+    for value, share in exempted.items():
+        print(
+            f"note: {value!r} is {share:.0%} of rows — too frequent for "
+            f"strict {L}-diversity, so Anatomy exempts it"
+        )
+    floor = max(
+        max(Counter(bucket.sa_values).values()) / bucket.size
+        for bucket in published.buckets
+    )
+    for batch in report["batches"]:
+        attacker = batch["attacker"]
+        print(
+            f"  batch {batch['batch']}: max disclosure "
+            f"{batch['max_disclosure']:.4f}, attacker coverage "
+            f"{attacker['coverage']:.2%} ({batch['served_from']})"
+        )
+    check(
+        all(
+            abs(b["max_disclosure"] - floor) <= 1e-6
+            for b in report["batches"]
+        ),
+        "knowledge-free disclosure sits exactly at the release's "
+        f"in-bucket SA frequency bound ({floor:.4f})",
+    )
+    coverages = [b["attacker"]["coverage"] for b in report["batches"]]
+    check(
+        coverages == sorted(coverages) and coverages[-1] > 0,
+        "the attacker's accumulated view only ever grows",
+    )
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

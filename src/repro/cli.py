@@ -14,6 +14,13 @@ Subcommands cover the full workflow a data publisher runs:
   ``--shards N`` the sharded multi-engine front-end (:mod:`repro.cluster`),
 - ``shard-worker`` — run one cluster shard worker (an engine plus the
   shard wire-protocol endpoints a coordinator drives),
+- ``ingest`` — stream a database table through a connector
+  (:mod:`repro.data.connectors`), anonymize it chunk by chunk, and
+  register it — against a running service via the chunked upload
+  protocol, or into an embedded in-process store,
+- ``workload`` — replay a seeded live-query mix (point / range /
+  group-by / join-OLAP) against a release while the assumed adversary's
+  background knowledge grows batch by batch,
 - ``traces`` — fetch a running service's recent traces (``/v1/traces``)
   and render them as indented span trees.
 """
@@ -415,6 +422,240 @@ def _cmd_shard_worker(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bucket_payloads(published) -> list[dict]:
+    """Wire-form bucket dicts of one anonymized chunk, in bucket order."""
+    return [
+        {
+            "qi_tuples": [list(q) for q in bucket.qi_tuples],
+            "sa_values": list(bucket.sa_values),
+        }
+        for bucket in published.buckets
+    ]
+
+
+def _open_connector(args: argparse.Namespace):
+    """The source connector the ingest flags describe."""
+    from repro.data.connectors import SQLiteConnector, connect_postgres
+
+    qi = tuple(args.qi)
+    if args.postgres:
+        return connect_postgres(
+            args.source,
+            args.table,
+            qi=qi,
+            sa=args.sa,
+            key_column=args.key_column or "id",
+            null_label=args.null_label,
+        )
+    return SQLiteConnector(
+        args.source,
+        args.table,
+        qi=qi,
+        sa=args.sa,
+        key_column=args.key_column or "rowid",
+        null_label=args.null_label,
+    )
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.errors import ReproError
+
+    try:
+        connector = _open_connector(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    with connector:
+        try:
+            schema = connector.schema()
+            total_rows = connector.row_count()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        print(
+            f"source: {args.table!r} ({total_rows} rows, "
+            f"qi={list(args.qi)}, sa={args.sa!r})"
+        )
+
+        def anonymized_chunks():
+            for seq, chunk in enumerate(connector.chunks(args.chunk_rows)):
+                published = anatomize(
+                    chunk.to_table(schema), l=args.l, seed=args.seed
+                )
+                yield seq, len(chunk.rows), _bucket_payloads(published)
+
+        try:
+            if args.embedded:
+                summary = _ingest_embedded(args, schema, anonymized_chunks())
+            else:
+                summary = _ingest_service(args, schema, anonymized_chunks())
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(
+        f"registered release {summary['release_id']!r}: "
+        f"{summary['n_records']} records in {summary['n_buckets']} buckets "
+        f"(digest {summary['digest'][:16]}…)"
+    )
+    return 0
+
+
+def _ingest_service(args, schema, chunks) -> dict:
+    """Stream anonymized chunks into a running service; returns summary."""
+    from repro.core.serialize import schema_to_dict
+    from repro.service.client import ServiceClient
+
+    with ServiceClient(args.host, args.port, timeout=args.timeout) as client:
+        upload_id = client.begin_upload(
+            schema_to_dict(schema), name=args.name
+        )
+        sent = 0
+        for seq, n_rows, buckets in chunks:
+            client.upload_chunk(upload_id, seq, buckets)
+            sent += n_rows
+            print(f"  chunk {seq}: {n_rows} rows -> {len(buckets)} buckets")
+        result = client.finalize_upload(upload_id, name=args.name)
+    return result
+
+
+def _ingest_embedded(args, schema, chunks) -> dict:
+    """Accumulate chunks through the in-process ingest machinery."""
+    from repro.core.serialize import schema_to_dict
+    from repro.service.ingest import IngestSession, chunk_digest
+    from repro.service.store import SessionStore
+
+    session = IngestSession(
+        "cli-embedded", schema_to_dict(schema), name=args.name
+    )
+    for seq, n_rows, buckets in chunks:
+        session.add_chunk(seq, buckets, chunk_digest(buckets))
+        print(f"  chunk {seq}: {n_rows} rows -> {len(buckets)} buckets")
+    digest, published = session.build(None)
+    store = SessionStore()
+    record, _created = store.register_digest(
+        digest, published, name=args.name
+    )
+    summary = record.summary()
+    summary["digest"] = digest
+    return summary
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import ReproError
+    from repro.workload import (
+        EmbeddedBackend,
+        ServiceBackend,
+        WorkloadConfig,
+        WorkloadDriver,
+    )
+
+    config = WorkloadConfig(
+        n_batches=args.batches,
+        queries_per_batch=args.queries_per_batch,
+        knowledge_step=args.knowledge_step,
+        epsilon=args.epsilon,
+        seed=args.seed,
+    )
+    rules = None
+    client = None
+    if args.release:
+        if args.knowledge_step > 0:
+            print(
+                "error: service-mode workloads cannot mine rules from the "
+                "remote release; pass --knowledge-step 0 for a "
+                "knowledge-free (throughput) replay",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.service.client import ServiceClient
+
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        backend = ServiceBackend(client, args.release)
+    else:
+        from repro.experiments.workloads import build_adult_workload
+
+        workload = build_adult_workload(
+            n_records=args.records, l=args.l, seed=args.seed
+        )
+        rules = workload.rules
+        backend = EmbeddedBackend(
+            workload.published,
+            config=MaxEntConfig(**_engine_overrides(args)),
+        )
+    try:
+        report = WorkloadDriver(backend, rules=rules, config=config).run()
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        backend.close()
+        if client is not None:
+            client.close()
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote workload report to {args.output}")
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    rows = [
+        [
+            batch["batch"],
+            batch["k_rules"],
+            f"{batch['solve_seconds']:.3f}",
+            batch["served_from"],
+            f"{batch['max_disclosure']:.4f}",
+            f"{batch['effective_l']:.2f}",
+            f"{batch['attacker']['coverage']:.3f}",
+            f"{batch['attacker']['peak_disclosure']:.4f}",
+        ]
+        for batch in report["batches"]
+    ]
+    print(
+        render_table(
+            [
+                "batch",
+                "K rules",
+                "solve s",
+                "served",
+                "max discl.",
+                "eff. l",
+                "coverage",
+                "atk peak",
+            ],
+            rows,
+            title=(
+                f"Workload over {report['n_qi_tuples']} QI tuples: "
+                f"{report['total_queries']} queries in "
+                f"{len(report['batches'])} batches"
+            ),
+        )
+    )
+    shape_rows = [
+        [
+            shape,
+            stats["count"],
+            f"{stats['mean_seconds'] * 1e3:.3f}",
+            f"{stats['p95_seconds'] * 1e3:.3f}",
+        ]
+        for shape, stats in report["shapes"].items()
+    ]
+    print()
+    print(
+        render_table(
+            ["shape", "queries", "mean ms", "p95 ms"],
+            shape_rows,
+            title="Query latency by shape",
+        )
+    )
+    return 0
+
+
 def _cmd_traces(args: argparse.Namespace) -> int:
     from repro.obs.trace import format_trace
     from repro.service.client import ServiceClient
@@ -690,6 +931,127 @@ def build_parser() -> argparse.ArgumentParser:
     _add_engine_args(shard_worker)
     _add_logging_args(shard_worker)
     shard_worker.set_defaults(func=_cmd_shard_worker)
+
+    ingest = sub.add_parser(
+        "ingest",
+        help="stream a database table into a registered release",
+        description=(
+            "Open a connector on a database table, discover its schema, "
+            "anonymize it chunk by chunk (Anatomy, l-diversity), and "
+            "register the result — through the service's chunked upload "
+            "protocol, or into an embedded in-process store with "
+            "--embedded.  Memory stays bounded by the chunk size; the "
+            "full table is never materialized."
+        ),
+    )
+    ingest.add_argument(
+        "source",
+        help="SQLite database path (or a DSN with --postgres)",
+    )
+    ingest.add_argument(
+        "--table", default="records", help="source table name"
+    )
+    ingest.add_argument(
+        "--qi",
+        nargs="+",
+        required=True,
+        help="quasi-identifier column names, in order",
+    )
+    ingest.add_argument(
+        "--sa", required=True, help="sensitive-attribute column name"
+    )
+    ingest.add_argument(
+        "--key-column",
+        default=None,
+        help=(
+            "unique pagination key (default: rowid for SQLite, id for "
+            "--postgres)"
+        ),
+    )
+    ingest.add_argument(
+        "--null-label",
+        default=None,
+        help="label for NULLs (default: NULLs are an error)",
+    )
+    ingest.add_argument(
+        "--postgres",
+        action="store_true",
+        help=(
+            "treat SOURCE as a PostgreSQL DSN (needs the optional "
+            "repro[postgres] extra)"
+        ),
+    )
+    ingest.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=50_000,
+        help="rows fetched, anonymized and uploaded per chunk",
+    )
+    ingest.add_argument("-l", type=int, default=5, help="l-diversity target")
+    ingest.add_argument("--seed", type=int, default=20080609)
+    ingest.add_argument("--name", default=None, help="release name")
+    ingest.add_argument(
+        "--embedded",
+        action="store_true",
+        help="register in-process instead of against a running service",
+    )
+    ingest.add_argument("--host", default="127.0.0.1")
+    ingest.add_argument("--port", type=int, default=8711)
+    ingest.add_argument("--timeout", type=float, default=120.0)
+    ingest.set_defaults(func=_cmd_ingest)
+
+    workload = sub.add_parser(
+        "workload",
+        help="replay a seeded live-query mix against a release",
+        description=(
+            "Replay batches of a seeded query mix (point / range / "
+            "group-by / join-OLAP) against a release's posterior while "
+            "the assumed adversary gains mined rules each batch, and "
+            "report the privacy trajectory: posterior bounds, query "
+            "latency by shape, and the attacker's accumulated view."
+        ),
+    )
+    workload.add_argument(
+        "--release",
+        default=None,
+        help=(
+            "replay against this release id on a running service "
+            "(default: build an embedded synthetic release)"
+        ),
+    )
+    workload.add_argument("--host", default="127.0.0.1")
+    workload.add_argument("--port", type=int, default=8711)
+    workload.add_argument("--timeout", type=float, default=120.0)
+    workload.add_argument(
+        "--records",
+        type=int,
+        default=600,
+        help="synthetic records for the embedded release",
+    )
+    workload.add_argument("-l", type=int, default=3, help="l-diversity target")
+    workload.add_argument("--batches", type=int, default=6)
+    workload.add_argument("--queries-per-batch", type=int, default=32)
+    workload.add_argument(
+        "--knowledge-step",
+        type=int,
+        default=2,
+        help="mined rules the adversary gains per batch (0: knowledge-free)",
+    )
+    workload.add_argument(
+        "--epsilon",
+        type=float,
+        default=0.0,
+        help="vagueness radius for the adversary's rules",
+    )
+    workload.add_argument("--seed", type=int, default=20080609)
+    workload.add_argument(
+        "--json", action="store_true", help="print the full JSON report"
+    )
+    workload.add_argument(
+        "--output", default=None, help="also write the JSON report here"
+    )
+    _add_engine_args(workload)
+    workload.set_defaults(func=_cmd_workload)
 
     traces = sub.add_parser(
         "traces",

@@ -1,0 +1,36 @@
+"""Table connectors: stream external tables into the privacy pipeline.
+
+See :mod:`repro.data.connectors.base` for the protocol and
+``src/repro/data/README.md`` for the architecture overview.
+"""
+
+from repro.data.connectors.base import (
+    DEFAULT_CHUNK_ROWS,
+    RowChunk,
+    RowDigest,
+    TableConnector,
+    canonical_schema,
+    coerce_label,
+)
+from repro.data.connectors.dbapi import (
+    DBAPIConnector,
+    connect_postgres,
+    quote_identifier,
+)
+from repro.data.connectors.memory import MemoryConnector
+from repro.data.connectors.sqlite import SQLiteConnector, table_to_sqlite
+
+__all__ = [
+    "DEFAULT_CHUNK_ROWS",
+    "DBAPIConnector",
+    "MemoryConnector",
+    "RowChunk",
+    "RowDigest",
+    "SQLiteConnector",
+    "TableConnector",
+    "canonical_schema",
+    "coerce_label",
+    "connect_postgres",
+    "quote_identifier",
+    "table_to_sqlite",
+]

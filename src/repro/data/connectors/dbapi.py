@@ -1,0 +1,290 @@
+"""Generic DB-API 2.0 connector, plus the optional Postgres front door.
+
+:class:`DBAPIConnector` works against any DB-API 2.0 connection — it only
+needs a unique, orderable key column for deterministic keyset pagination
+(``WHERE key > last ORDER BY key LIMIT n``), so it never asks the database
+for more than one chunk of rows at a time.  :func:`connect_postgres` builds
+one over ``psycopg``/``psycopg2`` when either is installed (the ``postgres``
+optional extra) and raises a clean :class:`~repro.errors.ConnectorError`
+with an install hint when neither is — the core library takes no new hard
+dependencies.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Iterator, Mapping, Sequence
+
+from repro.data.connectors.base import (
+    DEFAULT_CHUNK_ROWS,
+    RowChunk,
+    TableConnector,
+    coerce_label,
+)
+from repro.data.schema import Attribute, Schema
+from repro.errors import ConnectorError
+
+_IDENTIFIER_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+
+
+def quote_identifier(name: str) -> str:
+    """Double-quote ``name`` for safe SQL interpolation.
+
+    Identifiers are restricted to ``[A-Za-z_][A-Za-z0-9_]*`` — table and
+    column names come from connector configuration, not from request
+    payloads, but the whitelist keeps quoting trivially correct on every
+    backend.
+    """
+    if not _IDENTIFIER_RE.match(name):
+        raise ConnectorError(
+            f"identifier {name!r} is not a simple SQL name "
+            "([A-Za-z_][A-Za-z0-9_]*)"
+        )
+    return f'"{name}"'
+
+
+def _domain_sort_key(label: str) -> tuple[int, float, str]:
+    """Order domain labels numerically when possible, lexically otherwise."""
+    try:
+        return (0, float(label), label)
+    except ValueError:
+        return (1, 0.0, label)
+
+
+class DBAPIConnector(TableConnector):
+    """Stream one table from a DB-API 2.0 connection.
+
+    Parameters
+    ----------
+    connection:
+        An open DB-API connection.  Closed with the connector only when
+        ``owns_connection`` is true.
+    table:
+        Table name (simple SQL identifier).
+    qi / sa / id_columns:
+        Column roles; the connector reads exactly these columns, in
+        ``qi + (sa,) + id_columns`` order.
+    key_column:
+        A unique, orderable column used for keyset pagination.  Row order
+        (and therefore the content digest) is ``ORDER BY key_column``.
+    null_label:
+        Category label for SQL NULL; without it, a NULL raises
+        :class:`~repro.errors.ConnectorError`.
+    domains:
+        Optional ``{column: labels}`` overrides.  Columns not listed are
+        discovered with ``SELECT DISTINCT`` and sorted deterministically
+        (numeric labels by value, then text labels lexically).  Required
+        for empty tables, which have nothing to discover from.
+    placeholder:
+        The connection's parameter placeholder (``?`` for qmark-style
+        drivers, ``%s`` for format-style drivers such as psycopg).
+    """
+
+    def __init__(
+        self,
+        connection,
+        table: str,
+        *,
+        qi: Sequence[str],
+        sa: str,
+        id_columns: Sequence[str] = (),
+        key_column: str,
+        null_label: str | None = None,
+        domains: Mapping[str, Sequence[str]] | None = None,
+        placeholder: str = "?",
+        owns_connection: bool = False,
+    ) -> None:
+        if not qi:
+            raise ConnectorError("at least one QI column is required")
+        self._connection = connection
+        self._table = table
+        self._table_sql = quote_identifier(table)
+        self._qi = tuple(qi)
+        self._sa = sa
+        self._ids = tuple(id_columns)
+        self._columns = self._qi + (sa,) + self._ids
+        if len(set(self._columns)) != len(self._columns):
+            raise ConnectorError("a column may hold only one role (QI / SA / ID)")
+        self._columns_sql = tuple(quote_identifier(name) for name in self._columns)
+        self._key_column = key_column
+        self._key_sql = quote_identifier(key_column)
+        self._null_label = null_label
+        self._domains = dict(domains or {})
+        self._placeholder = placeholder
+        self._owns_connection = owns_connection
+        self._schema: Schema | None = None
+        self._closed = False
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _fetchall(self, sql: str, params: tuple = ()) -> list[tuple]:
+        if self._closed:
+            raise ConnectorError("connector is closed")
+        try:
+            cursor = self._connection.cursor()
+            try:
+                cursor.execute(sql, params)
+                return cursor.fetchall()
+            finally:
+                cursor.close()
+        except ConnectorError:
+            raise
+        except Exception as exc:
+            raise ConnectorError(
+                f"query against table {self._table!r} failed: {exc}"
+            ) from exc
+
+    # Hooks for backends that can detect concurrent writers (SQLite's
+    # data_version); the generic connector falls back to row-count rechecks.
+    def _iteration_begin(self) -> None:
+        pass
+
+    def _check_unchanged(self) -> None:
+        pass
+
+    # -- TableConnector ----------------------------------------------------
+
+    def schema(self) -> Schema:
+        if self._schema is None:
+            attributes = []
+            for name, name_sql in zip(self._columns, self._columns_sql):
+                override = self._domains.get(name)
+                if override is not None:
+                    labels = tuple(str(label) for label in override)
+                else:
+                    raw = self._fetchall(
+                        f"SELECT DISTINCT {name_sql} FROM {self._table_sql}"
+                    )
+                    labels = tuple(
+                        sorted(
+                            {
+                                coerce_label(
+                                    value,
+                                    column=name,
+                                    null_label=self._null_label,
+                                )
+                                for (value,) in raw
+                            },
+                            key=_domain_sort_key,
+                        )
+                    )
+                    if not labels:
+                        raise ConnectorError(
+                            f"table {self._table!r} is empty; pass "
+                            "domains={...} to declare the column domains "
+                            "explicitly"
+                        )
+                attributes.append(Attribute(name, labels))
+            self._schema = Schema(
+                attributes=tuple(attributes),
+                qi_attributes=self._qi,
+                sa_attribute=self._sa,
+                id_attributes=self._ids,
+            )
+        return self._schema
+
+    def row_count(self) -> int:
+        return int(self._fetchall(f"SELECT COUNT(*) FROM {self._table_sql}")[0][0])
+
+    def chunks(self, chunk_rows: int = DEFAULT_CHUNK_ROWS) -> Iterator[RowChunk]:
+        if chunk_rows <= 0:
+            raise ConnectorError(f"chunk_rows must be positive, got {chunk_rows}")
+        self.schema()  # discovery errors surface before the first chunk
+        expected = self.row_count()
+        self._iteration_begin()
+        select = ", ".join((self._key_sql,) + self._columns_sql)
+        first_sql = (
+            f"SELECT {select} FROM {self._table_sql} "
+            f"ORDER BY {self._key_sql} LIMIT {int(chunk_rows)}"
+        )
+        next_sql = (
+            f"SELECT {select} FROM {self._table_sql} "
+            f"WHERE {self._key_sql} > {self._placeholder} "
+            f"ORDER BY {self._key_sql} LIMIT {int(chunk_rows)}"
+        )
+        last_key = None
+        offset = 0
+        while True:
+            if last_key is None:
+                raw = self._fetchall(first_sql)
+            else:
+                raw = self._fetchall(next_sql, (last_key,))
+            if not raw:
+                break
+            self._check_unchanged()
+            rows = []
+            for record in raw:
+                last_key = record[0]
+                rows.append(
+                    tuple(
+                        coerce_label(
+                            value, column=name, null_label=self._null_label
+                        )
+                        for name, value in zip(self._columns, record[1:])
+                    )
+                )
+            yield RowChunk(rows, offset)
+            offset += len(rows)
+            if len(raw) < chunk_rows:
+                break
+        self._check_unchanged()
+        final = self.row_count()
+        if offset != expected or final != expected:
+            raise ConnectorError(
+                f"table {self._table!r} changed during chunked iteration "
+                f"(expected {expected} rows, iterated {offset}, now {final}); "
+                "re-run the ingest against a quiesced source"
+            )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._owns_connection:
+            try:
+                self._connection.close()
+            except Exception:  # pragma: no cover - driver-specific close noise
+                pass
+
+
+def connect_postgres(
+    dsn: str,
+    table: str,
+    *,
+    qi: Sequence[str],
+    sa: str,
+    key_column: str,
+    **kwargs,
+) -> DBAPIConnector:
+    """Open a :class:`DBAPIConnector` over a Postgres DSN.
+
+    Requires ``psycopg`` (v3) or ``psycopg2`` — install the ``postgres``
+    extra (``pip install repro[postgres]``).  The core library never
+    imports either module outside this function, so Postgres support stays
+    strictly optional.
+    """
+    connection = None
+    try:
+        import psycopg  # type: ignore[import-not-found]
+
+        connection = psycopg.connect(dsn)
+    except ImportError:
+        try:
+            import psycopg2  # type: ignore[import-not-found]
+
+            connection = psycopg2.connect(dsn)
+        except ImportError:
+            raise ConnectorError(
+                "Postgres connectors need psycopg (v3) or psycopg2; "
+                "install the optional extra: pip install repro[postgres]"
+            ) from None
+    return DBAPIConnector(
+        connection,
+        table,
+        qi=qi,
+        sa=sa,
+        key_column=key_column,
+        placeholder="%s",
+        owns_connection=True,
+        **kwargs,
+    )

@@ -104,3 +104,24 @@ class NotSupportedError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received an invalid configuration."""
+
+
+class ConnectorError(ReproError):
+    """A table connector cannot deliver rows as promised.
+
+    Raised by :mod:`repro.data.connectors` when schema discovery fails
+    (unknown table/column, unsupported storage type), when a value cannot
+    be coerced to a categorical label (NULLs without a configured label),
+    or when the underlying database is mutated while a deterministic
+    chunked iteration is in flight.
+    """
+
+
+class IngestError(ReproError):
+    """A streaming (chunked) release registration cannot proceed.
+
+    Raised by the service-side ingest sessions for protocol violations:
+    out-of-order chunk sequence numbers, chunk-digest mismatches,
+    finalizing an upload whose accumulated content digest disagrees with
+    the digest the client expected, or operating on an expired session.
+    """

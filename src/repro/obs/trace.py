@@ -30,13 +30,21 @@ Tracing is **default-on**: recording a span is two monotonic clock
 reads, one small dict and one lock-guarded list append, bounded by the
 rings.  ``REPRO_TRACE=0`` (or :func:`set_enabled`) short-circuits
 ``span()`` to a shared no-op context manager for benchmarks that want
-the floor.
+the floor.  ``REPRO_TRACE_SAMPLE`` (a probability in ``[0, 1]``,
+default 1.0) *head-samples* instead: the keep/drop decision is made
+once per trace, at the root — a span opened with no active parent and
+no ``ctx`` — and children inherit it implicitly, because a sampled-out
+root leaves no current span and no pending builder for descendants to
+land in.  Spans opened *with* a ``ctx`` are never sampled away: their
+root already won the coin flip somewhere else, and dropping fragments
+mid-trace would tear stitched cross-process traces.
 """
 
 from __future__ import annotations
 
 import contextlib
 import os
+import random
 import threading
 import time
 from collections import deque
@@ -67,6 +75,15 @@ def _env_slow_seconds() -> float:
         return float(raw) if raw else 1.0
     except ValueError:
         return 1.0
+
+
+def _env_sample_rate() -> float:
+    raw = os.environ.get("REPRO_TRACE_SAMPLE", "")
+    try:
+        rate = float(raw) if raw else 1.0
+    except ValueError:
+        return 1.0
+    return min(1.0, max(0.0, rate))
 
 
 class Span:
@@ -159,6 +176,46 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class _SuppressedSpan:
+    """A sampled-out root: records nothing, suppresses its descendants.
+
+    A plain :data:`NOOP_SPAN` would not do — same-thread children of a
+    sampled-out root see no current span and would each start (and
+    coin-flip) a fresh root of their own.  This span instead raises the
+    tracer's suppression flag for its context and lowers it on exit, so
+    the whole subtree stays dropped together.
+    """
+
+    __slots__ = ("_tracer", "_token")
+
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    attributes: dict = {}
+
+    def __init__(self, tracer: "Tracer") -> None:
+        self._tracer = tracer
+        self._token = None
+
+    def set(self, **attributes) -> "_SuppressedSpan":
+        return self
+
+    def to_dict(self) -> dict:
+        return {}
+
+    def __enter__(self) -> "_SuppressedSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._token is not None:
+            try:
+                self._tracer._suppressed.reset(self._token)
+            except ValueError:
+                self._tracer._suppressed.set(False)
+        return False
+
+
 class Capture:
     """Holder for spans diverted by :meth:`Tracer.capture`."""
 
@@ -192,6 +249,8 @@ class Tracer:
         self.slow_seconds = (
             _env_slow_seconds() if slow_seconds is None else float(slow_seconds)
         )
+        self.sample_rate = _env_sample_rate()
+        self.sampled_out = 0
         self._lock = threading.Lock()
         self._pending: dict[str, _Builder] = {}
         self._recent: deque[dict] = deque(maxlen=recent)
@@ -202,10 +261,21 @@ class Tracer:
         self._sink: ContextVar[list | None] = ContextVar(
             "repro_span_sink", default=None
         )
+        self._suppressed: ContextVar[bool] = ContextVar(
+            "repro_trace_suppressed", default=False
+        )
 
     def set_enabled(self, enabled: bool) -> None:
         """Toggle recording (the ``REPRO_TRACE`` switch, at runtime)."""
         self.enabled = bool(enabled)
+
+    def set_sample_rate(self, rate: float) -> None:
+        """Set the head-sampling probability (``REPRO_TRACE_SAMPLE``).
+
+        Clamped to ``[0, 1]``.  Applies to *new* roots only — traces
+        already in flight keep their original keep decision.
+        """
+        self.sample_rate = min(1.0, max(0.0, float(rate)))
 
     # -- recording ---------------------------------------------------------
 
@@ -223,8 +293,18 @@ class Tracer:
         if parent is not None:
             trace_id, parent_id = parent.trace_id, parent.span_id
         elif ctx and ctx.get("trace_id"):
+            # A handed-over context is never sampled away: its root
+            # already made the keep decision on the other side.
             trace_id, parent_id = ctx["trace_id"], ctx.get("span_id")
         else:
+            # A fresh root: the head-sampling decision point.
+            if self._suppressed.get():
+                return NOOP_SPAN
+            if self.sample_rate < 1.0 and random.random() >= self.sample_rate:
+                self.sampled_out += 1
+                suppressed = _SuppressedSpan(self)
+                suppressed._token = self._suppressed.set(True)
+                return suppressed
             trace_id, parent_id = _new_id(), None
         span = Span(self, trace_id, _new_id(4), parent_id, name, attributes)
         span._token = self._current.set(span)
@@ -372,6 +452,11 @@ def get_tracer() -> Tracer:
 def set_enabled(enabled: bool) -> None:
     """Toggle the process-wide tracer (see ``REPRO_TRACE``)."""
     _TRACER.set_enabled(enabled)
+
+
+def set_sample_rate(rate: float) -> None:
+    """Set the process-wide head-sampling rate (``REPRO_TRACE_SAMPLE``)."""
+    _TRACER.set_sample_rate(rate)
 
 
 def format_trace(trace: dict) -> str:

@@ -15,6 +15,8 @@ asyncio HTTP/JSON front-end instead:
   in-flight solve coalescing and closed-form micro-batching,
 - :mod:`repro.service.store` — registered releases with their variable
   spaces, invariants, mined rules and compiled systems cached,
+- :mod:`repro.service.ingest` — chunked (streaming) release uploads
+  with incremental digest accumulation and bounded session state,
 - :mod:`repro.service.server` — :class:`PrivacyService` and its routes,
 - :mod:`repro.service.client` — the blocking stdlib client,
 - :mod:`repro.service.background` — run a service beside synchronous
@@ -32,6 +34,7 @@ from repro.service.admission import (
 )
 from repro.service.background import BackgroundService
 from repro.service.client import PosteriorResult, ServiceClient, ServiceError
+from repro.service.ingest import IngestManager, IngestSession
 from repro.service.protocol import HttpError, HttpRequest
 from repro.service.server import DEFAULT_PORT, PrivacyService, ServiceConfig
 from repro.service.store import RegisteredRelease, SessionStore
@@ -45,6 +48,8 @@ __all__ = [
     "DEFAULT_PORT",
     "HttpError",
     "HttpRequest",
+    "IngestManager",
+    "IngestSession",
     "LatencyHistogram",
     "PosteriorResult",
     "PrivacyService",

@@ -33,9 +33,11 @@ from repro.maxent.closed_form import closed_form_multi
 class QueueFullError(Exception):
     """Raised when admission control rejects a request (backpressure)."""
 
-    def __init__(self, depth: int, capacity: int) -> None:
+    def __init__(
+        self, depth: int, capacity: int, *, what: str = "solve queue"
+    ) -> None:
         super().__init__(
-            f"solve queue is full ({depth} pending, capacity {capacity}); "
+            f"{what} is full ({depth} pending, capacity {capacity}); "
             "retry shortly"
         )
         self.depth = depth

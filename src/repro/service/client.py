@@ -183,6 +183,103 @@ class ServiceClient:
             payload["name"] = name
         return self._request("POST", "/v1/releases", payload)["release_id"]
 
+    # -- chunked (streaming) registration ------------------------------------
+
+    def begin_upload(
+        self,
+        schema_payload: dict,
+        *,
+        name: str | None = None,
+        expect_digest: str | None = None,
+    ) -> str:
+        """Open a chunked upload for a release with ``schema_payload``.
+
+        Returns the ``upload_id`` to post chunks against.  Answers 429
+        (``ServiceError`` with code ``queue_full``) when the service is
+        at its concurrent-upload cap — retry after a backoff, like any
+        other backpressured request.
+        """
+        payload: dict = {"schema": schema_payload}
+        if name is not None:
+            payload["name"] = name
+        if expect_digest is not None:
+            payload["expect_digest"] = expect_digest
+        return self._request("POST", "/v1/releases/uploads", payload)[
+            "upload_id"
+        ]
+
+    def upload_chunk(
+        self, upload_id: str, seq: int, buckets: list, *, digest: str | None = None
+    ) -> dict:
+        """Append one chunk of wire-form buckets (idempotent by seq+digest).
+
+        ``digest`` defaults to the chunk's canonical content digest,
+        computed here so a retried POST of the same chunk is acknowledged
+        as a duplicate instead of corrupting the sequence.
+        """
+        from repro.service.ingest import chunk_digest
+
+        payload = {
+            "seq": seq,
+            "buckets": buckets,
+            "digest": digest or chunk_digest(buckets),
+        }
+        return self._request(
+            "POST", f"/v1/releases/{upload_id}/chunks", payload
+        )
+
+    def finalize_upload(
+        self,
+        upload_id: str,
+        *,
+        digest: str | None = None,
+        name: str | None = None,
+    ) -> dict:
+        """Register the accumulated upload; returns the release summary.
+
+        Pass ``digest`` (the release digest the client computed over its
+        own stream) for end-to-end integrity: the service refuses to
+        register an upload whose accumulated digest disagrees.
+        """
+        payload: dict = {}
+        if digest is not None:
+            payload["digest"] = digest
+        if name is not None:
+            payload["name"] = name
+        return self._request(
+            "POST", f"/v1/releases/{upload_id}/finalize", payload
+        )
+
+    def upload_status(self, upload_id: str) -> dict:
+        """Status snapshot of one in-flight upload."""
+        return self._request("GET", f"/v1/releases/uploads/{upload_id}")
+
+    def abort_upload(self, upload_id: str) -> dict:
+        """Drop an in-flight upload and free its server-side state."""
+        return self._request("DELETE", f"/v1/releases/uploads/{upload_id}")
+
+    def register_chunked(
+        self,
+        published,
+        *,
+        name: str | None = None,
+        chunk_buckets: int = 256,
+    ) -> str:
+        """Register a release through the chunked protocol; returns its id.
+
+        Produces the same store entry (same digest, same id, same
+        posteriors) as :meth:`register` on the same release — callers
+        pick purely by payload size.
+        """
+        wire = published_to_dict(published)
+        upload_id = self.begin_upload(wire["schema"], name=name)
+        buckets = wire["buckets"]
+        for seq, start in enumerate(range(0, len(buckets), chunk_buckets)):
+            self.upload_chunk(
+                upload_id, seq, buckets[start : start + chunk_buckets]
+            )
+        return self.finalize_upload(upload_id)["release_id"]
+
     def posterior(
         self,
         release_id: str,

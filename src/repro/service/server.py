@@ -4,17 +4,23 @@ One :class:`PrivacyService` = one engine + one session store + one
 request layer (admission control, coalescing, micro-batching) + one
 telemetry aggregate, exposed over a stdlib-only HTTP/JSON protocol:
 
-====== ================================== =====================================
-method path                               purpose
-====== ================================== =====================================
-GET    ``/v1/healthz``                    liveness probe
-GET    ``/v1/telemetry``                  engine + service counters, latencies
-GET    ``/v1/releases``                   list registered releases
-POST   ``/v1/releases``                   register a bucketized release
-GET    ``/v1/releases/{id}``              one release's summary
-POST   ``/v1/releases/{id}/posterior``    solve ``P*(SA|QI)`` under knowledge
-POST   ``/v1/releases/{id}/assess``       Section 4.3 (bound, score) table
-====== ================================== =====================================
+====== ===================================== ==================================
+method path                                  purpose
+====== ===================================== ==================================
+GET    ``/v1/healthz``                       liveness probe
+GET    ``/v1/telemetry``                     engine + service counters
+GET    ``/v1/releases``                      list registered releases
+POST   ``/v1/releases``                      register a bucketized release
+POST   ``/v1/releases/uploads``              begin a chunked upload
+GET    ``/v1/releases/uploads``              list in-flight uploads
+GET    ``/v1/releases/uploads/{uid}``        one upload's status
+DELETE ``/v1/releases/uploads/{uid}``        abort an upload
+POST   ``/v1/releases/{uid}/chunks``         append one chunk of buckets
+POST   ``/v1/releases/{uid}/finalize``       register the accumulated upload
+GET    ``/v1/releases/{id}``                 one release's summary
+POST   ``/v1/releases/{id}/posterior``       solve ``P*(SA|QI)`` under knowledge
+POST   ``/v1/releases/{id}/assess``          Section 4.3 (bound, score) table
+====== ===================================== ==================================
 
 The solve path is where the serving layer earns its keep: compiled
 constraint systems are cached per release, finished results are cached by
@@ -55,7 +61,7 @@ from repro.core.serialize import (
     table_from_dict,
 )
 from repro.engine.engine import PrivacyEngine
-from repro.errors import InfeasibleKnowledgeError, ReproError
+from repro.errors import InfeasibleKnowledgeError, IngestError, ReproError
 from repro.maxent.config import MaxEntConfig
 from repro.maxent.solution import MaxEntSolution, SolverStats
 from repro.obs.logging import get_logger
@@ -67,6 +73,11 @@ from repro.service.admission import (
     ClosedFormBatcher,
     Coalescer,
     QueueFullError,
+)
+from repro.service.ingest import (
+    DEFAULT_MAX_SESSIONS,
+    DEFAULT_TTL_SECONDS,
+    IngestManager,
 )
 from repro.service.protocol import (
     MAX_BODY_BYTES,
@@ -191,6 +202,15 @@ class ServiceConfig:
         fingerprint).
     max_body_bytes:
         Request-body cap (HTTP 413 beyond).
+    register_max_bytes:
+        Tighter body cap for one-shot registration (HTTP 413 with a
+        pointer to the chunked protocol) — large releases must stream,
+        not arrive as one unbounded JSON document.
+    max_ingest_sessions:
+        Chunked uploads in flight at once; past this, ``begin`` answers
+        HTTP 429 (the same backpressure contract as the solve queue).
+    ingest_ttl_seconds:
+        Idle time before an abandoned upload session is dropped.
     engine:
         Execution-engine knobs (executor, workers, component cache size,
         ``cache_path`` for warm restarts).
@@ -204,6 +224,9 @@ class ServiceConfig:
     max_batch: int = 64
     result_cache_size: int = 256
     max_body_bytes: int = MAX_BODY_BYTES
+    register_max_bytes: int = 8 * 1024 * 1024
+    max_ingest_sessions: int = DEFAULT_MAX_SESSIONS
+    ingest_ttl_seconds: float = DEFAULT_TTL_SECONDS
     engine: MaxEntConfig = field(default_factory=MaxEntConfig)
 
 
@@ -231,6 +254,10 @@ class PrivacyService:
             max_concurrency=concurrency, max_queue=self.config.max_queue
         )
         self.coalescer = Coalescer()
+        self.ingest = IngestManager(
+            max_sessions=self.config.max_ingest_sessions,
+            ttl_seconds=self.config.ingest_ttl_seconds,
+        )
         self.batcher = ClosedFormBatcher(
             window_seconds=self.config.batch_window_seconds,
             max_batch=self.config.max_batch,
@@ -421,6 +448,17 @@ class PrivacyService:
                 {"error": {"code": "infeasible_knowledge", "message": str(exc)}},
                 {},
             )
+        except IngestError as exc:
+            # Protocol violations on an existing upload (sequence gaps,
+            # digest mismatches, double-finalize) are conflicts with the
+            # session's state, not malformed requests.
+            self.telemetry.incr("errors")
+            return (
+                endpoint,
+                409,
+                {"error": {"code": "ingest_conflict", "message": str(exc)}},
+                {},
+            )
         except ReproError as exc:
             self.telemetry.incr("errors")
             return (
@@ -483,6 +521,22 @@ class PrivacyService:
                 if method == "GET":
                     return "GET /v1/releases", self._handle_list_releases
                 return "POST /v1/releases", self._handle_register
+            if segments == ("v1", "releases", "uploads"):
+                allow("GET", "POST")
+                if method == "GET":
+                    return "GET /v1/releases/uploads", self._handle_list_uploads
+                return "POST /v1/releases/uploads", self._handle_ingest_begin
+            if len(segments) == 4 and segments[:3] == ("v1", "releases", "uploads"):
+                allow("GET", "DELETE")
+                if method == "GET":
+                    return (
+                        "GET /v1/releases/uploads/{uid}",
+                        self._handle_ingest_status,
+                    )
+                return (
+                    "DELETE /v1/releases/uploads/{uid}",
+                    self._handle_ingest_abort,
+                )
             if len(segments) == 3 and segments[:2] == ("v1", "releases"):
                 allow("GET")
                 return "GET /v1/releases/{id}", self._handle_release
@@ -500,6 +554,18 @@ class PrivacyService:
                         "POST /v1/releases/{id}/assess",
                         self._handle_assess,
                     )
+                if action == "chunks":
+                    allow("POST")
+                    return (
+                        "POST /v1/releases/{uid}/chunks",
+                        self._handle_ingest_chunk,
+                    )
+                if action == "finalize":
+                    allow("POST")
+                    return (
+                        "POST /v1/releases/{uid}/finalize",
+                        self._handle_ingest_finalize,
+                    )
         except HttpError:
             raise
         return request.method + " " + request.path, None
@@ -516,6 +582,12 @@ class PrivacyService:
                 "GET /v1/traces",
                 "GET /v1/releases",
                 "POST /v1/releases",
+                "GET /v1/releases/uploads",
+                "POST /v1/releases/uploads",
+                "GET /v1/releases/uploads/{uid}",
+                "DELETE /v1/releases/uploads/{uid}",
+                "POST /v1/releases/{uid}/chunks",
+                "POST /v1/releases/{uid}/finalize",
                 "GET /v1/releases/{id}",
                 "POST /v1/releases/{id}/posterior",
                 "POST /v1/releases/{id}/assess",
@@ -547,6 +619,7 @@ class PrivacyService:
                 "inflight": self.coalescer.inflight,
             },
             "batching": self.batcher.snapshot(),
+            "ingest": self.ingest.snapshot(),
             "engine": self.engine.stats(),
             "store": self.store.snapshot(),
         }
@@ -632,6 +705,8 @@ class PrivacyService:
         return 200, {
             "enabled": tracer.enabled,
             "slow_threshold_seconds": tracer.slow_seconds,
+            "sample_rate": tracer.sample_rate,
+            "sampled_out": tracer.sampled_out,
             "traces": tracer.traces(limit=limit, slow_only=slow_only),
         }
 
@@ -664,7 +739,27 @@ class PrivacyService:
         record = self.store.get(request.segments[2])
         return 200, record.summary()
 
+    def _guard_register_size(self, request: HttpRequest) -> None:
+        """413 oversized one-shot registrations toward the chunked protocol.
+
+        The global ``max_body_bytes`` cap protects the socket; this
+        tighter cap protects the registration path specifically — a
+        release too big to parse-and-index as one document must stream
+        through ``POST /v1/releases/uploads`` + ``/chunks`` instead.
+        """
+        limit = self.config.register_max_bytes
+        if limit and len(request.body) > limit:
+            raise HttpError(
+                413,
+                f"registration body is {len(request.body)} bytes "
+                f"(limit {limit}); use the chunked upload protocol instead "
+                "(POST /v1/releases/uploads, then "
+                "POST /v1/releases/{upload_id}/chunks and /finalize)",
+                code="payload_too_large",
+            )
+
     async def _handle_register(self, request: HttpRequest) -> tuple[int, dict]:
+        self._guard_register_size(request)
         body = self._body_object(request, ("release", "original", "name"))
         release_payload = body.get("release")
         if release_payload is None:
@@ -700,6 +795,101 @@ class PrivacyService:
         summary = record.summary()
         summary["created"] = created
         return (201 if created else 200), summary
+
+    # -- chunked (streaming) registration ------------------------------------
+
+    async def _handle_ingest_begin(self, request: HttpRequest) -> tuple[int, dict]:
+        body = self._body_object(request, ("schema", "name", "expect_digest"))
+        schema_payload = body.get("schema")
+        if schema_payload is None:
+            raise HttpError(
+                400,
+                "a chunked upload needs the release 'schema' up front",
+                code="bad_request",
+            )
+        session = self.ingest.begin(
+            schema_payload,
+            name=body.get("name"),
+            expect_digest=body.get("expect_digest"),
+        )
+        self.telemetry.incr("ingest_uploads_started")
+        return 201, {
+            "upload_id": session.upload_id,
+            "chunk_endpoint": f"/v1/releases/{session.upload_id}/chunks",
+            "finalize_endpoint": f"/v1/releases/{session.upload_id}/finalize",
+            "ttl_seconds": self.ingest.ttl_seconds,
+        }
+
+    async def _handle_ingest_chunk(self, request: HttpRequest) -> tuple[int, dict]:
+        session = self.ingest.get(request.segments[2])
+        body = self._body_object(request, ("seq", "buckets", "digest"))
+        loop = asyncio.get_running_loop()
+        # Bucket parsing and digest folding are pure CPU over the chunk;
+        # they run on a worker thread so a fat chunk cannot stall the
+        # event loop under concurrent solve traffic.
+        ack = await loop.run_in_executor(
+            None,
+            partial(
+                session.add_chunk,
+                body.get("seq"),
+                body.get("buckets"),
+                body.get("digest"),
+            ),
+        )
+        self.telemetry.incr("ingest_chunks")
+        if ack["duplicate"]:
+            self.telemetry.incr("ingest_chunk_duplicates")
+        return 200, ack
+
+    async def _handle_ingest_finalize(
+        self, request: HttpRequest
+    ) -> tuple[int, dict]:
+        session = self.ingest.get(request.segments[2])
+        body = self._body_object(request, ("digest", "name"))
+        loop = asyncio.get_running_loop()
+        assert self._register_lock is not None
+        async with self._register_lock:
+            if session.finalized is not None:
+                # Idempotent re-finalize: the registration already
+                # happened; repeat the answer without rebuilding anything.
+                summary = dict(session.finalized)
+                summary["created"] = False
+                summary["digest"] = session.release_digest
+                return 200, summary
+            digest, published = await loop.run_in_executor(
+                None, partial(session.build, body.get("digest"))
+            )
+            record, created = await loop.run_in_executor(
+                None,
+                partial(
+                    self.store.register_digest,
+                    digest,
+                    published,
+                    name=body.get("name") or session.name,
+                ),
+            )
+        summary = record.summary()
+        session.mark_registered(digest, summary)
+        self.ingest.note_finalized()
+        if created:
+            self.telemetry.incr("releases_registered")
+        self.telemetry.incr("ingest_uploads_finalized")
+        summary = dict(summary)
+        summary["created"] = created
+        summary["digest"] = digest
+        return (201 if created else 200), summary
+
+    async def _handle_ingest_status(self, request: HttpRequest) -> tuple[int, dict]:
+        session = self.ingest.get(request.segments[3])
+        return 200, session.snapshot()
+
+    async def _handle_ingest_abort(self, request: HttpRequest) -> tuple[int, dict]:
+        ack = self.ingest.abort(request.segments[3])
+        self.telemetry.incr("ingest_uploads_aborted")
+        return 200, ack
+
+    async def _handle_list_uploads(self, request: HttpRequest) -> tuple[int, dict]:
+        return 200, {"uploads": self.ingest.list(), **self.ingest.snapshot()}
 
     # -- the solve path ------------------------------------------------------
 

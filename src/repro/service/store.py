@@ -180,7 +180,21 @@ class SessionStore:
         re-registration can still *add* what the first one lacked — the
         original table (enabling assess) or a fresh name.
         """
-        digest = release_digest(payload)
+        return self.register_digest(
+            release_digest(payload), published, name=name, original=original
+        )
+
+    def register_digest(
+        self, digest: str, published, *, name: str | None = None, original=None
+    ) -> tuple[RegisteredRelease, bool]:
+        """Register under a precomputed content digest.
+
+        The chunked-ingest path accumulates the digest incrementally while
+        streaming (the full wire payload never exists in memory) and lands
+        here — sharing the digest keyspace with :meth:`register` is what
+        makes a chunked upload idempotent against the equivalent one-shot
+        registration, and vice versa.
+        """
         with self._lock:
             existing_id = self._by_digest.get(digest)
             record = self._releases.get(existing_id) if existing_id else None

@@ -1,0 +1,275 @@
+"""Seeded query shapes over a posterior table.
+
+The live-query scenario replays a pgbench-style mix of read shapes —
+point lookups, ranges, group-bys, join-OLAP cube slices — against the
+posterior ``P*(SA | QI)`` the service computes for a registered release.
+Each query answer *reveals* something: a point lookup exposes one QI
+tuple's full posterior row, while aggregates expose only the blended
+distribution of the rows they cover.  :func:`evaluate` returns both the
+query's answer and exactly that revelation — ``(touched rows, revealed
+per-row distributions)`` — which the driver folds into the attacker's
+accumulated view.
+
+Everything here is deterministic under a seed: the same release and the
+same seed draw the same query sequence, so workload trajectories are
+replayable in CI and comparable across benchmark runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantifier import PosteriorTable
+from repro.errors import ExperimentError
+
+#: The pgbench-style default mix (weights, not strict proportions).
+DEFAULT_SHAPE_WEIGHTS = {
+    "point": 0.4,
+    "range": 0.3,
+    "groupby": 0.2,
+    "join_olap": 0.1,
+}
+
+SHAPES = tuple(DEFAULT_SHAPE_WEIGHTS)
+
+
+@dataclass(frozen=True)
+class Query:
+    """One drawn query: a shape tag plus its shape-specific parameters."""
+
+    shape: str
+    params: dict
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One evaluated query.
+
+    ``touched`` indexes the QI-tuple rows the answer covers; ``revealed``
+    holds, per touched row, the SA distribution the answer attributes to
+    that row (the full posterior row for a point lookup, the group blend
+    for aggregates).  ``answer`` is the JSON-ready query response.
+    """
+
+    query: Query
+    answer: dict
+    touched: np.ndarray
+    revealed: np.ndarray
+
+
+class PosteriorIndex:
+    """Vectorized query-evaluation view over one release's posterior grid.
+
+    Built once from the first batch's posterior: per-QI-position observed
+    domains (sorted) and integer code columns, so every query shape
+    evaluates as numpy masks/bincounts rather than per-row Python loops.
+    The QI tuple order is the canonical row order for the whole workload;
+    later batches' posteriors are aligned to it before evaluation.
+    """
+
+    def __init__(self, posterior: PosteriorTable) -> None:
+        self.qi_tuples = list(posterior.qi_tuples)
+        self.sa_domain = tuple(posterior.sa_domain)
+        self.n_rows = len(self.qi_tuples)
+        self.n_positions = len(self.qi_tuples[0]) if self.qi_tuples else 0
+        self.position_domains: list[tuple[str, ...]] = []
+        self.position_codes: list[np.ndarray] = []
+        for j in range(self.n_positions):
+            values = [q[j] for q in self.qi_tuples]
+            domain = tuple(sorted(set(values)))
+            code_of = {label: code for code, label in enumerate(domain)}
+            self.position_domains.append(domain)
+            self.position_codes.append(
+                np.array([code_of[v] for v in values], dtype=np.int64)
+            )
+
+    def domain_size(self, position: int) -> int:
+        return len(self.position_domains[position])
+
+
+class QueryMix:
+    """A seeded stream of queries with configurable shape weights."""
+
+    def __init__(
+        self,
+        index: PosteriorIndex,
+        *,
+        weights: dict | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.index = index
+        merged = dict(DEFAULT_SHAPE_WEIGHTS)
+        if weights:
+            unknown = set(weights) - set(SHAPES)
+            if unknown:
+                raise ExperimentError(
+                    f"unknown query shape(s): {sorted(unknown)} "
+                    f"(known: {list(SHAPES)})"
+                )
+            merged.update(weights)
+        total = sum(merged.values())
+        if total <= 0:
+            raise ExperimentError("query-shape weights must sum to > 0")
+        self._shapes = [s for s in SHAPES if merged[s] > 0]
+        self._weights = [merged[s] for s in self._shapes]
+        self._rng = random.Random(seed)
+        if index.n_positions < 2:
+            # join_olap needs two QI positions to cross.
+            if "join_olap" in self._shapes:
+                keep = [
+                    (s, w)
+                    for s, w in zip(self._shapes, self._weights)
+                    if s != "join_olap"
+                ]
+                self._shapes = [s for s, _ in keep]
+                self._weights = [w for _, w in keep]
+
+    def draw(self) -> Query:
+        """The next query in the seeded stream."""
+        rng = self._rng
+        index = self.index
+        shape = rng.choices(self._shapes, weights=self._weights, k=1)[0]
+        if shape == "point":
+            return Query("point", {"row": rng.randrange(index.n_rows)})
+        if shape == "range":
+            position = rng.randrange(index.n_positions)
+            size = index.domain_size(position)
+            lo = rng.randrange(size)
+            hi = rng.randrange(lo, size)
+            return Query("range", {"position": position, "lo": lo, "hi": hi})
+        if shape == "groupby":
+            return Query(
+                "groupby", {"position": rng.randrange(index.n_positions)}
+            )
+        positions = rng.sample(range(index.n_positions), 2)
+        return Query(
+            "join_olap",
+            {
+                "positions": positions,
+                "sa": rng.randrange(len(index.sa_domain)),
+            },
+        )
+
+    def batch(self, n: int) -> list[Query]:
+        """The next ``n`` queries."""
+        return [self.draw() for _ in range(n)]
+
+
+def _weighted_group_blend(
+    codes: np.ndarray, n_groups: int, matrix: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group weighted mean of posterior rows; returns (blend, mass)."""
+    mass = np.bincount(codes, weights=weights, minlength=n_groups)
+    blend = np.empty((n_groups, matrix.shape[1]))
+    for s in range(matrix.shape[1]):
+        blend[:, s] = np.bincount(
+            codes, weights=weights * matrix[:, s], minlength=n_groups
+        )
+    safe = np.where(mass > 0, mass, 1.0)
+    return blend / safe[:, None], mass
+
+
+def evaluate(
+    query: Query,
+    index: PosteriorIndex,
+    matrix: np.ndarray,
+    weights: np.ndarray,
+) -> QueryResult:
+    """Answer ``query`` against a posterior ``(matrix, weights)`` grid."""
+    if query.shape == "point":
+        row = query.params["row"]
+        revealed = matrix[row : row + 1]
+        top = int(np.argmax(revealed[0]))
+        return QueryResult(
+            query,
+            {
+                "qi": list(index.qi_tuples[row]),
+                "top_sa": index.sa_domain[top],
+                "top_prob": float(revealed[0, top]),
+            },
+            np.array([row], dtype=np.int64),
+            revealed,
+        )
+
+    if query.shape == "range":
+        position = query.params["position"]
+        codes = index.position_codes[position]
+        mask = (codes >= query.params["lo"]) & (codes <= query.params["hi"])
+        touched = np.nonzero(mask)[0]
+        if touched.size == 0:
+            return QueryResult(
+                query,
+                {"n_rows": 0, "mass": 0.0},
+                touched,
+                np.empty((0, matrix.shape[1])),
+            )
+        w = weights[touched]
+        mass = float(w.sum())
+        blend = (w[:, None] * matrix[touched]).sum(axis=0) / max(mass, 1e-300)
+        return QueryResult(
+            query,
+            {
+                "n_rows": int(touched.size),
+                "mass": mass,
+                "top_sa": index.sa_domain[int(np.argmax(blend))],
+                "top_prob": float(blend.max()),
+            },
+            touched,
+            np.broadcast_to(blend, (touched.size, blend.size)),
+        )
+
+    if query.shape == "groupby":
+        position = query.params["position"]
+        codes = index.position_codes[position]
+        n_groups = index.domain_size(position)
+        blend, mass = _weighted_group_blend(codes, n_groups, matrix, weights)
+        touched = np.arange(index.n_rows, dtype=np.int64)
+        return QueryResult(
+            query,
+            {
+                "position": position,
+                "n_groups": int((mass > 0).sum()),
+                "max_group_prob": float(blend[mass > 0].max())
+                if (mass > 0).any()
+                else 0.0,
+            },
+            touched,
+            blend[codes],
+        )
+
+    if query.shape == "join_olap":
+        j1, j2 = query.params["positions"]
+        sa = query.params["sa"]
+        c1, c2 = index.position_codes[j1], index.position_codes[j2]
+        n2 = index.domain_size(j2)
+        cell = c1 * n2 + c2
+        n_cells = index.domain_size(j1) * n2
+        mass = np.bincount(cell, weights=weights, minlength=n_cells)
+        numer = np.bincount(
+            cell, weights=weights * matrix[:, sa], minlength=n_cells
+        )
+        safe = np.where(mass > 0, mass, 1.0)
+        cell_prob = numer / safe
+        touched = np.arange(index.n_rows, dtype=np.int64)
+        # The cube slice speaks about one SA value only; the per-row
+        # revelation is that single column, everything else unknown.
+        revealed = np.zeros((index.n_rows, matrix.shape[1]))
+        revealed[:, sa] = cell_prob[cell]
+        return QueryResult(
+            query,
+            {
+                "positions": [j1, j2],
+                "sa": index.sa_domain[sa],
+                "n_cells": int((mass > 0).sum()),
+                "max_cell_prob": float(cell_prob[mass > 0].max())
+                if (mass > 0).any()
+                else 0.0,
+            },
+            touched,
+            revealed,
+        )
+
+    raise ExperimentError(f"unknown query shape {query.shape!r}")

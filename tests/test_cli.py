@@ -102,3 +102,85 @@ class TestFigure:
         out = capsys.readouterr().out
         assert "Figure 5" in out
         assert "legend" in out
+
+
+class TestIngestCommand:
+    @pytest.fixture()
+    def sqlite_source(self, tmp_path):
+        from repro.data.adult import load_adult_synthetic
+        from repro.data.connectors import table_to_sqlite
+
+        path = tmp_path / "adult.db"
+        table_to_sqlite(load_adult_synthetic(n_records=120, seed=3), path)
+        return path
+
+    QI = [
+        "age", "workclass", "marital_status", "occupation",
+        "relationship", "race", "sex", "native_region",
+    ]
+
+    def test_embedded_ingest_registers(self, sqlite_source, capsys):
+        code = main(
+            ["ingest", str(sqlite_source), "--qi", *self.QI,
+             "--sa", "education", "-l", "3", "--chunk-rows", "50",
+             "--embedded", "--name", "cli-test"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "120 rows" in out
+        assert "chunk 2" in out  # 120 rows / 50 per chunk -> 3 chunks
+        assert "registered release" in out
+        assert "120 records" in out
+
+    def test_bad_source_is_a_clean_error(self, tmp_path, capsys):
+        code = main(
+            ["ingest", str(tmp_path / "absent.db"), "--qi", "age",
+             "--sa", "education", "--embedded"]
+        )
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_postgres_gate_names_the_extra(self, capsys):
+        code = main(
+            ["ingest", "dbname=nope", "--postgres", "--qi", "age",
+             "--sa", "education", "--embedded"]
+        )
+        assert code == 1
+        assert "repro[postgres]" in capsys.readouterr().err
+
+
+class TestWorkloadCommand:
+    def test_embedded_workload_prints_trajectory(self, capsys):
+        code = main(
+            ["workload", "--records", "200", "-l", "3", "--batches", "2",
+             "--queries-per-batch", "8", "--knowledge-step", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Workload over" in out
+        assert "Query latency by shape" in out
+
+    def test_json_report(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "report.json"
+        code = main(
+            ["workload", "--records", "150", "-l", "3", "--batches", "2",
+             "--queries-per-batch", "6", "--knowledge-step", "0",
+             "--json", "--output", str(out_path)]
+        )
+        assert code == 0
+        report = json.loads(out_path.read_text())
+        assert len(report["batches"]) == 2
+        printed = json.loads(
+            capsys.readouterr().out.split("wrote workload report", 1)[1]
+            .split("\n", 1)[1]
+        )
+        assert printed["total_queries"] == report["total_queries"]
+
+    def test_service_mode_with_knowledge_is_refused(self, capsys):
+        code = main(
+            ["workload", "--release", "rel-x", "--knowledge-step", "2"]
+        )
+        assert code == 2
+        assert "--knowledge-step 0" in capsys.readouterr().err

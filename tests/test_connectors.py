@@ -1,0 +1,334 @@
+"""Table connectors: schema discovery, chunked streaming, content digests."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.data.connectors import (
+    DBAPIConnector,
+    MemoryConnector,
+    RowDigest,
+    SQLiteConnector,
+    canonical_schema,
+    coerce_label,
+    connect_postgres,
+    quote_identifier,
+    table_to_sqlite,
+)
+from repro.data.schema import Attribute, Schema
+from repro.data.table import Table
+from repro.errors import ConnectorError
+
+
+def tiny_schema() -> Schema:
+    return Schema(
+        attributes=(
+            Attribute("zip", ("10001", "10002", "10003")),
+            Attribute("age", ("20", "30", "40")),
+            Attribute("disease", ("flu", "cold", "hiv")),
+        ),
+        qi_attributes=("zip", "age"),
+        sa_attribute="disease",
+    )
+
+
+def tiny_table(n_rows: int = 9) -> Table:
+    schema = tiny_schema()
+    records = [
+        {
+            "zip": schema.attribute("zip").domain[i % 3],
+            "age": schema.attribute("age").domain[(i // 3) % 3],
+            "disease": schema.attribute("disease").domain[i % 3],
+        }
+        for i in range(n_rows)
+    ]
+    return Table.from_records(schema, records)
+
+
+def seeded_sqlite(tmp_path, table=None, name="records"):
+    table = table or tiny_table()
+    path = tmp_path / "source.db"
+    table_to_sqlite(table, path, name)
+    return path, table
+
+
+def open_connector(path, **overrides):
+    table = overrides.pop("table", "records")
+    kwargs = dict(qi=("zip", "age"), sa="disease")
+    kwargs.update(overrides)
+    return SQLiteConnector(path, table, **kwargs)
+
+
+class TestCanonicalSchema:
+    def test_orders_qi_then_sa(self):
+        schema = Schema(
+            attributes=(
+                Attribute("disease", ("flu",)),
+                Attribute("age", ("20",)),
+                Attribute("zip", ("10001",)),
+            ),
+            qi_attributes=("zip", "age"),
+            sa_attribute="disease",
+        )
+        assert canonical_schema(schema).attribute_names == (
+            "zip",
+            "age",
+            "disease",
+        )
+
+    def test_idempotent(self):
+        schema = canonical_schema(tiny_schema())
+        assert canonical_schema(schema).attribute_names == schema.attribute_names
+
+
+class TestCoerceLabel:
+    def test_strings_pass_through(self):
+        assert coerce_label("flu", column="sa") == "flu"
+
+    def test_integers_and_floats_stringify(self):
+        assert coerce_label(42, column="age") == "42"
+        assert coerce_label(2.5, column="age") == repr(2.5)
+
+    def test_null_without_label_is_an_error(self):
+        with pytest.raises(ConnectorError, match="NULL"):
+            coerce_label(None, column="age")
+
+    def test_null_with_label_substitutes(self):
+        assert coerce_label(None, column="age", null_label="?") == "?"
+
+    def test_bytes_are_rejected(self):
+        with pytest.raises(ConnectorError, match="BLOB"):
+            coerce_label(b"\x00", column="age")
+
+
+class TestQuoteIdentifier:
+    def test_valid_name_is_double_quoted(self):
+        assert quote_identifier("my_table") == '"my_table"'
+
+    def test_injection_shapes_are_rejected(self):
+        for bad in ('a"b', "a;drop", "a b", "", "1abc", "a-b"):
+            with pytest.raises(ConnectorError):
+                quote_identifier(bad)
+
+
+class TestMemoryConnector:
+    def test_round_trips_the_table(self):
+        table = tiny_table()
+        with MemoryConnector(table) as connector:
+            assert connector.row_count() == table.n_rows
+            rebuilt = connector.to_table()
+        assert rebuilt.n_rows == table.n_rows
+        # Canonical column order: QI columns first, then the SA.
+        assert rebuilt.schema.attribute_names == ("zip", "age", "disease")
+
+    def test_closed_connector_refuses(self):
+        connector = MemoryConnector(tiny_table())
+        connector.close()
+        with pytest.raises(ConnectorError, match="closed"):
+            connector.row_count()
+
+    def test_empty_table_streams_zero_chunks(self):
+        table = Table.from_records(tiny_schema(), [])
+        with MemoryConnector(table) as connector:
+            assert connector.row_count() == 0
+            assert list(connector.chunks(4)) == []
+
+
+class TestChunkDeterminism:
+    def test_digest_is_chunk_size_invariant(self):
+        table = tiny_table(9)
+        digests = set()
+        for chunk_rows in (1, 2, 3, 4, 9, 100):
+            with MemoryConnector(table) as connector:
+                digests.add(connector.content_digest(chunk_rows))
+        assert len(digests) == 1
+
+    def test_digest_matches_across_connector_kinds(self, tmp_path):
+        path, table = seeded_sqlite(tmp_path)
+        with MemoryConnector(table) as memory:
+            expected = memory.content_digest(2)
+        with open_connector(path) as sqlite_side:
+            assert sqlite_side.content_digest(3) == expected
+
+    def test_digest_depends_on_content(self):
+        base = tiny_table(6)
+        with MemoryConnector(base) as connector:
+            one = connector.content_digest()
+        with MemoryConnector(tiny_table(7)) as connector:
+            other = connector.content_digest()
+        assert one != other
+
+    def test_chunk_offsets_partition_the_row_range(self):
+        with MemoryConnector(tiny_table(9)) as connector:
+            offsets = [chunk.offset for chunk in connector.chunks(4)]
+            sizes = [len(chunk.rows) for chunk in connector.chunks(4)]
+        assert offsets == [0, 4, 8]
+        assert sizes == [4, 4, 1]
+
+    def test_row_digest_header_covers_schema(self):
+        schema = tiny_schema()
+        table = tiny_table(3)
+        renamed = Schema(
+            attributes=(
+                Attribute("postcode", schema.attribute("zip").domain),
+                Attribute("age", schema.attribute("age").domain),
+                Attribute("disease", schema.attribute("disease").domain),
+            ),
+            qi_attributes=("postcode", "age"),
+            sa_attribute="disease",
+        )
+        a, b = RowDigest(schema), RowDigest(renamed)
+        rows = [tuple(map(str, range(3)))]
+        a.update(rows)
+        b.update(rows)
+        assert a.hexdigest() != b.hexdigest()
+
+
+class TestSQLiteConnector:
+    def test_discovers_schema_and_streams(self, tmp_path):
+        path, table = seeded_sqlite(tmp_path)
+        with open_connector(path) as connector:
+            schema = connector.schema()
+            assert schema.qi_attributes == ("zip", "age")
+            assert schema.sa_attribute == "disease"
+            rebuilt = connector.to_table(chunk_rows=2)
+        assert rebuilt.n_rows == table.n_rows
+
+    def test_missing_file_table_errors_cleanly(self, tmp_path):
+        path, _table = seeded_sqlite(tmp_path)
+        with open_connector(path, table="nope") as connector:
+            with pytest.raises(ConnectorError):
+                connector.schema()
+
+    def test_empty_table_needs_explicit_domains(self, tmp_path):
+        path = tmp_path / "empty.db"
+        connection = sqlite3.connect(str(path))
+        connection.execute("CREATE TABLE records (zip TEXT, age TEXT, disease TEXT)")
+        connection.commit()
+        connection.close()
+        with open_connector(path) as connector:
+            with pytest.raises(ConnectorError, match="domains"):
+                connector.schema()
+        domains = {
+            "zip": ("10001",),
+            "age": ("20",),
+            "disease": ("flu", "cold"),
+        }
+        with open_connector(path, domains=domains) as connector:
+            assert connector.row_count() == 0
+            assert connector.schema().attribute("disease").domain == ("flu", "cold")
+
+    def test_nulls_error_without_null_label(self, tmp_path):
+        path, _table = seeded_sqlite(tmp_path)
+        connection = sqlite3.connect(str(path))
+        connection.execute(
+            "INSERT INTO records (zip, age, disease) VALUES ('10001', NULL, 'flu')"
+        )
+        connection.commit()
+        connection.close()
+        with open_connector(path) as connector:
+            with pytest.raises(ConnectorError, match="NULL"):
+                connector.to_table()
+        with open_connector(path, null_label="unknown") as connector:
+            rebuilt = connector.to_table()
+        assert "unknown" in rebuilt.schema.attribute("age").domain
+
+    def test_mixed_storage_types_coerce_to_labels(self, tmp_path):
+        path = tmp_path / "typed.db"
+        connection = sqlite3.connect(str(path))
+        connection.execute("CREATE TABLE records (zip TEXT, age INTEGER, disease TEXT)")
+        connection.executemany(
+            "INSERT INTO records VALUES (?, ?, ?)",
+            [("10001", 20, "flu"), ("10002", 30, "cold"), ("10003", 40, "flu")],
+        )
+        connection.commit()
+        connection.close()
+        with open_connector(path) as connector:
+            rebuilt = connector.to_table()
+        assert rebuilt.schema.attribute("age").domain == ("20", "30", "40")
+
+    def test_real_values_coerce_via_repr(self, tmp_path):
+        path = tmp_path / "real.db"
+        connection = sqlite3.connect(str(path))
+        connection.execute("CREATE TABLE records (zip TEXT, age REAL, disease TEXT)")
+        connection.executemany(
+            "INSERT INTO records VALUES (?, ?, ?)",
+            [("10001", 20.5, "flu"), ("10002", 30.25, "cold")],
+        )
+        connection.commit()
+        connection.close()
+        with open_connector(path) as connector:
+            rebuilt = connector.to_table()
+        assert set(rebuilt.schema.attribute("age").domain) == {"20.5", "30.25"}
+
+    def test_mid_ingest_mutation_is_a_clean_error(self, tmp_path):
+        path, _table = seeded_sqlite(tmp_path)
+        with open_connector(path) as connector:
+            chunks = connector.chunks(3)
+            next(chunks)
+            # Another connection commits between chunks.
+            other = sqlite3.connect(str(path))
+            other.execute(
+                "INSERT INTO records (zip, age, disease) "
+                "VALUES ('10001', '20', 'flu')"
+            )
+            other.commit()
+            other.close()
+            with pytest.raises(ConnectorError, match="modified"):
+                for _chunk in chunks:
+                    pass
+
+    def test_unknown_label_after_mutation_names_the_source(self, tmp_path):
+        # A value outside the discovered domain (source mutated between
+        # schema discovery and streaming) surfaces as ConnectorError, not
+        # a KeyError, when materializing the chunk.
+        path, _table = seeded_sqlite(tmp_path)
+        with open_connector(path) as connector:
+            schema = connector.schema()
+        chunk_rows = [("99999", "20", "flu")]
+        from repro.data.connectors import RowChunk
+
+        with pytest.raises(ConnectorError, match="mutated"):
+            RowChunk(chunk_rows, 0).to_table(schema)
+
+    def test_key_column_pagination_orders_rows(self, tmp_path):
+        path, table = seeded_sqlite(tmp_path)
+        with open_connector(path) as connector:
+            rows = [r for c in connector.chunks(2) for r in c.rows]
+        with MemoryConnector(table) as memory:
+            expected = [r for c in memory.chunks(50) for r in c.rows]
+        assert rows == expected
+
+
+class TestPostgresGate:
+    def test_missing_driver_points_at_the_extra(self):
+        with pytest.raises(ConnectorError, match=r"repro\[postgres\]"):
+            connect_postgres(
+                "dbname=missing", "records", qi=("zip",), sa="disease", key_column="id"
+            )
+
+
+class TestDBAPIRowCountStability:
+    def test_row_count_change_is_detected(self, tmp_path):
+        path, _table = seeded_sqlite(tmp_path)
+        connection = sqlite3.connect(str(path), check_same_thread=False)
+        connector = DBAPIConnector(
+            connection,
+            "records",
+            qi=("zip", "age"),
+            sa="disease",
+            key_column="rowid",
+            owns_connection=True,
+        )
+        with connector:
+            chunks = connector.chunks(3)
+            next(chunks)
+            # Mutate through the *same* connection: PRAGMA data_version
+            # does not tick, but the generic row-count recheck must.
+            connection.execute("DELETE FROM records WHERE rowid <= 4")
+            connection.commit()
+            with pytest.raises(ConnectorError):
+                for _chunk in chunks:
+                    pass

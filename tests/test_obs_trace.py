@@ -238,3 +238,75 @@ class TestFormatTrace:
             ],
         }
         assert "stranded" in format_trace(trace)
+
+
+class TestHeadSampling:
+    def test_rate_zero_drops_fresh_roots(self):
+        t = tracer()
+        t.set_sample_rate(0.0)
+        with t.span("root") as root:
+            assert root.to_dict() == {}
+        assert t.traces() == []
+        assert t.sampled_out == 1
+
+    def test_descendants_of_a_sampled_out_root_are_suppressed(self):
+        # A sampled-out root must take its whole subtree with it — a
+        # child opening under it must not coin-flip a fresh root.
+        t = tracer()
+        t.set_sample_rate(0.0)
+        with t.span("root"):
+            t.set_sample_rate(1.0)  # children still must not record
+            with t.span("child") as child:
+                assert child.to_dict() == {}
+        assert t.traces() == []
+
+    def test_suppression_ends_with_the_root(self):
+        t = tracer()
+        t.set_sample_rate(0.0)
+        with t.span("dropped"):
+            pass
+        t.set_sample_rate(1.0)
+        with t.span("kept"):
+            pass
+        assert [tr["root"] for tr in t.traces()] == ["kept"]
+
+    def test_ctx_spans_are_never_sampled_away(self):
+        # The keep decision is made at the root; a handed-over context
+        # means some other process already kept this trace.
+        t = tracer()
+        t.set_sample_rate(0.0)
+        ctx = {"trace_id": "t" * 16, "span_id": "abcd1234"}
+        with t.span("remote-child", ctx=ctx) as span:
+            assert span.trace_id == ctx["trace_id"]
+
+    def test_rate_is_clamped(self):
+        t = tracer()
+        t.set_sample_rate(7.0)
+        assert t.sample_rate == 1.0
+        t.set_sample_rate(-3.0)
+        assert t.sample_rate == 0.0
+
+    def test_env_knob_is_read_at_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "0.25")
+        assert tracer().sample_rate == 0.25
+        monkeypatch.setenv("REPRO_TRACE_SAMPLE", "junk")
+        assert tracer().sample_rate == 1.0
+
+    def test_rate_one_keeps_everything(self):
+        t = tracer()
+        t.set_sample_rate(1.0)
+        for i in range(5):
+            with t.span(f"r{i}"):
+                pass
+        assert len(t.traces()) == 5
+        assert t.sampled_out == 0
+
+    def test_sampled_out_requests_still_serve(self):
+        # The service must keep answering when its spans are dropped:
+        # the no-op span still context-manages and still sets attributes.
+        t = tracer()
+        t.set_sample_rate(0.0)
+        with t.span("request") as span:
+            span.set(status=200)
+            result = 1 + 1
+        assert result == 2

@@ -1,0 +1,208 @@
+"""The live-query workload: seeded mixes, revelation, batched trajectories."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.paper_example import paper_published, paper_table
+from repro.errors import ExperimentError
+from repro.experiments.workloads import build_adult_workload
+from repro.workload import (
+    AttackerView,
+    EmbeddedBackend,
+    PosteriorIndex,
+    QueryMix,
+    WorkloadConfig,
+    WorkloadDriver,
+    evaluate,
+)
+from repro.core.quantifier import PosteriorTable
+
+
+@pytest.fixture(scope="module")
+def posterior() -> PosteriorTable:
+    return PosteriorTable.from_table(paper_table())
+
+
+@pytest.fixture(scope="module")
+def index(posterior) -> PosteriorIndex:
+    return PosteriorIndex(posterior)
+
+
+class TestQueryMix:
+    def test_same_seed_same_stream(self, index):
+        a = QueryMix(index, seed=7).batch(40)
+        b = QueryMix(index, seed=7).batch(40)
+        assert a == b
+
+    def test_different_seed_different_stream(self, index):
+        a = QueryMix(index, seed=7).batch(40)
+        b = QueryMix(index, seed=8).batch(40)
+        assert a != b
+
+    def test_all_shapes_appear(self, index):
+        shapes = {q.shape for q in QueryMix(index, seed=3).batch(200)}
+        assert shapes == {"point", "range", "groupby", "join_olap"}
+
+    def test_weights_steer_the_mix(self, index):
+        mix = QueryMix(index, weights={"point": 1.0, "range": 0.0,
+                                       "groupby": 0.0, "join_olap": 0.0})
+        assert {q.shape for q in mix.batch(30)} == {"point"}
+
+    def test_unknown_shape_is_an_error(self, index):
+        with pytest.raises(ExperimentError, match="unknown query shape"):
+            QueryMix(index, weights={"truncate": 1.0})
+
+    def test_zero_total_weight_is_an_error(self, index):
+        with pytest.raises(ExperimentError, match="sum"):
+            QueryMix(index, weights={s: 0.0 for s in
+                                     ("point", "range", "groupby", "join_olap")})
+
+
+class TestEvaluate:
+    def test_point_reveals_one_posterior_row(self, index, posterior):
+        matrix, weights = posterior.matrix, posterior.weights
+        mix = QueryMix(index, weights={"point": 1.0, "range": 0.0,
+                                       "groupby": 0.0, "join_olap": 0.0},
+                       seed=1)
+        result = evaluate(mix.draw(), index, matrix, weights)
+        assert result.touched.shape == (1,)
+        row = result.touched[0]
+        assert result.revealed[0] == pytest.approx(matrix[row])
+        assert result.answer["top_prob"] == pytest.approx(matrix[row].max())
+
+    def test_range_reveals_only_the_blend(self, index, posterior):
+        matrix, weights = posterior.matrix, posterior.weights
+        mix = QueryMix(index, weights={"point": 0.0, "range": 1.0,
+                                       "groupby": 0.0, "join_olap": 0.0},
+                       seed=2)
+        result = evaluate(mix.draw(), index, matrix, weights)
+        if result.touched.size > 1:
+            # Every touched row is attributed the same blended distribution
+            # — an aggregate answer must not leak per-row structure.
+            assert np.allclose(result.revealed, result.revealed[0])
+
+    def test_groupby_rows_get_their_groups_blend(self, index, posterior):
+        matrix, weights = posterior.matrix, posterior.weights
+        mix = QueryMix(index, weights={"point": 0.0, "range": 0.0,
+                                       "groupby": 1.0, "join_olap": 0.0},
+                       seed=3)
+        query = mix.draw()
+        result = evaluate(query, index, matrix, weights)
+        codes = index.position_codes[query.params["position"]]
+        same_group = codes == codes[0]
+        assert np.allclose(
+            result.revealed[same_group], result.revealed[same_group][0]
+        )
+        # Each revealed distribution is a probability vector.
+        assert result.revealed.sum(axis=1) == pytest.approx(
+            np.ones(index.n_rows)
+        )
+
+    def test_join_olap_reveals_one_sa_column(self, index, posterior):
+        matrix, weights = posterior.matrix, posterior.weights
+        mix = QueryMix(index, weights={"point": 0.0, "range": 0.0,
+                                       "groupby": 0.0, "join_olap": 1.0},
+                       seed=4)
+        query = mix.draw()
+        result = evaluate(query, index, matrix, weights)
+        sa = query.params["sa"]
+        others = [s for s in range(matrix.shape[1]) if s != sa]
+        assert np.all(result.revealed[:, others] == 0.0)
+
+
+class TestAttackerView:
+    def test_accumulates_elementwise_max(self):
+        view = AttackerView(3, 2)
+        view.absorb(np.array([0, 1]), np.array([[0.2, 0.8], [0.5, 0.5]]))
+        view.absorb(np.array([0]), np.array([[0.6, 0.1]]))
+        assert view.peak_disclosure == pytest.approx(0.8)
+        assert view.coverage == pytest.approx(2 / 3)
+
+    def test_empty_absorb_is_a_no_op(self):
+        view = AttackerView(2, 2)
+        view.absorb(np.empty(0, dtype=np.int64), np.empty((0, 2)))
+        assert view.coverage == 0.0
+        assert view.peak_disclosure == 0.0
+
+
+class TestWorkloadConfig:
+    def test_rejects_nonpositive_batches(self):
+        with pytest.raises(ExperimentError):
+            WorkloadConfig(n_batches=0)
+
+    def test_rejects_negative_knowledge_step(self):
+        with pytest.raises(ExperimentError):
+            WorkloadConfig(knowledge_step=-1)
+
+
+class TestWorkloadDriver:
+    @pytest.fixture(scope="class")
+    def report(self):
+        workload = build_adult_workload(n_records=260, l=3, seed=5)
+        backend = EmbeddedBackend(workload.published)
+        try:
+            driver = WorkloadDriver(
+                backend,
+                rules=workload.rules,
+                config=WorkloadConfig(
+                    n_batches=3, queries_per_batch=12, knowledge_step=2,
+                    seed=17,
+                ),
+            )
+            yield driver.run()
+        finally:
+            backend.close()
+
+    def test_trajectory_shape(self, report):
+        assert len(report["batches"]) == 3
+        assert report["total_queries"] == 36
+        assert report["n_qi_tuples"] > 0
+        assert set(report["shapes"]) <= {
+            "point", "range", "groupby", "join_olap"
+        }
+
+    def test_knowledge_grows_per_batch(self, report):
+        assert [b["k_rules"] for b in report["batches"]] == [0, 2, 4]
+        assert report["batches"][1]["n_statements"] > 0
+
+    def test_disclosure_is_monotone_in_knowledge(self, report):
+        disclosures = [b["max_disclosure"] for b in report["batches"]]
+        assert disclosures[0] <= disclosures[-1] + 1e-9
+        # Batch 0 is knowledge-free: the l-diversity floor.
+        assert disclosures[0] == pytest.approx(1 / 3, abs=1e-6)
+
+    def test_attacker_view_never_shrinks(self, report):
+        peaks = [b["attacker"]["peak_disclosure"] for b in report["batches"]]
+        assert peaks == sorted(peaks)
+        coverages = [b["attacker"]["coverage"] for b in report["batches"]]
+        assert coverages == sorted(coverages)
+
+    def test_report_is_json_serializable(self, report):
+        import json
+
+        json.dumps(report)
+
+    def test_knowledge_without_rules_is_an_error(self):
+        backend = EmbeddedBackend(paper_published())
+        try:
+            with pytest.raises(ExperimentError, match="rules"):
+                WorkloadDriver(
+                    backend, config=WorkloadConfig(knowledge_step=2)
+                )
+        finally:
+            backend.close()
+
+    def test_knowledge_free_run_needs_no_rules(self):
+        backend = EmbeddedBackend(paper_published())
+        try:
+            report = WorkloadDriver(
+                backend,
+                config=WorkloadConfig(
+                    n_batches=2, queries_per_batch=6, knowledge_step=0
+                ),
+            ).run()
+        finally:
+            backend.close()
+        assert all(b["k_rules"] == 0 for b in report["batches"])
