@@ -17,10 +17,16 @@ confirms zero additional solves during the warm pass.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from benchmarks.conftest import PAPER_SCALE, save_json, save_result
-from repro.experiments.workloads import build_adult_workload
+from repro.experiments.workloads import (
+    build_adult_workload,
+    build_synthetic_release,
+)
 from repro.knowledge.bounds import TopKBound
 from repro.maxent.config import MaxEntConfig
 from repro.service import (
@@ -35,6 +41,16 @@ from repro.utils.timer import Timer
 N_RECORDS = 2000 if PAPER_SCALE else 600
 KS = (40, 80, 120, 160) if PAPER_SCALE else (5, 10, 15, 20, 25, 30)
 WARM_ROUNDS = 3
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Acceptance bar for the durable serving mode: per-request journaling
+#: (one fsync'd record per registration) must cost <= 10% of the
+#: in-memory registration path, plus a small absolute slack because a
+#: handful of fsyncs on a slow CI disk is a constant, not a ratio.
+JOURNAL_OVERHEAD_RATIO = 1.10
+JOURNAL_OVERHEAD_SLACK_SECONDS = 0.75
+N_DURABLE_RELEASES = 16 if PAPER_SCALE else 12
 
 
 @pytest.fixture(scope="module")
@@ -156,3 +172,107 @@ def test_serving_cold_vs_warm(benchmark, results_dir, workload, statement_sets):
     assert final_solves == n
     # ... and was at least 3x the cold throughput (acceptance bar).
     assert speedup >= 3.0, f"warm serving only {speedup:.1f}x cold"
+
+
+@pytest.mark.benchmark(group="service")
+def test_journaling_overhead(benchmark, results_dir, tmp_path):
+    """Durable serving (``--state-dir``) vs in-memory registration cost.
+
+    Registers the same set of distinct releases against an in-memory
+    service and a durable one (every registration fsyncs one journal
+    record before it is acknowledged) and holds the durable path to
+    ``JOURNAL_OVERHEAD_RATIO`` of the in-memory time plus a small
+    absolute slack.  The run is appended to the ``BENCH_service.json``
+    trajectory so regressions show up across commits.
+    """
+    releases = [
+        build_synthetic_release(120, seed=20080612 + i)
+        for i in range(N_DURABLE_RELEASES)
+    ]
+
+    def register_all(state_dir: str | None) -> tuple[float, dict]:
+        service = PrivacyService(ServiceConfig(port=0, state_dir=state_dir))
+        with BackgroundService(service) as background:
+            client = ServiceClient(port=background.port)
+            client.wait_until_healthy(timeout=30)
+            with Timer() as timer:
+                for index, published in enumerate(releases):
+                    client.register(published, name=f"bench-{index}")
+            telemetry = client.telemetry()
+            client.close()
+        return timer.seconds, telemetry
+
+    def run():
+        plain_seconds, _plain_telemetry = register_all(None)
+        durable_seconds, durable_telemetry = register_all(
+            str(tmp_path / "state")
+        )
+        return plain_seconds, durable_seconds, durable_telemetry
+
+    plain_seconds, durable_seconds, telemetry = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    overhead = (
+        (durable_seconds / plain_seconds - 1.0) * 100
+        if plain_seconds > 0
+        else 0.0
+    )
+    durable = telemetry["durability"]
+
+    columns = ["mode", "registrations", "seconds", "journal records"]
+    rows = [
+        ["in-memory", N_DURABLE_RELEASES, plain_seconds, 0],
+        [
+            "durable (journal fsync per record)",
+            N_DURABLE_RELEASES,
+            durable_seconds,
+            durable["journal_records_appended"],
+        ],
+    ]
+    table = render_table(
+        columns,
+        rows,
+        title=(
+            f"Write-ahead journaling overhead: {overhead:+.2f}% "
+            f"(ceiling {JOURNAL_OVERHEAD_RATIO:.2f}x + "
+            f"{JOURNAL_OVERHEAD_SLACK_SECONDS * 1000:.0f}ms)"
+        ),
+    )
+    save_result(results_dir, "service_journaling", table)
+    save_json(results_dir, "service_journaling", columns, rows)
+
+    bench_path = REPO_ROOT / "BENCH_service.json"
+    payload = {"name": "service_journaling", "runs": []}
+    if bench_path.exists():
+        try:
+            existing = json.loads(bench_path.read_text())
+            if isinstance(existing.get("runs"), list):
+                payload = existing
+        except json.JSONDecodeError:
+            pass
+    payload["overhead_ratio_ceiling"] = JOURNAL_OVERHEAD_RATIO
+    payload["overhead_slack_seconds"] = JOURNAL_OVERHEAD_SLACK_SECONDS
+    payload["runs"].append(
+        {
+            "n_releases": N_DURABLE_RELEASES,
+            "plain_seconds": plain_seconds,
+            "durable_seconds": durable_seconds,
+            "overhead_percent": overhead,
+            "journal_records": durable["journal_records_appended"],
+            "journal_bytes": durable["journal_bytes_appended"],
+        }
+    )
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    # Every registration journaled exactly one fsync'd record.
+    assert durable["journal_records_appended"] == N_DURABLE_RELEASES
+    assert durable_seconds <= (
+        plain_seconds * JOURNAL_OVERHEAD_RATIO
+        + JOURNAL_OVERHEAD_SLACK_SECONDS
+    ), (
+        f"durable registration {durable_seconds:.3f}s exceeded the "
+        f"in-memory {plain_seconds:.3f}s by more than the "
+        f"{JOURNAL_OVERHEAD_RATIO:.2f}x + "
+        f"{JOURNAL_OVERHEAD_SLACK_SECONDS:.2f}s ceiling — per-request "
+        "journaling must stay cheap enough to be the default deployment"
+    )

@@ -316,6 +316,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # front-end engine stays a cold default.
         cache_path=None if sharded else args.cache_path,
     )
+    from repro.service.durability import DEFAULT_SNAPSHOT_EVERY
+
     service_config = ServiceConfig(
         host=args.host,
         port=args.port,
@@ -323,6 +325,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.queue_size,
         batch_window_seconds=args.batch_window,
         result_cache_size=args.result_cache_size,
+        state_dir=args.state_dir,
+        snapshot_every=(
+            args.snapshot_every
+            if args.snapshot_every is not None
+            else DEFAULT_SNAPSHOT_EVERY
+        ),
+        drain_timeout=args.drain_timeout,
         engine=engine_config,
     )
     if sharded:
@@ -786,6 +795,34 @@ def build_parser() -> argparse.ArgumentParser:
             "(spawned workers carry stable 'shardN' identities, so a "
             "restarted fleet keeps its routing and cache warmth even "
             "though every port changed)"
+        ),
+    )
+    serve.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "serve durably: journal release registrations and chunked-"
+            "upload transitions to this directory (crash-safe, fsync'd) "
+            "with periodic atomic snapshots, so a killed server recovers "
+            "its releases and resumes in-flight uploads on restart"
+        ),
+    )
+    serve.add_argument(
+        "--snapshot-every",
+        type=int,
+        default=None,
+        help=(
+            "journal records between snapshot+truncate cycles "
+            "(default: 64; only meaningful with --state-dir)"
+        ),
+    )
+    serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=30.0,
+        help=(
+            "seconds a SIGTERM drain waits for in-flight solves before "
+            "the final snapshot and exit (default: 30)"
         ),
     )
     serve.add_argument(

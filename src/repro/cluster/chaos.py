@@ -23,6 +23,11 @@ every time:
   ``repro shard-worker`` subprocesses that keeps the identity file
   across respawns, so tests can assert that a returning worker
   reclaims its rendezvous slot on a brand-new port.
+- :class:`ServerProcess` — the same spawn/kill/respawn story for a real
+  ``repro serve`` front door, keeping the ``--state-dir`` across
+  restarts — the SIGKILL-mid-ingest → restart → resume-and-finalize
+  drill the durable serving mode exists for, plus SIGTERM
+  (:meth:`ServerProcess.terminate`) for the graceful-drain contract.
 
 Nothing here is imported by production code paths; it ships in the
 package (not the test tree) so benchmarks and downstream users can run
@@ -376,6 +381,119 @@ class WorkerProcess:
                 self.process.wait(timeout=5.0)
 
     def __enter__(self) -> "WorkerProcess":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServerProcess:
+    """One real ``repro serve`` front door under test control.
+
+    The durable-state counterpart of :class:`WorkerProcess`: spawn a
+    genuine server subprocess, SIGKILL it mid-request (:meth:`kill` — no
+    drain, no final snapshot, the journal's fsync'd tail is all that
+    survives), then :meth:`respawn` on a fresh port against the *same*
+    ``state_dir`` and assert the recovered state answers.  SIGTERM via
+    :meth:`terminate` exercises the graceful-drain path instead.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        state_dir: str | None = None,
+        cache_path: str | None = None,
+        extra_args: list[str] | None = None,
+    ) -> None:
+        self.host = host
+        self.state_dir = state_dir
+        self.cache_path = cache_path
+        self.extra_args = list(extra_args or [])
+        self.port: int | None = None
+        self.process: subprocess.Popen | None = None
+        self.spawn_count = 0
+
+    @property
+    def address(self) -> str:
+        if self.port is None:
+            raise ClusterError("server not spawned yet")
+        return f"{self.host}:{self.port}"
+
+    def client(self, **kwargs):
+        """A :class:`~repro.service.client.ServiceClient` for this server."""
+        from repro.service.client import ServiceClient
+
+        if self.port is None:
+            raise ClusterError("server not spawned yet")
+        return ServiceClient(self.host, self.port, **kwargs)
+
+    def spawn(self, *, startup_timeout: float = 60.0) -> "ServerProcess":
+        if self.process is not None and self.process.poll() is None:
+            raise ClusterError("server already running; kill() it first")
+        self.port = free_port(self.host)
+        command = [
+            sys.executable,
+            "-m",
+            "repro",
+            "serve",
+            "--host",
+            self.host,
+            "--port",
+            str(self.port),
+        ]
+        if self.state_dir:
+            command += ["--state-dir", self.state_dir]
+        if self.cache_path:
+            command += ["--cache-path", self.cache_path]
+        command += self.extra_args
+        self.process = subprocess.Popen(command, env=_worker_environment())
+        self.spawn_count += 1
+        with self.client(timeout=startup_timeout) as probe:
+            probe.wait_until_healthy(timeout=startup_timeout)
+        return self
+
+    def kill(self) -> None:
+        """SIGKILL: no drain, no final snapshot — the crash scenario."""
+        if self.process is None:
+            return
+        try:
+            self.process.send_signal(signal.SIGKILL)
+        except ProcessLookupError:
+            pass
+        self.process.wait(timeout=10.0)
+
+    def terminate(self, *, timeout: float = 30.0) -> int:
+        """SIGTERM and wait: the graceful drain + final-snapshot path.
+
+        Returns the exit code, so tests can assert a clean shutdown.
+        """
+        if self.process is None:
+            raise ClusterError("server not spawned yet")
+        try:
+            self.process.send_signal(signal.SIGTERM)
+        except ProcessLookupError:
+            pass
+        return self.process.wait(timeout=timeout)
+
+    def respawn(self, *, startup_timeout: float = 60.0) -> "ServerProcess":
+        """Restart after a kill: same state_dir, brand-new port."""
+        if self.process is not None and self.process.poll() is None:
+            self.kill()
+        return self.spawn(startup_timeout=startup_timeout)
+
+    def close(self) -> None:
+        if self.process is None:
+            return
+        if self.process.poll() is None:
+            self.process.terminate()
+            try:
+                self.process.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=5.0)
+
+    def __enter__(self) -> "ServerProcess":
         return self
 
     def __exit__(self, *exc_info) -> None:

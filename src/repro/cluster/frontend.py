@@ -56,6 +56,7 @@ from repro.obs.metrics import MetricsBuilder
 from repro.obs.trace import get_tracer
 from repro.service.admission import AdmissionController
 from repro.service.client import ServiceError
+from repro.service.deadline import DEADLINE_HEADER
 from repro.service.protocol import HttpError, HttpRequest, TextResponse
 from repro.service.telemetry import LATENCY_BOUNDS
 from repro.service.server import (
@@ -170,13 +171,17 @@ class ShardedFrontend(PrivacyService):
         payload=None,
         *,
         trace_ctx: dict | None = None,
+        deadline=None,
     ) -> dict:
         """One blocking request to one worker; HTTP errors map through.
 
         ``trace_ctx`` rides the :data:`TRACE_HEADER` so the worker's
         request root span parents on this front-end's — release-sharded
         forwards stitch into one cross-process trace the same way
-        component scatters do.
+        component scatters do.  ``deadline`` (the client's parsed
+        request budget) forwards as the *remaining* budget, recomputed
+        per attempt — a shard never starts computing an answer whose
+        requester already gave up waiting at the front door.
 
         Transport failures retry under the front-end's
         :class:`RetryPolicy` before they escape: one transient refusal
@@ -188,18 +193,21 @@ class ShardedFrontend(PrivacyService):
         worker-side.
         """
         handle = self.coordinator.worker(worker_id)
-        headers = None
+        base_headers: dict[str, str] = {}
         if trace_ctx is not None:
-            headers = {
-                TRACE_HEADER: (
-                    f"{trace_ctx['trace_id']}:{trace_ctx.get('span_id') or ''}"
-                )
-            }
+            base_headers[TRACE_HEADER] = (
+                f"{trace_ctx['trace_id']}:{trace_ctx.get('span_id') or ''}"
+            )
 
         def attempt() -> dict:
+            headers = dict(base_headers)
+            if deadline is not None:
+                # Re-read the clock per attempt: backoff sleeps burned
+                # budget too, and the shard should know.
+                headers[DEADLINE_HEADER] = deadline.header_value()
             with handle.client(timeout=self.forward_timeout) as client:
                 return client.request(
-                    method, path, payload, extra_headers=headers
+                    method, path, payload, extra_headers=headers or None
                 )
 
         def on_retry(n, exc, sleep) -> None:
@@ -378,6 +386,7 @@ class ShardedFrontend(PrivacyService):
         path_suffix: str,
         payload=None,
         trace_ctx: dict | None = None,
+        deadline=None,
     ) -> dict:
         """Forward to a release's owner, walking failures.
 
@@ -406,7 +415,12 @@ class ShardedFrontend(PrivacyService):
                     worker_id, worker_release_id = self._entry_target(entry)
                 path = f"/v1/releases/{worker_release_id}{path_suffix}"
                 return self._forward(
-                    worker_id, method, path, payload, trace_ctx=trace_ctx
+                    worker_id,
+                    method,
+                    path,
+                    payload,
+                    trace_ctx=trace_ctx,
+                    deadline=deadline,
                 )
             except HttpError as exc:
                 if (
@@ -748,6 +762,7 @@ class ShardedFrontend(PrivacyService):
                     suffix,
                     body,
                     trace_ctx,
+                    request.deadline,
                 ),
             )
 
@@ -755,8 +770,10 @@ class ShardedFrontend(PrivacyService):
         # solve; admitting them (429 past capacity) keeps the thread
         # pool free for health/registration and makes front-end
         # saturation visible on /v1/healthz, exactly as for the
-        # single-engine service.
-        payload = await self.admission.run(run)
+        # single-engine service.  The deadline is checked after the
+        # front-end's own queue wait — budget the queue burned here is
+        # budget the shard never sees.
+        payload = await self.admission.run(run, deadline=request.deadline)
         payload["release_id"] = entry.release_id
         payload["shard"] = entry.worker_id
         self.telemetry.incr("solves_forwarded")

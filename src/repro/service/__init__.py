@@ -17,6 +17,10 @@ asyncio HTTP/JSON front-end instead:
   spaces, invariants, mined rules and compiled systems cached,
 - :mod:`repro.service.ingest` — chunked (streaming) release uploads
   with incremental digest accumulation and bounded session state,
+- :mod:`repro.service.durability` — the crash-safe ``--state-dir``
+  journal + snapshot layer (registrations and uploads survive SIGKILL),
+- :mod:`repro.service.deadline` — end-to-end request deadlines
+  (``x-repro-deadline`` budgets, checked at phase boundaries),
 - :mod:`repro.service.server` — :class:`PrivacyService` and its routes,
 - :mod:`repro.service.client` — the blocking stdlib client,
 - :mod:`repro.service.background` — run a service beside synchronous
@@ -34,6 +38,12 @@ from repro.service.admission import (
 )
 from repro.service.background import BackgroundService
 from repro.service.client import PosteriorResult, ServiceClient, ServiceError
+from repro.service.deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    DeadlineExceededError,
+)
+from repro.service.durability import DurableState, Journal
 from repro.service.ingest import IngestManager, IngestSession
 from repro.service.protocol import HttpError, HttpRequest
 from repro.service.server import DEFAULT_PORT, PrivacyService, ServiceConfig
@@ -45,11 +55,16 @@ __all__ = [
     "BackgroundService",
     "ClosedFormBatcher",
     "Coalescer",
+    "DEADLINE_HEADER",
     "DEFAULT_PORT",
+    "Deadline",
+    "DeadlineExceededError",
+    "DurableState",
     "HttpError",
     "HttpRequest",
     "IngestManager",
     "IngestSession",
+    "Journal",
     "LatencyHistogram",
     "PosteriorResult",
     "PrivacyService",

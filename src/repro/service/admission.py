@@ -68,14 +68,26 @@ class AdmissionController:
         """Admitted requests currently running or queued."""
         return self._pending
 
-    async def run(self, work: Callable[[], Awaitable]):
-        """Admit ``work`` (or raise :class:`QueueFullError`) and run it."""
+    async def run(self, work: Callable[[], Awaitable], *, deadline=None):
+        """Admit ``work`` (or raise :class:`QueueFullError`) and run it.
+
+        ``deadline`` (a :class:`~repro.service.deadline.Deadline`) is
+        checked twice: on entry, and again *after* the queue wait — a
+        request whose budget drained while it sat behind the semaphore
+        is shed (:class:`~repro.service.deadline.DeadlineExceededError`
+        → HTTP 503) before its solve work starts, freeing the slot for
+        a request somebody is still waiting on.
+        """
+        if deadline is not None:
+            deadline.check("admission")
         if self._pending >= self.capacity:
             self.rejected += 1
             raise QueueFullError(self._pending, self.capacity)
         self._pending += 1
         try:
             async with self._semaphore:
+                if deadline is not None:
+                    deadline.check("queue wait")
                 return await work()
         finally:
             self._pending -= 1

@@ -6,6 +6,15 @@ objects (:class:`BucketizedTable`, statements, :class:`PosteriorTable`)
 rather than dicts.  One client = one keep-alive connection; it reconnects
 transparently after a server-side close, and is what the examples, the
 tests, the benchmark and the CI smoke job all drive the service with.
+
+Transport resilience rides the cluster's
+:class:`~repro.cluster.retry.RetryPolicy`: dropped connections and
+broken HTTP framing are retried with jittered exponential backoff (so a
+chunked upload survives a server restart mid-ingest), and 429/503
+verdicts — the service's explicit backpressure and drain signals — are
+absorbed in place honoring ``Retry-After``, bounded by the policy's
+attempt and deadline budgets.  Pass ``retry=RetryPolicy(attempts=1)``
+to observe backpressure verdicts raw (tests do).
 """
 
 from __future__ import annotations
@@ -27,6 +36,11 @@ from repro.core.serialize import (
 )
 from repro.errors import ReproError
 from repro.maxent.config import MaxEntConfig
+from repro.service.deadline import DEADLINE_HEADER
+
+#: Statuses the client absorbs in place (bounded by its retry policy):
+#: 429 is admission backpressure, 503 is saturation/drain/deadline shed.
+RETRYABLE_STATUSES = (429, 503)
 
 
 class ServiceError(ReproError):
@@ -54,11 +68,24 @@ class ServiceClient:
     """Synchronous client bound to one service address."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = 8711, *, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8711,
+        *,
+        timeout: float = 60.0,
+        retry=None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        if retry is None:
+            # Imported lazily: repro.cluster eagerly imports the frontend
+            # (which imports this module), so a top-level import here
+            # would cycle.  By instantiation time both packages exist.
+            from repro.cluster.retry import RetryPolicy
+
+            retry = RetryPolicy.from_env()
+        self.retry = retry
         self._connection: http.client.HTTPConnection | None = None
 
     # -- plumbing ------------------------------------------------------------
@@ -78,50 +105,97 @@ class ServiceClient:
     def _request(
         self, method: str, path: str, payload=None, *, extra_headers=None
     ) -> dict:
-        raw, response = self._raw_request(
-            method, path, payload, extra_headers=extra_headers
-        )
-        try:
-            decoded = json.loads(raw) if raw else {}
-        except json.JSONDecodeError as exc:
-            raise ServiceError(
-                response.status, "bad_response", f"undecodable body: {exc}"
-            ) from exc
-        if response.status >= 400:
-            error = decoded.get("error", {}) if isinstance(decoded, dict) else {}
-            raise ServiceError(
-                response.status,
-                error.get("code", "error"),
-                error.get("message", raw.decode("utf-8", "replace")),
+        started = time.monotonic()
+        busy_attempt = 0
+        while True:
+            raw, response = self._raw_request(
+                method, path, payload, extra_headers=extra_headers
             )
-        return decoded
+            try:
+                decoded = json.loads(raw) if raw else {}
+            except json.JSONDecodeError as exc:
+                raise ServiceError(
+                    response.status, "bad_response", f"undecodable body: {exc}"
+                ) from exc
+            if response.status in RETRYABLE_STATUSES:
+                busy_attempt += 1
+                sleep = self._busy_backoff(response, busy_attempt, started)
+                if sleep is not None:
+                    time.sleep(sleep)
+                    continue
+            if response.status >= 400:
+                error = (
+                    decoded.get("error", {}) if isinstance(decoded, dict) else {}
+                )
+                raise ServiceError(
+                    response.status,
+                    error.get("code", "error"),
+                    error.get("message", raw.decode("utf-8", "replace")),
+                )
+            return decoded
+
+    def _busy_backoff(
+        self, response, busy_attempt: int, started: float
+    ) -> float | None:
+        """Seconds to sleep before retrying a 429/503, or ``None`` to stop.
+
+        The server's ``Retry-After`` hint wins over the policy's jittered
+        backoff; the policy's attempt cap and overall deadline still
+        bound the loop either way.
+        """
+        policy = self.retry
+        if policy.attempts and busy_attempt >= policy.attempts:
+            return None
+        sleep = policy.delay(busy_attempt - 1)
+        hint = response.getheader("Retry-After")
+        if hint is not None:
+            try:
+                sleep = max(float(hint), 0.0)
+            except ValueError:
+                pass
+        if (
+            policy.deadline is not None
+            and time.monotonic() - started + sleep > policy.deadline
+        ):
+            return None
+        return sleep
 
     def _raw_request(
         self, method: str, path: str, payload=None, *, extra_headers=None
     ) -> tuple[bytes, http.client.HTTPResponse]:
-        """One request; returns the raw body bytes and the response."""
+        """One request (with transport retries); returns body + response.
+
+        Transport failures — the connection died, the framing broke —
+        are retried under ``self.retry`` with jittered backoff, each
+        attempt on a fresh connection.  Idempotency makes the blind
+        resend safe on every endpoint: registrations are digest-keyed,
+        chunks are (seq, digest)-keyed, finalize answers repeat.
+        """
         body = None
         headers = dict(extra_headers or {})
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
-        # One retry after a stale keep-alive connection; fresh failures
-        # (server down) propagate.
-        for attempt in (0, 1):
+
+        def attempt() -> tuple[bytes, http.client.HTTPResponse]:
             if self._connection is None:
                 self._connection = http.client.HTTPConnection(
                     self.host, self.port, timeout=self.timeout
                 )
             try:
-                self._connection.request(method, path, body=body, headers=headers)
+                self._connection.request(
+                    method, path, body=body, headers=headers
+                )
                 response = self._connection.getresponse()
                 raw = response.read()
-                break
+                return raw, response
             except (http.client.HTTPException, ConnectionError, socket.error):
+                # Drop the (possibly half-dead) connection so the next
+                # attempt dials fresh.
                 self.close()
-                if attempt:
-                    raise
-        return raw, response
+                raise
+
+        return self.retry.run(attempt)
 
     def wait_until_healthy(self, *, timeout: float = 30.0) -> dict:
         """Poll ``/v1/healthz`` until the service answers (or time out)."""
@@ -280,21 +354,38 @@ class ServiceClient:
             )
         return self.finalize_upload(upload_id)["release_id"]
 
+    @staticmethod
+    def _deadline_headers(deadline: float | None) -> dict | None:
+        """The ``x-repro-deadline`` header set for a request budget."""
+        if deadline is None:
+            return None
+        return {DEADLINE_HEADER: format(float(deadline), ".6g")}
+
     def posterior(
         self,
         release_id: str,
         statements=(),
         *,
         config: MaxEntConfig | None = None,
+        deadline: float | None = None,
     ) -> PosteriorResult:
-        """Solve (or fetch) ``P*(SA | QI)`` under ``statements``."""
+        """Solve (or fetch) ``P*(SA | QI)`` under ``statements``.
+
+        ``deadline`` (seconds) is the end-to-end budget this caller is
+        willing to wait: the service sheds the request (HTTP 503) the
+        moment queue wait or compilation has already burned it, rather
+        than computing an answer nobody is waiting for.
+        """
         payload: dict = {
             "statements": [statement_to_dict(s) for s in statements]
         }
         if config is not None:
             payload["config"] = config_to_dict(config)
         decoded = self._request(
-            "POST", f"/v1/releases/{release_id}/posterior", payload
+            "POST",
+            f"/v1/releases/{release_id}/posterior",
+            payload,
+            extra_headers=self._deadline_headers(deadline),
         )
         return PosteriorResult(
             release_id=decoded["release_id"],
@@ -313,6 +404,7 @@ class ServiceClient:
         mining: dict | None = None,
         config: MaxEntConfig | None = None,
         exclude_sa=(),
+        deadline: float | None = None,
     ) -> list[dict]:
         """The Section 4.3 (bound, privacy score) table for ``bounds``."""
         payload: dict = {"bounds": [bound_to_dict(b) for b in bounds]}
@@ -323,6 +415,9 @@ class ServiceClient:
         if exclude_sa:
             payload["exclude_sa"] = list(exclude_sa)
         decoded = self._request(
-            "POST", f"/v1/releases/{release_id}/assess", payload
+            "POST",
+            f"/v1/releases/{release_id}/assess",
+            payload,
+            extra_headers=self._deadline_headers(deadline),
         )
         return decoded["assessments"]

@@ -1,0 +1,122 @@
+"""End-to-end request deadlines for the serving subsystem.
+
+A client that will stop waiting after two seconds gains nothing from a
+solve that finishes in three — the work is pure waste, and under load it
+is waste that delays requests somebody *is* still waiting for.  The
+deadline contract closes that gap:
+
+- clients send :data:`DEADLINE_HEADER` (``x-repro-deadline``) carrying
+  their remaining budget in seconds;
+- the service stamps the arrival time and checks the budget at the
+  points where work is about to be committed — at admission (a request
+  whose queue wait already consumed its budget is shed with HTTP 503 +
+  ``Retry-After`` instead of occupying a solve slot), after compilation,
+  and before the engine solve dispatch;
+- the sharded frontend forwards the *remaining* budget to the shard it
+  proxies to, so a shard never computes an answer nobody is waiting
+  for.
+
+A shed request costs the service a header parse and a clock read; the
+client sees a machine-readable ``deadline_exceeded`` 503 it can retry
+with a fresh budget (or give up on, knowing no partial work happened).
+
+Budgets are wall-clock seconds relative to arrival, not absolute
+timestamps — the header survives clock skew between client, frontend
+and shard because every hop re-derives its own arrival time.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+
+#: Request header carrying the client's remaining budget in seconds.
+DEADLINE_HEADER = "x-repro-deadline"
+
+
+class DeadlineExceededError(ReproError):
+    """A request's time budget ran out before its work started.
+
+    Mapped to HTTP 503 with ``Retry-After`` by the service — the request
+    was not wrong, the service was too slow for it, and a retry with a
+    fresh budget may well succeed.
+    """
+
+    def __init__(self, *, phase: str, budget: float, elapsed: float) -> None:
+        super().__init__(
+            f"deadline of {budget:g}s exceeded at {phase} "
+            f"({elapsed:.3f}s elapsed); no solve work was started"
+        )
+        self.phase = phase
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+@dataclass
+class Deadline:
+    """One request's time budget, anchored at its arrival.
+
+    ``budget`` is the client's allowance in seconds; ``started`` is the
+    local monotonic arrival time.  All checks are against the monotonic
+    clock so wall-clock adjustments cannot extend or shrink a budget.
+    """
+
+    budget: float
+    started: float = field(default_factory=time.monotonic)
+
+    @classmethod
+    def from_header(cls, raw: str | None) -> "Deadline | None":
+        """Parse the :data:`DEADLINE_HEADER` value (``None`` when absent).
+
+        Raises :class:`~repro.errors.ReproError` (→ HTTP 400) on a value
+        that is not a positive number — a client that mangled its budget
+        should learn immediately, not be silently served without one.
+        """
+        if raw is None or not raw.strip():
+            return None
+        try:
+            budget = float(raw)
+        except ValueError:
+            raise ReproError(
+                f"{DEADLINE_HEADER} header must be a number of seconds, "
+                f"got {raw!r}"
+            ) from None
+        if budget <= 0:
+            raise ReproError(
+                f"{DEADLINE_HEADER} header must be positive, got {budget!r}"
+            )
+        return cls(budget)
+
+    def elapsed(self) -> float:
+        """Seconds since this request arrived."""
+        return time.monotonic() - self.started
+
+    def remaining(self) -> float:
+        """Seconds of budget left (can go negative once blown)."""
+        return self.budget - self.elapsed()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+    def check(self, phase: str) -> None:
+        """Raise :class:`DeadlineExceededError` when the budget is gone.
+
+        Called at phase boundaries — points where the *next* chunk of
+        work is about to be committed and can still be declined cheaply.
+        """
+        elapsed = self.elapsed()
+        if elapsed >= self.budget:
+            raise DeadlineExceededError(
+                phase=phase, budget=self.budget, elapsed=elapsed
+            )
+
+    def header_value(self) -> str:
+        """The remaining budget, formatted for forwarding downstream.
+
+        Clamped to a small positive floor: a frontend that decided to
+        forward (the budget was alive when it checked) must not emit a
+        zero/negative header the shard would reject as malformed.
+        """
+        return format(max(self.remaining(), 1e-3), ".6g")

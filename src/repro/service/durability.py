@@ -1,0 +1,515 @@
+"""Crash-safe service state: write-ahead journal + atomic snapshots.
+
+A long-lived quantification service is only as useful as its memory: a
+crashed ``repro serve`` that forgets every registered release and every
+in-flight chunked upload turns each restart into a re-ingestion storm.
+The ``--state-dir`` serving mode fixes that with the classic two-file
+recipe:
+
+- **journal** (``journal.log``) — an append-only log of state
+  transitions (release registrations, ingest begin/chunk/finalize/
+  abort), one CRC-framed JSON record per line, fsync'd before the
+  mutation is acknowledged.  Records are keyed by the same content
+  digests the store and ingest sessions already use, so replay rides on
+  their existing idempotency: re-registering a digest is a no-op,
+  re-adding an accepted chunk is a duplicate ack, re-finalizing a
+  finalized upload answers from the recorded summary.
+- **snapshot** (``snapshot.json``) — a periodic atomic (tmp +
+  ``os.replace``) dump of the full :class:`~repro.service.store.
+  SessionStore` and :class:`~repro.service.ingest.IngestManager` state,
+  after which the journal records it subsumes are sealed and discarded.
+  Snapshots bound both journal growth and recovery time.
+
+Snapshot and truncation never race an in-flight append: the journal is
+*rotated* (current records sealed into ``journal.log.old``) before the
+state is serialized, so a record that lands mid-snapshot goes to the
+fresh journal and survives; the sealed segment is only deleted once the
+snapshot that subsumes it is durably on disk.  A crash anywhere in that
+window leaves at most redundant records — and replay is idempotent.
+
+Failure semantics on recovery:
+
+- a torn/truncated **final** record (the crash happened mid-append) is
+  dropped cleanly — by write order it was never acknowledged;
+- corruption anywhere *before* the tail raises
+  :class:`~repro.errors.ReproError` — the journal is damaged, and
+  serving a silently partial state would be worse than refusing;
+- an unrecognized journal record version or snapshot format string also
+  raises — the migrate-or-reject stance of the engine's solve cache.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import zlib
+
+from repro.core.serialize import published_from_dict, table_from_dict
+from repro.errors import ReproError
+from repro.service.ingest import IngestManager, IngestSession
+
+#: Versioned snapshot format string; bump on incompatible layout changes.
+STATE_FORMAT = "privacy-maxent-state/1"
+
+#: Version stamped into every journal record; unknown versions are
+#: rejected at replay rather than guessed at.
+JOURNAL_VERSION = 1
+
+SNAPSHOT_FILE = "snapshot.json"
+JOURNAL_FILE = "journal.log"
+
+#: Journal records accumulated before the service takes a snapshot and
+#: truncates; chosen so recovery replays at most a bounded suffix.
+DEFAULT_SNAPSHOT_EVERY = 64
+
+
+def encode_record(record: dict) -> bytes:
+    """One journal line: ``crc32-hex SP canonical-json LF``.
+
+    The CRC guards against torn writes — a partially flushed tail fails
+    the checksum and is recognized as the crash artifact it is, instead
+    of being half-parsed into half a mutation.
+    """
+    payload = json.dumps(
+        record, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    crc = zlib.crc32(payload) & 0xFFFFFFFF
+    return b"%08x %s\n" % (crc, payload)
+
+
+def decode_record(line: bytes) -> dict | None:
+    """Parse one journal line; ``None`` when the framing is invalid."""
+    crc_hex, sep, payload = line.partition(b" ")
+    if not sep or len(crc_hex) != 8:
+        return None
+    try:
+        expected = int(crc_hex, 16)
+    except ValueError:
+        return None
+    if zlib.crc32(payload) & 0xFFFFFFFF != expected:
+        return None
+    try:
+        record = json.loads(payload)
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if not isinstance(record, dict):
+        return None
+    return record
+
+
+def read_journal(path: str, *, allow_torn_tail: bool = True) -> tuple[list[dict], int]:
+    """All valid records in ``path``; returns ``(records, torn_dropped)``.
+
+    An invalid *final* record is dropped (a crash mid-append never
+    acknowledged it); an invalid record followed by further content, or
+    a record with an unknown version, raises
+    :class:`~repro.errors.ReproError`.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return [], 0
+    records: list[dict] = []
+    lines = [line for line in raw.split(b"\n") if line]
+    for index, line in enumerate(lines):
+        record = decode_record(line)
+        if record is None:
+            if index == len(lines) - 1 and allow_torn_tail:
+                return records, 1
+            raise ReproError(
+                f"corrupt journal record {index + 1}/{len(lines)} in "
+                f"{path!r}; refusing to recover partial state"
+            )
+        version = record.get("v")
+        if version != JOURNAL_VERSION:
+            raise ReproError(
+                f"unknown journal record version {version!r} in {path!r} "
+                f"(this build understands version {JOURNAL_VERSION}); "
+                "refusing to recover partial state"
+            )
+        records.append(record)
+    return records, 0
+
+
+def write_snapshot_file(path: str, payload: dict) -> None:
+    """Atomically persist a snapshot document (tmp + ``os.replace``)."""
+    document = {"format": STATE_FORMAT, "written_at": time.time(), **payload}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(document, fh, separators=(",", ":"))
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    directory = os.path.dirname(path) or "."
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:  # pragma: no cover - platform without dir fsync
+        pass
+    finally:
+        os.close(dir_fd)
+
+
+def read_snapshot_file(path: str) -> dict | None:
+    """Load a snapshot document; ``None`` when absent, raise on junk."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except FileNotFoundError:
+        return None
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ReproError(
+            f"state snapshot {path!r} is not valid JSON ({exc}); "
+            "refusing to recover partial state"
+        ) from exc
+    fmt = document.get("format") if isinstance(document, dict) else None
+    if fmt != STATE_FORMAT:
+        raise ReproError(
+            f"unrecognized state snapshot format {fmt!r} in {path!r} "
+            f"(this build understands {STATE_FORMAT!r}); refusing to "
+            "recover partial state"
+        )
+    return document
+
+
+class Journal:
+    """Append-only fsync'd record log with rotate-then-discard truncation."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._file = None
+        self.records_appended = 0
+        self.bytes_appended = 0
+
+    @property
+    def sealed_path(self) -> str:
+        """The sealed pre-snapshot segment (exists only mid-snapshot)."""
+        return self.path + ".old"
+
+    def append(self, kind: str, fields: dict) -> None:
+        """Durably append one record: written, flushed, fsync'd."""
+        record = {"v": JOURNAL_VERSION, "kind": kind, **fields}
+        line = encode_record(record)
+        with self._lock:
+            if self._file is None:
+                self._file = open(self.path, "ab")
+            self._file.write(line)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.records_appended += 1
+            self.bytes_appended += len(line)
+
+    def rotate(self) -> None:
+        """Seal every record so far into the ``.old`` sidecar.
+
+        Called *before* the snapshot serializes state, so any append
+        racing the snapshot lands in the fresh journal and survives the
+        post-snapshot discard.  A sidecar left by an earlier failed
+        snapshot is extended, never clobbered.
+        """
+        with self._lock:
+            self._close_locked()
+            if os.path.exists(self.path):
+                if os.path.exists(self.sealed_path):
+                    with open(self.sealed_path, "ab") as dst:
+                        with open(self.path, "rb") as src:
+                            dst.write(src.read())
+                        dst.flush()
+                        os.fsync(dst.fileno())
+                    os.remove(self.path)
+                else:
+                    os.replace(self.path, self.sealed_path)
+
+    def discard_sealed(self) -> None:
+        """Drop the sealed segment (its snapshot is durably on disk)."""
+        with self._lock:
+            try:
+                os.remove(self.sealed_path)
+            except FileNotFoundError:
+                pass
+
+    def _close_locked(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def close(self) -> None:
+        with self._lock:
+            self._close_locked()
+
+
+class DurableState:
+    """The persistence layer behind one ``--state-dir`` service.
+
+    Owns the journal and snapshot files, the write-ahead hooks the
+    request handlers call, and :meth:`recover` — which rebuilds a
+    :class:`~repro.service.store.SessionStore` and
+    :class:`~repro.service.ingest.IngestManager` to exactly their
+    pre-crash state on boot.
+    """
+
+    def __init__(
+        self,
+        state_dir: str,
+        *,
+        snapshot_every: int = DEFAULT_SNAPSHOT_EVERY,
+    ) -> None:
+        if snapshot_every <= 0:
+            raise ReproError(
+                f"snapshot_every must be positive, got {snapshot_every}"
+            )
+        self.state_dir = str(state_dir)
+        os.makedirs(self.state_dir, exist_ok=True)
+        self.snapshot_path = os.path.join(self.state_dir, SNAPSHOT_FILE)
+        self.journal = Journal(os.path.join(self.state_dir, JOURNAL_FILE))
+        self.snapshot_every = snapshot_every
+        self._lock = threading.Lock()
+        self._since_snapshot = 0
+        self.snapshots_written = 0
+        self.snapshot_loaded = False
+        self.replayed_records = 0
+        self.torn_records_dropped = 0
+        self.recovered_releases = 0
+        self.resumed_uploads = 0
+        self.expired_uploads_dropped = 0
+
+    # -- write-ahead hooks -------------------------------------------------
+
+    def _append(self, kind: str, fields: dict) -> None:
+        self.journal.append(kind, fields)
+        with self._lock:
+            self._since_snapshot += 1
+
+    def record_register(
+        self,
+        digest: str,
+        release_payload: dict,
+        *,
+        name: str | None = None,
+        original_payload: dict | None = None,
+    ) -> None:
+        """Journal one (one-shot) release registration."""
+        self._append(
+            "register",
+            {
+                "digest": digest,
+                "release": release_payload,
+                "name": name,
+                "original": original_payload,
+                "at": time.time(),
+            },
+        )
+
+    def record_ingest_begin(self, session: IngestSession) -> None:
+        self._append(
+            "ingest_begin",
+            {
+                "upload_id": session.upload_id,
+                "schema": session._schema_payload,
+                "name": session.name,
+                "expect_digest": session.expect_digest,
+                "at": session.created_at,
+            },
+        )
+
+    def record_ingest_chunk(
+        self, upload_id: str, seq: int, raw_buckets: list
+    ) -> None:
+        self._append(
+            "ingest_chunk",
+            {
+                "upload_id": upload_id,
+                "seq": seq,
+                "buckets": raw_buckets,
+                "at": time.time(),
+            },
+        )
+
+    def record_ingest_finalize(
+        self, upload_id: str, digest: str, *, name: str | None = None
+    ) -> None:
+        self._append(
+            "ingest_finalize",
+            {
+                "upload_id": upload_id,
+                "digest": digest,
+                "name": name,
+                "at": time.time(),
+            },
+        )
+
+    def record_ingest_abort(self, upload_id: str) -> None:
+        self._append("ingest_abort", {"upload_id": upload_id})
+
+    # -- snapshots ---------------------------------------------------------
+
+    def should_snapshot(self) -> bool:
+        """True once enough records accumulated to justify compaction."""
+        with self._lock:
+            return self._since_snapshot >= self.snapshot_every
+
+    def write_snapshot(self, store, ingest: IngestManager) -> str:
+        """Snapshot the full state atomically and truncate the journal.
+
+        Rotate-first ordering makes the append/snapshot race benign (see
+        module docstring); a crash between the snapshot write and the
+        sealed-segment discard merely leaves redundant records for the
+        (idempotent) replay.
+        """
+        self.journal.rotate()
+        payload = {"store": store.serialize(), "ingest": ingest.serialize()}
+        write_snapshot_file(self.snapshot_path, payload)
+        self.journal.discard_sealed()
+        with self._lock:
+            self._since_snapshot = 0
+            self.snapshots_written += 1
+        return self.snapshot_path
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self, store, ingest: IngestManager) -> dict:
+        """Rebuild ``store`` and ``ingest`` from disk; returns a summary.
+
+        Load order: snapshot, then the sealed journal segment (present
+        only when a snapshot was interrupted), then the live journal —
+        exactly the write order, so replayed release ids come out
+        identical to the pre-crash ones.  TTL-expired ingest sessions
+        are dropped, not resurrected, and a repair snapshot is written
+        whenever anything was replayed so the next boot starts compact.
+        """
+        snapshot = read_snapshot_file(self.snapshot_path)
+        if snapshot is not None:
+            self.snapshot_loaded = True
+            self.recovered_releases += store.restore(
+                snapshot.get("store") or {}
+            )
+            ingest.restore(snapshot.get("ingest") or {})
+        sealed, sealed_torn = read_journal(self.journal.sealed_path)
+        live, live_torn = read_journal(self.journal.path)
+        if sealed_torn and live:
+            raise ReproError(
+                f"sealed journal segment {self.journal.sealed_path!r} is "
+                "truncated but newer records exist; refusing to recover "
+                "partial state"
+            )
+        for record in sealed + live:
+            self.apply(record, store, ingest)
+        self.replayed_records += len(sealed) + len(live)
+        self.torn_records_dropped += sealed_torn + live_torn
+        self.expired_uploads_dropped += len(ingest.sweep())
+        resumed = [
+            status["upload_id"]
+            for status in ingest.list()
+            if not status["finalized"]
+        ]
+        self.resumed_uploads += len(resumed)
+        if self.replayed_records or self.torn_records_dropped:
+            # Compact: fold the replayed suffix into a fresh snapshot and
+            # clear the (possibly torn-tailed) journal before appending.
+            self.write_snapshot(store, ingest)
+        return {
+            "recovered": bool(
+                self.snapshot_loaded
+                or self.replayed_records
+                or self.torn_records_dropped
+            ),
+            "snapshot_loaded": self.snapshot_loaded,
+            "replayed_records": self.replayed_records,
+            "torn_records_dropped": self.torn_records_dropped,
+            "recovered_releases": self.recovered_releases,
+            "resumed_uploads": self.resumed_uploads,
+            "resumed_upload_ids": resumed,
+            "expired_uploads_dropped": self.expired_uploads_dropped,
+        }
+
+    def apply(self, record: dict, store, ingest: IngestManager) -> None:
+        """Apply one journal record (idempotent by construction).
+
+        Every branch leans on state the handlers already made
+        re-entrant: digest-keyed registration, duplicate-chunk acks,
+        finalized-session short circuits — which is what makes replaying
+        a journal (or replaying it twice) a no-op past the first pass.
+        """
+        kind = record.get("kind")
+        if kind == "register":
+            published = published_from_dict(record["release"])
+            original = (
+                table_from_dict(record["original"])
+                if record.get("original") is not None
+                else None
+            )
+            store.register_digest(
+                record["digest"],
+                published,
+                name=record.get("name"),
+                original=original,
+            )
+        elif kind == "ingest_begin":
+            session = IngestSession(
+                record["upload_id"],
+                record["schema"],
+                name=record.get("name"),
+                expect_digest=record.get("expect_digest"),
+            )
+            session.created_at = record.get("at", session.created_at)
+            session.touched_at = session.created_at
+            ingest.restore_session(session, count_started=True)
+        elif kind == "ingest_chunk":
+            session = ingest.peek(record["upload_id"])
+            if session is None or session.finalized is not None:
+                return
+            session.add_chunk(record["seq"], record["buckets"], None)
+            session.touched_at = record.get("at", session.touched_at)
+        elif kind == "ingest_finalize":
+            session = ingest.peek(record["upload_id"])
+            if session is None or session.finalized is not None:
+                return
+            digest, published = session.build(record.get("digest"))
+            registered, _created = store.register_digest(
+                digest, published, name=record.get("name") or session.name
+            )
+            session.mark_registered(digest, registered.summary())
+            ingest.note_finalized()
+        elif kind == "ingest_abort":
+            try:
+                ingest.abort(record["upload_id"])
+            except LookupError:
+                pass
+        else:
+            raise ReproError(
+                f"unknown journal record kind {kind!r}; refusing to "
+                "recover partial state"
+            )
+
+    # -- introspection -----------------------------------------------------
+
+    def snapshot_counters(self) -> dict:
+        """JSON-ready durability counters for telemetry and metrics."""
+        with self._lock:
+            since = self._since_snapshot
+        return {
+            "state_dir": self.state_dir,
+            "journal_records_appended": self.journal.records_appended,
+            "journal_bytes_appended": self.journal.bytes_appended,
+            "records_since_snapshot": since,
+            "snapshot_every": self.snapshot_every,
+            "snapshots_written": self.snapshots_written,
+            "snapshot_loaded": self.snapshot_loaded,
+            "replayed_records": self.replayed_records,
+            "torn_records_dropped": self.torn_records_dropped,
+            "recovered_releases": self.recovered_releases,
+            "resumed_uploads": self.resumed_uploads,
+            "expired_uploads_dropped": self.expired_uploads_dropped,
+        }
+
+    def close(self) -> None:
+        self.journal.close()

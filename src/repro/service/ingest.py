@@ -84,6 +84,7 @@ class IngestSession:
         # '{"buckets":[' + b_0 + "," + b_1 + ... + '],"schema":' + S + "}".
         self._hash = hashlib.sha256(b'{"buckets":[')
         self._chunk_digests: list[str] = []
+        self._chunk_sizes: list[int] = []
         self._buckets: list[Bucket] = []
         self.n_records = 0
         self.sa_counts: Counter = Counter()
@@ -95,13 +96,20 @@ class IngestSession:
 
     # -- chunk intake ------------------------------------------------------
 
-    def add_chunk(self, seq, raw_buckets, digest) -> dict:
+    def add_chunk(self, seq, raw_buckets, digest, *, journal=None) -> dict:
         """Fold one chunk in; returns the acknowledgement payload.
 
         Raises :class:`~repro.errors.IngestError` on protocol violations
         (HTTP 409): out-of-order sequence numbers, a digest that does not
         match the chunk's content, or a retried sequence number carrying
         different content.
+
+        ``journal(seq, raw_buckets)``, when given, is invoked under the
+        session lock after validation and before the chunk is applied —
+        the write-ahead hook of the durable serving mode.  Running it
+        inside the lock is what keeps the journal's chunk order equal to
+        the applied order under concurrent posts; duplicates never reach
+        it.
         """
         if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
             raise IngestError(f"chunk seq must be a non-negative integer, got {seq!r}")
@@ -141,6 +149,8 @@ class IngestSession:
             # All-or-nothing per chunk: the digest and the bucket list are
             # only advanced once every bucket in the chunk parsed cleanly,
             # so a rejected chunk can be fixed and re-sent under its seq.
+            if journal is not None:
+                journal(seq, raw_buckets)
             encoded = ",".join(canonical_json(raw) for raw in raw_buckets)
             if offset > 0:
                 self._hash.update(b",")
@@ -150,6 +160,7 @@ class IngestSession:
                 self.n_records += bucket.size
                 self.sa_counts.update(bucket.sa_values)
             self._chunk_digests.append(actual)
+            self._chunk_sizes.append(len(raw_buckets))
             return self._ack(seq, duplicate=False)
 
     def _parse_bucket(self, raw, index: int, seq) -> Bucket:
@@ -233,6 +244,78 @@ class IngestSession:
             self.sa_counts = Counter()
             self.touched_at = time.time()
 
+    # -- durability --------------------------------------------------------
+
+    def serialize(self) -> dict:
+        """This session in replayable wire form, for a state snapshot.
+
+        Live sessions regenerate each chunk's raw bucket dicts from the
+        parsed state — :meth:`restore` re-feeds them through
+        :meth:`add_chunk`, which rebuilds the incremental SHA-256 from
+        the same canonical bytes the original stream hashed (the chunk
+        digest already hashes the *parsed* JSON, so regeneration is
+        canonical-identical).  Finalized sessions dropped their buckets
+        at registration; only the summary needed for idempotent
+        re-finalize answers survives.
+        """
+        with self._lock:
+            chunks: list[list[dict]] = []
+            if self.finalized is None:
+                offset = 0
+                for size in self._chunk_sizes:
+                    chunks.append(
+                        [
+                            {
+                                "qi_tuples": [list(q) for q in b.qi_tuples],
+                                "sa_values": list(b.sa_values),
+                            }
+                            for b in self._buckets[offset : offset + size]
+                        ]
+                    )
+                    offset += size
+            return {
+                "upload_id": self.upload_id,
+                "name": self.name,
+                "expect_digest": self.expect_digest,
+                "schema": self._schema_payload,
+                "created_at": self.created_at,
+                "touched_at": self.touched_at,
+                "chunks": chunks,
+                "chunk_digests": list(self._chunk_digests),
+                "n_records": self.n_records,
+                "finalized": (
+                    dict(self.finalized) if self.finalized is not None else None
+                ),
+                "release_digest": self.release_digest,
+            }
+
+    @classmethod
+    def restore(cls, payload: dict) -> "IngestSession":
+        """Rebuild a session from :meth:`serialize` output.
+
+        The running hash state cannot be persisted directly (hash
+        objects do not serialize), so live sessions replay their chunks
+        — a recovered upload continues from the exact digest state the
+        crash interrupted and finalizes bit-identically to an
+        uninterrupted one.
+        """
+        session = cls(
+            payload["upload_id"],
+            payload["schema"],
+            name=payload.get("name"),
+            expect_digest=payload.get("expect_digest"),
+        )
+        for seq, raw_buckets in enumerate(payload.get("chunks") or ()):
+            session.add_chunk(seq, raw_buckets, None)
+        if payload.get("finalized") is not None:
+            session.finalized = dict(payload["finalized"])
+            session.release_digest = payload.get("release_digest")
+            session._chunk_digests = list(payload.get("chunk_digests") or ())
+            session.n_records = int(payload.get("n_records", 0))
+        session.created_at = payload["created_at"]
+        session.touched_at = payload["touched_at"]
+        return session
+
     # -- introspection -----------------------------------------------------
 
     def snapshot(self) -> dict:
@@ -274,8 +357,9 @@ class IngestManager:
         self.expired = 0
         self.aborted = 0
 
-    def _sweep_locked(self) -> None:
+    def _sweep_locked(self) -> list[str]:
         now = time.time()
+        dropped = []
         for upload_id, session in list(self._sessions.items()):
             if now - session.touched_at > self.ttl_seconds:
                 del self._sessions[upload_id]
@@ -283,6 +367,13 @@ class IngestManager:
                 # age out silently; live uploads count as expirations.
                 if session.finalized is None:
                     self.expired += 1
+                    dropped.append(upload_id)
+        return dropped
+
+    def sweep(self) -> list[str]:
+        """Expire idle sessions now; returns the live upload ids dropped."""
+        with self._lock:
+            return self._sweep_locked()
 
     def begin(
         self,
@@ -338,6 +429,85 @@ class IngestManager:
     def note_finalized(self) -> None:
         with self._lock:
             self.finalized += 1
+
+    # -- durability --------------------------------------------------------
+
+    def peek(self, upload_id: str) -> IngestSession | None:
+        """The session if tracked, without sweeping or raising (replay)."""
+        with self._lock:
+            return self._sessions.get(upload_id)
+
+    def restore_session(
+        self, session: IngestSession, *, count_started: bool = False
+    ) -> bool:
+        """Adopt a recovered session under its original upload id.
+
+        Idempotent: an id already tracked is left alone (double-replay
+        safety), and a session whose idle time already exceeds the TTL
+        is refused rather than resurrected — the client was told its
+        upload could expire, and a crash does not extend the promise.
+        ``count_started`` distinguishes journal replay (the begin was
+        never counted; bump ``started``) from snapshot restore (the
+        serialized counters already include it).  Returns ``True`` when
+        the session was adopted.
+        """
+        with self._lock:
+            if session.upload_id in self._sessions:
+                return False
+            if (
+                session.finalized is None
+                and time.time() - session.touched_at > self.ttl_seconds
+            ):
+                return False
+            self._sessions[session.upload_id] = session
+            if count_started:
+                self.started += 1
+            # Keep the id counter monotonic past recovered ids so new
+            # uploads cannot collide with pre-crash ones.
+            try:
+                seq = int(session.upload_id.split("-")[1])
+            except (IndexError, ValueError):
+                seq = 0
+            self._counter = max(self._counter, seq)
+            return True
+
+    def serialize(self) -> dict:
+        """All tracked sessions plus lifetime counters, for a snapshot."""
+        with self._lock:
+            sessions = sorted(
+                self._sessions.values(), key=lambda s: s.created_at
+            )
+            return {
+                "counter": self._counter,
+                "started": self.started,
+                "finalized": self.finalized,
+                "expired": self.expired,
+                "aborted": self.aborted,
+                "sessions": [session.serialize() for session in sessions],
+            }
+
+    def restore(self, payload: dict) -> tuple[int, int]:
+        """Rebuild manager state from :meth:`serialize` output.
+
+        Returns ``(adopted, refused)`` — refused sessions are those the
+        TTL already expired (not resurrected) or that were already
+        tracked (double-replay no-ops).
+        """
+        adopted = refused = 0
+        for entry in payload.get("sessions", ()):
+            if self.restore_session(IngestSession.restore(entry)):
+                adopted += 1
+            else:
+                refused += 1
+        with self._lock:
+            self._counter = max(self._counter, int(payload.get("counter", 0)))
+            self.started = max(self.started, int(payload.get("started", 0)))
+            self.finalized = max(
+                self.finalized, int(payload.get("finalized", 0))
+            )
+            self.expired = max(self.expired, int(payload.get("expired", 0)))
+            self.aborted = max(self.aborted, int(payload.get("aborted", 0)))
+        return adopted, refused
 
     def list(self) -> list[dict]:
         """Status snapshots of every tracked upload, oldest first."""

@@ -33,6 +33,7 @@ REASONS = {
     429: "Too Many Requests",
     500: "Internal Server Error",
     501: "Not Implemented",
+    503: "Service Unavailable",
 }
 
 
@@ -86,6 +87,9 @@ class HttpRequest:
     query: dict[str, str]
     headers: dict[str, str]
     body: bytes = b""
+    #: Parsed request deadline, attached by the serving layer (the
+    #: framing layer only carries it; see ``repro.service.deadline``).
+    deadline: object | None = None
 
     @property
     def keep_alive(self) -> bool:

@@ -64,6 +64,7 @@ from repro.engine.engine import PrivacyEngine
 from repro.errors import InfeasibleKnowledgeError, IngestError, ReproError
 from repro.maxent.config import MaxEntConfig
 from repro.maxent.solution import MaxEntSolution, SolverStats
+from repro.obs.events import EventLog
 from repro.obs.logging import get_logger
 from repro.obs.metrics import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.obs.metrics import MetricsBuilder
@@ -74,6 +75,12 @@ from repro.service.admission import (
     Coalescer,
     QueueFullError,
 )
+from repro.service.deadline import (
+    DEADLINE_HEADER,
+    Deadline,
+    DeadlineExceededError,
+)
+from repro.service.durability import DEFAULT_SNAPSHOT_EVERY, DurableState
 from repro.service.ingest import (
     DEFAULT_MAX_SESSIONS,
     DEFAULT_TTL_SECONDS,
@@ -89,7 +96,7 @@ from repro.service.protocol import (
     read_request,
     response_bytes,
 )
-from repro.service.store import SessionStore
+from repro.service.store import SessionStore, release_digest
 from repro.service.telemetry import LATENCY_BOUNDS, ServiceTelemetry
 
 DEFAULT_PORT = 8711
@@ -211,6 +218,14 @@ class ServiceConfig:
         HTTP 429 (the same backpressure contract as the solve queue).
     ingest_ttl_seconds:
         Idle time before an abandoned upload session is dropped.
+    state_dir:
+        Directory for the crash-safe state journal + snapshots (see
+        :mod:`repro.service.durability`); ``None`` serves in-memory.
+    snapshot_every:
+        Journal records between periodic snapshot + truncation cycles.
+    drain_timeout:
+        Seconds a SIGTERM drain waits for in-flight solves to finish
+        before the final snapshot and shutdown.
     engine:
         Execution-engine knobs (executor, workers, component cache size,
         ``cache_path`` for warm restarts).
@@ -227,6 +242,9 @@ class ServiceConfig:
     register_max_bytes: int = 8 * 1024 * 1024
     max_ingest_sessions: int = DEFAULT_MAX_SESSIONS
     ingest_ttl_seconds: float = DEFAULT_TTL_SECONDS
+    state_dir: str | None = None
+    snapshot_every: int = DEFAULT_SNAPSHOT_EVERY
+    drain_timeout: float = 30.0
     engine: MaxEntConfig = field(default_factory=MaxEntConfig)
 
 
@@ -265,6 +283,31 @@ class PrivacyService:
         self._register_lock: asyncio.Lock | None = None
         self._server: asyncio.base_events.Server | None = None
         self.port = self.config.port
+        self.events = EventLog()
+        self._draining = False
+        self.durability: DurableState | None = None
+        if self.config.state_dir:
+            self.durability = DurableState(
+                self.config.state_dir,
+                snapshot_every=self.config.snapshot_every,
+            )
+            # Recovery runs before the socket opens: the first request a
+            # restarted server answers already sees the pre-crash state.
+            summary = self.durability.recover(self.store, self.ingest)
+            if summary["recovered"]:
+                self.events.record(
+                    "journal_replayed",
+                    replayed_records=summary["replayed_records"],
+                    recovered_releases=summary["recovered_releases"],
+                    torn_records_dropped=summary["torn_records_dropped"],
+                    snapshot_loaded=summary["snapshot_loaded"],
+                )
+                for upload_id in summary["resumed_upload_ids"]:
+                    self.events.record("ingest_resumed", upload_id=upload_id)
+                _log.info(
+                    "recovered durable service state",
+                    extra={"fields": summary},
+                )
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -292,8 +335,46 @@ class PrivacyService:
             await self._server.wait_closed()
             self._server = None
 
+    async def drain(self, timeout: float | None = None) -> None:
+        """Graceful SIGTERM drain: finish in-flight work, snapshot, stop.
+
+        New connections are refused immediately (the listener closes;
+        established keep-alive connections see ``/v1/healthz`` answer
+        "draining"), in-flight solves get up to ``timeout`` seconds
+        (default ``drain_timeout``) to finish, and the final snapshot
+        makes the journal replay on the next boot empty.
+        """
+        budget = self.config.drain_timeout if timeout is None else timeout
+        self._draining = True
+        self.events.record("drain_started", timeout_seconds=budget)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        loop = asyncio.get_running_loop()
+        give_up = loop.time() + budget
+        while (
+            self.admission.depth > 0 or self.coalescer.inflight > 0
+        ) and loop.time() < give_up:
+            await asyncio.sleep(0.02)
+        if self.durability is not None:
+            path = await loop.run_in_executor(
+                None, self.durability.write_snapshot, self.store, self.ingest
+            )
+            self.events.record("snapshot_written", path=path, reason="drain")
+            self.telemetry.incr("snapshots_written")
+
     def close(self) -> None:
-        """Release resources; closes (and persists) an owned engine."""
+        """Release resources; closes (and persists) an owned engine.
+
+        A durable service writes one last snapshot here, so a *graceful*
+        shutdown leaves an empty journal — only a hard kill pays replay
+        on the next boot.
+        """
+        if self.durability is not None:
+            with contextlib.suppress(Exception):
+                self.durability.write_snapshot(self.store, self.ingest)
+            self.durability.close()
         if self._owns_engine:
             self.engine.close()
 
@@ -301,15 +382,25 @@ class PrivacyService:
         """Blocking entry point: serve until SIGINT/SIGTERM, then clean up.
 
         Both signals shut down gracefully (persisting the solve cache
-        when ``cache_path`` is set) — SIGTERM matters because service
-        managers and CI send it by default.
+        when ``cache_path`` is set); SIGTERM additionally drains —
+        in-flight solves finish (bounded by ``drain_timeout``) and the
+        final state snapshot lands before exit, because service managers
+        and CI send SIGTERM by default and expect no lost work.
         """
         async def main() -> None:
             loop = asyncio.get_running_loop()
             stopping = asyncio.Event()
+            received: list[int] = []
+
+            def on_signal(signum: int) -> None:
+                received.append(signum)
+                stopping.set()
+
             for signum in (signal.SIGINT, signal.SIGTERM):
                 with contextlib.suppress(NotImplementedError, ValueError):
-                    loop.add_signal_handler(signum, stopping.set)
+                    loop.add_signal_handler(
+                        signum, partial(on_signal, signum)
+                    )
             await self.start()
             _log.info(
                 "privacy-maxent service listening on "
@@ -323,6 +414,8 @@ class PrivacyService:
                 },
             )
             await stopping.wait()
+            if signal.SIGTERM in received:
+                await self.drain()
             await self.stop()
 
         try:
@@ -409,6 +502,13 @@ class PrivacyService:
     ) -> tuple[str, int, "dict | TextResponse", dict]:
         endpoint = request.method + " " + request.path
         try:
+            # The deadline clock starts here, at arrival — queue wait,
+            # compilation and solve time all burn the same budget.
+            request.deadline = Deadline.from_header(
+                request.headers.get(DEADLINE_HEADER)
+            )
+            if request.deadline is not None:
+                request.deadline.check("arrival")
             endpoint, handler = self._route(request)
             if handler is None:
                 raise HttpError(
@@ -458,6 +558,24 @@ class PrivacyService:
                 409,
                 {"error": {"code": "ingest_conflict", "message": str(exc)}},
                 {},
+            )
+        except DeadlineExceededError as exc:
+            # The budget ran out before solve work was committed: shed
+            # with 503 + Retry-After so the client retries with a fresh
+            # budget (or gives up knowing no partial work happened).
+            self.telemetry.incr("deadline_shed")
+            self.events.record(
+                "deadline_shed",
+                endpoint=endpoint,
+                phase=exc.phase,
+                budget_seconds=exc.budget,
+                elapsed_seconds=exc.elapsed,
+            )
+            return (
+                endpoint,
+                503,
+                {"error": {"code": "deadline_exceeded", "message": str(exc)}},
+                {"Retry-After": "1"},
             )
         except ReproError as exc:
             self.telemetry.incr("errors")
@@ -601,8 +719,16 @@ class PrivacyService:
         # here rather than keep routing traffic at a saturated instance.
         queue = self.admission.snapshot()
         saturated = queue["depth"] >= queue["capacity"]
-        return (503 if saturated else 200), {
-            "status": "degraded" if saturated else "ok",
+        if self._draining:
+            # A draining instance still answers its established
+            # connections, but load balancers must stop routing to it.
+            status, verdict = 503, "draining"
+        elif saturated:
+            status, verdict = 503, "degraded"
+        else:
+            status, verdict = 200, "ok"
+        return status, {
+            "status": verdict,
             "uptime_seconds": self.telemetry.uptime_seconds,
             "releases": len(self.store),
             "queue": queue,
@@ -622,6 +748,12 @@ class PrivacyService:
             "ingest": self.ingest.snapshot(),
             "engine": self.engine.stats(),
             "store": self.store.snapshot(),
+            "events": self.events.snapshot(limit=20),
+            "durability": (
+                self.durability.snapshot_counters()
+                if self.durability is not None
+                else None
+            ),
         }
 
     # -- observability endpoints ---------------------------------------------
@@ -677,6 +809,47 @@ class PrivacyService:
                 histogram.total_seconds,
                 {"endpoint": endpoint},
                 "Request latency by endpoint.",
+            )
+        for event, count in sorted(self.events.counts().items()):
+            builder.counter(
+                "service_recovery_events_total",
+                count,
+                {"event": event},
+                "Durability and lifecycle events "
+                "(journal_replayed, ingest_resumed, snapshot_written, "
+                "deadline_shed, drain_started).",
+            )
+        if self.durability is not None:
+            durable = self.durability.snapshot_counters()
+            builder.counter(
+                "durability_journal_records_total",
+                durable["journal_records_appended"],
+                help_text="Journal records fsync'd since this boot.",
+            )
+            builder.counter(
+                "durability_journal_bytes_total",
+                durable["journal_bytes_appended"],
+                help_text="Journal bytes fsync'd since this boot.",
+            )
+            builder.counter(
+                "durability_snapshots_written_total",
+                durable["snapshots_written"],
+                help_text="Atomic state snapshots written since this boot.",
+            )
+            builder.counter(
+                "durability_replayed_records_total",
+                durable["replayed_records"],
+                help_text="Journal records replayed during boot recovery.",
+            )
+            builder.counter(
+                "durability_torn_records_dropped_total",
+                durable["torn_records_dropped"],
+                help_text="Torn trailing journal records dropped at recovery.",
+            )
+            builder.gauge(
+                "durability_records_since_snapshot",
+                durable["records_since_snapshot"],
+                help_text="Journal records appended since the last snapshot.",
             )
         self._engine_metrics_into(builder)
         return builder
@@ -769,32 +942,70 @@ class PrivacyService:
         loop = asyncio.get_running_loop()
 
         def build():
+            digest = release_digest(release_payload)
             published = published_from_dict(release_payload)
             original = (
                 table_from_dict(body["original"])
                 if body.get("original") is not None
                 else None
             )
-            return published, original
+            return digest, published, original
 
-        published, original = await loop.run_in_executor(None, build)
+        digest, published, original = await loop.run_in_executor(None, build)
         assert self._register_lock is not None
         async with self._register_lock:
             record, created = await loop.run_in_executor(
                 None,
                 partial(
-                    self.store.register,
-                    release_payload,
+                    self.store.register_digest,
+                    digest,
                     published,
                     name=body.get("name"),
                     original=original,
                 ),
             )
+            if self.durability is not None and (
+                created or original is not None or body.get("name") is not None
+            ):
+                # Journaled under the register lock so journal order is
+                # allocation order: replaying the journal hands out the
+                # same release ids the crashed process already returned.
+                await loop.run_in_executor(
+                    None,
+                    partial(
+                        self.durability.record_register,
+                        digest,
+                        release_payload,
+                        name=body.get("name"),
+                        original_payload=body.get("original"),
+                    ),
+                )
+        await self._maybe_snapshot()
         if created:
             self.telemetry.incr("releases_registered")
         summary = record.summary()
         summary["created"] = created
         return (201 if created else 200), summary
+
+    async def _maybe_snapshot(self) -> None:
+        """Snapshot + truncate when enough journal records accumulated.
+
+        Called *after* handlers release the register lock (asyncio locks
+        are not reentrant); re-checks under the lock so concurrent
+        handlers cannot double-snapshot the same journal window.
+        """
+        if self.durability is None or not self.durability.should_snapshot():
+            return
+        assert self._register_lock is not None
+        loop = asyncio.get_running_loop()
+        async with self._register_lock:
+            if not self.durability.should_snapshot():
+                return
+            path = await loop.run_in_executor(
+                None, self.durability.write_snapshot, self.store, self.ingest
+            )
+        self.events.record("snapshot_written", path=path, reason="periodic")
+        self.telemetry.incr("snapshots_written")
 
     # -- chunked (streaming) registration ------------------------------------
 
@@ -812,6 +1023,11 @@ class PrivacyService:
             name=body.get("name"),
             expect_digest=body.get("expect_digest"),
         )
+        if self.durability is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, self.durability.record_ingest_begin, session
+            )
         self.telemetry.incr("ingest_uploads_started")
         return 201, {
             "upload_id": session.upload_id,
@@ -821,9 +1037,17 @@ class PrivacyService:
         }
 
     async def _handle_ingest_chunk(self, request: HttpRequest) -> tuple[int, dict]:
-        session = self.ingest.get(request.segments[2])
+        upload_id = request.segments[2]
+        session = self.ingest.get(upload_id)
         body = self._body_object(request, ("seq", "buckets", "digest"))
         loop = asyncio.get_running_loop()
+        journal = None
+        if self.durability is not None:
+            # Invoked by add_chunk under the session lock, after the
+            # chunk validates but before it mutates the session — so the
+            # journal's chunk order is exactly the order the digest
+            # folded them in, even under concurrent posts.
+            journal = partial(self.durability.record_ingest_chunk, upload_id)
         # Bucket parsing and digest folding are pure CPU over the chunk;
         # they run on a worker thread so a fat chunk cannot stall the
         # event loop under concurrent solve traffic.
@@ -834,8 +1058,10 @@ class PrivacyService:
                 body.get("seq"),
                 body.get("buckets"),
                 body.get("digest"),
+                journal=journal,
             ),
         )
+        await self._maybe_snapshot()
         self.telemetry.incr("ingest_chunks")
         if ack["duplicate"]:
             self.telemetry.incr("ingest_chunk_duplicates")
@@ -868,9 +1094,20 @@ class PrivacyService:
                     name=body.get("name") or session.name,
                 ),
             )
+            if self.durability is not None:
+                await loop.run_in_executor(
+                    None,
+                    partial(
+                        self.durability.record_ingest_finalize,
+                        session.upload_id,
+                        digest,
+                        name=body.get("name"),
+                    ),
+                )
         summary = record.summary()
         session.mark_registered(digest, summary)
         self.ingest.note_finalized()
+        await self._maybe_snapshot()
         if created:
             self.telemetry.incr("releases_registered")
         self.telemetry.incr("ingest_uploads_finalized")
@@ -884,7 +1121,13 @@ class PrivacyService:
         return 200, session.snapshot()
 
     async def _handle_ingest_abort(self, request: HttpRequest) -> tuple[int, dict]:
-        ack = self.ingest.abort(request.segments[3])
+        upload_id = request.segments[3]
+        ack = self.ingest.abort(upload_id)
+        if self.durability is not None:
+            loop = asyncio.get_running_loop()
+            await loop.run_in_executor(
+                None, self.durability.record_ingest_abort, upload_id
+            )
         self.telemetry.incr("ingest_uploads_aborted")
         return 200, ack
 
@@ -899,7 +1142,7 @@ class PrivacyService:
         statements = statements_from_list(body.get("statements"))
         config = config_from_dict(body.get("config"))
         payload, served_from = await self._posterior_payload(
-            record, statements, config
+            record, statements, config, deadline=request.deadline
         )
         return 200, {
             "release_id": record.release_id,
@@ -908,7 +1151,7 @@ class PrivacyService:
         }
 
     async def _posterior_payload(
-        self, record, statements, config: MaxEntConfig
+        self, record, statements, config: MaxEntConfig, *, deadline=None
     ) -> tuple[dict, str]:
         """The cached/coalesced/solved posterior payload for one request."""
         loop = asyncio.get_running_loop()
@@ -923,6 +1166,8 @@ class PrivacyService:
         system, n_rows, build_seconds, fingerprint = await loop.run_in_executor(
             None, prepare
         )
+        if deadline is not None:
+            deadline.check("compile")
         # The engine fingerprint identifies the *solution*; the response
         # additionally depends on the failure policy (raise vs return a
         # non-converged posterior), so that is part of the result key —
@@ -948,6 +1193,7 @@ class PrivacyService:
             key,
             build_seconds,
             trace_ctx=trace_ctx,
+            deadline=deadline,
         )
 
         async def compute():
@@ -956,7 +1202,10 @@ class PrivacyService:
                 # micro-batch with their peers instead of occupying (and
                 # back-pressuring) solve slots.
                 return await solve()
-            return await self.admission.run(solve)
+            # Coalesced joiners ride the *initiating* request's deadline:
+            # the shared computation is only shed if nobody who started
+            # it is still waiting, never because a late joiner was poor.
+            return await self.admission.run(solve, deadline=deadline)
 
         payload, coalesced = await self.coalescer.run(key, compute)
         return payload, ("coalesced" if coalesced else "solve")
@@ -972,9 +1221,15 @@ class PrivacyService:
         build_seconds: float = 0.0,
         *,
         trace_ctx: dict | None = None,
+        deadline=None,
     ) -> dict:
         """Run one admitted solve (batched closed form or full engine)."""
         loop = asyncio.get_running_loop()
+        if deadline is not None:
+            # Last check before irreversible work: past this point the
+            # solve runs to completion (and lands in the result cache)
+            # even if the client's budget expires mid-iteration.
+            deadline.check("solve")
         self.telemetry.incr("solves_started")
         if n_rows == 0 and config.use_closed_form:
             # No knowledge rows: Theorem 5's closed form, micro-batched
@@ -1051,7 +1306,7 @@ class PrivacyService:
         async def one(bound) -> dict:
             statements = bound.statements(rules)
             payload, served_from = await self._posterior_payload(
-                record, statements, config
+                record, statements, config, deadline=request.deadline
             )
 
             def metrics() -> dict:

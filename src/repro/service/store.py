@@ -25,7 +25,13 @@ import threading
 import time
 
 from repro.core.quantifier import PosteriorTable
-from repro.core.serialize import statement_to_dict
+from repro.core.serialize import (
+    published_from_dict,
+    published_to_dict,
+    statement_to_dict,
+    table_from_dict,
+    table_to_dict,
+)
 from repro.engine.cache import SolveCache
 from repro.knowledge.compiler import compile_statements
 from repro.knowledge.mining import MiningConfig, RuleSet, mine_association_rules
@@ -251,3 +257,73 @@ class SessionStore:
                 "hit_rate": self.results.hit_rate,
             },
         }
+
+    # -- durability ----------------------------------------------------------
+
+    def serialize(self) -> dict:
+        """The full registry in wire form, for a durable state snapshot.
+
+        Everything a restart needs to rebuild the registry *exactly* —
+        explicit release ids and the id counter included, so recovered
+        releases keep the ids clients already hold and post-recovery
+        registrations cannot collide with pre-crash ones.  Compiled
+        systems, mined rules and result caches are deliberately absent:
+        they are derived state the service rebuilds on demand.
+        """
+        with self._lock:
+            records = list(self._releases.values())
+            digest_of = {rid: d for d, rid in self._by_digest.items()}
+            counter = self._counter
+        releases = []
+        for record in records:
+            releases.append(
+                {
+                    "release_id": record.release_id,
+                    "digest": digest_of[record.release_id],
+                    "name": record.name,
+                    "created_at": record.created_at,
+                    "release": published_to_dict(record.published),
+                    "original": (
+                        table_to_dict(record.original)
+                        if record.original is not None
+                        else None
+                    ),
+                }
+            )
+        return {"counter": counter, "releases": releases}
+
+    def restore(self, payload: dict) -> int:
+        """Rebuild the registry from :meth:`serialize` output.
+
+        Idempotent by digest (a release already present is skipped), so
+        replaying a snapshot over a partially recovered store — or the
+        same snapshot twice — cannot create duplicates or re-number ids.
+        Returns the number of releases actually restored.
+        """
+        restored = 0
+        for entry in payload.get("releases", ()):
+            with self._lock:
+                if entry["digest"] in self._by_digest:
+                    continue
+            published = published_from_dict(entry["release"])
+            original = (
+                table_from_dict(entry["original"])
+                if entry.get("original") is not None
+                else None
+            )
+            record = RegisteredRelease(
+                entry["release_id"],
+                published,
+                name=entry.get("name"),
+                original=original,
+            )
+            record.created_at = entry["created_at"]
+            with self._lock:
+                if entry["digest"] in self._by_digest:
+                    continue
+                self._releases[entry["release_id"]] = record
+                self._by_digest[entry["digest"]] = entry["release_id"]
+            restored += 1
+        with self._lock:
+            self._counter = max(self._counter, int(payload.get("counter", 0)))
+        return restored

@@ -1,0 +1,128 @@
+"""End-to-end request deadlines: parsing, shedding, and the wire path."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.data.paper_example import Q4, S1, paper_published
+from repro.errors import ReproError
+from repro.knowledge.statements import ConditionalProbability
+from repro.service import (
+    BackgroundService,
+    Deadline,
+    DeadlineExceededError,
+    PrivacyService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+KNOWLEDGE = [
+    ConditionalProbability(given={"gender": "male"}, sa_value=S1, probability=0.0)
+]
+
+
+class TestDeadlineParsing:
+    def test_absent_header_means_no_deadline(self):
+        assert Deadline.from_header(None) is None
+        assert Deadline.from_header("   ") is None
+
+    def test_positive_budget_parses(self):
+        deadline = Deadline.from_header("2.5")
+        assert deadline.budget == 2.5
+        assert deadline.remaining() <= 2.5
+
+    def test_junk_header_is_rejected(self):
+        with pytest.raises(ReproError, match="number of seconds"):
+            Deadline.from_header("soon-ish")
+
+    def test_non_positive_budget_is_rejected(self):
+        for raw in ("0", "-1"):
+            with pytest.raises(ReproError, match="positive"):
+                Deadline.from_header(raw)
+
+    def test_check_raises_once_budget_is_gone(self):
+        blown = Deadline(budget=0.01, started=time.monotonic() - 1.0)
+        with pytest.raises(DeadlineExceededError) as exc:
+            blown.check("solve")
+        assert exc.value.phase == "solve"
+        assert exc.value.budget == 0.01
+
+    def test_header_value_clamps_to_positive_floor(self):
+        blown = Deadline(budget=0.01, started=time.monotonic() - 1.0)
+        forwarded = Deadline.from_header(blown.header_value())
+        assert forwarded is not None
+        assert forwarded.budget == pytest.approx(1e-3)
+
+
+@pytest.fixture(scope="module")
+def service():
+    instance = PrivacyService(ServiceConfig(port=0))
+    with BackgroundService(instance) as background:
+        yield background.service
+
+
+@pytest.fixture(scope="module")
+def client(service):
+    from repro.cluster.retry import RetryPolicy
+
+    # No retries: these tests assert on the raw shed verdict, and a
+    # deadline_exceeded 503 would otherwise be absorbed and re-sent.
+    with ServiceClient(
+        port=service.port, retry=RetryPolicy(attempts=1)
+    ) as session:
+        session.wait_until_healthy(timeout=10)
+        yield session
+
+
+@pytest.fixture(scope="module")
+def release_id(client):
+    return client.register(paper_published(), name="paper")
+
+
+class TestServiceSheds:
+    def test_blown_budget_is_shed_with_503(self, service, client, release_id):
+        shed_before = service.telemetry.snapshot()["counters"].get(
+            "deadline_shed", 0
+        )
+        with pytest.raises(ServiceError) as exc:
+            client.posterior(release_id, KNOWLEDGE, deadline=1e-9)
+        assert exc.value.status == 503
+        assert exc.value.code == "deadline_exceeded"
+        counters = service.telemetry.snapshot()["counters"]
+        assert counters.get("deadline_shed", 0) == shed_before + 1
+        assert service.events.counts().get("deadline_shed", 0) >= 1
+
+    def test_shed_is_visible_on_telemetry_events(self, client, release_id):
+        with pytest.raises(ServiceError):
+            client.posterior(release_id, KNOWLEDGE, deadline=1e-9)
+        telemetry = client.telemetry()
+        assert telemetry["service"]["counters"].get("deadline_shed", 0) >= 1
+        kinds = {e["kind"] for e in telemetry["events"]["recent"]}
+        assert "deadline_shed" in kinds
+
+    def test_generous_budget_is_served(self, client, release_id):
+        result = client.posterior(release_id, KNOWLEDGE, deadline=60.0)
+        assert result.posterior.prob(Q4, S1) >= 0.0
+
+    def test_malformed_deadline_header_is_400(self, client, release_id):
+        from repro.service.deadline import DEADLINE_HEADER
+
+        with pytest.raises(ServiceError) as exc:
+            client._request(
+                "GET",
+                "/v1/releases",
+                extra_headers={DEADLINE_HEADER: "whenever"},
+            )
+        assert exc.value.status == 400
+
+    def test_deadline_shed_lands_on_metrics(self, client, release_id):
+        with pytest.raises(ServiceError):
+            client.posterior(release_id, KNOWLEDGE, deadline=1e-9)
+        metrics = client.metrics()
+        assert (
+            'repro_service_recovery_events_total{event="deadline_shed"}'
+            in metrics
+        )

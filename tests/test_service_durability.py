@@ -1,0 +1,325 @@
+"""Crash-safe service state: journal framing, snapshots, recovery."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.core.serialize import published_from_dict, published_to_dict
+from repro.data.paper_example import paper_published, paper_table
+from repro.errors import ReproError
+from repro.service.durability import (
+    DurableState,
+    Journal,
+    STATE_FORMAT,
+    decode_record,
+    encode_record,
+    read_journal,
+    read_snapshot_file,
+    write_snapshot_file,
+)
+from repro.service.ingest import IngestManager, IngestSession, chunk_digest
+from repro.service.store import SessionStore, release_digest
+
+
+def wire() -> dict:
+    return published_to_dict(paper_published())
+
+
+def split(buckets: list, n: int) -> list[list]:
+    return [buckets[i : i + n] for i in range(0, len(buckets), n)]
+
+
+def register_durably(durable: DurableState, store: SessionStore, payload: dict):
+    """The write-ahead sequence the server's register handler runs."""
+    digest = release_digest(payload)
+    published = published_from_dict(payload)
+    record, created = store.register_digest(digest, published)
+    if created:
+        durable.record_register(digest, payload)
+    return record
+
+
+class TestJournalFraming:
+    def test_record_round_trip(self):
+        record = {"v": 1, "kind": "register", "digest": "ab" * 32}
+        line = encode_record(record)
+        assert line.endswith(b"\n")
+        assert decode_record(line.rstrip(b"\n")) == record
+
+    def test_corrupt_crc_is_rejected(self):
+        line = encode_record({"v": 1, "kind": "x"}).rstrip(b"\n")
+        flipped = line[:-1] + (b"0" if line[-1:] != b"0" else b"1")
+        assert decode_record(flipped) is None
+
+    def test_torn_final_record_is_dropped(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        with open(path, "wb") as fh:
+            fh.write(encode_record({"v": 1, "kind": "a"}))
+            fh.write(encode_record({"v": 1, "kind": "b"})[:-7])  # torn tail
+        records, torn = read_journal(path)
+        assert [r["kind"] for r in records] == ["a"]
+        assert torn == 1
+
+    def test_mid_journal_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        with open(path, "wb") as fh:
+            fh.write(encode_record({"v": 1, "kind": "a"})[:-7] + b"\n")
+            fh.write(encode_record({"v": 1, "kind": "b"}))
+        with pytest.raises(ReproError, match="corrupt journal"):
+            read_journal(path)
+
+    def test_unknown_journal_version_raises(self, tmp_path):
+        path = str(tmp_path / "journal.log")
+        with open(path, "wb") as fh:
+            fh.write(encode_record({"v": 999, "kind": "register"}))
+        with pytest.raises(ReproError, match="journal record version"):
+            read_journal(path)
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        assert read_journal(str(tmp_path / "absent.log")) == ([], 0)
+
+
+class TestSnapshotFile:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        write_snapshot_file(path, {"store": {"counter": 3}})
+        document = read_snapshot_file(path)
+        assert document["format"] == STATE_FORMAT
+        assert document["store"] == {"counter": 3}
+
+    def test_missing_snapshot_is_none(self, tmp_path):
+        assert read_snapshot_file(str(tmp_path / "absent.json")) is None
+
+    def test_unknown_format_raises(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"format": "privacy-maxent-state/99"}, fh)
+        with pytest.raises(ReproError, match="snapshot format"):
+            read_snapshot_file(path)
+
+    def test_junk_snapshot_raises(self, tmp_path):
+        path = str(tmp_path / "snapshot.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("{truncated")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            read_snapshot_file(path)
+
+
+class TestJournalRotation:
+    def test_rotate_seals_then_discard_drops(self, tmp_path):
+        journal = Journal(str(tmp_path / "journal.log"))
+        journal.append("a", {"n": 1})
+        journal.rotate()
+        journal.append("b", {"n": 2})
+        sealed, _ = read_journal(journal.sealed_path)
+        live, _ = read_journal(journal.path)
+        assert [r["kind"] for r in sealed] == ["a"]
+        assert [r["kind"] for r in live] == ["b"]
+        journal.discard_sealed()
+        assert not os.path.exists(journal.sealed_path)
+        assert read_journal(journal.path)[0] == live
+        journal.close()
+
+    def test_second_rotate_extends_existing_sidecar(self, tmp_path):
+        # A crash between rotate and discard leaves a sidecar; the next
+        # rotate must append to it, never clobber the sealed records.
+        journal = Journal(str(tmp_path / "journal.log"))
+        journal.append("a", {})
+        journal.rotate()
+        journal.append("b", {})
+        journal.rotate()
+        sealed, _ = read_journal(journal.sealed_path)
+        assert [r["kind"] for r in sealed] == ["a", "b"]
+        journal.close()
+
+
+class TestStoreRoundTrip:
+    def test_serialize_restore_preserves_ids_and_counter(self):
+        store = SessionStore()
+        payload = wire()
+        record = register_durably_store_only(store, payload)
+        restored_store = SessionStore()
+        assert restored_store.restore(store.serialize()) == 1
+        clone = restored_store.get(record.release_id)
+        assert clone.release_id == record.release_id
+        assert clone.published.n_buckets == record.published.n_buckets
+        # Restoring again is a no-op, and a re-registration of the same
+        # payload dedupes against the restored entry instead of renumbering.
+        assert restored_store.restore(store.serialize()) == 0
+        fresh, created = restored_store.register(payload, paper_published())
+        assert created is False
+        assert fresh.release_id == record.release_id
+
+    def test_original_table_survives_round_trip(self):
+        store = SessionStore()
+        payload = wire()
+        published = published_from_dict(payload)
+        store.register(payload, published, original=paper_table())
+        clone_store = SessionStore()
+        clone_store.restore(store.serialize())
+        clone = clone_store.list()[0]
+        assert clone["has_original"] is True
+
+
+def register_durably_store_only(store: SessionStore, payload: dict):
+    record, _created = store.register(payload, published_from_dict(payload))
+    return record
+
+
+class TestIngestSessionRoundTrip:
+    def test_restore_resumes_to_identical_digest(self):
+        payload = wire()
+        chunks = split(payload["buckets"], 2)
+        session = IngestSession("up-1-cafe", payload["schema"])
+        for seq, chunk in enumerate(chunks[:2]):
+            session.add_chunk(seq, chunk, chunk_digest(chunk))
+        clone = IngestSession.restore(session.serialize())
+        for seq, chunk in enumerate(chunks[2:], start=2):
+            clone.add_chunk(seq, chunk, chunk_digest(chunk))
+        digest, _published = clone.build(None)
+        assert digest == release_digest(payload)
+
+
+class TestDurableStateRecovery:
+    def test_register_survives_simulated_crash(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        store, ingest = SessionStore(), IngestManager()
+        payload = wire()
+        record = register_durably(durable, store, payload)
+        durable.close()  # crash: no snapshot was ever written
+
+        reborn = DurableState(state_dir)
+        store2, ingest2 = SessionStore(), IngestManager()
+        summary = reborn.recover(store2, ingest2)
+        assert summary["recovered"] is True
+        assert summary["replayed_records"] == 1
+        clone = store2.get(record.release_id)
+        assert clone.release_id == record.release_id
+        reborn.close()
+
+    def test_interrupted_upload_resumes_bit_identical(self, tmp_path):
+        payload = wire()
+        chunks = split(payload["buckets"], 2)
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        store, ingest = SessionStore(), IngestManager()
+        session = ingest.begin(payload["schema"], name="resumed")
+        durable.record_ingest_begin(session)
+        from functools import partial
+
+        journal = partial(durable.record_ingest_chunk, session.upload_id)
+        for seq, chunk in enumerate(chunks[:2]):
+            session.add_chunk(seq, chunk, chunk_digest(chunk), journal=journal)
+        durable.close()  # SIGKILL mid-upload
+
+        reborn = DurableState(state_dir)
+        store2, ingest2 = SessionStore(), IngestManager()
+        summary = reborn.recover(store2, ingest2)
+        assert session.upload_id in summary["resumed_upload_ids"]
+        resumed = ingest2.get(session.upload_id)
+        journal2 = partial(reborn.record_ingest_chunk, session.upload_id)
+        for seq, chunk in enumerate(chunks[2:], start=2):
+            resumed.add_chunk(
+                seq, chunk, chunk_digest(chunk), journal=journal2
+            )
+        digest, published = resumed.build(None)
+        assert digest == release_digest(payload)
+        assert published.n_buckets == len(payload["buckets"])
+        reborn.close()
+
+    def test_double_replay_is_idempotent(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        store, ingest = SessionStore(), IngestManager()
+        payload = wire()
+        register_durably(durable, store, payload)
+        durable.close()
+
+        for _round in range(2):
+            reborn = DurableState(state_dir)
+            store2, ingest2 = SessionStore(), IngestManager()
+            reborn.recover(store2, ingest2)
+            assert len(store2) == 1
+            reborn.close()
+
+    def test_replaying_register_twice_into_one_store(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        store, ingest = SessionStore(), IngestManager()
+        payload = wire()
+        register_durably(durable, store, payload)
+        durable.close()
+        reborn = DurableState(state_dir)
+        store2, ingest2 = SessionStore(), IngestManager()
+        records, _ = read_journal(
+            os.path.join(state_dir, "journal.log")
+        )
+        for record in records + records:  # apply every record twice
+            reborn.apply(record, store2, ingest2)
+        assert len(store2) == 1
+        reborn.close()
+
+    def test_ttl_expired_upload_is_not_resurrected(self, tmp_path):
+        payload = wire()
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        store, ingest = SessionStore(), IngestManager()
+        session = ingest.begin(payload["schema"])
+        session.created_at = session.touched_at = 100.0  # long expired
+        durable.record_ingest_begin(session)
+        durable.close()
+
+        reborn = DurableState(state_dir)
+        store2 = SessionStore()
+        ingest2 = IngestManager(ttl_seconds=60.0)
+        summary = reborn.recover(store2, ingest2)
+        assert summary["resumed_uploads"] == 0
+        assert ingest2.peek(session.upload_id) is None
+        reborn.close()
+
+    def test_snapshot_truncates_journal_and_restores_alone(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir, snapshot_every=1)
+        store, ingest = SessionStore(), IngestManager()
+        payload = wire()
+        record = register_durably(durable, store, payload)
+        assert durable.should_snapshot()
+        durable.write_snapshot(store, ingest)
+        assert read_journal(durable.journal.path) == ([], 0)
+        durable.close()
+
+        reborn = DurableState(state_dir)
+        store2, ingest2 = SessionStore(), IngestManager()
+        summary = reborn.recover(store2, ingest2)
+        assert summary["snapshot_loaded"] is True
+        assert summary["replayed_records"] == 0
+        assert store2.get(record.release_id).release_id == record.release_id
+        reborn.close()
+
+    def test_unknown_record_kind_refuses_recovery(self, tmp_path):
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        durable.journal.append("timewarp", {"upload_id": "up-1"})
+        durable.close()
+        reborn = DurableState(state_dir)
+        with pytest.raises(ReproError, match="unknown journal record kind"):
+            reborn.recover(SessionStore(), IngestManager())
+        reborn.close()
+
+    def test_recovery_writes_repair_snapshot(self, tmp_path):
+        # After replaying a journal suffix the state is folded into a
+        # fresh snapshot so the next boot starts compact.
+        state_dir = str(tmp_path / "state")
+        durable = DurableState(state_dir)
+        store, ingest = SessionStore(), IngestManager()
+        register_durably(durable, store, wire())
+        durable.close()
+        reborn = DurableState(state_dir)
+        reborn.recover(SessionStore(), IngestManager())
+        assert os.path.exists(reborn.snapshot_path)
+        assert read_journal(reborn.journal.path) == ([], 0)
+        reborn.close()

@@ -244,9 +244,15 @@ class TestRegisterSizeGuard:
                 assert summary["digest"] == release_digest(payload)
 
     def test_session_cap_is_429(self):
+        from repro.cluster.retry import RetryPolicy
+
         config = ServiceConfig(port=0, max_ingest_sessions=1)
         with BackgroundService(PrivacyService(config)) as background:
-            with ServiceClient(port=background.service.port) as client:
+            # attempts=1: see the raw 429 instead of sleeping through
+            # the client's Retry-After absorption.
+            with ServiceClient(
+                port=background.service.port, retry=RetryPolicy(attempts=1)
+            ) as client:
                 client.wait_until_healthy(timeout=10)
                 schema = wire()["schema"]
                 client.begin_upload(schema)

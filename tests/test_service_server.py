@@ -431,7 +431,15 @@ class TestBackpressure:
             with ThreadPoolExecutor(max_workers=1) as pool:
                 holder = pool.submit(occupy)
                 assert solve_started.wait(10)
-                with ServiceClient(port=background.port) as client_b:
+                # attempts=1: observe the raw 429 verdict instead of the
+                # client's Retry-After absorption (which would re-reject
+                # and inflate the rejected counter asserted below).
+                from repro.cluster.retry import RetryPolicy
+
+                no_retry = RetryPolicy(attempts=1)
+                with ServiceClient(
+                    port=background.port, retry=no_retry
+                ) as client_b:
                     with pytest.raises(ServiceError) as excinfo:
                         client_b.posterior(release, rejected)
                 assert excinfo.value.status == 429
